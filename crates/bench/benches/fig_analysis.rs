@@ -1,0 +1,30 @@
+//! Figures 2/3/4 + Table I-class harness: the refresh-analysis
+//! instrumentation running on contrasting workloads at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rop_bench::bench_spec;
+use rop_sim_system::runner::run_single;
+use rop_sim_system::SystemKind;
+use rop_trace::Benchmark;
+
+fn analysis_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_4_table1");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    let spec = bench_spec();
+    for b_mark in [Benchmark::Libquantum, Benchmark::Gobmk] {
+        g.bench_function(format!("analysis_{}", b_mark.name()), |b| {
+            b.iter(|| {
+                let m = run_single(b_mark, SystemKind::Baseline, spec);
+                let r = m.analysis[0][0];
+                assert!(r.refreshes > 0);
+                (r.lambda, r.beta, r.non_blocking_fraction)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, analysis_run);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figures 10/11-class harness: one 4-core mix under the three compared
+//! systems at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rop_bench::bench_spec;
+use rop_sim_system::runner::run_multi;
+use rop_sim_system::SystemKind;
+use rop_trace::WORKLOAD_MIXES;
+
+fn multicore_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_11");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    let spec = bench_spec();
+    let mix = WORKLOAD_MIXES[3]; // WL4: mixed intensity, moderate runtime
+    for (name, kind) in [
+        ("baseline", SystemKind::Baseline),
+        ("baseline_rp", SystemKind::BaselineRp),
+        ("rop64", SystemKind::Rop { buffer: 64 }),
+    ] {
+        g.bench_function(format!("wl4_{name}"), |b| {
+            b.iter(|| {
+                let m = run_multi(mix, kind, 4, spec);
+                assert_eq!(m.cores.len(), 4);
+                m.total_cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, multicore_run);
+criterion_main!(benches);

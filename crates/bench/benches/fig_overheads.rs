@@ -1,0 +1,35 @@
+//! Figure 1-class harness: one baseline run and one no-refresh run of a
+//! memory-intensive benchmark at reduced scale. Benchmarks the simulator
+//! end-to-end and verifies the refresh overhead remains measurable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rop_bench::bench_spec;
+use rop_sim_system::runner::run_single;
+use rop_sim_system::SystemKind;
+use rop_trace::Benchmark;
+
+fn fig1_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    let spec = bench_spec();
+    g.bench_function("baseline_libquantum", |b| {
+        b.iter(|| {
+            let m = run_single(Benchmark::Libquantum, SystemKind::Baseline, spec);
+            assert!(m.refreshes > 0);
+            m.ipc()
+        })
+    });
+    g.bench_function("norefresh_libquantum", |b| {
+        b.iter(|| {
+            let m = run_single(Benchmark::Libquantum, SystemKind::NoRefresh, spec);
+            assert_eq!(m.refreshes, 0);
+            m.ipc()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig1_pair);
+criterion_main!(benches);

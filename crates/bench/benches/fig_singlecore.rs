@@ -1,0 +1,33 @@
+//! Figures 7/8/9-class harness: the single-core ROP system end-to-end
+//! (training, observing, prefetching, SRAM serving) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rop_bench::bench_spec;
+use rop_sim_system::runner::{run_single, RunSpec};
+use rop_sim_system::SystemKind;
+use rop_trace::Benchmark;
+
+fn rop_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_9");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    // Long enough to get through the 50-refresh training phase.
+    let spec = RunSpec {
+        instructions: 1_500_000,
+        ..bench_spec()
+    };
+    for cap in [16usize, 64] {
+        g.bench_function(format!("rop{cap}_libquantum"), |b| {
+            b.iter(|| {
+                let m = run_single(Benchmark::Libquantum, SystemKind::Rop { buffer: cap }, spec);
+                assert!(m.refreshes > 0);
+                m.ipc()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, rop_run);
+criterion_main!(benches);

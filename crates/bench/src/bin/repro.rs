@@ -1,0 +1,235 @@
+//! `repro` — regenerates every table and figure of the ROP paper's
+//! evaluation on the Rust reproduction stack.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [--instr N] [--seed S]
+//!
+//! experiments:
+//!   fig1 fig2 fig3 fig4 table1      §III analysis (baseline vs no-refresh)
+//!   fig7 fig8 fig9                  single-core ROP comparison
+//!   fig10 fig11                     4-core Baseline / Baseline-RP / ROP
+//!   fig12 fig13 fig14               LLC-size sensitivity sweep
+//!   table2 table3                   configuration tables
+//!   ablate-window ablate-throttle ablate-drain ablate-table
+//!   analysis                        fig1+fig2+fig3+fig4+table1 (one sweep)
+//!   single                          fig7+fig8+fig9 (one sweep)
+//!   multi                           fig10+fig11 (one sweep)
+//!   llc                             fig12+fig13+fig14 (one sweep)
+//!   all                             everything above
+//! ```
+//!
+//! `--instr` (or env `ROP_INSTR`) sets the per-core instruction quota;
+//! the default (20 M) reproduces the full shapes in minutes. Experiments
+//! sharing simulations are grouped so `all` runs each sweep once.
+
+use rop_sim_system::experiments::{
+    ablate_drain, ablate_table, ablate_throttle, ablate_window, run_analysis, run_fgr_sweep,
+    run_llc_sweep, run_multicore, run_per_bank_study, run_policy_comparison, run_singlecore,
+};
+use rop_sim_system::runner::RunSpec;
+use rop_stats::TableBuilder;
+use rop_trace::{ALL_BENCHMARKS, WORKLOAD_MIXES};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment> [--instr N] [--seed S]\n\
+         experiments: fig1 fig2 fig3 fig4 table1 fig7 fig8 fig9 fig10 fig11\n\
+         fig12 fig13 fig14 table2 table3 analysis single multi llc\n\
+         policies fgr per-bank\n\
+         ablate-window ablate-throttle ablate-drain ablate-table all"
+    );
+    std::process::exit(2);
+}
+
+fn parse_spec(args: &[String]) -> RunSpec {
+    let mut spec = RunSpec::from_env();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--instr" => {
+                i += 1;
+                spec.instructions = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                spec.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    spec
+}
+
+fn render_table2() -> String {
+    let mut t = TableBuilder::new("Table II — benchmarks and workload mixes").header([
+        "benchmark",
+        "intensive",
+        "in mixes",
+    ]);
+    for b in ALL_BENCHMARKS {
+        let mixes: Vec<&str> = WORKLOAD_MIXES
+            .iter()
+            .filter(|m| m.programs.contains(&b))
+            .map(|m| m.name)
+            .collect();
+        t.row([
+            b.name().to_string(),
+            if b.is_intensive() { "Y" } else { "" }.to_string(),
+            mixes.join(" "),
+        ]);
+    }
+    t.render()
+}
+
+fn render_table3() -> String {
+    use rop_dram::{DramConfig, TimingParams};
+    let timing = TimingParams::ddr4_1600_8gb();
+    let cfg = DramConfig::baseline(1);
+    let mut t = TableBuilder::new("Table III — system parameters").header(["parameter", "value"]);
+    t.row(["Processor", "4-wide OoO, 192-entry ROB, 16 MSHRs, 3.2 GHz"]);
+    t.row([
+        "Memory controller",
+        "64/64-entry read/write queues, FR-FCFS, batched writes",
+    ]);
+    t.row([
+        "DRAM",
+        "DDR4-1600, 1 channel, 1 rank (single-core) / 4 ranks (4-core)",
+    ]);
+    let refi = format!(
+        "tREFI = {} cycles (7.8 us), tRFC = {} cycles (350 ns), 1x mode",
+        timing.t_refi(),
+        timing.t_rfc()
+    );
+    t.row(["Refresh", refi.as_str()]);
+    t.row([
+        "SRAM buffer",
+        "16/32/64/128 lines, 3-cycle access, 0.0132-0.0152 nJ/access",
+    ]);
+    let cap = format!(
+        "{} GiB/rank, 8 banks, 32768 rows, 8 KiB rows",
+        cfg.geometry.capacity_bytes() / (1 << 30)
+    );
+    t.row(["Geometry", cap.as_str()]);
+    t.render()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let spec = parse_spec(&args[1..]);
+    eprintln!(
+        "# repro {} — {} instructions/core, seed {}",
+        cmd, spec.instructions, spec.seed
+    );
+    let t0 = std::time::Instant::now();
+
+    match cmd.as_str() {
+        "fig1" | "fig2" | "fig3" | "fig4" | "table1" | "analysis" => {
+            let res = run_analysis(spec);
+            match cmd.as_str() {
+                "fig1" => println!("{}", res.render_fig1()),
+                "fig2" => println!("{}", res.render_fig2()),
+                "fig3" => println!("{}", res.render_fig3()),
+                "fig4" => println!("{}", res.render_fig4()),
+                "table1" => println!("{}", res.render_table1()),
+                _ => {
+                    println!("{}", res.render_fig1());
+                    println!("{}", res.render_fig2());
+                    println!("{}", res.render_fig3());
+                    println!("{}", res.render_fig4());
+                    println!("{}", res.render_table1());
+                }
+            }
+        }
+        "fig7" | "fig8" | "fig9" | "single" => {
+            let res = run_singlecore(spec);
+            match cmd.as_str() {
+                "fig7" => println!("{}", res.render_fig7()),
+                "fig8" => println!("{}", res.render_fig8()),
+                "fig9" => println!("{}", res.render_fig9()),
+                _ => {
+                    println!("{}", res.render_fig7());
+                    println!("{}", res.render_fig8());
+                    println!("{}", res.render_fig9());
+                }
+            }
+        }
+        "fig10" | "fig11" | "multi" => {
+            let res = run_multicore(4, spec);
+            match cmd.as_str() {
+                "fig10" => println!("{}", res.render_fig10()),
+                "fig11" => println!("{}", res.render_fig11()),
+                _ => {
+                    println!("{}", res.render_fig10());
+                    println!("{}", res.render_fig11());
+                }
+            }
+        }
+        "fig12" | "fig13" | "fig14" | "llc" => {
+            let res = run_llc_sweep(spec);
+            match cmd.as_str() {
+                "fig12" => println!("{}", res.render_fig12()),
+                "fig13" => println!("{}", res.render_fig13()),
+                "fig14" => println!("{}", res.render_fig14()),
+                _ => {
+                    println!("{}", res.render_fig12());
+                    println!("{}", res.render_fig13());
+                    println!("{}", res.render_fig14());
+                }
+            }
+        }
+        "table2" => println!("{}", render_table2()),
+        "table3" => println!("{}", render_table3()),
+        "policies" => println!("{}", run_policy_comparison(spec).render()),
+        "fgr" => println!("{}", run_fgr_sweep(spec).render()),
+        "per-bank" => println!("{}", run_per_bank_study(spec).render()),
+        "ablate-window" => println!("{}", ablate_window(spec).render()),
+        "ablate-throttle" => println!("{}", ablate_throttle(spec).render()),
+        "ablate-drain" => println!("{}", ablate_drain(spec).render()),
+        "ablate-table" => println!("{}", ablate_table(spec).render()),
+        "all" => {
+            println!("{}", render_table2());
+            println!("{}", render_table3());
+            let res = run_analysis(spec);
+            println!("{}", res.render_fig1());
+            println!("{}", res.render_fig2());
+            println!("{}", res.render_fig3());
+            println!("{}", res.render_fig4());
+            println!("{}", res.render_table1());
+            let res = run_singlecore(spec);
+            println!("{}", res.render_fig7());
+            println!("{}", res.render_fig8());
+            println!("{}", res.render_fig9());
+            let res = run_llc_sweep(spec);
+            // The 4 MiB point of the sweep *is* Figures 10/11.
+            let four = res
+                .per_size
+                .iter()
+                .find(|r| r.llc_mib == 4)
+                .expect("sweep covers 4 MiB");
+            println!("{}", four.render_fig10());
+            println!("{}", four.render_fig11());
+            println!("{}", res.render_fig12());
+            println!("{}", res.render_fig13());
+            println!("{}", res.render_fig14());
+            println!("{}", ablate_window(spec).render());
+            println!("{}", ablate_throttle(spec).render());
+            println!("{}", ablate_drain(spec).render());
+            println!("{}", ablate_table(spec).render());
+            println!("{}", run_policy_comparison(spec).render());
+            println!("{}", run_fgr_sweep(spec).render());
+            println!("{}", run_per_bank_study(spec).render());
+        }
+        _ => usage(),
+    }
+    eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+}

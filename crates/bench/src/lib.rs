@@ -1,0 +1,52 @@
+//! Benchmark-harness crate.
+//!
+//! * `src/bin/repro.rs` — the reproduction driver: one sub-command per
+//!   table/figure of the paper (run `repro help`);
+//! * `benches/` — Criterion benches: per-figure harnesses over reduced
+//!   workloads plus microbenches of the hot simulator components.
+//!
+//! This library only hosts shared helpers for those targets.
+
+use rop_sim_system::runner::RunSpec;
+
+/// Run spec used by the Criterion benches: small enough to iterate, large
+/// enough to exercise training + a few prefetch rounds.
+pub fn bench_spec() -> RunSpec {
+    RunSpec {
+        instructions: 400_000,
+        max_cycles: 100_000_000,
+        seed: 42,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_spec_is_bounded() {
+        let s = bench_spec();
+        assert!(s.instructions <= 1_000_000);
+        assert!(s.max_cycles >= 10 * s.instructions);
+    }
+}
+
+#[cfg(test)]
+mod harness_tests {
+    use rop_sim_system::runner::{run_single, RunSpec};
+    use rop_sim_system::SystemKind;
+    use rop_trace::Benchmark;
+
+    /// The bench harness spec must complete well inside its cycle cap on
+    /// the slowest benchmark it drives.
+    #[test]
+    fn bench_spec_completes() {
+        let spec = RunSpec {
+            instructions: 100_000,
+            ..crate::bench_spec()
+        };
+        let m = run_single(Benchmark::Lbm, SystemKind::Baseline, spec);
+        assert!(!m.hit_cycle_cap);
+        assert!(m.refreshes > 0);
+    }
+}

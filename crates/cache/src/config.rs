@@ -1,0 +1,116 @@
+//! LLC configuration.
+
+/// Configuration of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Cache-line size in bytes (64 throughout the paper).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Paper single-core LLC: 2 MiB, 16-way, 64 B lines.
+    pub fn llc_2mb() -> Self {
+        CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        }
+    }
+
+    /// Paper multi-core LLC default: 4 MiB, 16-way.
+    pub fn llc_4mb() -> Self {
+        CacheConfig {
+            size_bytes: 4 * 1024 * 1024,
+            ..Self::llc_2mb()
+        }
+    }
+
+    /// Sensitivity-study LLC: 1 MiB, 16-way.
+    pub fn llc_1mb() -> Self {
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            ..Self::llc_2mb()
+        }
+    }
+
+    /// LLC of `mib` mebibytes, 16-way.
+    pub fn llc_mib(mib: usize) -> Self {
+        CacheConfig {
+            size_bytes: mib * 1024 * 1024,
+            ..Self::llc_2mb()
+        }
+    }
+
+    /// Number of sets implied by the configuration.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// Validates the configuration (power-of-two sets, non-zero fields).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ways == 0 || self.line_bytes == 0 || self.size_bytes == 0 {
+            return Err("cache dimensions must be non-zero".into());
+        }
+        if !self.size_bytes.is_multiple_of(self.ways * self.line_bytes) {
+            return Err(format!(
+                "size {} not divisible by ways*line ({})",
+                self.size_bytes,
+                self.ways * self.line_bytes
+            ));
+        }
+        let sets = self.sets();
+        if !sets.is_power_of_two() {
+            return Err(format!("set count {sets} must be a power of two"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::llc_2mb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for c in [
+            CacheConfig::llc_1mb(),
+            CacheConfig::llc_2mb(),
+            CacheConfig::llc_4mb(),
+            CacheConfig::llc_mib(8),
+        ] {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn set_counts() {
+        assert_eq!(CacheConfig::llc_2mb().sets(), 2048);
+        assert_eq!(CacheConfig::llc_4mb().sets(), 4096);
+        assert_eq!(CacheConfig::llc_1mb().sets(), 1024);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let bad = CacheConfig {
+            size_bytes: 3 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        };
+        assert!(bad.validate().is_err());
+        let zero = CacheConfig {
+            ways: 0,
+            ..CacheConfig::llc_2mb()
+        };
+        assert!(zero.validate().is_err());
+    }
+}

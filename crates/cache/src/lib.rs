@@ -1,0 +1,17 @@
+//! Set-associative last-level cache (LLC) model.
+//!
+//! The paper's front-end is Zsim with a 2 MB (single-core) or 1/2/4 MB
+//! (4-core) LLC; the LLC matters to ROP because it filters processor
+//! traffic and *creates the bursty post-LLC access patterns* that the
+//! Pattern Profiler exploits (§III-B of the paper). This crate models the
+//! LLC at the level that affects that filtering: set-associative lookup,
+//! true-LRU replacement, write-back/write-allocate policy.
+//!
+//! Addresses handled here are *cache-line addresses* (byte address divided
+//! by the line size); the CPU model does the shifting.
+
+pub mod config;
+pub mod set_assoc;
+
+pub use config::CacheConfig;
+pub use set_assoc::{AccessOutcome, Cache, CacheStats};

@@ -1,0 +1,283 @@
+//! The set-associative cache proper.
+
+use crate::config::CacheConfig;
+use rop_stats::RatioCounter;
+
+/// One cached line's metadata.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Logical timestamp of the last touch, for true LRU.
+    last_used: u64,
+}
+
+impl Line {
+    const fn empty() -> Self {
+        Line {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            last_used: 0,
+        }
+    }
+}
+
+/// What happened on an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been allocated. If a dirty victim was
+    /// evicted, its line address must be written back to memory.
+    Miss {
+        /// Dirty victim to write back, as a line address.
+        writeback: Option<u64>,
+    },
+}
+
+impl AccessOutcome {
+    /// True for hits.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Hit/total ratio over all accesses.
+    pub accesses: RatioCounter,
+    /// Number of dirty evictions (writebacks generated).
+    pub writebacks: u64,
+}
+
+/// A write-back, write-allocate, true-LRU set-associative cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache for `config`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate().expect("invalid cache configuration");
+        let sets = config.sets();
+        Cache {
+            config,
+            sets: vec![vec![Line::empty(); config.ways]; sets],
+            set_mask: sets as u64 - 1,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn index(&self, line_addr: u64) -> (usize, u64) {
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_mask.trailing_ones();
+        (set, tag)
+    }
+
+    #[cfg(test)]
+    fn line_addr(&self, set: usize, tag: u64) -> u64 {
+        (tag << self.set_mask.trailing_ones()) | set as u64
+    }
+
+    /// Accesses `line_addr` (a cache-line address). `is_write` marks the
+    /// line dirty on hit and allocates it dirty on miss (write-allocate).
+    pub fn access(&mut self, line_addr: u64, is_write: bool) -> AccessOutcome {
+        self.clock += 1;
+        let (set_idx, tag) = self.index(line_addr);
+        let tag_shift = self.set_mask.trailing_ones();
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+
+        // Hit path.
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_used = clock;
+            line.dirty |= is_write;
+            self.stats.accesses.hit();
+            return AccessOutcome::Hit;
+        }
+
+        // Miss: pick an invalid way or the LRU way.
+        self.stats.accesses.miss();
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .find(|(_, l)| !l.valid)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_used)
+                    .map(|(i, _)| i)
+                    .expect("non-zero associativity")
+            });
+        let victim = set[victim_idx];
+        let writeback = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            Some((victim.tag << tag_shift) | set_idx as u64)
+        } else {
+            None
+        };
+        set[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            last_used: clock,
+        };
+        AccessOutcome::Miss { writeback }
+    }
+
+    /// True when `line_addr` is currently resident (no LRU update).
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let (set, tag) = self.index(line_addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates everything (e.g. between experiment phases). Dirty data
+    /// is dropped, so only use between independent runs.
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                *line = Line::empty();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64 B = 512 B.
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        assert!(!c.access(100, false).is_hit());
+        assert!(c.access(100, false).is_hit());
+        assert!(c.contains(100));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Set index = addr & 3. Use addresses mapping to set 0: 0, 4, 8.
+        c.access(0, false);
+        c.access(4, false);
+        c.access(0, false); // 0 is now MRU, 4 is LRU
+        c.access(8, false); // evicts 4
+        assert!(c.contains(0));
+        assert!(!c.contains(4));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = small();
+        c.access(0, true); // dirty
+        c.access(4, false);
+        // Touch 4 so 0 becomes LRU.
+        c.access(4, false);
+        match c.access(8, false) {
+            AccessOutcome::Miss { writeback } => assert_eq!(writeback, Some(0)),
+            AccessOutcome::Hit => panic!("expected miss"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(4, false);
+        c.access(4, false);
+        match c.access(8, false) {
+            AccessOutcome::Miss { writeback } => assert_eq!(writeback, None),
+            AccessOutcome::Hit => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(0, true); // now dirty via write hit
+        c.access(4, false);
+        c.access(4, false);
+        match c.access(8, false) {
+            AccessOutcome::Miss { writeback } => assert_eq!(writeback, Some(0)),
+            AccessOutcome::Hit => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(1, false);
+        c.access(2, false);
+        c.access(3, false);
+        assert!(c.contains(0));
+        assert!(c.contains(1));
+        assert!(c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = small();
+        c.access(7, true);
+        c.flush_all();
+        assert!(!c.contains(7));
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(64, false);
+        let s = c.stats();
+        assert_eq!(s.accesses.total(), 4);
+        assert_eq!(s.accesses.hits(), 2);
+    }
+
+    #[test]
+    fn line_addr_roundtrip() {
+        let c = small();
+        for addr in [0u64, 1, 2, 3, 4, 100, 12345] {
+            let (set, tag) = c.index(addr);
+            assert_eq!(c.line_addr(set, tag), addr);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: the LLC against a naive reference model.
+
+use proptest::prelude::*;
+use rop_cache::{AccessOutcome, Cache, CacheConfig};
+use std::collections::HashMap;
+
+fn small_config() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 4 * 1024, // 16 sets × 4 ways × 64 B
+        ways: 4,
+        line_bytes: 64,
+    }
+}
+
+/// Naive reference: per-set LRU lists with dirty bits.
+#[derive(Default)]
+struct RefCache {
+    sets: HashMap<u64, Vec<(u64, bool)>>, // set -> MRU-last (tag, dirty)
+}
+
+impl RefCache {
+    fn access(&mut self, ways: usize, sets: u64, line: u64, write: bool) -> Option<Option<u64>> {
+        let set = line % sets;
+        let tag = line / sets;
+        let entry = self.sets.entry(set).or_default();
+        if let Some(pos) = entry.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = entry.remove(pos);
+            entry.push((t, d || write));
+            return None; // hit
+        }
+        let mut wb = None;
+        if entry.len() == ways {
+            let (vt, vd) = entry.remove(0);
+            if vd {
+                wb = Some(vt * sets + set);
+            }
+        }
+        entry.push((tag, write));
+        Some(wb)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The set-associative cache behaves exactly like the reference LRU
+    /// model: same hits, same victims, same writebacks.
+    #[test]
+    fn matches_reference_lru(
+        ops in proptest::collection::vec((0u64..256, any::<bool>()), 1..400)
+    ) {
+        let cfg = small_config();
+        let sets = cfg.sets() as u64;
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::default();
+        for (line, write) in ops {
+            let got = cache.access(line, write);
+            let expected = reference.access(cfg.ways, sets, line, write);
+            match (got, expected) {
+                (AccessOutcome::Hit, None) => {}
+                (AccessOutcome::Miss { writeback }, Some(wb)) => {
+                    prop_assert_eq!(writeback, wb, "victim mismatch for line {}", line);
+                }
+                (got, expected) => {
+                    return Err(TestCaseError::fail(format!(
+                        "divergence at line {line}: cache {got:?} vs reference {expected:?}"
+                    )));
+                }
+            }
+            prop_assert!(cache.contains(line), "just-accessed line resident");
+        }
+    }
+
+    /// Occupancy never exceeds capacity and flush empties everything.
+    #[test]
+    fn flush_and_capacity(lines in proptest::collection::vec(0u64..4096, 1..300)) {
+        let cfg = small_config();
+        let mut cache = Cache::new(cfg);
+        for &l in &lines {
+            cache.access(l, false);
+        }
+        let resident = (0u64..4096).filter(|&l| cache.contains(l)).count();
+        prop_assert!(resident <= cfg.sets() * cfg.ways);
+        cache.flush_all();
+        prop_assert_eq!((0u64..4096).filter(|&l| cache.contains(l)).count(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! ROP configuration, with the paper's evaluated operating points.
+
+use crate::Cycle;
+
+/// How the prefetch gate decides (used by the ablation studies; the
+/// paper's system is [`ThrottleMode::Adaptive`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThrottleMode {
+    /// The paper's probabilistic λ/β gate.
+    Adaptive,
+    /// Prefetch for every refresh regardless of window activity.
+    Always,
+    /// Never prefetch (ROP reduces to drain-before-refresh).
+    Never,
+}
+
+/// Configuration of the ROP engine.
+///
+/// Defaults follow §V-A of the paper: observational window of one refresh
+/// period (`tRFC`), training over 50 refreshes, hit-rate threshold 0.6,
+/// 64-line SRAM buffer, 3-cycle SRAM access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RopConfig {
+    /// SRAM buffer capacity in cache lines (paper sweeps 16/32/64/128).
+    pub buffer_capacity: usize,
+    /// Observational-window length in memory cycles. The paper sets it to
+    /// one refresh period (`tRFC`, 280 cycles at DDR4-1600/8 Gb) and shows
+    /// λ/β are insensitive to 1×/2×/4× (Table I).
+    pub observational_window: Cycle,
+    /// Length of the post-refresh window over which `A` is counted. Equal
+    /// to the refresh duration `tRFC` (requests arriving during the
+    /// refresh period).
+    pub refresh_period: Cycle,
+    /// Number of refreshes observed per training phase (paper: 50).
+    pub training_refreshes: usize,
+    /// SRAM hit-rate threshold below which the engine re-enters Training
+    /// (paper: 0.6, "conservatively").
+    pub hit_rate_threshold: f64,
+    /// Minimum number of during-refresh requests observed in the
+    /// Observing phase before the threshold is evaluated (avoids
+    /// retraining on noise from one empty refresh).
+    pub hit_rate_min_samples: u64,
+    /// SRAM access latency in memory cycles (Table III: 3 cycles for all
+    /// evaluated sizes).
+    pub sram_latency: Cycle,
+    /// Banks per rank (sizes the prediction table; paper: 8).
+    pub banks_per_rank: usize,
+    /// Cache lines per bank (bounds predicted offsets).
+    pub lines_per_bank: u64,
+    /// RNG seed for the probabilistic throttle.
+    pub seed: u64,
+    /// Throttle behaviour (ablations; default [`ThrottleMode::Adaptive`]).
+    pub throttle_mode: ThrottleMode,
+    /// When true, candidate generation uses only the 1-delta pattern
+    /// (ablation of VLDP's multi-delta capability).
+    pub single_delta_only: bool,
+}
+
+impl RopConfig {
+    /// Paper defaults with a given SRAM capacity.
+    pub fn with_capacity(buffer_capacity: usize) -> Self {
+        RopConfig {
+            buffer_capacity,
+            observational_window: 280,
+            refresh_period: 280,
+            training_refreshes: 50,
+            hit_rate_threshold: 0.6,
+            hit_rate_min_samples: 16,
+            sram_latency: 3,
+            banks_per_rank: 8,
+            lines_per_bank: (1 << 15) * 128,
+            seed: 0x5eed_0001,
+            throttle_mode: ThrottleMode::Adaptive,
+            single_delta_only: false,
+        }
+    }
+
+    /// The paper's default 64-line configuration.
+    pub fn paper_default() -> Self {
+        Self::with_capacity(64)
+    }
+
+    /// SRAM read/write energy per access in nanojoules, from the paper's
+    /// Table III (CACTI 5.3): 0.0132/0.0135/0.0137/0.0152 nJ for
+    /// 16/32/64/128 slots. Sizes in between interpolate to the next
+    /// listed size; sizes beyond 128 extrapolate with the 128-slot value.
+    pub fn sram_access_energy_nj(&self) -> f64 {
+        match self.buffer_capacity {
+            0..=16 => 0.0132,
+            17..=32 => 0.0135,
+            33..=64 => 0.0137,
+            _ => 0.0152,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.buffer_capacity == 0 {
+            return Err("buffer capacity must be non-zero".into());
+        }
+        if self.observational_window == 0 || self.refresh_period == 0 {
+            return Err("windows must be non-zero".into());
+        }
+        if self.training_refreshes == 0 {
+            return Err("training must cover at least one refresh".into());
+        }
+        if !(0.0..=1.0).contains(&self.hit_rate_threshold) {
+            return Err("hit-rate threshold must be in [0,1]".into());
+        }
+        if self.banks_per_rank == 0 || self.lines_per_bank == 0 {
+            return Err("rank geometry must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for RopConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = RopConfig::paper_default();
+        c.validate().unwrap();
+        assert_eq!(c.buffer_capacity, 64);
+        assert_eq!(c.training_refreshes, 50);
+        assert!((c.hit_rate_threshold - 0.6).abs() < 1e-12);
+        assert_eq!(c.sram_latency, 3);
+    }
+
+    #[test]
+    fn sram_energy_table() {
+        assert_eq!(RopConfig::with_capacity(16).sram_access_energy_nj(), 0.0132);
+        assert_eq!(RopConfig::with_capacity(32).sram_access_energy_nj(), 0.0135);
+        assert_eq!(RopConfig::with_capacity(64).sram_access_energy_nj(), 0.0137);
+        assert_eq!(
+            RopConfig::with_capacity(128).sram_access_energy_nj(),
+            0.0152
+        );
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut c = RopConfig::paper_default();
+        c.buffer_capacity = 0;
+        assert!(c.validate().is_err());
+        let mut c = RopConfig::paper_default();
+        c.hit_rate_threshold = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = RopConfig::paper_default();
+        c.training_refreshes = 0;
+        assert!(c.validate().is_err());
+    }
+}

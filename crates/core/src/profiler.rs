@@ -1,0 +1,217 @@
+//! The Pattern Profiler (§IV-B of the paper).
+//!
+//! During a training phase the profiler observes, for each refresh, the
+//! number of requests `B` arriving in the observational window *before*
+//! the refresh and the number of read requests `A` arriving in the window
+//! *after* (i.e. during) the refresh. Each refresh is classified into one
+//! of four categories and, at the end of training, two conditional
+//! probabilities are produced:
+//!
+//! ```text
+//! λ = P{A>0 | B>0} = #(B>0 ∧ A>0) / (#(B>0 ∧ A>0) + #(B>0 ∧ A=0))    (Eq. 1)
+//! β = P{A=0 | B=0} = #(B=0 ∧ A=0) / (#(B=0 ∧ A=0) + #(B=0 ∧ A>0))    (Eq. 2)
+//! ```
+//!
+//! `B` counts both reads and writes (they both signal rank activity);
+//! `A` counts only reads, because writes are buffered and are never
+//! blocked by a refresh (§III-B).
+
+/// The four refresh categories of §IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefreshCategory {
+    /// `B > 0 && A > 0` — activity before and during the refresh (E1).
+    BothActive,
+    /// `B > 0 && A = 0` — activity before, none during.
+    BeforeOnly,
+    /// `B = 0 && A > 0` — quiet before, activity during.
+    AfterOnly,
+    /// `B = 0 && A = 0` — quiet on both sides (E2).
+    BothQuiet,
+}
+
+impl RefreshCategory {
+    /// Classifies a refresh from its window counts.
+    pub fn classify(b: u64, a: u64) -> Self {
+        match (b > 0, a > 0) {
+            (true, true) => RefreshCategory::BothActive,
+            (true, false) => RefreshCategory::BeforeOnly,
+            (false, true) => RefreshCategory::AfterOnly,
+            (false, false) => RefreshCategory::BothQuiet,
+        }
+    }
+}
+
+/// The probabilities a completed training phase produces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileOutcome {
+    /// `P{A>0 | B>0}` — confidence that prefetching will be useful when
+    /// the observational window showed activity.
+    pub lambda: f64,
+    /// `P{A=0 | B=0}` — confidence that skipping the prefetch is right
+    /// when the window was quiet.
+    pub beta: f64,
+    /// Refreshes observed in the training phase.
+    pub refreshes_observed: usize,
+    /// Occurrences of each category, in the order
+    /// `[BothActive, BeforeOnly, AfterOnly, BothQuiet]`.
+    pub category_counts: [u64; 4],
+}
+
+impl ProfileOutcome {
+    /// Fraction of refreshes falling in the two *predictable* categories
+    /// E1 (`BothActive`) and E2 (`BothQuiet`) — the paper's Figure 4
+    /// prediction-coverage metric.
+    pub fn dominant_fraction(&self) -> f64 {
+        let total: u64 = self.category_counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.category_counts[0] + self.category_counts[3]) as f64 / total as f64
+    }
+}
+
+/// Collects per-refresh `(B, A)` observations and produces λ and β.
+#[derive(Debug, Clone, Default)]
+pub struct PatternProfiler {
+    counts: [u64; 4],
+    observed: usize,
+}
+
+impl PatternProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one refresh's window counts.
+    pub fn record(&mut self, b: u64, a: u64) {
+        let idx = match RefreshCategory::classify(b, a) {
+            RefreshCategory::BothActive => 0,
+            RefreshCategory::BeforeOnly => 1,
+            RefreshCategory::AfterOnly => 2,
+            RefreshCategory::BothQuiet => 3,
+        };
+        self.counts[idx] += 1;
+        self.observed += 1;
+    }
+
+    /// Number of refreshes recorded so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Count of a specific category.
+    pub fn count(&self, cat: RefreshCategory) -> u64 {
+        match cat {
+            RefreshCategory::BothActive => self.counts[0],
+            RefreshCategory::BeforeOnly => self.counts[1],
+            RefreshCategory::AfterOnly => self.counts[2],
+            RefreshCategory::BothQuiet => self.counts[3],
+        }
+    }
+
+    /// Finalises the training phase.
+    ///
+    /// When a conditional has an empty denominator (e.g. the window was
+    /// *never* quiet, so β's condition never occurred), the probability
+    /// defaults to the optimistic value for its branch: λ = 1 (prefetch
+    /// when in doubt and there was activity) and β = 0 (do not suppress
+    /// prefetching on a condition never observed). These defaults make
+    /// continuously-streaming workloads behave correctly: they never show
+    /// `B = 0`, and when they eventually do, assuming requests may still
+    /// arrive is the safe choice.
+    pub fn outcome(&self) -> ProfileOutcome {
+        let [ba, bo, ao, bq] = self.counts;
+        let lambda = if ba + bo > 0 {
+            ba as f64 / (ba + bo) as f64
+        } else {
+            1.0
+        };
+        let beta = if bq + ao > 0 {
+            bq as f64 / (bq + ao) as f64
+        } else {
+            0.0
+        };
+        ProfileOutcome {
+            lambda,
+            beta,
+            refreshes_observed: self.observed,
+            category_counts: self.counts,
+        }
+    }
+
+    /// Clears all observations (start of a new training phase).
+    pub fn reset(&mut self) {
+        self.counts = [0; 4];
+        self.observed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_all_quadrants() {
+        assert_eq!(RefreshCategory::classify(1, 1), RefreshCategory::BothActive);
+        assert_eq!(RefreshCategory::classify(3, 0), RefreshCategory::BeforeOnly);
+        assert_eq!(RefreshCategory::classify(0, 2), RefreshCategory::AfterOnly);
+        assert_eq!(RefreshCategory::classify(0, 0), RefreshCategory::BothQuiet);
+    }
+
+    #[test]
+    fn lambda_beta_match_equations() {
+        let mut p = PatternProfiler::new();
+        // 6 refreshes: 3 BothActive, 1 BeforeOnly, 1 AfterOnly, 1 BothQuiet.
+        p.record(2, 5);
+        p.record(1, 1);
+        p.record(4, 2);
+        p.record(9, 0);
+        p.record(0, 7);
+        p.record(0, 0);
+        let o = p.outcome();
+        assert_eq!(o.refreshes_observed, 6);
+        assert!((o.lambda - 3.0 / 4.0).abs() < 1e-12);
+        assert!((o.beta - 1.0 / 2.0).abs() < 1e-12);
+        assert_eq!(o.category_counts, [3, 1, 1, 1]);
+        assert!((o.dominant_fraction() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_workload_defaults() {
+        // B is always > 0 — β's condition never happens.
+        let mut p = PatternProfiler::new();
+        for _ in 0..50 {
+            p.record(5, 3);
+        }
+        let o = p.outcome();
+        assert_eq!(o.lambda, 1.0);
+        assert_eq!(o.beta, 0.0);
+    }
+
+    #[test]
+    fn idle_workload_defaults() {
+        // B is always == 0 — λ's condition never happens.
+        let mut p = PatternProfiler::new();
+        for _ in 0..50 {
+            p.record(0, 0);
+        }
+        let o = p.outcome();
+        assert_eq!(o.lambda, 1.0);
+        assert_eq!(o.beta, 1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = PatternProfiler::new();
+        p.record(1, 1);
+        p.reset();
+        assert_eq!(p.observed(), 0);
+        assert_eq!(p.count(RefreshCategory::BothActive), 0);
+    }
+
+    #[test]
+    fn empty_profiler_dominant_fraction_zero() {
+        assert_eq!(PatternProfiler::new().outcome().dominant_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! The probabilistic prefetch gate (§IV-B/§IV-C).
+//!
+//! With profiler outputs λ and β, at each imminent refresh:
+//!
+//! * if the observational window showed requests (`B > 0`), prefetch with
+//!   probability λ;
+//! * if it was quiet (`B = 0`), *skip* with probability β — i.e. prefetch
+//!   with probability `1 − β`.
+//!
+//! This throttle is what keeps ROP from over-prefetching for the large
+//! fraction of refreshes that block nothing (Figure 2).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bernoulli gate over the λ/β confidences.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticThrottle {
+    rng: SmallRng,
+    /// Decisions that came out "prefetch".
+    prefetches: u64,
+    /// Decisions that came out "skip".
+    skips: u64,
+}
+
+impl ProbabilisticThrottle {
+    /// Creates a throttle with a deterministic RNG stream.
+    pub fn new(seed: u64) -> Self {
+        ProbabilisticThrottle {
+            rng: SmallRng::seed_from_u64(seed),
+            prefetches: 0,
+            skips: 0,
+        }
+    }
+
+    /// Decides whether to prefetch for one refresh.
+    pub fn decide(&mut self, b_count: u64, lambda: f64, beta: f64) -> bool {
+        let p_prefetch = if b_count > 0 { lambda } else { 1.0 - beta };
+        let go = self.bernoulli(p_prefetch);
+        if go {
+            self.prefetches += 1;
+        } else {
+            self.skips += 1;
+        }
+        go
+    }
+
+    fn bernoulli(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen_bool(p)
+        }
+    }
+
+    /// Number of "prefetch" decisions so far.
+    pub fn prefetch_count(&self) -> u64 {
+        self.prefetches
+    }
+
+    /// Number of "skip" decisions so far.
+    pub fn skip_count(&self) -> u64 {
+        self.skips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_are_deterministic() {
+        let mut t = ProbabilisticThrottle::new(1);
+        // λ = 1 with activity: always prefetch.
+        for _ in 0..100 {
+            assert!(t.decide(5, 1.0, 0.0));
+        }
+        // β = 1 with no activity: never prefetch.
+        for _ in 0..100 {
+            assert!(!t.decide(0, 1.0, 1.0));
+        }
+        assert_eq!(t.prefetch_count(), 100);
+        assert_eq!(t.skip_count(), 100);
+    }
+
+    #[test]
+    fn rates_track_probabilities() {
+        let mut t = ProbabilisticThrottle::new(7);
+        let n = 20_000;
+        let mut go = 0;
+        for _ in 0..n {
+            if t.decide(3, 0.8, 0.0) {
+                go += 1;
+            }
+        }
+        let rate = go as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.02, "rate {rate}");
+
+        let mut t = ProbabilisticThrottle::new(9);
+        let mut go = 0;
+        for _ in 0..n {
+            if t.decide(0, 0.0, 0.7) {
+                go += 1;
+            }
+        }
+        // B = 0 with β = 0.7 → prefetch 30% of the time.
+        let rate = go as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = ProbabilisticThrottle::new(42);
+        let mut b = ProbabilisticThrottle::new(42);
+        for i in 0..1000u64 {
+            assert_eq!(a.decide(i % 3, 0.5, 0.5), b.decide(i % 3, 0.5, 0.5));
+        }
+    }
+
+    #[test]
+    fn out_of_range_probabilities_clamped() {
+        let mut t = ProbabilisticThrottle::new(1);
+        assert!(t.decide(1, 2.0, 0.0));
+        assert!(!t.decide(0, 0.0, 5.0));
+    }
+}

@@ -1,0 +1,422 @@
+//! The core state machine.
+
+use rop_trace::{TraceRecord, WorkloadGen};
+
+/// Core configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Core clock cycles per memory clock cycle (3.2 GHz / 800 MHz = 4).
+    pub clock_ratio: u64,
+    /// Instructions retired per core cycle at best (4-wide OoO).
+    pub issue_width: u64,
+    /// Reorder window in instructions: the core stalls when the oldest
+    /// outstanding load is this many retired instructions old.
+    pub rob_window: u64,
+    /// Maximum outstanding load misses (MSHR/MLP budget).
+    pub mlp_limit: usize,
+}
+
+impl CoreConfig {
+    /// A 4-wide, 192-entry-ROB, 16-MSHR core at 4× the memory clock —
+    /// a generic high-performance OoO configuration. The 16-deep miss
+    /// budget matters for the multicore experiments: a refresh-blocked
+    /// core can occupy a large share of the controller's shared 64-entry
+    /// read queue, reproducing the *command-queue seizure* effect the
+    /// paper lists under Resource Contention.
+    pub fn default_ooo() -> Self {
+        CoreConfig {
+            clock_ratio: 4,
+            issue_width: 4,
+            rob_window: 192,
+            mlp_limit: 16,
+        }
+    }
+
+    /// Instruction budget per memory cycle.
+    pub fn budget_per_mem_cycle(&self) -> u64 {
+        self.clock_ratio * self.issue_width
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::default_ooo()
+    }
+}
+
+/// A memory operation the core wants to perform this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Load of the cache line at this byte address.
+    Read {
+        /// Byte address.
+        addr: u64,
+    },
+    /// Store to the cache line at this byte address.
+    Write {
+        /// Byte address.
+        addr: u64,
+    },
+}
+
+/// The memory system's answer to a submitted [`MemOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitResult {
+    /// Satisfied by the cache hierarchy; no memory request was created.
+    LlcHit,
+    /// A read request was queued; `id` will appear in a completion.
+    QueuedRead(u64),
+    /// The write was absorbed (write queue or cache).
+    QueuedWrite,
+    /// The memory system cannot accept the operation this cycle; the core
+    /// must retry (queue full).
+    Retry,
+}
+
+/// Per-core statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Memory cycles the core was completely stalled.
+    pub stall_cycles: u64,
+    /// Loads that missed the LLC (queued reads).
+    pub read_misses: u64,
+    /// LLC hits (reads and writes).
+    pub llc_hits: u64,
+    /// Stores submitted.
+    pub writes: u64,
+    /// Retries due to memory-system back-pressure.
+    pub retries: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OutstandingRead {
+    id: u64,
+    issued_at_instr: u64,
+}
+
+/// What the core is about to do next.
+#[derive(Debug, Clone, Copy)]
+enum NextAction {
+    /// Retire this many more gap instructions, then do the memory op.
+    Gap(u64),
+    /// Submit the memory op of the current record.
+    Mem,
+}
+
+/// The trace-driven core.
+pub struct Core<G: WorkloadGen> {
+    cfg: CoreConfig,
+    workload: G,
+    current: TraceRecord,
+    next_action: NextAction,
+    outstanding: Vec<OutstandingRead>,
+    stats: CoreStats,
+}
+
+impl<G: WorkloadGen> Core<G> {
+    /// Creates a core running `workload`.
+    pub fn new(cfg: CoreConfig, mut workload: G) -> Self {
+        let current = workload.next_record();
+        Core {
+            cfg,
+            next_action: NextAction::Gap(current.gap_instructions as u64),
+            current,
+            workload,
+            outstanding: Vec::new(),
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Core statistics so far.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Name of the workload driving this core.
+    pub fn workload_name(&self) -> &str {
+        self.workload.name()
+    }
+
+    /// Number of outstanding load misses.
+    pub fn outstanding_reads(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Instructions-per-*core*-cycle over `elapsed_mem_cycles`.
+    pub fn ipc(&self, elapsed_mem_cycles: u64) -> f64 {
+        if elapsed_mem_cycles == 0 {
+            return 0.0;
+        }
+        self.stats.instructions as f64 / (elapsed_mem_cycles * self.cfg.clock_ratio) as f64
+    }
+
+    /// Delivers a read completion.
+    pub fn complete_read(&mut self, id: u64) {
+        if let Some(pos) = self.outstanding.iter().position(|o| o.id == id) {
+            self.outstanding.remove(pos);
+        }
+    }
+
+    /// True when ROB pressure forbids retiring further instructions.
+    fn rob_blocked(&self) -> bool {
+        self.outstanding
+            .first()
+            .is_some_and(|o| self.stats.instructions - o.issued_at_instr >= self.cfg.rob_window)
+    }
+
+    /// Advances the core by one memory cycle. `submit` is called for each
+    /// memory operation the core reaches within this cycle's instruction
+    /// budget; it must return what the memory system did with it.
+    pub fn tick<F>(&mut self, mut submit: F)
+    where
+        F: FnMut(MemOp) -> SubmitResult,
+    {
+        let mut budget = self.cfg.budget_per_mem_cycle();
+        let mut progressed = false;
+
+        while budget > 0 {
+            if self.rob_blocked() {
+                break;
+            }
+            match self.next_action {
+                NextAction::Gap(remaining) => {
+                    if remaining == 0 {
+                        self.next_action = NextAction::Mem;
+                        continue;
+                    }
+                    // Cap by ROB headroom so a large chunk cannot run past
+                    // the reorder window within one cycle.
+                    let headroom = self
+                        .outstanding
+                        .first()
+                        .map(|o| {
+                            self.cfg
+                                .rob_window
+                                .saturating_sub(self.stats.instructions - o.issued_at_instr)
+                        })
+                        .unwrap_or(u64::MAX);
+                    let retire = remaining.min(budget).min(headroom);
+                    if retire == 0 {
+                        break;
+                    }
+                    self.stats.instructions += retire;
+                    budget -= retire;
+                    progressed |= retire > 0;
+                    if remaining > retire {
+                        self.next_action = NextAction::Gap(remaining - retire);
+                    } else {
+                        self.next_action = NextAction::Mem;
+                    }
+                }
+                NextAction::Mem => {
+                    let is_write = self.current.is_write;
+                    if !is_write && self.outstanding.len() >= self.cfg.mlp_limit {
+                        // MLP budget exhausted: stall until a completion.
+                        break;
+                    }
+                    let op = if is_write {
+                        MemOp::Write {
+                            addr: self.current.addr,
+                        }
+                    } else {
+                        MemOp::Read {
+                            addr: self.current.addr,
+                        }
+                    };
+                    match submit(op) {
+                        SubmitResult::LlcHit => {
+                            self.stats.llc_hits += 1;
+                        }
+                        SubmitResult::QueuedRead(id) => {
+                            self.stats.read_misses += 1;
+                            self.outstanding.push(OutstandingRead {
+                                id,
+                                issued_at_instr: self.stats.instructions,
+                            });
+                        }
+                        SubmitResult::QueuedWrite => {
+                            self.stats.writes += 1;
+                        }
+                        SubmitResult::Retry => {
+                            self.stats.retries += 1;
+                            break;
+                        }
+                    }
+                    // The memory instruction itself retires.
+                    self.stats.instructions += 1;
+                    budget -= 1;
+                    progressed = true;
+                    self.current = self.workload.next_record();
+                    self.next_action = NextAction::Gap(self.current.gap_instructions as u64);
+                }
+            }
+        }
+
+        if !progressed {
+            self.stats.stall_cycles += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rop_trace::TraceRecord;
+
+    /// Scripted workload for tests.
+    struct Script {
+        records: Vec<TraceRecord>,
+        pos: usize,
+    }
+
+    impl Script {
+        fn new(records: Vec<TraceRecord>) -> Self {
+            Script { records, pos: 0 }
+        }
+    }
+
+    impl WorkloadGen for Script {
+        fn next_record(&mut self) -> TraceRecord {
+            let r = self.records[self.pos % self.records.len()];
+            self.pos += 1;
+            r
+        }
+        fn name(&self) -> &str {
+            "script"
+        }
+    }
+
+    fn rec(gap: u32, addr: u64, write: bool) -> TraceRecord {
+        TraceRecord {
+            gap_instructions: gap,
+            addr,
+            is_write: write,
+        }
+    }
+
+    #[test]
+    fn retires_at_full_width_with_llc_hits() {
+        let mut core = Core::new(
+            CoreConfig::default_ooo(),
+            Script::new(vec![rec(15, 64, false)]),
+        );
+        // 16-instruction budget: 15 gap + 1 memory op per cycle.
+        for _ in 0..10 {
+            core.tick(|_| SubmitResult::LlcHit);
+        }
+        assert_eq!(core.stats().instructions, 160);
+        assert_eq!(core.stats().llc_hits, 10);
+        assert_eq!(core.stats().stall_cycles, 0);
+        assert!((core.ipc(10) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mlp_limit_stalls_reads() {
+        let cfg = CoreConfig {
+            mlp_limit: 8,
+            ..CoreConfig::default_ooo()
+        };
+        let mut core = Core::new(cfg, Script::new(vec![rec(0, 64, false)]));
+        let mut next_id = 0u64;
+        // Every op is a read miss: the core issues until MLP fills.
+        core.tick(|_| {
+            next_id += 1;
+            SubmitResult::QueuedRead(next_id)
+        });
+        assert_eq!(core.outstanding_reads(), 8);
+        // Further cycles make no progress.
+        let before = core.stats().instructions;
+        core.tick(|_| panic!("must not submit when MLP-blocked"));
+        assert_eq!(core.stats().instructions, before);
+        assert_eq!(core.stats().stall_cycles, 1);
+        // A completion unblocks one more read.
+        core.complete_read(1);
+        core.tick(|_| {
+            next_id += 1;
+            SubmitResult::QueuedRead(next_id)
+        });
+        assert_eq!(core.outstanding_reads(), 8);
+        assert!(core.stats().instructions > before);
+    }
+
+    #[test]
+    fn rob_window_stalls_even_with_mlp_room() {
+        let cfg = CoreConfig {
+            rob_window: 32,
+            mlp_limit: 8,
+            ..CoreConfig::default_ooo()
+        };
+        // One quick read miss, then a long compute stretch.
+        let mut core = Core::new(
+            cfg,
+            Script::new(vec![rec(50, 64, false), rec(1000, 128, false)]),
+        );
+        let mut issued = false;
+        for _ in 0..20 {
+            core.tick(|op| {
+                assert!(matches!(op, MemOp::Read { .. }));
+                issued = true;
+                SubmitResult::QueuedRead(7)
+            });
+        }
+        assert!(issued);
+        // The read issued at instruction 50; the ROB lets the core run at
+        // most 32 instructions past it before stalling — far short of the
+        // 20 × 16 = 320 budget.
+        let retired = core.stats().instructions;
+        assert!(retired <= 50 + 1 + 32, "retired {retired}");
+        assert!(core.stats().stall_cycles > 0);
+        // Completion unblocks retirement.
+        core.complete_read(7);
+        let before = core.stats().instructions;
+        core.tick(|_| SubmitResult::LlcHit);
+        assert!(core.stats().instructions > before);
+    }
+
+    #[test]
+    fn writes_never_block_on_mlp() {
+        let mut core = Core::new(
+            CoreConfig::default_ooo(),
+            Script::new(vec![rec(0, 64, true)]),
+        );
+        for _ in 0..10 {
+            core.tick(|op| {
+                assert!(matches!(op, MemOp::Write { .. }));
+                SubmitResult::QueuedWrite
+            });
+        }
+        assert_eq!(core.stats().writes as usize, 10 * 16);
+        assert_eq!(core.stats().stall_cycles, 0);
+    }
+
+    #[test]
+    fn retry_stalls_cycle() {
+        let mut core = Core::new(
+            CoreConfig::default_ooo(),
+            Script::new(vec![rec(0, 64, true)]),
+        );
+        core.tick(|_| SubmitResult::Retry);
+        assert_eq!(core.stats().retries, 1);
+        assert_eq!(core.stats().instructions, 0);
+        assert_eq!(core.stats().stall_cycles, 1);
+    }
+
+    #[test]
+    fn ipc_accounts_for_clock_ratio() {
+        let mut core = Core::new(
+            CoreConfig::default_ooo(),
+            Script::new(vec![rec(15, 0, false)]),
+        );
+        core.tick(|_| SubmitResult::LlcHit);
+        // 16 instructions in 1 mem cycle = 4 core cycles → IPC 4.
+        assert!((core.ipc(1) - 4.0).abs() < 1e-12);
+        assert_eq!(core.ipc(0), 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Trace-driven out-of-order-lite core model.
+//!
+//! The paper runs SPEC binaries on Zsim's OoO cores; what the memory
+//! system sees from such a core is (a) a stream of post-LLC requests and
+//! (b) back-pressure: the core keeps issuing until its reorder window or
+//! its memory-level parallelism budget is exhausted, then stalls until a
+//! load returns. This crate models exactly that envelope:
+//!
+//! * the core retires up to `issue_width × clock_ratio` instructions per
+//!   *memory* cycle (the whole simulator runs on the 800 MHz DDR4-1600
+//!   memory clock; the 3.2 GHz core is `clock_ratio = 4` faster);
+//! * a load miss issues a non-blocking read and execution continues until
+//!   either `mlp_limit` reads are outstanding or the oldest outstanding
+//!   read is more than `rob_window` instructions old (reorder-buffer
+//!   pressure) — then the core stalls until a completion arrives;
+//! * stores never stall the core (they retire into the write queue;
+//!   write-queue back-pressure is the only way they block).
+//!
+//! The core is memory-system agnostic: the system driver passes a
+//! [`SubmitResult`] for each memory operation, so the same core runs
+//! against the real controller, an ideal memory, or a test stub.
+
+pub mod core_model;
+
+pub use core_model::{Core, CoreConfig, CoreStats, MemOp, SubmitResult};

@@ -1,0 +1,229 @@
+//! Per-bank row state machine and timing registers.
+
+use crate::Cycle;
+
+/// Row-buffer state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankState {
+    /// All rows closed; the bank can accept an ACT.
+    Idle,
+    /// `row` is open in the row buffer; READ/WRITE to that row are
+    /// row-buffer hits, other rows require PRE + ACT.
+    Active { row: usize },
+}
+
+/// One DRAM bank: state plus the earliest-issue timing registers that
+/// encode same-bank constraints.
+///
+/// Each register holds the first cycle at which the corresponding command
+/// class may issue *as far as this bank is concerned*; rank- and
+/// channel-level constraints are layered on top by
+/// [`crate::rank::Rank`] and [`crate::DramDevice`].
+#[derive(Debug, Clone)]
+pub struct Bank {
+    /// Row-buffer state.
+    pub state: BankState,
+    /// Earliest cycle an ACT may issue (tRC after previous ACT, tRP after
+    /// PRE, tRFC after refresh).
+    pub next_act: Cycle,
+    /// Earliest cycle a PRE may issue (tRAS after ACT, tRTP after READ,
+    /// write recovery after WRITE).
+    pub next_pre: Cycle,
+    /// Earliest cycle a READ may issue (tRCD after ACT).
+    pub next_read: Cycle,
+    /// Earliest cycle a WRITE may issue (tRCD after ACT).
+    pub next_write: Cycle,
+    /// Cycle of the most recent ACT (for stats).
+    pub last_act_at: Cycle,
+    /// End of the in-flight per-bank refresh (REFpb), if any.
+    refreshing_until: Cycle,
+}
+
+impl Bank {
+    /// A fresh, idle bank with all constraints satisfied at cycle 0.
+    pub fn new() -> Self {
+        Bank {
+            state: BankState::Idle,
+            next_act: 0,
+            next_pre: 0,
+            next_read: 0,
+            next_write: 0,
+            last_act_at: 0,
+            refreshing_until: 0,
+        }
+    }
+
+    /// True when a row is open.
+    #[inline]
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BankState::Active { .. })
+    }
+
+    /// The open row, if any.
+    #[inline]
+    pub fn open_row(&self) -> Option<usize> {
+        match self.state {
+            BankState::Active { row } => Some(row),
+            BankState::Idle => None,
+        }
+    }
+
+    /// Applies an ACT issued at `now` with the given timings.
+    pub fn apply_activate(
+        &mut self,
+        now: Cycle,
+        row: usize,
+        t_rcd: Cycle,
+        t_ras: Cycle,
+        t_rc: Cycle,
+    ) {
+        debug_assert!(matches!(self.state, BankState::Idle));
+        debug_assert!(now >= self.next_act);
+        self.state = BankState::Active { row };
+        self.last_act_at = now;
+        self.next_read = now + t_rcd;
+        self.next_write = now + t_rcd;
+        self.next_pre = now + t_ras;
+        self.next_act = now + t_rc;
+    }
+
+    /// Applies a PRE issued at `now`.
+    pub fn apply_precharge(&mut self, now: Cycle, t_rp: Cycle) {
+        debug_assert!(self.is_open());
+        debug_assert!(now >= self.next_pre);
+        self.state = BankState::Idle;
+        self.next_act = self.next_act.max(now + t_rp);
+    }
+
+    /// Applies a READ issued at `now`; returns the cycle the last data
+    /// beat lands.
+    pub fn apply_read(
+        &mut self,
+        now: Cycle,
+        cl: Cycle,
+        burst: Cycle,
+        t_rtp: Cycle,
+        t_ccd: Cycle,
+    ) -> Cycle {
+        debug_assert!(self.is_open());
+        debug_assert!(now >= self.next_read);
+        // Read-to-precharge.
+        self.next_pre = self.next_pre.max(now + t_rtp);
+        // Back-to-back column commands on the same bank.
+        self.next_read = self.next_read.max(now + t_ccd);
+        self.next_write = self.next_write.max(now + t_ccd);
+        now + cl + burst
+    }
+
+    /// Applies a WRITE issued at `now`; returns the cycle the last data
+    /// beat is driven.
+    pub fn apply_write(
+        &mut self,
+        now: Cycle,
+        cwl: Cycle,
+        burst: Cycle,
+        t_wr: Cycle,
+        t_ccd: Cycle,
+    ) -> Cycle {
+        debug_assert!(self.is_open());
+        debug_assert!(now >= self.next_write);
+        let data_done = now + cwl + burst;
+        // Write recovery: PRE only after tWR past the last data beat.
+        self.next_pre = self.next_pre.max(data_done + t_wr);
+        self.next_read = self.next_read.max(now + t_ccd);
+        self.next_write = self.next_write.max(now + t_ccd);
+        data_done
+    }
+
+    /// Applies an all-bank refresh that ends at `done`: the bank may not
+    /// activate before the refresh completes.
+    pub fn apply_refresh_lock(&mut self, done: Cycle) {
+        debug_assert!(matches!(self.state, BankState::Idle));
+        self.next_act = self.next_act.max(done);
+    }
+
+    /// Applies a per-bank refresh (REFpb) ending at `done`: only this
+    /// bank is unavailable; siblings keep operating.
+    pub fn apply_bank_refresh(&mut self, done: Cycle) {
+        debug_assert!(matches!(self.state, BankState::Idle));
+        self.next_act = self.next_act.max(done);
+        self.refreshing_until = self.refreshing_until.max(done);
+    }
+
+    /// True while a per-bank refresh holds this bank at `now`.
+    #[inline]
+    pub fn is_bank_refreshing(&self, now: Cycle) -> bool {
+        now < self.refreshing_until
+    }
+
+    /// Completion cycle of this bank's in-flight REFpb (0 if none ever).
+    #[inline]
+    pub fn bank_refresh_done_at(&self) -> Cycle {
+        self.refreshing_until
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::TimingParams;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr4_1600_8gb()
+    }
+
+    #[test]
+    fn activate_opens_row_and_sets_windows() {
+        let t = t();
+        let mut b = Bank::new();
+        b.apply_activate(100, 42, t.t_rcd, t.t_ras, t.t_rc);
+        assert_eq!(b.open_row(), Some(42));
+        assert_eq!(b.next_read, 100 + t.t_rcd);
+        assert_eq!(b.next_pre, 100 + t.t_ras);
+        assert_eq!(b.next_act, 100 + t.t_rc);
+    }
+
+    #[test]
+    fn precharge_closes_and_enforces_trp() {
+        let t = t();
+        let mut b = Bank::new();
+        b.apply_activate(0, 1, t.t_rcd, t.t_ras, t.t_rc);
+        b.apply_precharge(t.t_ras, t.t_rp);
+        assert!(!b.is_open());
+        // tRC from the ACT still dominates tRAS + tRP here (tRC = tRAS+tRP).
+        assert_eq!(b.next_act, t.t_ras + t.t_rp);
+    }
+
+    #[test]
+    fn read_returns_data_completion() {
+        let t = t();
+        let mut b = Bank::new();
+        b.apply_activate(0, 1, t.t_rcd, t.t_ras, t.t_rc);
+        let done = b.apply_read(t.t_rcd, t.cl, t.burst_cycles(), t.t_rtp, t.t_ccd);
+        assert_eq!(done, t.t_rcd + t.cl + t.burst_cycles());
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let t = t();
+        let mut b = Bank::new();
+        b.apply_activate(0, 1, t.t_rcd, t.t_ras, t.t_rc);
+        let now = t.t_rcd;
+        let data_done = b.apply_write(now, t.cwl, t.burst_cycles(), t.t_wr, t.t_ccd);
+        assert_eq!(data_done, now + t.cwl + t.burst_cycles());
+        assert_eq!(b.next_pre, data_done + t.t_wr);
+    }
+
+    #[test]
+    fn refresh_lock_blocks_activation() {
+        let mut b = Bank::new();
+        b.apply_refresh_lock(500);
+        assert_eq!(b.next_act, 500);
+    }
+}

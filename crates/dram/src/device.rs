@@ -1,0 +1,768 @@
+//! The DRAM device: command validation, timing enforcement, and
+//! energy/event accounting for one memory channel.
+
+use crate::bank::BankState;
+use crate::command::{Command, CommandKind};
+use crate::config::DramConfig;
+use crate::energy::{EnergyBreakdown, EnergyEvents};
+use crate::rank::Rank;
+use crate::Cycle;
+
+/// Why a command cannot be issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueError {
+    /// Rank or bank index out of range for the configured geometry.
+    BadIndex,
+    /// ACT targeted a bank that already has an open row.
+    BankNotIdle,
+    /// READ/WRITE/PRE targeted a bank with no open row.
+    BankNotOpen,
+    /// READ/WRITE targeted a column of a different row than the open one.
+    RowMismatch {
+        /// Row currently open in the bank.
+        open: usize,
+    },
+    /// REF issued while some bank of the rank still has an open row.
+    RefreshNeedsIdleBanks,
+    /// REF issued while the rank is already refreshing.
+    AlreadyRefreshing,
+    /// The command is structurally fine but violates a timing constraint;
+    /// `earliest` is the first cycle at which it could issue.
+    TooEarly {
+        /// Earliest legal issue cycle.
+        earliest: Cycle,
+    },
+}
+
+/// Successful command issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueOutcome {
+    /// Cycle the command issued (the `now` passed in).
+    pub issued_at: Cycle,
+    /// For READ: cycle the last data beat reaches the controller.
+    /// For WRITE: cycle the last data beat is driven. `None` otherwise.
+    pub data_at: Option<Cycle>,
+    /// Cycle at which the command's effect completes (refresh end, row
+    /// open, precharge done, or the data completion).
+    pub completes_at: Cycle,
+}
+
+/// Per-kind command counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommandCounts {
+    /// ACT commands issued.
+    pub activates: u64,
+    /// PRE commands issued.
+    pub precharges: u64,
+    /// READ commands issued.
+    pub reads: u64,
+    /// WRITE commands issued.
+    pub writes: u64,
+    /// REF commands issued.
+    pub refreshes: u64,
+    /// Per-bank REFpb commands issued.
+    pub refreshes_pb: u64,
+}
+
+/// Cycle-level model of the DRAM behind one channel.
+///
+/// The device is a *passive* timing oracle: the controller asks when a
+/// command may issue ([`Self::earliest_issue`]) and commits it with
+/// [`Self::try_issue`]. All state transitions happen at issue time with
+/// future effects encoded as earliest-issue registers, which is what makes
+/// the fast-forwarding simulation loop exact.
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    config: DramConfig,
+    ranks: Vec<Rank>,
+    /// Channel-level earliest cycle for the next READ (CAS-to-CAS and
+    /// write-to-read turnaround).
+    next_read_ok: Cycle,
+    /// Channel-level earliest cycle for the next WRITE.
+    next_write_ok: Cycle,
+    /// Cycle until which the shared data bus is busy.
+    data_bus_free: Cycle,
+    /// Rank that last drove the data bus (for the tRTRS switch penalty).
+    last_data_rank: Option<usize>,
+    counts: CommandCounts,
+}
+
+impl DramDevice {
+    /// Builds a device for `config`.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn new(config: DramConfig) -> Self {
+        config.validate().expect("invalid DRAM configuration");
+        let ranks = (0..config.geometry.ranks)
+            .map(|_| Rank::new(config.geometry.banks_per_rank))
+            .collect();
+        DramDevice {
+            config,
+            ranks,
+            next_read_ok: 0,
+            next_write_ok: 0,
+            data_bus_free: 0,
+            last_data_rank: None,
+            counts: CommandCounts::default(),
+        }
+    }
+
+    /// The configuration this device was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Command counts so far.
+    pub fn counts(&self) -> CommandCounts {
+        self.counts
+    }
+
+    /// True while `rank` is frozen by an in-progress refresh.
+    pub fn is_rank_refreshing(&self, rank: usize, now: Cycle) -> bool {
+        self.ranks[rank].is_refreshing(now)
+    }
+
+    /// Completion cycle of the in-progress refresh on `rank` (0 if none
+    /// ever started).
+    pub fn refresh_done_at(&self, rank: usize) -> Cycle {
+        self.ranks[rank].refresh_done_at()
+    }
+
+    /// The row currently open in `(rank, bank)`, if any.
+    pub fn open_row(&self, rank: usize, bank: usize) -> Option<usize> {
+        self.ranks[rank].banks[bank].open_row()
+    }
+
+    /// True when every bank of `rank` is precharged.
+    pub fn rank_idle(&self, rank: usize) -> bool {
+        self.ranks[rank].all_banks_idle()
+    }
+
+    /// True while `(rank, bank)` is held by a per-bank refresh (REFpb).
+    pub fn is_bank_refreshing(&self, rank: usize, bank: usize, now: Cycle) -> bool {
+        self.ranks[rank].banks[bank].is_bank_refreshing(now)
+    }
+
+    /// Completion cycle of `(rank, bank)`'s in-flight REFpb (0 if never).
+    pub fn bank_refresh_done_at(&self, rank: usize, bank: usize) -> Cycle {
+        self.ranks[rank].banks[bank].bank_refresh_done_at()
+    }
+
+    fn check_index(&self, cmd: &Command) -> Result<(), IssueError> {
+        let g = &self.config.geometry;
+        if cmd.rank() >= g.ranks {
+            return Err(IssueError::BadIndex);
+        }
+        if let Some(bank) = cmd.bank() {
+            if bank >= g.banks_per_rank {
+                return Err(IssueError::BadIndex);
+            }
+        }
+        if let Command::Activate { row, .. } = *cmd {
+            if row >= g.rows_per_bank {
+                return Err(IssueError::BadIndex);
+            }
+        }
+        if let Command::Read { column, .. } | Command::Write { column, .. } = *cmd {
+            if column >= g.lines_per_row {
+                return Err(IssueError::BadIndex);
+            }
+        }
+        Ok(())
+    }
+
+    /// Earliest cycle (>= `now`) at which `cmd` could legally issue, or a
+    /// structural error if no amount of waiting would make it legal in the
+    /// current state.
+    pub fn earliest_issue(&self, cmd: &Command, now: Cycle) -> Result<Cycle, IssueError> {
+        self.check_index(cmd)?;
+        let t = &self.config.timing;
+        let rank = &self.ranks[cmd.rank()];
+        match *cmd {
+            Command::Activate { bank, .. } => {
+                let b = &rank.banks[bank];
+                if b.is_open() {
+                    return Err(IssueError::BankNotIdle);
+                }
+                Ok(rank.earliest_activate(now, t.t_faw).max(b.next_act))
+            }
+            Command::Precharge { bank, .. } => {
+                let b = &rank.banks[bank];
+                if !b.is_open() {
+                    return Err(IssueError::BankNotOpen);
+                }
+                Ok(now.max(b.next_pre))
+            }
+            Command::Read { bank, column, .. } => {
+                let b = &rank.banks[bank];
+                match b.state {
+                    BankState::Idle => return Err(IssueError::BankNotOpen),
+                    BankState::Active { .. } => {}
+                }
+                let _ = column;
+                let mut earliest = now
+                    .max(b.next_read)
+                    .max(self.next_read_ok)
+                    .max(rank.next_read_rank);
+                earliest = earliest.max(self.bus_constraint(cmd.rank(), t.cl));
+                Ok(earliest)
+            }
+            Command::Write { bank, .. } => {
+                let b = &rank.banks[bank];
+                if !b.is_open() {
+                    return Err(IssueError::BankNotOpen);
+                }
+                let mut earliest = now.max(b.next_write).max(self.next_write_ok);
+                earliest = earliest.max(self.bus_constraint(cmd.rank(), t.cwl));
+                Ok(earliest)
+            }
+            Command::Refresh { rank: r } => {
+                if rank.is_refreshing(now) {
+                    return Err(IssueError::AlreadyRefreshing);
+                }
+                if !rank.all_banks_idle() {
+                    return Err(IssueError::RefreshNeedsIdleBanks);
+                }
+                let _ = r;
+                // All per-bank windows (tRP after PRE, tRC after ACT) must
+                // have elapsed before REF.
+                let bank_gate = rank.banks.iter().map(|b| b.next_act).max().unwrap_or(0);
+                Ok(now.max(bank_gate))
+            }
+            Command::RefreshBank { bank, .. } => {
+                if rank.is_refreshing(now) {
+                    return Err(IssueError::AlreadyRefreshing);
+                }
+                let b = &rank.banks[bank];
+                if b.is_open() {
+                    return Err(IssueError::RefreshNeedsIdleBanks);
+                }
+                // REFpb behaves like an activation for the power windows
+                // (tRRD/tFAW) and must wait out the bank's own tRP/tRC.
+                Ok(rank.earliest_activate(now, t.t_faw).max(b.next_act))
+            }
+        }
+    }
+
+    /// Earliest cycle the data bus permits a column command whose data
+    /// phase starts `cas` cycles after issue, from `rank`.
+    fn bus_constraint(&self, rank: usize, cas: Cycle) -> Cycle {
+        let mut bus_ready = self.data_bus_free;
+        if let Some(last) = self.last_data_rank {
+            if last != rank {
+                bus_ready += self.config.timing.t_rtrs;
+            }
+        }
+        bus_ready.saturating_sub(cas)
+    }
+
+    /// Validates the open row for a column command. Returns `RowMismatch`
+    /// if the open row differs from the target row implied by the caller's
+    /// bookkeeping; the device itself only knows the open row, so callers
+    /// pass the intended row for the check.
+    pub fn check_open_row(
+        &self,
+        rank: usize,
+        bank: usize,
+        expected_row: usize,
+    ) -> Result<(), IssueError> {
+        match self.ranks[rank].banks[bank].open_row() {
+            Some(open) if open == expected_row => Ok(()),
+            Some(open) => Err(IssueError::RowMismatch { open }),
+            None => Err(IssueError::BankNotOpen),
+        }
+    }
+
+    /// Issues `cmd` at `now`, or explains why it cannot issue.
+    pub fn try_issue(&mut self, cmd: &Command, now: Cycle) -> Result<IssueOutcome, IssueError> {
+        let earliest = self.earliest_issue(cmd, now)?;
+        if earliest > now {
+            return Err(IssueError::TooEarly { earliest });
+        }
+        let t = self.config.timing.clone();
+        let rank_idx = cmd.rank();
+        // Attribute background time under the pre-command state.
+        self.ranks[rank_idx].accrue_background(now);
+        let rank = &mut self.ranks[rank_idx];
+        let outcome = match *cmd {
+            Command::Activate { bank, row, .. } => {
+                rank.banks[bank].apply_activate(now, row, t.t_rcd, t.t_ras, t.t_rc);
+                rank.record_activate(now, t.t_rrd, t.t_faw);
+                self.counts.activates += 1;
+                IssueOutcome {
+                    issued_at: now,
+                    data_at: None,
+                    completes_at: now + t.t_rcd,
+                }
+            }
+            Command::Precharge { bank, .. } => {
+                rank.banks[bank].apply_precharge(now, t.t_rp);
+                self.counts.precharges += 1;
+                IssueOutcome {
+                    issued_at: now,
+                    data_at: None,
+                    completes_at: now + t.t_rp,
+                }
+            }
+            Command::Read { bank, .. } => {
+                let data_at =
+                    rank.banks[bank].apply_read(now, t.cl, t.burst_cycles(), t.t_rtp, t.t_ccd);
+                self.counts.reads += 1;
+                self.next_read_ok = self.next_read_ok.max(now + t.t_ccd);
+                // Read-to-write: write data may not collide with read data
+                // on the bus; conservative gap.
+                self.next_write_ok = self
+                    .next_write_ok
+                    .max((now + t.cl + t.burst_cycles() + t.t_rtrs).saturating_sub(t.cwl));
+                self.data_bus_free = data_at;
+                self.last_data_rank = Some(rank_idx);
+                IssueOutcome {
+                    issued_at: now,
+                    data_at: Some(data_at),
+                    completes_at: data_at,
+                }
+            }
+            Command::Write { bank, .. } => {
+                let data_at =
+                    rank.banks[bank].apply_write(now, t.cwl, t.burst_cycles(), t.t_wr, t.t_ccd);
+                self.counts.writes += 1;
+                self.next_write_ok = self.next_write_ok.max(now + t.t_ccd);
+                // Write-to-read turnaround on this rank.
+                rank.next_read_rank = rank.next_read_rank.max(data_at + t.t_wtr);
+                self.data_bus_free = data_at;
+                self.last_data_rank = Some(rank_idx);
+                IssueOutcome {
+                    issued_at: now,
+                    data_at: Some(data_at),
+                    completes_at: data_at,
+                }
+            }
+            Command::Refresh { .. } => {
+                rank.start_refresh(now, t.t_rfc());
+                self.counts.refreshes += 1;
+                IssueOutcome {
+                    issued_at: now,
+                    data_at: None,
+                    completes_at: now + t.t_rfc(),
+                }
+            }
+            Command::RefreshBank { bank, .. } => {
+                let done = now + t.t_rfc_pb;
+                rank.banks[bank].apply_bank_refresh(done);
+                rank.record_activate(now, t.t_rrd, t.t_faw);
+                self.counts.refreshes_pb += 1;
+                IssueOutcome {
+                    issued_at: now,
+                    data_at: None,
+                    completes_at: done,
+                }
+            }
+        };
+        Ok(outcome)
+    }
+
+    /// Issues `cmd` at `now`, panicking on failure. For tests and callers
+    /// that have already consulted [`Self::earliest_issue`].
+    pub fn issue(&mut self, cmd: &Command, now: Cycle) -> IssueOutcome {
+        self.try_issue(cmd, now)
+            .unwrap_or_else(|e| panic!("illegal DRAM command {cmd:?} at cycle {now}: {e:?}"))
+    }
+
+    /// Count of commands of `kind` issued so far.
+    pub fn count_of(&self, kind: CommandKind) -> u64 {
+        match kind {
+            CommandKind::Activate => self.counts.activates,
+            CommandKind::Precharge => self.counts.precharges,
+            CommandKind::Read => self.counts.reads,
+            CommandKind::Write => self.counts.writes,
+            CommandKind::Refresh => self.counts.refreshes,
+            CommandKind::RefreshBank => self.counts.refreshes_pb,
+        }
+    }
+
+    /// Finalises background accrual up to `now` and returns the energy
+    /// breakdown for the whole channel.
+    pub fn energy_breakdown(&mut self, now: Cycle) -> EnergyBreakdown {
+        for rank in &mut self.ranks {
+            rank.accrue_background(now);
+        }
+        let mut events = EnergyEvents {
+            activates: self.counts.activates,
+            reads: self.counts.reads,
+            writes: self.counts.writes,
+            refreshes: self.counts.refreshes,
+            refreshes_pb: self.counts.refreshes_pb,
+            cycles_some_active: 0,
+            cycles_all_precharged: 0,
+        };
+        for rank in &self.ranks {
+            events.cycles_some_active += rank.cycles_some_active;
+            events.cycles_all_precharged += rank.cycles_all_precharged;
+        }
+        events.breakdown(&self.config.energy, &self.config.timing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+    use crate::timing::TimingParams;
+
+    fn device() -> DramDevice {
+        DramDevice::new(DramConfig::baseline(2))
+    }
+
+    #[test]
+    fn open_read_close_sequence() {
+        let mut d = device();
+        let t = d.config().timing.clone();
+        let act = Command::Activate {
+            rank: 0,
+            bank: 0,
+            row: 7,
+        };
+        let out = d.issue(&act, 0);
+        assert_eq!(out.completes_at, t.t_rcd);
+        assert_eq!(d.open_row(0, 0), Some(7));
+
+        let rd = Command::Read {
+            rank: 0,
+            bank: 0,
+            column: 3,
+        };
+        // Too early before tRCD.
+        assert!(matches!(
+            d.try_issue(&rd, 1),
+            Err(IssueError::TooEarly { .. })
+        ));
+        let out = d.issue(&rd, t.t_rcd);
+        assert_eq!(out.data_at, Some(t.t_rcd + t.cl + t.burst_cycles()));
+
+        let pre = Command::Precharge { rank: 0, bank: 0 };
+        let earliest = d.earliest_issue(&pre, t.t_rcd).unwrap();
+        assert!(earliest >= t.t_ras); // tRAS still governs
+        d.issue(&pre, earliest);
+        assert_eq!(d.open_row(0, 0), None);
+    }
+
+    #[test]
+    fn read_requires_open_row() {
+        let mut d = device();
+        let rd = Command::Read {
+            rank: 0,
+            bank: 0,
+            column: 0,
+        };
+        assert_eq!(d.try_issue(&rd, 0), Err(IssueError::BankNotOpen));
+    }
+
+    #[test]
+    fn activate_requires_idle_bank() {
+        let mut d = device();
+        d.issue(
+            &Command::Activate {
+                rank: 0,
+                bank: 0,
+                row: 1,
+            },
+            0,
+        );
+        let again = Command::Activate {
+            rank: 0,
+            bank: 0,
+            row: 2,
+        };
+        assert_eq!(d.try_issue(&again, 100), Err(IssueError::BankNotIdle));
+    }
+
+    #[test]
+    fn refresh_locks_rank_for_trfc() {
+        let mut d = device();
+        let t = d.config().timing.clone();
+        let out = d.issue(&Command::Refresh { rank: 0 }, 10);
+        assert_eq!(out.completes_at, 10 + t.t_rfc());
+        assert!(d.is_rank_refreshing(0, 10));
+        assert!(d.is_rank_refreshing(0, 10 + t.t_rfc() - 1));
+        assert!(!d.is_rank_refreshing(0, 10 + t.t_rfc()));
+        // ACT on the frozen rank must wait for the refresh to finish.
+        let act = Command::Activate {
+            rank: 0,
+            bank: 0,
+            row: 0,
+        };
+        let earliest = d.earliest_issue(&act, 20).unwrap();
+        assert_eq!(earliest, 10 + t.t_rfc());
+        // The *other* rank is unaffected.
+        let act1 = Command::Activate {
+            rank: 1,
+            bank: 0,
+            row: 0,
+        };
+        assert_eq!(d.earliest_issue(&act1, 20).unwrap(), 20);
+    }
+
+    #[test]
+    fn per_bank_refresh_freezes_only_its_bank() {
+        let mut d = device();
+        let t = d.config().timing.clone();
+        let out = d.issue(&Command::RefreshBank { rank: 0, bank: 2 }, 10);
+        assert_eq!(out.completes_at, 10 + t.t_rfc_pb);
+        assert!(d.is_bank_refreshing(0, 2, 10));
+        assert!(!d.is_bank_refreshing(0, 2, 10 + t.t_rfc_pb));
+        // The refreshing bank cannot activate until REFpb completes...
+        let act2 = Command::Activate {
+            rank: 0,
+            bank: 2,
+            row: 0,
+        };
+        assert_eq!(d.earliest_issue(&act2, 20).unwrap(), 10 + t.t_rfc_pb);
+        // ...but a sibling bank activates immediately.
+        let act3 = Command::Activate {
+            rank: 0,
+            bank: 3,
+            row: 0,
+        };
+        assert_eq!(d.earliest_issue(&act3, 20).unwrap(), 20);
+        assert_eq!(d.counts().refreshes_pb, 1);
+        assert_eq!(d.count_of(CommandKind::RefreshBank), 1);
+    }
+
+    #[test]
+    fn per_bank_refresh_requires_idle_bank() {
+        let mut d = device();
+        d.issue(
+            &Command::Activate {
+                rank: 0,
+                bank: 1,
+                row: 4,
+            },
+            0,
+        );
+        assert_eq!(
+            d.try_issue(&Command::RefreshBank { rank: 0, bank: 1 }, 50),
+            Err(IssueError::RefreshNeedsIdleBanks)
+        );
+    }
+
+    #[test]
+    fn refresh_requires_idle_banks() {
+        let mut d = device();
+        d.issue(
+            &Command::Activate {
+                rank: 0,
+                bank: 3,
+                row: 9,
+            },
+            0,
+        );
+        assert_eq!(
+            d.try_issue(&Command::Refresh { rank: 0 }, 50),
+            Err(IssueError::RefreshNeedsIdleBanks)
+        );
+    }
+
+    #[test]
+    fn double_refresh_rejected() {
+        let mut d = device();
+        d.issue(&Command::Refresh { rank: 0 }, 0);
+        assert_eq!(
+            d.try_issue(&Command::Refresh { rank: 0 }, 5),
+            Err(IssueError::AlreadyRefreshing)
+        );
+    }
+
+    #[test]
+    fn row_mismatch_detected() {
+        let mut d = device();
+        d.issue(
+            &Command::Activate {
+                rank: 0,
+                bank: 0,
+                row: 5,
+            },
+            0,
+        );
+        assert!(d.check_open_row(0, 0, 5).is_ok());
+        assert_eq!(
+            d.check_open_row(0, 0, 6),
+            Err(IssueError::RowMismatch { open: 5 })
+        );
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let mut d = device();
+        let t = d.config().timing.clone();
+        d.issue(
+            &Command::Activate {
+                rank: 0,
+                bank: 0,
+                row: 1,
+            },
+            0,
+        );
+        let wr = Command::Write {
+            rank: 0,
+            bank: 0,
+            column: 0,
+        };
+        let wr_out = d.issue(&wr, t.t_rcd);
+        let rd = Command::Read {
+            rank: 0,
+            bank: 0,
+            column: 1,
+        };
+        let earliest = d.earliest_issue(&rd, t.t_rcd + 1).unwrap();
+        assert!(earliest >= wr_out.data_at.unwrap() + t.t_wtr);
+    }
+
+    #[test]
+    fn rank_switch_penalty_on_bus() {
+        let mut d = device();
+        let t = d.config().timing.clone();
+        d.issue(
+            &Command::Activate {
+                rank: 0,
+                bank: 0,
+                row: 1,
+            },
+            0,
+        );
+        d.issue(
+            &Command::Activate {
+                rank: 1,
+                bank: 0,
+                row: 1,
+            },
+            t.t_rrd,
+        );
+        let rd0 = Command::Read {
+            rank: 0,
+            bank: 0,
+            column: 0,
+        };
+        let out0 = d.issue(&rd0, t.t_rcd + t.t_rrd);
+        // Read from the other rank: its data must wait tRTRS after rank 0's.
+        let rd1 = Command::Read {
+            rank: 1,
+            bank: 0,
+            column: 0,
+        };
+        let earliest = d.earliest_issue(&rd1, out0.issued_at).unwrap();
+        assert!(earliest + t.cl >= out0.data_at.unwrap() + t.t_rtrs);
+    }
+
+    #[test]
+    fn fgr_modes_shrink_the_freeze() {
+        for (cfg, expect_rfc) in [
+            (rop_config_with(TimingParams::ddr4_1600_8gb()), 280),
+            (rop_config_with(TimingParams::ddr4_1600_8gb_fgr2x()), 208),
+            (rop_config_with(TimingParams::ddr4_1600_8gb_fgr4x()), 128),
+        ] {
+            let mut d = DramDevice::new(cfg);
+            let out = d.issue(&Command::Refresh { rank: 0 }, 0);
+            assert_eq!(out.completes_at, expect_rfc);
+        }
+    }
+
+    fn rop_config_with(timing: TimingParams) -> DramConfig {
+        DramConfig {
+            timing,
+            ..DramConfig::baseline(1)
+        }
+    }
+
+    #[test]
+    fn all_bank_refresh_waits_for_per_bank_refresh() {
+        let mut d = device();
+        let t = d.config().timing.clone();
+        d.issue(&Command::RefreshBank { rank: 0, bank: 0 }, 0);
+        // REF requires every bank window elapsed, including the REFpb'd one.
+        let earliest = d
+            .earliest_issue(&Command::Refresh { rank: 0 }, 1)
+            .expect("banks idle");
+        assert_eq!(earliest, t.t_rfc_pb);
+    }
+
+    #[test]
+    fn refresh_pb_energy_counted() {
+        let mut d = device();
+        d.issue(&Command::RefreshBank { rank: 0, bank: 0 }, 0);
+        let e = d.energy_breakdown(10_000);
+        assert!(e.refresh_nj > 0.0);
+        // A REFpb costs far less than an all-bank REF.
+        let quantum = d.config().energy.refresh_pb_energy_nj(&d.config().timing);
+        let full = d.config().energy.refresh_energy_nj(&d.config().timing);
+        assert!(quantum < full / 4.0);
+    }
+
+    #[test]
+    fn bad_indices_rejected() {
+        let mut d = device();
+        assert_eq!(
+            d.try_issue(&Command::Refresh { rank: 9 }, 0),
+            Err(IssueError::BadIndex)
+        );
+        assert_eq!(
+            d.try_issue(
+                &Command::Activate {
+                    rank: 0,
+                    bank: 99,
+                    row: 0
+                },
+                0
+            ),
+            Err(IssueError::BadIndex)
+        );
+        assert_eq!(
+            d.try_issue(
+                &Command::Activate {
+                    rank: 0,
+                    bank: 0,
+                    row: usize::MAX
+                },
+                0
+            ),
+            Err(IssueError::BadIndex)
+        );
+    }
+
+    #[test]
+    fn counts_and_energy() {
+        let mut d = device();
+        let t = d.config().timing.clone();
+        d.issue(
+            &Command::Activate {
+                rank: 0,
+                bank: 0,
+                row: 1,
+            },
+            0,
+        );
+        d.issue(
+            &Command::Read {
+                rank: 0,
+                bank: 0,
+                column: 0,
+            },
+            t.t_rcd,
+        );
+        let pre_at = d
+            .earliest_issue(&Command::Precharge { rank: 0, bank: 0 }, t.t_rcd)
+            .unwrap();
+        d.issue(&Command::Precharge { rank: 0, bank: 0 }, pre_at);
+        d.issue(&Command::Refresh { rank: 1 }, 0);
+        let c = d.counts();
+        assert_eq!(c.activates, 1);
+        assert_eq!(c.reads, 1);
+        assert_eq!(c.precharges, 1);
+        assert_eq!(c.refreshes, 1);
+        assert_eq!(d.count_of(CommandKind::Read), 1);
+        let e = d.energy_breakdown(10_000);
+        assert!(e.refresh_nj > 0.0);
+        assert!(e.background_nj > 0.0);
+        assert!(e.total_nj() > e.refresh_nj);
+    }
+}

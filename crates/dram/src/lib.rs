@@ -1,0 +1,46 @@
+//! Cycle-level DDR4 DRAM device model — the DRAMSim2-class substrate the
+//! ROP paper plugs its controller changes into.
+//!
+//! The model covers the structures and timing behaviour that matter for
+//! refresh studies:
+//!
+//! * a hierarchical device: channel → rank → bank, with per-bank row
+//!   state machines (open-page operation);
+//! * the full set of DDR4 inter-command timing constraints (`tRCD`, `tRP`,
+//!   `tRAS`, `tRC`, `tCCD`, `tRRD`, `tFAW`, `tWR`, `tWTR`, `tRTP`, CAS
+//!   latencies, burst/bus occupancy, rank-to-rank switch);
+//! * all-bank auto-refresh with `tREFI`/`tRFC`, including the DDR4
+//!   fine-grained-refresh (FGR) 1x/2x/4x modes, and the rank-lock
+//!   behaviour during `tRFC` that the paper calls *frozen cycles*;
+//! * a current-based (IDD) energy model in the style of the Micron power
+//!   calculator the paper used.
+//!
+//! Commands are validated: [`DramDevice::try_issue`] returns an error when
+//! a command would violate a timing constraint or a state precondition, so
+//! the memory controller above is forced to be a legal DDR4 master — the
+//! property tests in this crate hammer exactly that.
+//!
+//! The model is *cycle-level* rather than event-replay: every command is
+//! stamped with the memory-clock cycle at which it issues and the device
+//! answers "what is the earliest cycle at which this command could issue"
+//! ([`DramDevice::earliest_issue`]), which lets the controller fast-forward
+//! over dead time without losing cycle accuracy.
+
+pub mod bank;
+pub mod command;
+pub mod config;
+pub mod device;
+pub mod energy;
+pub mod rank;
+pub mod timing;
+
+pub use command::{Command, CommandKind};
+pub use config::{DramConfig, Geometry};
+pub use device::{DramDevice, IssueError, IssueOutcome};
+pub use energy::{EnergyBreakdown, EnergyParams};
+pub use timing::{RefreshGranularity, TimingParams};
+
+/// Memory-clock cycle count. DDR4-1600 runs the memory clock at 800 MHz,
+/// i.e. one cycle is 1.25 ns; all latencies in this crate are expressed in
+/// these cycles.
+pub type Cycle = u64;

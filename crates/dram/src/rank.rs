@@ -1,0 +1,217 @@
+//! Per-rank state: banks, the four-activate window, refresh locking, and
+//! background-energy bookkeeping.
+
+use crate::bank::Bank;
+use crate::Cycle;
+
+/// Background power state of a rank, for the energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankPowerState {
+    /// All banks precharged (IDD2N-class standby).
+    AllPrecharged,
+    /// At least one bank has an open row (IDD3N-class standby).
+    SomeActive,
+    /// An all-bank refresh is in progress (IDD5B-class current).
+    Refreshing,
+}
+
+/// One rank: a lockstep set of banks sharing refresh circuitry.
+#[derive(Debug, Clone)]
+pub struct Rank {
+    /// The banks of this rank.
+    pub banks: Vec<Bank>,
+    /// Issue cycles of recent ACTs, pruned to the tFAW window (at most 4
+    /// relevant entries are kept).
+    act_history: Vec<Cycle>,
+    /// Earliest cycle the next ACT may issue due to tRRD.
+    pub next_act_rrd: Cycle,
+    /// Cycle at which an in-progress refresh completes (0 when idle).
+    refresh_until: Cycle,
+    /// Earliest cycle a READ may issue on this rank (tWTR after writes).
+    pub next_read_rank: Cycle,
+    /// Background-energy accrual: cycles spent with any row open.
+    pub cycles_some_active: Cycle,
+    /// Background-energy accrual: cycles spent all-precharged.
+    pub cycles_all_precharged: Cycle,
+    /// Background-energy accrual: cycles spent refreshing.
+    pub cycles_refreshing: Cycle,
+    /// Last cycle up to which background time has been accrued.
+    accrued_until: Cycle,
+}
+
+impl Rank {
+    /// Creates a rank with `banks` idle banks.
+    pub fn new(banks: usize) -> Self {
+        Rank {
+            banks: (0..banks).map(|_| Bank::new()).collect(),
+            act_history: Vec::with_capacity(8),
+            next_act_rrd: 0,
+            refresh_until: 0,
+            next_read_rank: 0,
+            cycles_some_active: 0,
+            cycles_all_precharged: 0,
+            cycles_refreshing: 0,
+            accrued_until: 0,
+        }
+    }
+
+    /// True while an all-bank refresh holds the rank locked at `now` —
+    /// the paper's *frozen cycles*.
+    #[inline]
+    pub fn is_refreshing(&self, now: Cycle) -> bool {
+        now < self.refresh_until
+    }
+
+    /// Cycle at which the current refresh (if any) completes.
+    #[inline]
+    pub fn refresh_done_at(&self) -> Cycle {
+        self.refresh_until
+    }
+
+    /// Current background power state at `now`.
+    pub fn power_state(&self, now: Cycle) -> RankPowerState {
+        if self.is_refreshing(now) {
+            RankPowerState::Refreshing
+        } else if self.banks.iter().any(Bank::is_open) {
+            RankPowerState::SomeActive
+        } else {
+            RankPowerState::AllPrecharged
+        }
+    }
+
+    /// Accrues background time up to `now` under the *current* state.
+    ///
+    /// Must be called before any state change (ACT/PRE/REF issue or
+    /// refresh completion) so each interval is attributed to the state
+    /// that actually held during it. The device drives this.
+    pub fn accrue_background(&mut self, now: Cycle) {
+        if now <= self.accrued_until {
+            return;
+        }
+        // If a refresh ended inside the interval, split it.
+        let mut start = self.accrued_until;
+        if start < self.refresh_until && now > self.refresh_until {
+            self.cycles_refreshing += self.refresh_until - start;
+            start = self.refresh_until;
+        }
+        let span = now - start;
+        match self.power_state(start) {
+            RankPowerState::Refreshing => self.cycles_refreshing += span,
+            RankPowerState::SomeActive => self.cycles_some_active += span,
+            RankPowerState::AllPrecharged => self.cycles_all_precharged += span,
+        }
+        self.accrued_until = now;
+    }
+
+    /// Records an ACT at `now` for tRRD/tFAW purposes.
+    pub fn record_activate(&mut self, now: Cycle, t_rrd: Cycle, t_faw: Cycle) {
+        self.next_act_rrd = now + t_rrd;
+        self.act_history.push(now);
+        // Keep only ACTs still inside a tFAW window ending after `now`.
+        self.act_history.retain(|&t| t + t_faw > now);
+        // At most the 4 most recent matter for the 4-activate window.
+        if self.act_history.len() > 4 {
+            let excess = self.act_history.len() - 4;
+            self.act_history.drain(..excess);
+        }
+    }
+
+    /// Earliest cycle the next ACT may issue on this rank, considering
+    /// tRRD and the four-activate window (but not per-bank constraints).
+    pub fn earliest_activate(&self, now: Cycle, t_faw: Cycle) -> Cycle {
+        let mut earliest = self.next_act_rrd.max(now);
+        // With 4 ACTs inside the window, the 5th must wait until the
+        // oldest leaves the window.
+        let in_window: Vec<Cycle> = self
+            .act_history
+            .iter()
+            .copied()
+            .filter(|&t| t + t_faw > earliest)
+            .collect();
+        if in_window.len() >= 4 {
+            let oldest = in_window[in_window.len() - 4];
+            earliest = earliest.max(oldest + t_faw);
+        }
+        earliest.max(self.refresh_until)
+    }
+
+    /// Starts an all-bank refresh at `now`, locking the rank until
+    /// `now + t_rfc`.
+    pub fn start_refresh(&mut self, now: Cycle, t_rfc: Cycle) {
+        debug_assert!(!self.is_refreshing(now));
+        debug_assert!(self.banks.iter().all(|b| !b.is_open()));
+        self.refresh_until = now + t_rfc;
+        for bank in &mut self.banks {
+            bank.apply_refresh_lock(self.refresh_until);
+        }
+    }
+
+    /// True when every bank is precharged (a refresh precondition).
+    pub fn all_banks_idle(&self) -> bool {
+        self.banks.iter().all(|b| !b.is_open())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_activate_window() {
+        let mut r = Rank::new(8);
+        let t_rrd = 5;
+        let t_faw = 24;
+        // Issue 4 ACTs as fast as tRRD allows: 0, 5, 10, 15.
+        for i in 0..4u64 {
+            let now = i * t_rrd;
+            assert!(r.earliest_activate(now, t_faw) <= now);
+            r.record_activate(now, t_rrd, t_faw);
+        }
+        // The 5th ACT must wait for the first to leave the tFAW window.
+        let earliest = r.earliest_activate(20, t_faw);
+        assert_eq!(earliest, 24);
+    }
+
+    #[test]
+    fn refresh_locks_rank() {
+        let mut r = Rank::new(8);
+        r.start_refresh(100, 280);
+        assert!(r.is_refreshing(100));
+        assert!(r.is_refreshing(379));
+        assert!(!r.is_refreshing(380));
+        assert_eq!(r.refresh_done_at(), 380);
+        assert!(r.earliest_activate(150, 24) >= 380);
+    }
+
+    #[test]
+    fn background_accrual_splits_states() {
+        let mut r = Rank::new(2);
+        // 0..100 all precharged.
+        r.accrue_background(100);
+        assert_eq!(r.cycles_all_precharged, 100);
+        // Open a bank at 100; 100..150 some-active.
+        r.banks[0].apply_activate(100, 7, 11, 28, 39);
+        r.accrue_background(150);
+        assert_eq!(r.cycles_some_active, 50);
+        // Close it; 150..200 precharged again.
+        r.banks[0].apply_precharge(150, 11);
+        r.accrue_background(200);
+        assert_eq!(r.cycles_all_precharged, 150);
+        // Refresh 200..480; accrue past the end splits into refresh + idle.
+        r.start_refresh(200, 280);
+        r.accrue_background(600);
+        assert_eq!(r.cycles_refreshing, 280);
+        assert_eq!(r.cycles_all_precharged, 150 + (600 - 480));
+    }
+
+    #[test]
+    fn power_state_reporting() {
+        let mut r = Rank::new(2);
+        assert_eq!(r.power_state(0), RankPowerState::AllPrecharged);
+        r.banks[1].apply_activate(0, 3, 11, 28, 39);
+        assert_eq!(r.power_state(5), RankPowerState::SomeActive);
+        r.banks[1].apply_precharge(28, 11);
+        r.start_refresh(40, 280);
+        assert_eq!(r.power_state(41), RankPowerState::Refreshing);
+    }
+}

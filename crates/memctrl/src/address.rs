@@ -1,0 +1,310 @@
+//! Address mapping: global cache-line addresses → (rank, bank, row, col).
+
+use rop_dram::Geometry;
+
+/// How line addresses spread over the channel's ranks.
+///
+/// Both schemes interleave **banks at cache-line granularity**
+/// (`bank` in the lowest bits, then `column`): a sequential stream
+/// rotates over all banks of a rank, touching one column per bank per
+/// round. This keeps all row buffers of the rank hot simultaneously
+/// (bank-level parallelism) and is the organisation ROP's per-bank
+/// prediction table assumes — every bank entry of the table keeps
+/// tracking the stream, so Equation 3 spreads the SRAM capacity over the
+/// banks the stream is actually about to revisit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingScheme {
+    /// Baseline mapping `row : col : rank : bank` — consecutive lines
+    /// rotate across banks, then across ranks, then walk the open rows:
+    /// every stream continuously touches *every rank*, so each rank's
+    /// refresh freezes all cores — the interference the paper's
+    /// Baseline suffers and Rank-aware Mapping removes.
+    RowRankBankCol,
+    /// Rank-aware mapping (the paper's *Rank-aware Mapping*, in the
+    /// spirit of bank partitioning): the **top** address bits select the
+    /// rank, so each core's footprint — given disjoint base addresses —
+    /// lives in exactly one rank and cross-core interference inside a
+    /// rank disappears. Used by Baseline-RP and ROP in the 4-core
+    /// experiments.
+    RankPartitioned,
+}
+
+/// A fully decoded line address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedAddr {
+    /// Rank on the channel.
+    pub rank: usize,
+    /// Bank within the rank.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: usize,
+    /// Cache-line column within the row.
+    pub col: usize,
+}
+
+impl DecodedAddr {
+    /// Cache-line offset within the bank (the coordinate the ROP
+    /// prediction table uses).
+    pub fn line_in_bank(&self, lines_per_row: usize) -> u64 {
+        self.row as u64 * lines_per_row as u64 + self.col as u64
+    }
+}
+
+/// Stateless mapper for a fixed geometry and scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct AddressMapping {
+    geometry: Geometry,
+    scheme: MappingScheme,
+}
+
+impl AddressMapping {
+    /// Creates a mapping.
+    pub fn new(geometry: Geometry, scheme: MappingScheme) -> Self {
+        geometry.validate().expect("invalid geometry");
+        AddressMapping { geometry, scheme }
+    }
+
+    /// The mapping's scheme.
+    pub fn scheme(&self) -> MappingScheme {
+        self.scheme
+    }
+
+    /// The geometry being mapped.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Decodes a global cache-line address. Addresses beyond the channel
+    /// capacity wrap (the synthetic workloads use modest footprints, but
+    /// per-core base offsets can push beyond the top).
+    pub fn decode(&self, line_addr: u64) -> DecodedAddr {
+        let g = &self.geometry;
+        let lines_per_row = g.lines_per_row as u64;
+        let banks = g.banks_per_rank as u64;
+        let ranks = g.ranks as u64;
+        let rows = g.rows_per_bank as u64;
+        let addr = line_addr % g.total_lines() as u64;
+        match self.scheme {
+            MappingScheme::RowRankBankCol => {
+                let bank = addr % banks;
+                let rest = addr / banks;
+                let rank = rest % ranks;
+                let rest = rest / ranks;
+                let col = rest % lines_per_row;
+                let row = rest / lines_per_row;
+                DecodedAddr {
+                    rank: rank as usize,
+                    bank: bank as usize,
+                    row: row as usize,
+                    col: col as usize,
+                }
+            }
+            MappingScheme::RankPartitioned => {
+                let bank = addr % banks;
+                let rest = addr / banks;
+                let col = rest % lines_per_row;
+                let rest = rest / lines_per_row;
+                let row = rest % rows;
+                let rank = rest / rows;
+                DecodedAddr {
+                    rank: rank as usize,
+                    bank: bank as usize,
+                    row: row as usize,
+                    col: col as usize,
+                }
+            }
+        }
+    }
+
+    /// Re-encodes a decoded address into the global line address — the
+    /// exact inverse of [`Self::decode`] for in-range coordinates. Used to
+    /// turn ROP prefetch candidates (bank + line-in-bank coordinates) back
+    /// into bufferable line addresses.
+    pub fn encode(&self, d: &DecodedAddr) -> u64 {
+        let g = &self.geometry;
+        let lines_per_row = g.lines_per_row as u64;
+        let banks = g.banks_per_rank as u64;
+        let ranks = g.ranks as u64;
+        let rows = g.rows_per_bank as u64;
+        match self.scheme {
+            MappingScheme::RowRankBankCol => {
+                ((d.row as u64 * lines_per_row + d.col as u64) * ranks + d.rank as u64) * banks
+                    + d.bank as u64
+            }
+            MappingScheme::RankPartitioned => {
+                ((d.rank as u64 * rows + d.row as u64) * lines_per_row + d.col as u64) * banks
+                    + d.bank as u64
+            }
+        }
+    }
+
+    /// Builds the global line address for a `(rank, bank, line-in-bank)`
+    /// coordinate — the shape ROP's prediction table works in.
+    pub fn encode_bank_line(&self, rank: usize, bank: usize, line_in_bank: u64) -> u64 {
+        let lines_per_row = self.geometry.lines_per_row as u64;
+        let d = DecodedAddr {
+            rank,
+            bank,
+            row: (line_in_bank / lines_per_row) as usize,
+            col: (line_in_bank % lines_per_row) as usize,
+        };
+        self.encode(&d)
+    }
+
+    /// Lines in one rank's partition (for computing per-core base
+    /// addresses under [`MappingScheme::RankPartitioned`]).
+    pub fn lines_per_rank(&self) -> u64 {
+        let g = &self.geometry;
+        (g.banks_per_rank * g.rows_per_bank * g.lines_per_row) as u64
+    }
+
+    /// The base line address of `rank`'s partition under
+    /// [`MappingScheme::RankPartitioned`].
+    pub fn rank_partition_base(&self, rank: usize) -> u64 {
+        assert!(rank < self.geometry.ranks);
+        rank as u64 * self.lines_per_rank()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping(scheme: MappingScheme) -> AddressMapping {
+        AddressMapping::new(Geometry::ddr4_4rank(), scheme)
+    }
+
+    #[test]
+    fn baseline_rotates_banks_then_ranks_then_columns() {
+        let m = mapping(MappingScheme::RowRankBankCol);
+        let a = m.decode(0);
+        assert_eq!((a.rank, a.bank, a.row, a.col), (0, 0, 0, 0));
+        // Consecutive lines rotate across banks.
+        let b = m.decode(1);
+        assert_eq!((b.rank, b.bank, b.row, b.col), (0, 1, 0, 0));
+        let c = m.decode(7);
+        assert_eq!((c.bank, c.col), (7, 0));
+        // After one full bank round, the next rank.
+        let d = m.decode(8);
+        assert_eq!((d.rank, d.bank, d.row, d.col), (1, 0, 0, 0));
+        // After all 4 ranks, the next column.
+        let e = m.decode(8 * 4);
+        assert_eq!((e.rank, e.bank, e.row, e.col), (0, 0, 0, 1));
+        // After the whole column set, the next row.
+        let f = m.decode(8 * 4 * 128);
+        assert_eq!((f.rank, f.bank, f.row, f.col), (0, 0, 1, 0));
+    }
+
+    #[test]
+    fn partitioned_keeps_rank_fixed_per_region() {
+        let m = mapping(MappingScheme::RankPartitioned);
+        let per_rank = m.lines_per_rank();
+        for k in 0..4usize {
+            let base = m.rank_partition_base(k);
+            assert_eq!(m.decode(base).rank, k);
+            assert_eq!(m.decode(base + per_rank - 1).rank, k);
+            // Everything inside the partition stays in rank k.
+            for probe in [0, 12345, per_rank / 2, per_rank - 1] {
+                assert_eq!(m.decode(base + probe).rank, k, "probe {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_stream_touches_every_bank_every_round() {
+        // The property the ROP prediction table relies on: within any
+        // window of `banks` consecutive lines, every bank is touched once.
+        for scheme in [
+            MappingScheme::RowRankBankCol,
+            MappingScheme::RankPartitioned,
+        ] {
+            let m = mapping(scheme);
+            let banks = m.geometry().banks_per_rank as u64;
+            for start in [0u64, 97, 10_000] {
+                let mut seen: Vec<usize> =
+                    (start..start + banks).map(|g| m.decode(g).bank).collect();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..banks as usize).collect::<Vec<_>>(), "{scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_bank_stream_is_unit_stride() {
+        // Consecutive touches of the same bank by a sequential stream
+        // advance its line-in-bank coordinate by exactly 1.
+        for scheme in [
+            MappingScheme::RowRankBankCol,
+            MappingScheme::RankPartitioned,
+        ] {
+            let m = mapping(scheme);
+            let banks = m.geometry().banks_per_rank as u64;
+            let ranks = m.geometry().ranks as u64;
+            let lpr = m.geometry().lines_per_row;
+            // Distance after which a sequential stream revisits the same
+            // (rank, bank) pair.
+            let revisit = match scheme {
+                MappingScheme::RowRankBankCol => banks * ranks,
+                MappingScheme::RankPartitioned => banks,
+            };
+            for g in [0u64, 5, 1000] {
+                let a = m.decode(g);
+                let b = m.decode(g + revisit);
+                assert_eq!((a.rank, a.bank), (b.rank, b.bank), "{scheme:?} at {g}");
+                assert_eq!(
+                    b.line_in_bank(lpr),
+                    a.line_in_bank(lpr) + 1,
+                    "{scheme:?} at {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_inverts_decode() {
+        for scheme in [
+            MappingScheme::RowRankBankCol,
+            MappingScheme::RankPartitioned,
+        ] {
+            let m = mapping(scheme);
+            let total = m.geometry().total_lines() as u64;
+            for addr in [0u64, 1, 127, 128, 9999, 1 << 20, (1 << 22) + 17, total - 1] {
+                let d = m.decode(addr);
+                assert_eq!(m.encode(&d), addr, "{scheme:?} addr {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_bank_line_matches_decode() {
+        for scheme in [
+            MappingScheme::RowRankBankCol,
+            MappingScheme::RankPartitioned,
+        ] {
+            let m = mapping(scheme);
+            for addr in [5u64, 1 << 15, (1 << 21) + 123] {
+                let d = m.decode(addr);
+                let lib = d.line_in_bank(m.geometry().lines_per_row);
+                assert_eq!(m.encode_bank_line(d.rank, d.bank, lib), addr);
+            }
+        }
+    }
+
+    #[test]
+    fn line_in_bank_combines_row_and_col() {
+        let d = DecodedAddr {
+            rank: 0,
+            bank: 0,
+            row: 3,
+            col: 5,
+        };
+        assert_eq!(d.line_in_bank(128), 3 * 128 + 5);
+    }
+
+    #[test]
+    fn addresses_wrap_at_capacity() {
+        let m = mapping(MappingScheme::RowRankBankCol);
+        let total = m.geometry().total_lines() as u64;
+        assert_eq!(m.decode(total + 5), m.decode(5));
+    }
+}

@@ -1,0 +1,253 @@
+//! Always-on refresh/traffic instrumentation reproducing the paper's §III
+//! analysis: Figure 2 (non-blocking refresh fraction), Figure 3 (blocked
+//! requests per blocking refresh), Figure 4 (dominant-event coverage) and
+//! Table I (λ/β), each at observational-window lengths of 1×, 2× and 4×
+//! the refresh cycle `tRFC`.
+//!
+//! The instrumentation is measurement-only: it never influences
+//! scheduling and is attached to baseline and ROP systems alike.
+
+use rop_core::engine::AccessWindow;
+use rop_core::profiler::PatternProfiler;
+use rop_stats::Histogram;
+
+use crate::Cycle;
+
+/// The three window multipliers the paper examines.
+pub const WINDOW_MULTIPLIERS: [u64; 3] = [1, 2, 4];
+
+/// Per-rank refresh analysis state.
+#[derive(Debug, Clone)]
+pub struct RefreshAnalysis {
+    t_rfc: Cycle,
+    /// Pre-refresh windows at 1×/2×/4× tRFC (count reads *and* writes —
+    /// the `B` side of the paper's definition).
+    before: [AccessWindow; 3],
+    /// Post-refresh-start read counters per multiplier for the refresh in
+    /// flight (the `A` side; only reads can be blocked).
+    after: [u64; 3],
+    /// `B` snapshots taken when the current refresh started.
+    b_snapshot: [u64; 3],
+    /// Start cycle of the refresh being tracked (`None` when no refresh
+    /// has started yet).
+    current_start: Option<Cycle>,
+    /// One profiler per window multiplier.
+    profilers: [PatternProfiler; 3],
+    /// Blocked-read histograms per multiplier (bucket = #blocked reads).
+    blocked: [Histogram; 3],
+}
+
+impl RefreshAnalysis {
+    /// Creates analysis state for a rank with the given refresh duration.
+    pub fn new(t_rfc: Cycle) -> Self {
+        RefreshAnalysis {
+            t_rfc,
+            before: [
+                AccessWindow::new(t_rfc),
+                AccessWindow::new(2 * t_rfc),
+                AccessWindow::new(4 * t_rfc),
+            ],
+            after: [0; 3],
+            b_snapshot: [0; 3],
+            current_start: None,
+            profilers: [
+                PatternProfiler::new(),
+                PatternProfiler::new(),
+                PatternProfiler::new(),
+            ],
+            blocked: [Histogram::new(64), Histogram::new(64), Histogram::new(64)],
+        }
+    }
+
+    /// Records a demand-request arrival to this rank.
+    pub fn note_arrival(&mut self, now: Cycle, is_read: bool) {
+        for w in &mut self.before {
+            w.record(now);
+        }
+        if is_read {
+            if let Some(start) = self.current_start {
+                for (i, &m) in WINDOW_MULTIPLIERS.iter().enumerate() {
+                    if now >= start && now < start + m * self.t_rfc {
+                        self.after[i] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records reads that were already queued (and not yet issued) when
+    /// the refresh started: they are blocked for the whole `tRFC` window
+    /// and count toward the `A` side at every window length. Call after
+    /// [`Self::refresh_started`].
+    pub fn note_blocked_at_refresh_start(&mut self, count: u64) {
+        if self.current_start.is_some() {
+            for a in &mut self.after {
+                *a += count;
+            }
+        }
+    }
+
+    /// Records a refresh start: finalises the previous refresh's windows
+    /// and snapshots the `B` counts for the new one.
+    pub fn refresh_started(&mut self, now: Cycle) {
+        self.finalize_current();
+        for i in 0..3 {
+            self.b_snapshot[i] = self.before[i].count(now);
+            self.after[i] = 0;
+        }
+        self.current_start = Some(now);
+    }
+
+    /// Folds the in-flight refresh (if any) into the statistics. Call at
+    /// the end of a run so the last refresh is counted.
+    pub fn finalize_current(&mut self) {
+        if self.current_start.take().is_some() {
+            for i in 0..3 {
+                self.profilers[i].record(self.b_snapshot[i], self.after[i]);
+                self.blocked[i].record(self.after[i]);
+            }
+        }
+    }
+
+    /// Produces the report for one window multiplier (`0 → 1×`,
+    /// `1 → 2×`, `2 → 4×`).
+    pub fn report(&self, idx: usize) -> RefreshAnalysisReport {
+        let outcome = self.profilers[idx].outcome();
+        let h = &self.blocked[idx];
+        let refreshes = h.count();
+        let non_blocking = h.bucket(0);
+        let blocking = refreshes - non_blocking;
+        let blocked_reads = h.sum();
+        RefreshAnalysisReport {
+            window_multiplier: WINDOW_MULTIPLIERS[idx],
+            refreshes,
+            non_blocking_fraction: if refreshes == 0 {
+                0.0
+            } else {
+                non_blocking as f64 / refreshes as f64
+            },
+            avg_blocked_per_blocking: if blocking == 0 {
+                0.0
+            } else {
+                blocked_reads as f64 / blocking as f64
+            },
+            max_blocked: h.max(),
+            lambda: outcome.lambda,
+            beta: outcome.beta,
+            dominant_fraction: outcome.dominant_fraction(),
+        }
+    }
+
+    /// Reports for all three multipliers.
+    pub fn reports(&self) -> [RefreshAnalysisReport; 3] {
+        [self.report(0), self.report(1), self.report(2)]
+    }
+}
+
+/// Summary of one rank's refresh behaviour at one window length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefreshAnalysisReport {
+    /// Window length as a multiple of tRFC.
+    pub window_multiplier: u64,
+    /// Refreshes analysed.
+    pub refreshes: u64,
+    /// Fraction of refreshes that blocked no read (Figure 2).
+    pub non_blocking_fraction: f64,
+    /// Mean blocked reads per *blocking* refresh (Figure 3).
+    pub avg_blocked_per_blocking: f64,
+    /// Maximum reads blocked by any single refresh.
+    pub max_blocked: u64,
+    /// `P{A>0 | B>0}` (Table I).
+    pub lambda: f64,
+    /// `P{A=0 | B=0}` (Table I).
+    pub beta: f64,
+    /// Fraction of refreshes in categories E1/E2 (Figure 4).
+    pub dominant_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T_RFC: Cycle = 280;
+
+    #[test]
+    fn quiet_rank_is_all_non_blocking() {
+        let mut a = RefreshAnalysis::new(T_RFC);
+        for k in 0..5u64 {
+            a.refresh_started(10_000 + k * 6240);
+        }
+        a.finalize_current();
+        let r = a.report(0);
+        assert_eq!(r.refreshes, 5);
+        assert_eq!(r.non_blocking_fraction, 1.0);
+        assert_eq!(r.avg_blocked_per_blocking, 0.0);
+        // B = 0 and A = 0 throughout: β = 1, coverage = 1.
+        assert_eq!(r.beta, 1.0);
+        assert_eq!(r.dominant_fraction, 1.0);
+    }
+
+    #[test]
+    fn blocked_reads_counted_within_window() {
+        let mut a = RefreshAnalysis::new(T_RFC);
+        a.refresh_started(1000);
+        a.note_arrival(1100, true); // inside 1x window
+        a.note_arrival(1100 + T_RFC, true); // inside 2x, outside 1x
+        a.note_arrival(1100 + 3 * T_RFC, true); // inside 4x only
+        a.note_arrival(1000 + 10 * T_RFC, true); // outside all
+        a.finalize_current();
+        assert_eq!(a.report(0).max_blocked, 1);
+        assert_eq!(a.report(1).max_blocked, 2);
+        assert_eq!(a.report(2).max_blocked, 3);
+    }
+
+    #[test]
+    fn writes_count_for_b_not_for_a() {
+        let mut a = RefreshAnalysis::new(T_RFC);
+        // Write just before the refresh: contributes to B.
+        a.note_arrival(990, false);
+        a.refresh_started(1000);
+        // Write during the refresh: does NOT contribute to A.
+        a.note_arrival(1100, false);
+        a.finalize_current();
+        let r = a.report(0);
+        // B > 0, A = 0 → the BeforeOnly category → λ = 0.
+        assert_eq!(r.lambda, 0.0);
+        assert_eq!(r.non_blocking_fraction, 1.0);
+    }
+
+    #[test]
+    fn lambda_beta_reflect_correlation() {
+        let mut a = RefreshAnalysis::new(T_RFC);
+        let mut now = 10_000u64;
+        // 10 refreshes: activity both sides.
+        for _ in 0..10 {
+            a.note_arrival(now - 50, true);
+            a.refresh_started(now);
+            a.note_arrival(now + 50, true);
+            now += 6240;
+        }
+        // 10 refreshes: quiet both sides.
+        for _ in 0..10 {
+            a.refresh_started(now);
+            now += 6240;
+        }
+        a.finalize_current();
+        let r = a.report(0);
+        assert_eq!(r.refreshes, 20);
+        assert_eq!(r.lambda, 1.0);
+        assert_eq!(r.beta, 1.0);
+        assert_eq!(r.dominant_fraction, 1.0);
+        assert!((r.non_blocking_fraction - 0.5).abs() < 1e-12);
+        assert!((r.avg_blocked_per_blocking - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut a = RefreshAnalysis::new(T_RFC);
+        a.refresh_started(100);
+        a.finalize_current();
+        a.finalize_current();
+        assert_eq!(a.report(0).refreshes, 1);
+    }
+}

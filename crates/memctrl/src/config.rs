@@ -1,0 +1,185 @@
+//! Controller configuration.
+
+use crate::address::MappingScheme;
+use crate::refresh::RefreshPolicy;
+use crate::Cycle;
+use rop_core::RopConfig;
+use rop_dram::DramConfig;
+
+/// Memory-controller configuration (paper Table III: 64/64-entry
+/// read/write queues, FR-FCFS, writes scheduled in batches).
+#[derive(Debug, Clone)]
+pub struct MemCtrlConfig {
+    /// DRAM device configuration.
+    pub dram: DramConfig,
+    /// Address-mapping scheme.
+    pub mapping: MappingScheme,
+    /// Read-queue capacity.
+    pub read_queue_capacity: usize,
+    /// Write-queue capacity.
+    pub write_queue_capacity: usize,
+    /// Enter write-drain mode when the write queue reaches this depth.
+    pub write_drain_high: usize,
+    /// Leave write-drain mode when it falls to this depth.
+    pub write_drain_low: usize,
+    /// FR-FCFS age cap: a request older than this is served before any
+    /// younger row hit (starvation guard).
+    pub age_cap: Cycle,
+    /// Refresh-drain deadline: a due refresh is forced once it has been
+    /// postponed this many cycles (JEDEC allows up to 8·tREFI; draining
+    /// normally finishes within a fraction of one tREFI).
+    pub max_refresh_postpone: Cycle,
+    /// ROP prefetch grace: once a refresh is due, prefetch requests get
+    /// at most this many cycles of *opportunistic* (lowest-priority) bus
+    /// slots before the refresh issues anyway and leftover prefetches are
+    /// dropped. Bounds the refresh delay prefetching can cause (§IV-D:
+    /// JEDEC tolerates delayed refreshes; we keep the delay small).
+    pub prefetch_grace: Cycle,
+    /// Refresh issue policy (Standard drain-then-refresh, or Elastic
+    /// Refresh for the related-work comparison).
+    pub refresh_policy: RefreshPolicy,
+    /// When true, refresh runs at *per-bank* granularity (REFpb): each
+    /// bank refreshes independently every tREFI for `tRFCpb`, freezing
+    /// only itself — the paper's §VII future-work memory model.
+    pub per_bank_refresh: bool,
+    /// ROP configuration; `None` disables ROP entirely (baseline system).
+    pub rop: Option<RopConfig>,
+}
+
+impl MemCtrlConfig {
+    /// Paper baseline controller over the given DRAM config.
+    pub fn baseline(dram: DramConfig) -> Self {
+        MemCtrlConfig {
+            dram,
+            mapping: MappingScheme::RowRankBankCol,
+            read_queue_capacity: 64,
+            write_queue_capacity: 64,
+            write_drain_high: 48,
+            write_drain_low: 16,
+            age_cap: 2_000,
+            max_refresh_postpone: 2 * 6_240,
+            prefetch_grace: 560,
+            refresh_policy: RefreshPolicy::Standard,
+            per_bank_refresh: false,
+            rop: None,
+        }
+    }
+
+    /// Baseline controller with per-bank refresh (§VII future work).
+    pub fn per_bank(dram: DramConfig) -> Self {
+        MemCtrlConfig {
+            per_bank_refresh: true,
+            ..Self::baseline(dram)
+        }
+    }
+
+    /// ROP on top of per-bank refresh: the windows track `tRFCpb`, and
+    /// each REFpb prefetches only for its own bank.
+    pub fn rop_per_bank(dram: DramConfig, buffer_capacity: usize, seed: u64) -> Self {
+        let mut cfg = Self::rop(dram, buffer_capacity, seed);
+        cfg.per_bank_refresh = true;
+        let t_rfc_pb = cfg.dram.timing.t_rfc_pb;
+        let rop = cfg.rop.as_mut().expect("rop config present");
+        rop.observational_window = t_rfc_pb;
+        rop.refresh_period = t_rfc_pb;
+        cfg
+    }
+
+    /// Baseline controller with Elastic Refresh (Stuecheli et al.), the
+    /// related-work refresh-hiding scheduler the paper discusses.
+    pub fn elastic(dram: DramConfig) -> Self {
+        MemCtrlConfig {
+            refresh_policy: RefreshPolicy::Elastic { max_debt: 8 },
+            ..Self::baseline(dram)
+        }
+    }
+
+    /// Baseline with rank partitioning (the paper's Baseline-RP).
+    pub fn baseline_rp(dram: DramConfig) -> Self {
+        MemCtrlConfig {
+            mapping: MappingScheme::RankPartitioned,
+            ..Self::baseline(dram)
+        }
+    }
+
+    /// Full ROP system: rank partitioning + the ROP engine.
+    ///
+    /// The ROP engine's window/geometry parameters are derived from the
+    /// DRAM config so they stay consistent.
+    pub fn rop(dram: DramConfig, buffer_capacity: usize, seed: u64) -> Self {
+        let mut rop = RopConfig::with_capacity(buffer_capacity);
+        rop.observational_window = dram.timing.t_rfc();
+        rop.refresh_period = dram.timing.t_rfc();
+        rop.banks_per_rank = dram.geometry.banks_per_rank;
+        rop.lines_per_bank = (dram.geometry.rows_per_bank * dram.geometry.lines_per_row) as u64;
+        rop.seed = seed;
+        let mut cfg = MemCtrlConfig {
+            mapping: MappingScheme::RankPartitioned,
+            rop: Some(rop),
+            ..Self::baseline(dram)
+        };
+        // The fill of `capacity` lines is tCCD-bound; give the grace
+        // window room for it (plus slack for demand interleaving), or
+        // large buffers never fill and their tail candidates are dropped.
+        cfg.prefetch_grace = cfg
+            .prefetch_grace
+            .max(buffer_capacity as u64 * cfg.dram.timing.t_ccd + 120);
+        cfg
+    }
+
+    /// Validates queue and watermark consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.dram.validate()?;
+        if self.read_queue_capacity == 0 || self.write_queue_capacity == 0 {
+            return Err("queues must be non-empty".into());
+        }
+        if self.write_drain_high > self.write_queue_capacity {
+            return Err("write_drain_high exceeds write queue capacity".into());
+        }
+        if self.write_drain_low >= self.write_drain_high {
+            return Err("write_drain_low must be below write_drain_high".into());
+        }
+        if let Some(rop) = &self.rop {
+            rop.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_valid() {
+        MemCtrlConfig::baseline(DramConfig::baseline(1))
+            .validate()
+            .unwrap();
+        MemCtrlConfig::baseline_rp(DramConfig::baseline(4))
+            .validate()
+            .unwrap();
+        MemCtrlConfig::rop(DramConfig::baseline(4), 64, 1)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn rop_config_derived_from_dram() {
+        let c = MemCtrlConfig::rop(DramConfig::baseline(1), 32, 7);
+        let rop = c.rop.as_ref().unwrap();
+        assert_eq!(rop.observational_window, 280);
+        assert_eq!(rop.banks_per_rank, 8);
+        assert_eq!(rop.buffer_capacity, 32);
+        assert_eq!(rop.lines_per_bank, (1u64 << 15) * 128);
+    }
+
+    #[test]
+    fn watermark_validation() {
+        let mut c = MemCtrlConfig::baseline(DramConfig::baseline(1));
+        c.write_drain_low = c.write_drain_high;
+        assert!(c.validate().is_err());
+        let mut c = MemCtrlConfig::baseline(DramConfig::baseline(1));
+        c.write_drain_high = c.write_queue_capacity + 1;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Memory transactions as tracked inside the controller.
+
+use crate::address::DecodedAddr;
+use crate::Cycle;
+
+/// A pending memory transaction in the read, write, or prefetch queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Controller-assigned id; completions echo it back to the core.
+    pub id: u64,
+    /// Global cache-line address.
+    pub line_addr: u64,
+    /// Decoded location.
+    pub addr: DecodedAddr,
+    /// True for stores/writebacks.
+    pub is_write: bool,
+    /// Cycle the request entered the controller.
+    pub arrival: Cycle,
+    /// Originating core (for multi-program statistics).
+    pub core: usize,
+    /// True for ROP prefetch requests (their data fills the SRAM buffer
+    /// instead of answering a core).
+    pub is_prefetch: bool,
+}
+
+impl MemRequest {
+    /// Age of the request at `now`.
+    pub fn age(&self, now: Cycle) -> Cycle {
+        now.saturating_sub(self.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_saturates() {
+        let r = MemRequest {
+            id: 1,
+            line_addr: 0,
+            addr: DecodedAddr {
+                rank: 0,
+                bank: 0,
+                row: 0,
+                col: 0,
+            },
+            is_write: false,
+            arrival: 100,
+            core: 0,
+            is_prefetch: false,
+        };
+        assert_eq!(r.age(150), 50);
+        assert_eq!(r.age(50), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Calibration probe: per-benchmark baseline characteristics used to tune
+//! the synthetic workload parameters against the paper's §III analysis.
+//!
+//! Prints, for each benchmark: baseline IPC, post-LLC read MPKI,
+//! non-blocking refresh fraction (1×), avg/max blocked reads, λ/β, the
+//! E1∪E2 coverage, and the refresh perf/energy overhead vs. no-refresh.
+
+use rop_sim_system::runner::{parallel_map, run_single, RunSpec};
+use rop_sim_system::SystemKind;
+use rop_trace::ALL_BENCHMARKS;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let instr: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let spec = RunSpec {
+        instructions: instr,
+        max_cycles: 400_000_000,
+        seed: 42,
+    };
+    println!(
+        "{:<11} {:>6} {:>6} {:>6} {:>9} {:>6} {:>6} {:>5} {:>5} {:>5} {:>7} {:>7}",
+        "bench",
+        "IPC",
+        "MPKI",
+        "rowhit",
+        "refreshes",
+        "nonblk",
+        "avgblk",
+        "maxB",
+        "lam",
+        "beta",
+        "dperf%",
+        "dener%"
+    );
+    let rows = parallel_map(ALL_BENCHMARKS.to_vec(), |&b| {
+        let base = run_single(b, SystemKind::Baseline, spec);
+        let ideal = run_single(b, SystemKind::NoRefresh, spec);
+        (b, base, ideal)
+    });
+    for (b, base, ideal) in rows {
+        let r = base.analysis[0][0];
+        let dperf = (ideal.ipc() - base.ipc()) / base.ipc() * 100.0;
+        let dener =
+            (base.energy.total_nj() - ideal.energy.total_nj()) / ideal.energy.total_nj() * 100.0;
+        println!(
+            "{:<11} {:>6.3} {:>6.1} {:>6.2} {:>9} {:>6.2} {:>6.2} {:>5} {:>5.2} {:>5.2} {:>7.2} {:>7.1}{}",
+            b.name(),
+            base.ipc(),
+            base.cores[0].mpki(),
+            base.row_hit_rate,
+            r.refreshes,
+            r.non_blocking_fraction,
+            r.avg_blocked_per_blocking,
+            r.max_blocked,
+            r.lambda,
+            r.beta,
+            dperf,
+            dener,
+            if base.hit_cycle_cap { " CAP!" } else { "" }
+        );
+    }
+}
+// (energy breakdown appended by calibration runs via ROP_EBREAK)

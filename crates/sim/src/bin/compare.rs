@@ -1,0 +1,55 @@
+//! Comparison probe: Baseline vs ROP-{16,64,128} vs No-Refresh per
+//! benchmark — the quick view of Figures 7/8/9 used while calibrating.
+
+use rop_sim_system::runner::{parallel_map, run_single, RunSpec};
+use rop_sim_system::SystemKind;
+use rop_trace::ALL_BENCHMARKS;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let instr: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let spec = RunSpec {
+        instructions: instr,
+        max_cycles: 800_000_000,
+        seed: 42,
+    };
+    let kinds = [
+        SystemKind::Baseline,
+        SystemKind::Rop { buffer: 16 },
+        SystemKind::Rop { buffer: 64 },
+        SystemKind::Rop { buffer: 128 },
+        SystemKind::NoRefresh,
+    ];
+    println!(
+        "{:<11} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6} {:>7} {:>7}",
+        "bench", "base", "rop16", "rop64", "rop128", "noref", "hit64", "pf64", "E64", "Enoref"
+    );
+    let mut items = Vec::new();
+    for &b in &ALL_BENCHMARKS {
+        for &k in &kinds {
+            items.push((b, k));
+        }
+    }
+    let all = parallel_map(items, |&(b, k)| run_single(b, k, spec));
+    for (i, &b) in ALL_BENCHMARKS.iter().enumerate() {
+        let ms = &all[i * kinds.len()..(i + 1) * kinds.len()];
+        let base = ms[0].ipc();
+        let be = ms[0].energy.total_nj();
+        println!(
+            "{:<11} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>6.2} {:>6} {:>7.3} {:>7.3}",
+            b.name(),
+            1.0,
+            ms[1].ipc() / base,
+            ms[2].ipc() / base,
+            ms[3].ipc() / base,
+            ms[4].ipc() / base,
+            ms[2].sram_hit_rate,
+            ms[2].prefetches,
+            ms[2].energy.total_nj() / be,
+            ms[4].energy.total_nj() / be,
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Developer probe: run one configuration and dump internals.
+//! Not part of the reproduction surface; used to diagnose dynamics.
+
+use rop_sim_system::{System, SystemConfig, SystemKind};
+use rop_trace::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let instr: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(900_000);
+    let mut sys = System::new(SystemConfig::single_core(
+        Benchmark::Libquantum,
+        SystemKind::Rop { buffer: 64 },
+        42,
+    ));
+    let m = sys.run_until(instr, 100_000_000);
+    let ctrl = sys.controller();
+    println!(
+        "cycles={} ipc={:.3} cap={}",
+        m.total_cycles,
+        m.ipc(),
+        m.hit_cycle_cap
+    );
+    println!(
+        "refreshes={} prefetches={} fills={} sram_lookups={} sram_hits={} from_sram_total={} dropped={}",
+        m.refreshes,
+        m.prefetches,
+        ctrl.stats().prefetch_fills,
+        ctrl.stats().sram_lookups,
+        ctrl.stats().sram_hits,
+        ctrl.stats().reads_from_sram,
+        ctrl.stats().prefetches_dropped,
+    );
+    println!(
+        "blocked={} rq_full={} wq_full={} row_hit={:.2} avg_lat={:.1}",
+        ctrl.stats().reads_blocked_by_refresh,
+        ctrl.stats().read_queue_full,
+        ctrl.stats().write_queue_full,
+        ctrl.stats().row_buffer.ratio(),
+        m.avg_read_latency
+    );
+    println!(
+        "phase={:?} lambda/beta={:?} engine={:?}",
+        ctrl.rop_phase(0),
+        ctrl.rop_probabilities(0),
+        ctrl.rop_engine_stats(0)
+    );
+    let r = m.analysis[0][0];
+    println!(
+        "analysis 1x: refreshes={} nonblock={:.2} avg_blocked={:.2} max={} lambda={:.2} beta={:.2}",
+        r.refreshes,
+        r.non_blocking_fraction,
+        r.avg_blocked_per_blocking,
+        r.max_blocked,
+        r.lambda,
+        r.beta
+    );
+    let e = &m.energy;
+    println!(
+        "energy nJ: act={:.0} rd={:.0} wr={:.0} ref={:.0} bg={:.0} sram={:.1} total={:.0}",
+        e.act_pre_nj,
+        e.read_nj,
+        e.write_nj,
+        e.refresh_nj,
+        e.background_nj,
+        e.sram_nj,
+        e.total_nj()
+    );
+    println!(
+        "core: instr={} misses={} stall={} mpki={:.1}",
+        m.cores[0].instructions,
+        m.cores[0].read_misses,
+        m.cores[0].stall_cycles,
+        m.cores[0].mpki()
+    );
+}

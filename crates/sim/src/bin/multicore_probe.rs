@@ -1,0 +1,34 @@
+//! Calibration probe for the 4-core experiments (Figures 10/11).
+
+use rop_sim_system::experiments::multicore::run_multicore;
+use rop_sim_system::runner::RunSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let instr: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let llc_mib: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let spec = RunSpec {
+        instructions: instr,
+        max_cycles: 2_000_000_000,
+        seed: 42,
+    };
+    let res = run_multicore(llc_mib, spec);
+    println!("{}", res.render_fig10());
+    println!("{}", res.render_fig11());
+    for r in &res.rows {
+        println!(
+            "{}: WS base={:.3} rp={:.3} rop={:.3}  rop_hit={:.2} pf={} cap={} {}",
+            r.mix,
+            r.ws[0],
+            r.ws[1],
+            r.ws[2],
+            r.rop.sram_hit_rate,
+            r.rop.prefetches,
+            r.baseline.hit_cycle_cap as u8,
+            if r.rop.hit_cycle_cap { "ROP-CAP!" } else { "" }
+        );
+    }
+}

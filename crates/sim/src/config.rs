@@ -1,0 +1,198 @@
+//! System-level configuration: which memory system, which workloads.
+
+use rop_cache::CacheConfig;
+use rop_cpu::CoreConfig;
+use rop_dram::DramConfig;
+use rop_memctrl::MemCtrlConfig;
+use rop_trace::Benchmark;
+
+/// The memory systems compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Auto-refresh baseline with conventional interleaved mapping.
+    Baseline,
+    /// Baseline plus rank partitioning (the paper's Baseline-RP).
+    BaselineRp,
+    /// Full ROP: rank partitioning + refresh-oriented prefetching with an
+    /// SRAM buffer of this many cache lines.
+    Rop {
+        /// SRAM buffer capacity in cache lines (16/32/64/128 in the paper).
+        buffer: usize,
+    },
+    /// Idealised memory that never refreshes (upper bound).
+    NoRefresh,
+    /// Baseline scheduling with Elastic Refresh (Stuecheli et al.,
+    /// MICRO'10) — the related-work refresh-hiding scheduler, for
+    /// quantitative comparison against ROP.
+    ElasticRefresh,
+    /// Baseline with per-bank refresh (REFpb): each bank refreshes
+    /// independently, freezing only itself — the paper's §VII
+    /// future-work memory model.
+    PerBankRefresh,
+    /// ROP running on top of per-bank refresh (§VII: "we anticipate
+    /// similar efficacy in those memory systems as well").
+    RopPerBank {
+        /// SRAM buffer capacity in cache lines.
+        buffer: usize,
+    },
+}
+
+impl SystemKind {
+    /// Display label as used in the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            SystemKind::Baseline => "Baseline".to_string(),
+            SystemKind::BaselineRp => "Baseline-RP".to_string(),
+            SystemKind::Rop { buffer } => format!("ROP-{buffer}"),
+            SystemKind::NoRefresh => "No-Refresh".to_string(),
+            SystemKind::ElasticRefresh => "Elastic".to_string(),
+            SystemKind::PerBankRefresh => "REFpb".to_string(),
+            SystemKind::RopPerBank { buffer } => format!("ROP-pb-{buffer}"),
+        }
+    }
+
+    /// Builds the controller configuration for this system over `ranks`
+    /// ranks. `seed` feeds ROP's probabilistic throttle.
+    pub fn memctrl_config(&self, ranks: usize, seed: u64) -> MemCtrlConfig {
+        match *self {
+            SystemKind::Baseline => MemCtrlConfig::baseline(DramConfig::baseline(ranks)),
+            SystemKind::BaselineRp => MemCtrlConfig::baseline_rp(DramConfig::baseline(ranks)),
+            SystemKind::Rop { buffer } => {
+                MemCtrlConfig::rop(DramConfig::baseline(ranks), buffer, seed)
+            }
+            SystemKind::NoRefresh => MemCtrlConfig::baseline(DramConfig::no_refresh(ranks)),
+            SystemKind::ElasticRefresh => MemCtrlConfig::elastic(DramConfig::baseline(ranks)),
+            SystemKind::PerBankRefresh => MemCtrlConfig::per_bank(DramConfig::baseline(ranks)),
+            SystemKind::RopPerBank { buffer } => {
+                MemCtrlConfig::rop_per_bank(DramConfig::baseline(ranks), buffer, seed)
+            }
+        }
+    }
+}
+
+/// Everything needed to instantiate a [`crate::System`].
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Workloads, one per core (1 for single-core, 4 for multi-program).
+    pub benchmarks: Vec<Benchmark>,
+    /// Which memory system to build.
+    pub kind: SystemKind,
+    /// Shared LLC configuration (2 MB single-core, 1/2/4 MB multi-core).
+    pub llc: CacheConfig,
+    /// Core microarchitecture parameters.
+    pub core: CoreConfig,
+    /// Number of DRAM ranks (1 single-core, 4 multi-core in the paper).
+    pub ranks: usize,
+    /// Master seed (workloads and ROP derive their streams from it).
+    pub seed: u64,
+    /// When set, this controller configuration is used verbatim instead
+    /// of the one derived from `kind` — the hook the ablation studies use
+    /// to tweak individual knobs (window length, throttle mode, drain
+    /// budget) while keeping everything else identical.
+    pub ctrl_override: Option<MemCtrlConfig>,
+}
+
+impl SystemConfig {
+    /// Paper single-core setup: one benchmark, 1 rank, 2 MB LLC.
+    pub fn single_core(benchmark: Benchmark, kind: SystemKind, seed: u64) -> Self {
+        SystemConfig {
+            benchmarks: vec![benchmark],
+            kind,
+            llc: CacheConfig::llc_2mb(),
+            core: CoreConfig::default_ooo(),
+            ranks: 1,
+            seed,
+            ctrl_override: None,
+        }
+    }
+
+    /// Paper 4-core setup: four benchmarks, 4 ranks, 4 MB LLC by default.
+    pub fn multi_core(benchmarks: [Benchmark; 4], kind: SystemKind, seed: u64) -> Self {
+        SystemConfig {
+            benchmarks: benchmarks.to_vec(),
+            kind,
+            llc: CacheConfig::llc_4mb(),
+            core: CoreConfig::default_ooo(),
+            ranks: 4,
+            seed,
+            ctrl_override: None,
+        }
+    }
+
+    /// Validates shape constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.benchmarks.is_empty() {
+            return Err("need at least one core".into());
+        }
+        if self.benchmarks.len() > self.ranks
+            && matches!(
+                self.kind,
+                SystemKind::BaselineRp | SystemKind::Rop { .. } | SystemKind::RopPerBank { .. }
+            )
+        {
+            return Err(format!(
+                "rank partitioning needs one rank per core ({} cores, {} ranks)",
+                self.benchmarks.len(),
+                self.ranks
+            ));
+        }
+        self.llc.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rop_trace::WORKLOAD_MIXES;
+
+    #[test]
+    fn labels() {
+        assert_eq!(SystemKind::Baseline.label(), "Baseline");
+        assert_eq!(SystemKind::Rop { buffer: 64 }.label(), "ROP-64");
+        assert_eq!(SystemKind::NoRefresh.label(), "No-Refresh");
+        assert_eq!(SystemKind::BaselineRp.label(), "Baseline-RP");
+    }
+
+    #[test]
+    fn kind_configs() {
+        assert!(SystemKind::Baseline.memctrl_config(1, 0).rop.is_none());
+        assert!(SystemKind::Rop { buffer: 32 }
+            .memctrl_config(4, 0)
+            .rop
+            .is_some());
+        assert!(
+            !SystemKind::NoRefresh
+                .memctrl_config(1, 0)
+                .dram
+                .refresh_enabled
+        );
+    }
+
+    #[test]
+    fn presets_validate() {
+        SystemConfig::single_core(Benchmark::Lbm, SystemKind::Baseline, 1)
+            .validate()
+            .unwrap();
+        SystemConfig::multi_core(
+            WORKLOAD_MIXES[0].programs,
+            SystemKind::Rop { buffer: 64 },
+            1,
+        )
+        .validate()
+        .unwrap();
+    }
+
+    #[test]
+    fn partitioning_requires_enough_ranks() {
+        let mut c = SystemConfig::multi_core(
+            WORKLOAD_MIXES[0].programs,
+            SystemKind::Rop { buffer: 64 },
+            1,
+        );
+        c.ranks = 2;
+        assert!(c.validate().is_err());
+        c.kind = SystemKind::Baseline;
+        c.validate().unwrap(); // interleaved mapping has no such constraint
+    }
+}

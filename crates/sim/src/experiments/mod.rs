@@ -1,0 +1,25 @@
+//! One module per table/figure of the paper's evaluation, plus the
+//! ablation studies called out in DESIGN.md.
+//!
+//! Every experiment exposes a `run(spec) -> …Result` function returning
+//! structured rows and a `render()` on the result producing the ASCII
+//! table the `repro` binary prints. Experiments sharing simulations
+//! (e.g. Figures 2/3/4 and Table I all come from the same baseline runs)
+//! share a backing module.
+
+pub mod ablations;
+pub mod analysis_figs;
+pub mod extensions;
+pub mod multicore;
+pub mod sensitivity;
+pub mod singlecore;
+
+pub use ablations::{ablate_drain, ablate_table, ablate_throttle, ablate_window, AblationResult};
+pub use analysis_figs::{run_analysis, AnalysisResult};
+pub use extensions::{
+    run_fgr_sweep, run_per_bank_study, run_policy_comparison, FgrSweep, PerBankStudy,
+    PolicyComparison,
+};
+pub use multicore::{run_multicore, MulticoreResult};
+pub use sensitivity::{run_llc_sweep, LlcSweepResult};
+pub use singlecore::{run_singlecore, SinglecoreResult};

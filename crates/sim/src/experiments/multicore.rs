@@ -1,0 +1,213 @@
+//! §V-C multiprogram comparison: Figure 10 (normalised weighted speedup
+//! of Baseline / Baseline-RP / ROP over WL1–WL6) and Figure 11
+//! (normalised energy).
+
+use rop_stats::{geometric_mean, normalize_to, TableBuilder};
+use rop_trace::{Benchmark, WorkloadMix, ALL_BENCHMARKS, WORKLOAD_MIXES};
+
+use crate::config::{SystemConfig, SystemKind};
+use crate::metrics::RunMetrics;
+use crate::runner::{parallel_map, run_multi, RunSpec};
+use crate::system::System;
+
+/// The ROP buffer size used in the multicore experiments (paper default).
+pub const ROP_BUFFER: usize = 64;
+
+/// Alone-IPC table: IPC of each benchmark running alone on the baseline
+/// 4-rank machine with the given LLC, the denominator of Equation 4.
+#[derive(Debug, Clone)]
+pub struct AloneIpcs {
+    ipcs: Vec<(Benchmark, f64)>,
+}
+
+impl AloneIpcs {
+    /// Measures alone-IPCs for every benchmark (parallelised).
+    pub fn measure(llc_mib: usize, spec: RunSpec) -> Self {
+        let ipcs = parallel_map(ALL_BENCHMARKS.to_vec(), |&b| {
+            let cfg = SystemConfig {
+                benchmarks: vec![b],
+                kind: SystemKind::Baseline,
+                llc: rop_cache::CacheConfig::llc_mib(llc_mib),
+                core: rop_cpu::CoreConfig::default_ooo(),
+                ranks: 4,
+                seed: spec.seed,
+                ctrl_override: None,
+            };
+            cfg.llc.validate().expect("valid LLC");
+            let mut sys = System::new(cfg);
+            let m = sys.run_until(spec.instructions, spec.max_cycles);
+            (b, m.ipc())
+        });
+        AloneIpcs { ipcs }
+    }
+
+    /// Alone-IPC of one benchmark.
+    pub fn get(&self, b: Benchmark) -> f64 {
+        self.ipcs
+            .iter()
+            .find(|(x, _)| *x == b)
+            .map(|&(_, ipc)| ipc)
+            .expect("all benchmarks measured")
+    }
+
+    /// Alone-IPCs for a mix, in program order.
+    pub fn for_mix(&self, mix: &WorkloadMix) -> Vec<f64> {
+        mix.programs.iter().map(|&b| self.get(b)).collect()
+    }
+}
+
+/// Per-mix multicore comparison.
+#[derive(Debug, Clone)]
+pub struct MulticoreRow {
+    /// Mix name (WL1–WL6).
+    pub mix: &'static str,
+    /// Intensive programs in the mix.
+    pub intensive_count: usize,
+    /// Baseline metrics.
+    pub baseline: RunMetrics,
+    /// Baseline-RP metrics.
+    pub baseline_rp: RunMetrics,
+    /// ROP metrics.
+    pub rop: RunMetrics,
+    /// Weighted speedups (Eq. 4) for the three systems.
+    pub ws: [f64; 3],
+}
+
+/// Result of the multicore sweep at one LLC size.
+#[derive(Debug, Clone)]
+pub struct MulticoreResult {
+    /// LLC size in MiB.
+    pub llc_mib: usize,
+    /// One row per mix.
+    pub rows: Vec<MulticoreRow>,
+}
+
+/// Runs Baseline / Baseline-RP / ROP for every mix at `llc_mib`.
+pub fn run_multicore(llc_mib: usize, spec: RunSpec) -> MulticoreResult {
+    let alone = AloneIpcs::measure(llc_mib, spec);
+    run_multicore_with_alone(llc_mib, spec, &alone)
+}
+
+/// As [`run_multicore`] but reusing a precomputed alone-IPC table (the
+/// LLC sweep shares one per size).
+pub fn run_multicore_with_alone(
+    llc_mib: usize,
+    spec: RunSpec,
+    alone: &AloneIpcs,
+) -> MulticoreResult {
+    let kinds = [
+        SystemKind::Baseline,
+        SystemKind::BaselineRp,
+        SystemKind::Rop { buffer: ROP_BUFFER },
+    ];
+    let mut items: Vec<(WorkloadMix, SystemKind)> = Vec::new();
+    for &mix in &WORKLOAD_MIXES {
+        for &k in &kinds {
+            items.push((mix, k));
+        }
+    }
+    let metrics = parallel_map(items, |&(mix, kind)| run_multi(mix, kind, llc_mib, spec));
+
+    let rows = WORKLOAD_MIXES
+        .iter()
+        .enumerate()
+        .map(|(i, mix)| {
+            let chunk = &metrics[i * 3..(i + 1) * 3];
+            let alone_ipcs = alone.for_mix(mix);
+            let ws = [
+                chunk[0].weighted_speedup(&alone_ipcs),
+                chunk[1].weighted_speedup(&alone_ipcs),
+                chunk[2].weighted_speedup(&alone_ipcs),
+            ];
+            MulticoreRow {
+                mix: mix.name,
+                intensive_count: mix.intensive_count(),
+                baseline: chunk[0].clone(),
+                baseline_rp: chunk[1].clone(),
+                rop: chunk[2].clone(),
+                ws,
+            }
+        })
+        .collect();
+    MulticoreResult { llc_mib, rows }
+}
+
+impl MulticoreResult {
+    /// Figure 10: weighted speedup normalised to Baseline.
+    pub fn render_fig10(&self) -> String {
+        let mut t = TableBuilder::new(format!(
+            "Figure 10 — normalised weighted speedup (4-core, {} MiB LLC)",
+            self.llc_mib
+        ))
+        .header(["mix", "#intensive", "Baseline", "Baseline-RP", "ROP"]);
+        let mut rop_norm = Vec::new();
+        for r in &self.rows {
+            let base = r.ws[0];
+            rop_norm.push(normalize_to(r.ws[2], base));
+            t.row([
+                r.mix.to_string(),
+                r.intensive_count.to_string(),
+                "1.000".to_string(),
+                format!("{:.3}", normalize_to(r.ws[1], base)),
+                format!("{:.3}", normalize_to(r.ws[2], base)),
+            ]);
+        }
+        t.row([
+            "geomean (ROP/Baseline)".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{:.3}", geometric_mean(&rop_norm)),
+        ]);
+        t.render()
+    }
+
+    /// Figure 11: energy normalised to Baseline.
+    pub fn render_fig11(&self) -> String {
+        let mut t = TableBuilder::new(format!(
+            "Figure 11 — normalised energy (4-core, {} MiB LLC)",
+            self.llc_mib
+        ))
+        .header(["mix", "Baseline", "Baseline-RP", "ROP"]);
+        let mut rop_norm = Vec::new();
+        for r in &self.rows {
+            let base = r.baseline.energy.total_nj();
+            let rp = normalize_to(r.baseline_rp.energy.total_nj(), base);
+            let rop = normalize_to(r.rop.energy.total_nj(), base);
+            rop_norm.push(rop);
+            t.row([
+                r.mix.to_string(),
+                "1.000".to_string(),
+                format!("{rp:.3}"),
+                format!("{rop:.3}"),
+            ]);
+        }
+        t.row([
+            "geomean (ROP/Baseline)".to_string(),
+            String::new(),
+            String::new(),
+            format!("{:.3}", geometric_mean(&rop_norm)),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alone_ipcs_cover_all_benchmarks() {
+        let spec = RunSpec {
+            instructions: 30_000,
+            max_cycles: 20_000_000,
+            seed: 5,
+        };
+        let alone = AloneIpcs::measure(4, spec);
+        for b in ALL_BENCHMARKS {
+            assert!(alone.get(b) > 0.0, "{} has zero alone IPC", b.name());
+        }
+        let mix = WORKLOAD_MIXES[0];
+        assert_eq!(alone.for_mix(&mix).len(), 4);
+    }
+}

@@ -1,0 +1,93 @@
+//! §V-C3 LLC-size sensitivity: Figure 12 (weighted speedup vs. LLC),
+//! Figure 13 (energy vs. LLC) and Figure 14 (SRAM hit rate vs. LLC).
+
+use rop_stats::{geometric_mean, normalize_to, TableBuilder};
+
+use crate::experiments::multicore::{run_multicore_with_alone, AloneIpcs, MulticoreResult};
+use crate::runner::RunSpec;
+
+/// LLC sizes swept (MiB), per the paper's sensitivity study.
+pub const LLC_SIZES_MIB: [usize; 3] = [1, 2, 4];
+
+/// Result of the LLC sweep: one [`MulticoreResult`] per size.
+#[derive(Debug, Clone)]
+pub struct LlcSweepResult {
+    /// Per-size results, in [`LLC_SIZES_MIB`] order.
+    pub per_size: Vec<MulticoreResult>,
+}
+
+/// Runs the full multicore comparison at each LLC size.
+pub fn run_llc_sweep(spec: RunSpec) -> LlcSweepResult {
+    let per_size = LLC_SIZES_MIB
+        .iter()
+        .map(|&mib| {
+            let alone = AloneIpcs::measure(mib, spec);
+            run_multicore_with_alone(mib, spec, &alone)
+        })
+        .collect();
+    LlcSweepResult { per_size }
+}
+
+impl LlcSweepResult {
+    /// Figure 12: ROP's normalised weighted speedup per LLC size.
+    pub fn render_fig12(&self) -> String {
+        let mut t = TableBuilder::new(
+            "Figure 12 — ROP weighted speedup normalised to Baseline, by LLC size",
+        )
+        .header(["mix", "1MB", "2MB", "4MB"]);
+        let mixes: Vec<&str> = self.per_size[0].rows.iter().map(|r| r.mix).collect();
+        for (i, mix) in mixes.iter().enumerate() {
+            let mut cells = vec![mix.to_string()];
+            for res in &self.per_size {
+                let r = &res.rows[i];
+                cells.push(format!("{:.3}", normalize_to(r.ws[2], r.ws[0])));
+            }
+            t.row(cells);
+        }
+        let mut cells = vec!["geomean".to_string()];
+        for res in &self.per_size {
+            let norms: Vec<f64> = res
+                .rows
+                .iter()
+                .map(|r| normalize_to(r.ws[2], r.ws[0]))
+                .collect();
+            cells.push(format!("{:.3}", geometric_mean(&norms)));
+        }
+        t.row(cells);
+        t.render()
+    }
+
+    /// Figure 13: ROP's normalised energy per LLC size.
+    pub fn render_fig13(&self) -> String {
+        let mut t = TableBuilder::new("Figure 13 — ROP energy normalised to Baseline, by LLC size")
+            .header(["mix", "1MB", "2MB", "4MB"]);
+        let mixes: Vec<&str> = self.per_size[0].rows.iter().map(|r| r.mix).collect();
+        for (i, mix) in mixes.iter().enumerate() {
+            let mut cells = vec![mix.to_string()];
+            for res in &self.per_size {
+                let r = &res.rows[i];
+                cells.push(format!(
+                    "{:.3}",
+                    normalize_to(r.rop.energy.total_nj(), r.baseline.energy.total_nj())
+                ));
+            }
+            t.row(cells);
+        }
+        t.render()
+    }
+
+    /// Figure 14: SRAM buffer hit rate per LLC size (ROP system).
+    pub fn render_fig14(&self) -> String {
+        let mut t = TableBuilder::new("Figure 14 — SRAM buffer hit rate, by LLC size (ROP-64)")
+            .header(["mix", "1MB", "2MB", "4MB"]);
+        let mixes: Vec<&str> = self.per_size[0].rows.iter().map(|r| r.mix).collect();
+        for (i, mix) in mixes.iter().enumerate() {
+            let mut cells = vec![mix.to_string()];
+            for res in &self.per_size {
+                cells.push(format!("{:.2}", res.rows[i].rop.sram_hit_rate));
+            }
+            t.row(cells);
+        }
+        t.render()
+    }
+}

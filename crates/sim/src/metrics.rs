@@ -1,0 +1,152 @@
+//! Run-level metrics extracted from a finished simulation.
+
+use rop_dram::EnergyBreakdown;
+use rop_memctrl::RefreshAnalysisReport;
+
+use crate::Cycle;
+
+/// Per-core results.
+#[derive(Debug, Clone)]
+pub struct CoreMetrics {
+    /// Benchmark name driving this core.
+    pub benchmark: String,
+    /// Instructions the core retired (== the fixed-work target unless the
+    /// run hit its cycle cap).
+    pub instructions: u64,
+    /// Memory cycle at which the core finished its work quota.
+    pub finish_cycle: Cycle,
+    /// Instructions per *core* cycle.
+    pub ipc: f64,
+    /// LLC hits observed by this core.
+    pub llc_hits: u64,
+    /// Reads that missed the LLC (DRAM reads issued).
+    pub read_misses: u64,
+    /// Memory cycles fully stalled.
+    pub stall_cycles: u64,
+}
+
+impl CoreMetrics {
+    /// Post-LLC read misses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.read_misses as f64 * 1000.0 / self.instructions as f64
+    }
+}
+
+/// Results of one system run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Label of the system that produced these metrics.
+    pub system: String,
+    /// Per-core metrics, in core order.
+    pub cores: Vec<CoreMetrics>,
+    /// Memory cycle at which the last core finished.
+    pub total_cycles: Cycle,
+    /// Energy breakdown at end of run.
+    pub energy: EnergyBreakdown,
+    /// Refreshes issued, summed over ranks.
+    pub refreshes: u64,
+    /// SRAM buffer hit rate over reads arriving during refreshes
+    /// (0 for systems without ROP, or when no such reads occurred).
+    pub sram_hit_rate: f64,
+    /// SRAM lookups performed (reads arriving during refreshes).
+    pub sram_lookups: u64,
+    /// ROP prefetch requests issued.
+    pub prefetches: u64,
+    /// Refresh analysis per rank (window multipliers 1×/2×/4×).
+    pub analysis: Vec<[RefreshAnalysisReport; 3]>,
+    /// Row-buffer hit rate at the controller.
+    pub row_hit_rate: f64,
+    /// Mean read latency in memory cycles (arrival → data).
+    pub avg_read_latency: f64,
+    /// True when the run hit its safety cycle cap before all cores
+    /// finished their instruction quota.
+    pub hit_cycle_cap: bool,
+}
+
+impl RunMetrics {
+    /// IPC of core 0 (convenience for single-core experiments).
+    pub fn ipc(&self) -> f64 {
+        self.cores.first().map(|c| c.ipc).unwrap_or(0.0)
+    }
+
+    /// Total energy in millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.energy.total_mj()
+    }
+
+    /// Weighted speedup against per-benchmark alone-IPCs:
+    /// `Σ IPC_shared / IPC_alone` (paper Equation 4).
+    ///
+    /// # Panics
+    /// Panics if `alone_ipcs` has a different length than the core list.
+    pub fn weighted_speedup(&self, alone_ipcs: &[f64]) -> f64 {
+        assert_eq!(alone_ipcs.len(), self.cores.len(), "core count mismatch");
+        self.cores
+            .iter()
+            .zip(alone_ipcs)
+            .map(|(c, &alone)| if alone > 0.0 { c.ipc / alone } else { 0.0 })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(ipc: f64) -> CoreMetrics {
+        CoreMetrics {
+            benchmark: "x".into(),
+            instructions: 1000,
+            finish_cycle: 100,
+            ipc,
+            llc_hits: 10,
+            read_misses: 5,
+            stall_cycles: 2,
+        }
+    }
+
+    fn run(cores: Vec<CoreMetrics>) -> RunMetrics {
+        RunMetrics {
+            system: "test".into(),
+            cores,
+            total_cycles: 100,
+            energy: EnergyBreakdown::default(),
+            refreshes: 0,
+            sram_hit_rate: 0.0,
+            sram_lookups: 0,
+            prefetches: 0,
+            analysis: Vec::new(),
+            row_hit_rate: 0.0,
+            avg_read_latency: 0.0,
+            hit_cycle_cap: false,
+        }
+    }
+
+    #[test]
+    fn mpki() {
+        let c = core(1.0);
+        assert!((c.mpki() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_eq4() {
+        let m = run(vec![core(1.0), core(2.0)]);
+        let ws = m.weighted_speedup(&[2.0, 2.0]);
+        assert!((ws - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_handles_zero_alone() {
+        let m = run(vec![core(1.0)]);
+        assert_eq!(m.weighted_speedup(&[0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_speedup_length_mismatch() {
+        run(vec![core(1.0)]).weighted_speedup(&[1.0, 1.0]);
+    }
+}

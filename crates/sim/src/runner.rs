@@ -1,0 +1,147 @@
+//! Experiment runner: builds and runs systems, with a scoped-thread
+//! parallel map for sweeping benchmarks × systems.
+
+use rop_trace::{Benchmark, WorkloadMix};
+
+use crate::config::{SystemConfig, SystemKind};
+use crate::metrics::RunMetrics;
+use crate::system::System;
+use crate::Cycle;
+
+/// Work quota and safety cap for a run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// Instructions each core must retire.
+    pub instructions: u64,
+    /// Hard cycle cap (guards against pathological configurations).
+    pub max_cycles: Cycle,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// Quick spec for tests and smoke runs.
+    pub fn quick() -> Self {
+        RunSpec {
+            instructions: 300_000,
+            max_cycles: 50_000_000,
+            seed: 42,
+        }
+    }
+
+    /// Full spec used by the `repro` binary (several thousand refreshes
+    /// per run; minutes per figure on a laptop-class machine).
+    pub fn full() -> Self {
+        RunSpec {
+            instructions: 20_000_000,
+            max_cycles: 2_000_000_000,
+            seed: 42,
+        }
+    }
+
+    /// Reads `ROP_INSTR` (instructions per core) from the environment, or
+    /// falls back to [`RunSpec::full`]. Lets CI shrink the workload.
+    pub fn from_env() -> Self {
+        let mut spec = Self::full();
+        if let Ok(v) = std::env::var("ROP_INSTR") {
+            if let Ok(n) = v.trim().parse::<u64>() {
+                spec.instructions = n.max(1);
+            }
+        }
+        spec
+    }
+}
+
+/// Runs one single-core experiment.
+pub fn run_single(benchmark: Benchmark, kind: SystemKind, spec: RunSpec) -> RunMetrics {
+    let mut sys = System::new(SystemConfig::single_core(benchmark, kind, spec.seed));
+    sys.run_until(spec.instructions, spec.max_cycles)
+}
+
+/// Runs one 4-core multiprogram experiment with the given LLC size (MiB).
+pub fn run_multi(mix: WorkloadMix, kind: SystemKind, llc_mib: usize, spec: RunSpec) -> RunMetrics {
+    let mut cfg = SystemConfig::multi_core(mix.programs, kind, spec.seed);
+    cfg.llc = rop_cache::CacheConfig::llc_mib(llc_mib);
+    let mut sys = System::new(cfg);
+    sys.run_until(spec.instructions, spec.max_cycles)
+}
+
+/// Applies `f` to every item of `items` on scoped worker threads and
+/// returns the results in input order. The simulator is single-threaded
+/// per system, so figure-level sweeps parallelise across runs.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                let mut guard = results_mutex.lock().expect("no poisoned workers");
+                guard[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map(items, |&x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spec_from_env_parses() {
+        // Note: sets a process-global env var; value restored after.
+        std::env::set_var("ROP_INSTR", "1234");
+        let s = RunSpec::from_env();
+        assert_eq!(s.instructions, 1234);
+        std::env::remove_var("ROP_INSTR");
+        let s = RunSpec::from_env();
+        assert_eq!(s.instructions, RunSpec::full().instructions);
+    }
+
+    #[test]
+    fn run_single_smoke() {
+        let m = run_single(
+            rop_trace::Benchmark::Bzip2,
+            SystemKind::Baseline,
+            RunSpec {
+                instructions: 50_000,
+                max_cycles: 10_000_000,
+                seed: 1,
+            },
+        );
+        assert!(!m.hit_cycle_cap);
+        assert!(m.ipc() > 0.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! System assembly and the fixed-work simulation loop.
+
+use rop_cache::{AccessOutcome, Cache};
+use rop_cpu::{Core, MemOp, SubmitResult};
+use rop_memctrl::{Completion, MemController};
+use rop_trace::SyntheticWorkload;
+
+use crate::config::SystemConfig;
+use crate::metrics::{CoreMetrics, RunMetrics};
+use crate::Cycle;
+
+/// A complete simulated machine: cores → shared LLC → controller → DRAM.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core<SyntheticWorkload>>,
+    llc: Cache,
+    ctrl: MemController,
+    /// Read completions waiting for their data-arrival cycle.
+    inflight: Vec<Completion>,
+    now: Cycle,
+    /// Cycle at which each core crossed its instruction quota.
+    finish: Vec<Option<Cycle>>,
+}
+
+impl System {
+    /// Builds the system described by `cfg`.
+    ///
+    /// Each core's footprint is offset by one rank-partition worth of
+    /// lines, so under rank-partitioned mappings core *i* occupies rank
+    /// *i*, and under the interleaved baseline mapping footprints remain
+    /// disjoint but spread over all ranks — exactly the contrast between
+    /// the paper's Baseline and Baseline-RP/ROP systems.
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        let ctrl_cfg = cfg
+            .ctrl_override
+            .clone()
+            .unwrap_or_else(|| cfg.kind.memctrl_config(cfg.ranks, cfg.seed));
+        let ctrl = MemController::new(ctrl_cfg);
+        let lines_per_rank = ctrl.mapping().lines_per_rank();
+        let line_bytes = ctrl.mapping().geometry().line_bytes as u64;
+        let cores = cfg
+            .benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let mut params = b.params();
+                params.base_addr = i as u64 * lines_per_rank * line_bytes;
+                let workload =
+                    SyntheticWorkload::new(params, cfg.seed.wrapping_add(i as u64 * 7919));
+                Core::new(cfg.core, workload)
+            })
+            .collect();
+        System {
+            llc: Cache::new(cfg.llc),
+            finish: vec![None; cfg.benchmarks.len()],
+            cores,
+            ctrl,
+            inflight: Vec::new(),
+            now: 0,
+            cfg,
+        }
+    }
+
+    /// The current simulation cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Immutable access to the controller (for inspection in tests).
+    pub fn controller(&self) -> &MemController {
+        &self.ctrl
+    }
+
+    /// Runs until every core has retired `target_instructions` (or the
+    /// safety cap of `max_cycles` is reached) and returns the metrics.
+    ///
+    /// Finished cores keep executing so multi-program contention persists
+    /// until the last core completes, as in fixed-work methodology; their
+    /// statistics are frozen at the quota-crossing cycle.
+    pub fn run_until(&mut self, target_instructions: u64, max_cycles: Cycle) -> RunMetrics {
+        let line_bytes = self.cfg.llc.line_bytes as u64;
+        while self.finish.iter().any(Option::is_none) && self.now < max_cycles {
+            let now = self.now;
+
+            // Deliver read data that has arrived.
+            let cores = &mut self.cores;
+            self.inflight.retain(|c| {
+                if c.done_at <= now {
+                    cores[c.core].complete_read(c.id);
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // Tick cores, counting progress for the fast-forward check.
+            let mut any_progress = false;
+            let Self {
+                cores, llc, ctrl, ..
+            } = self;
+            for (i, core) in cores.iter_mut().enumerate() {
+                let before = core.stats().instructions;
+                core.tick(|op| submit(llc, ctrl, line_bytes, i, now, op));
+                any_progress |= core.stats().instructions != before;
+            }
+
+            // Record quota crossings.
+            for (i, core) in self.cores.iter().enumerate() {
+                if self.finish[i].is_none() && core.stats().instructions >= target_instructions {
+                    self.finish[i] = Some(now + 1);
+                }
+            }
+
+            // Tick the controller and collect fresh completions.
+            let hint = self.ctrl.tick(now);
+            self.inflight.extend(self.ctrl.take_completions());
+
+            // Advance: fast-forward when nothing can happen sooner.
+            if !any_progress && hint > now + 1 {
+                let next_completion = self
+                    .inflight
+                    .iter()
+                    .map(|c| c.done_at)
+                    .min()
+                    .unwrap_or(Cycle::MAX);
+                let jump = hint.min(next_completion).max(now + 1);
+                assert!(
+                    jump != Cycle::MAX,
+                    "system deadlock: all cores stalled with no pending events"
+                );
+                self.now = jump;
+            } else {
+                self.now += 1;
+            }
+        }
+        self.collect(target_instructions, max_cycles)
+    }
+
+    fn collect(&mut self, target: u64, max_cycles: Cycle) -> RunMetrics {
+        let hit_cycle_cap = self.finish.iter().any(Option::is_none);
+        let total_cycles = self
+            .finish
+            .iter()
+            .map(|f| f.unwrap_or(self.now))
+            .max()
+            .unwrap_or(self.now)
+            .max(1);
+        self.ctrl.finalize_analysis();
+        let cores: Vec<CoreMetrics> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let s = core.stats();
+                let finish = self.finish[i].unwrap_or(self.now).max(1);
+                CoreMetrics {
+                    benchmark: core.workload_name().to_string(),
+                    instructions: s.instructions.min(target),
+                    finish_cycle: finish,
+                    ipc: s.instructions.min(target) as f64
+                        / (finish * core.config().clock_ratio) as f64,
+                    llc_hits: s.llc_hits,
+                    read_misses: s.read_misses,
+                    stall_cycles: s.stall_cycles,
+                }
+            })
+            .collect();
+        let energy = self.ctrl.energy_breakdown(total_cycles);
+        let ranks = self.cfg.ranks;
+        let analysis = (0..self.ctrl.refresh_slots())
+            .map(|slot| self.ctrl.analysis(slot).reports())
+            .collect();
+        let stats = self.ctrl.stats().clone();
+        let refreshes: u64 = (0..ranks).map(|r| self.ctrl.refreshes_issued(r)).sum();
+        let _ = max_cycles;
+        RunMetrics {
+            system: self.cfg.kind.label(),
+            cores,
+            total_cycles,
+            energy,
+            refreshes,
+            sram_hit_rate: if stats.sram_lookups == 0 {
+                0.0
+            } else {
+                stats.sram_hits as f64 / stats.sram_lookups as f64
+            },
+            sram_lookups: stats.sram_lookups,
+            prefetches: stats.prefetches_issued,
+            analysis,
+            row_hit_rate: stats.row_buffer.ratio(),
+            avg_read_latency: if stats.reads_completed == 0 {
+                0.0
+            } else {
+                stats.sum_read_latency as f64 / stats.reads_completed as f64
+            },
+            hit_cycle_cap,
+        }
+    }
+}
+
+/// Routes one core memory operation through the shared LLC and, on a
+/// miss, into the memory controller.
+///
+/// Store misses allocate in the LLC without fetching the line from DRAM
+/// (their fill traffic is omitted; the store's memory-side cost is the
+/// eventual dirty writeback — see DESIGN.md's substitution notes). Load
+/// misses become DRAM reads and may evict a dirty victim, which becomes a
+/// DRAM write.
+fn submit(
+    llc: &mut Cache,
+    ctrl: &mut MemController,
+    line_bytes: u64,
+    core: usize,
+    now: Cycle,
+    op: MemOp,
+) -> SubmitResult {
+    let (addr, is_write) = match op {
+        MemOp::Read { addr } => (addr, false),
+        MemOp::Write { addr } => (addr, true),
+    };
+    let line = addr / line_bytes;
+
+    if llc.contains(line) {
+        let outcome = llc.access(line, is_write);
+        debug_assert!(outcome.is_hit());
+        return SubmitResult::LlcHit;
+    }
+
+    // Miss path: make sure the controller can take everything this miss
+    // may generate before mutating the cache.
+    let write_room = ctrl.write_queue_len() < ctrl.config().write_queue_capacity;
+    if !write_room {
+        return SubmitResult::Retry;
+    }
+    if is_write {
+        match llc.access(line, true) {
+            AccessOutcome::Miss {
+                writeback: Some(victim),
+            } => {
+                let ok = ctrl.enqueue_write(victim, core, now);
+                debug_assert!(ok, "write room was checked");
+                SubmitResult::QueuedWrite
+            }
+            AccessOutcome::Miss { writeback: None } => SubmitResult::LlcHit,
+            AccessOutcome::Hit => SubmitResult::LlcHit,
+        }
+    } else {
+        let Some(id) = ctrl.enqueue_read(line, core, now) else {
+            return SubmitResult::Retry;
+        };
+        if let AccessOutcome::Miss {
+            writeback: Some(victim),
+        } = llc.access(line, false)
+        {
+            let ok = ctrl.enqueue_write(victim, core, now);
+            debug_assert!(ok, "write room was checked");
+        }
+        SubmitResult::QueuedRead(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemKind;
+    use rop_trace::Benchmark;
+
+    fn quick(kind: SystemKind, b: Benchmark) -> RunMetrics {
+        let mut sys = System::new(SystemConfig::single_core(b, kind, 42));
+        sys.run_until(200_000, 20_000_000)
+    }
+
+    #[test]
+    fn baseline_single_core_completes() {
+        let m = quick(SystemKind::Baseline, Benchmark::Libquantum);
+        assert!(!m.hit_cycle_cap);
+        assert_eq!(m.cores[0].instructions, 200_000);
+        assert!(m.ipc() > 0.0);
+        assert!(m.refreshes > 0);
+        assert!(m.energy.total_nj() > 0.0);
+        assert!(m.cores[0].read_misses > 0, "libquantum must stream");
+    }
+
+    #[test]
+    fn no_refresh_is_at_least_as_fast() {
+        let base = quick(SystemKind::Baseline, Benchmark::Lbm);
+        let ideal = quick(SystemKind::NoRefresh, Benchmark::Lbm);
+        assert_eq!(ideal.refreshes, 0);
+        assert!(
+            ideal.ipc() >= base.ipc() * 0.999,
+            "ideal {} vs base {}",
+            ideal.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = quick(SystemKind::Baseline, Benchmark::Gcc);
+        let b = quick(SystemKind::Baseline, Benchmark::Gcc);
+        assert_eq!(a.ipc(), b.ipc());
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.refreshes, b.refreshes);
+        assert!((a.energy.total_nj() - b.energy.total_nj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rop_system_runs_and_prefetches() {
+        // Long enough to complete the 50-refresh training phase
+        // (~312k memory cycles) and prefetch for a while after.
+        let mut sys = System::new(SystemConfig::single_core(
+            Benchmark::Libquantum,
+            SystemKind::Rop { buffer: 64 },
+            42,
+        ));
+        let m = sys.run_until(2_500_000, 80_000_000);
+        assert!(!m.hit_cycle_cap);
+        // A streaming benchmark must trigger prefetching after training.
+        assert!(m.prefetches > 0, "no prefetches issued");
+        assert!(m.sram_lookups > 0, "no reads arrived during refreshes");
+    }
+
+    #[test]
+    fn multicore_runs() {
+        let mix = rop_trace::WORKLOAD_MIXES[5]; // lightest mix for speed
+        let mut sys = System::new(SystemConfig::multi_core(
+            mix.programs,
+            SystemKind::Baseline,
+            7,
+        ));
+        let m = sys.run_until(100_000, 50_000_000);
+        assert!(!m.hit_cycle_cap);
+        assert_eq!(m.cores.len(), 4);
+        for c in &m.cores {
+            assert!(c.ipc > 0.0, "{} stalled forever", c.benchmark);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Simple event counters.
+
+/// A monotonically increasing event counter.
+///
+/// `Counter` is deliberately minimal: the simulation hot loop bumps dozens
+/// of these per memory cycle, so the type is a transparent wrapper over a
+/// `u64` with convenience arithmetic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments the counter by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(c: Counter) -> u64 {
+        c.0
+    }
+}
+
+/// A hit/total style ratio counter, used for e.g. SRAM buffer hit rate and
+/// row-buffer hit rate.
+///
+/// The ratio is reported as `f64` and is defined to be 0 when no events
+/// have been recorded (rather than NaN), which matches how the paper's
+/// hit-rate threshold logic must behave before any request arrives.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RatioCounter {
+    hits: u64,
+    total: u64,
+}
+
+impl RatioCounter {
+    /// Creates an empty ratio counter.
+    pub const fn new() -> Self {
+        RatioCounter { hits: 0, total: 0 }
+    }
+
+    /// Records one event, which either hit or missed.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Records a hit.
+    #[inline]
+    pub fn hit(&mut self) {
+        self.record(true);
+    }
+
+    /// Records a miss.
+    #[inline]
+    pub fn miss(&mut self) {
+        self.record(false);
+    }
+
+    /// Number of hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of events recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Hit ratio in `[0, 1]`; `0.0` when empty.
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Resets both numerator and denominator.
+    pub fn reset(&mut self) {
+        self.hits = 0;
+        self.total = 0;
+    }
+
+    /// Merges another ratio counter into this one.
+    pub fn merge(&mut self, other: &RatioCounter) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn ratio_counter_empty_is_zero() {
+        let r = RatioCounter::new();
+        assert_eq!(r.ratio(), 0.0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ratio_counter_tracks_hits() {
+        let mut r = RatioCounter::new();
+        r.hit();
+        r.hit();
+        r.miss();
+        r.record(true);
+        assert_eq!(r.hits(), 3);
+        assert_eq!(r.total(), 4);
+        assert!((r.ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_counter_merge() {
+        let mut a = RatioCounter::new();
+        a.hit();
+        let mut b = RatioCounter::new();
+        b.miss();
+        b.hit();
+        a.merge(&b);
+        assert_eq!(a.hits(), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn ratio_counter_reset() {
+        let mut r = RatioCounter::new();
+        r.hit();
+        r.reset();
+        assert!(r.is_empty());
+        assert_eq!(r.ratio(), 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Fixed-width histogram for small integer-valued observations.
+//!
+//! Used by the refresh-blocking analysis (Figure 3 reproduces "number of
+//! requests blocked per blocking refresh", a distribution whose support in
+//! the paper tops out at 12) and by queue-occupancy statistics.
+
+/// A histogram over `u64` values with unit-width buckets `0..capacity` and
+/// a single overflow bucket for everything at or above `capacity`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `capacity` unit-width buckets.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "histogram needs at least one bucket");
+        Histogram {
+            buckets: vec![0; capacity],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records an observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count held by bucket `value` (values `>= capacity` share the
+    /// overflow bucket, reported by [`Histogram::overflow`]).
+    pub fn bucket(&self, value: u64) -> u64 {
+        self.buckets.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Count of observations at or above the bucket capacity.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Fraction of observations equal to `value`; 0 when empty.
+    pub fn fraction(&self, value: u64) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.bucket(value) as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest value `v` such that at least `q` (in `[0,1]`) of the
+    /// observations are `<= v`. Overflowed observations are treated as
+    /// living at `capacity`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (v, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return v as u64;
+            }
+        }
+        self.buckets.len() as u64
+    }
+
+    /// Resets the histogram.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.overflow = 0;
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+
+    /// Merges another histogram of the same capacity into this one.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram capacity mismatch"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_means() {
+        let mut h = Histogram::new(16);
+        for v in [0, 1, 1, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 7);
+        assert_eq!(h.max(), 3);
+        assert!((h.mean() - 1.4).abs() < 1e-12);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket() {
+        let mut h = Histogram::new(4);
+        h.record(3);
+        h.record(4);
+        h.record(100);
+        assert_eq!(h.bucket(3), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(16);
+        for v in 0..10 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(1.0), 9);
+    }
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        let h = Histogram::new(4);
+        assert_eq!(h.quantile(0.9), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(8);
+        a.record(1);
+        let mut b = Histogram::new(8);
+        b.record(1);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.bucket(1), 2);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_capacity_mismatch_panics() {
+        let mut a = Histogram::new(8);
+        let b = Histogram::new(4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn fraction() {
+        let mut h = Histogram::new(4);
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        assert!((h.fraction(0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,23 @@
+//! Statistics utilities shared by every crate of the ROP reproduction.
+//!
+//! The simulator is deterministic and single-threaded per system instance,
+//! so all collectors here are plain (non-atomic) types that are cheap to
+//! update on the simulation fast path: incrementing a [`Counter`] is a
+//! single add, recording into a [`Histogram`] is an add plus a bucket index
+//! computation.
+//!
+//! The crate also hosts the small pieces of numeric glue the experiments
+//! need (geometric means for weighted-speedup summaries, normalisation
+//! helpers, an ASCII table renderer for the `repro` binary).
+
+pub mod counter;
+pub mod histogram;
+pub mod online;
+pub mod summary;
+pub mod table;
+
+pub use counter::{Counter, RatioCounter};
+pub use histogram::Histogram;
+pub use online::OnlineStats;
+pub use summary::{geometric_mean, normalize_to, percent_delta};
+pub use table::TableBuilder;

@@ -1,0 +1,80 @@
+//! Summary math used when reporting experiment results.
+//!
+//! The paper summarises multi-programmed results with geometric means
+//! (speedups, energy ratios) and single-core results with arithmetic means
+//! of percentage deltas; these helpers implement those reductions.
+
+/// Geometric mean of a slice of positive values.
+///
+/// Returns 0.0 for an empty slice, and panics on non-positive inputs
+/// (a speedup or normalised-energy ratio of <= 0 indicates a bug upstream).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Normalises `value` to `baseline` (i.e. `value / baseline`).
+///
+/// Returns 0.0 when the baseline is zero, which only happens for
+/// degenerate zero-length runs.
+pub fn normalize_to(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        value / baseline
+    }
+}
+
+/// Percentage change of `value` relative to `baseline`, in percent.
+/// `percent_delta(103.3, 100.0) == 3.3`.
+pub fn percent_delta(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (value - baseline) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_empty_is_zero() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn geomean_rejects_nonpositive() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_handles_zero_baseline() {
+        assert_eq!(normalize_to(5.0, 0.0), 0.0);
+        assert!((normalize_to(5.0, 4.0) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_delta_basic() {
+        assert!((percent_delta(103.3, 100.0) - 3.3).abs() < 1e-9);
+        assert!((percent_delta(90.0, 100.0) + 10.0).abs() < 1e-9);
+        assert_eq!(percent_delta(1.0, 0.0), 0.0);
+    }
+}

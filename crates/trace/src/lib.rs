@@ -1,0 +1,41 @@
+//! Synthetic SPEC CPU2006-like workload generators.
+//!
+//! The paper drives its simulator with Pin-captured traces of twelve SPEC
+//! CPU2006 benchmarks (Table II). Those binaries and traces are not
+//! available here, so — per the substitution rule recorded in DESIGN.md —
+//! each benchmark is replaced by a deterministic synthetic generator that
+//! reproduces the *post-LLC character* that matters to ROP:
+//!
+//! * **memory intensity** — how many instructions execute per memory
+//!   reference, and how much of the footprint is LLC-resident;
+//! * **address pattern** — streaming strides (lbm, libquantum, bwaves,
+//!   GemsFDTD, wrf), repeating multi-delta sequences (cactusADM, gcc),
+//!   or irregular/pointer-chasing references (omnetpp, astar, gobmk,
+//!   perlbench, bzip2);
+//! * **phase structure** — burst/idle alternation, which controls the
+//!   probability that an observational window before a refresh is empty
+//!   (the `B = 0` event) and hence the profiler's β.
+//!
+//! Generators are infinite, deterministic for a given seed, and cheap
+//! (~20 ns/record), so experiments regenerate traffic on the fly instead
+//! of storing traces.
+
+pub mod pattern;
+pub mod record;
+pub mod replay;
+pub mod spec2006;
+pub mod synthetic;
+
+pub use pattern::AddressPattern;
+pub use record::TraceRecord;
+pub use replay::{capture, load_trace, write_trace, ReplayWorkload, TraceError};
+pub use spec2006::{Benchmark, WorkloadMix, ALL_BENCHMARKS, WORKLOAD_MIXES};
+pub use synthetic::{SyntheticWorkload, WorkloadParams};
+
+/// A source of an infinite instruction/memory-reference stream.
+pub trait WorkloadGen {
+    /// Produces the next trace record.
+    fn next_record(&mut self) -> TraceRecord;
+    /// Human-readable benchmark name.
+    fn name(&self) -> &str;
+}

@@ -1,0 +1,172 @@
+//! Address-pattern engines.
+//!
+//! Each engine walks a region of `region_lines` cache lines and yields the
+//! next line offset within that region; the synthetic workload layers a
+//! base address and hot-set filtering on top.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How a workload walks its memory footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddressPattern {
+    /// Sequential streaming with a fixed stride (in lines), wrapping at
+    /// the region boundary. Classic for lbm/libquantum/bwaves.
+    Stream {
+        /// Stride between consecutive references, in cache lines.
+        stride_lines: u64,
+    },
+    /// A repeating sequence of deltas (in lines) — the multi-delta
+    /// patterns VLDP targets; gcc/cactusADM-style.
+    MultiDelta {
+        /// Delta sequence applied cyclically. May contain negatives.
+        deltas: Vec<i64>,
+    },
+    /// Uniformly random lines within the region — omnetpp/gobmk-style
+    /// irregular traffic.
+    Random,
+    /// A random walk: each step jumps by a random delta in
+    /// `[-max_jump, +max_jump]` lines — astar-style pointer chasing with
+    /// spatial locality.
+    RandomWalk {
+        /// Maximum jump magnitude in lines.
+        max_jump: u64,
+    },
+}
+
+/// Stateful iterator over line offsets produced by an [`AddressPattern`].
+#[derive(Debug, Clone)]
+pub struct PatternCursor {
+    pattern: AddressPattern,
+    region_lines: u64,
+    position: u64,
+    delta_index: usize,
+}
+
+impl PatternCursor {
+    /// Creates a cursor over `region_lines` lines starting at offset 0.
+    ///
+    /// # Panics
+    /// Panics if `region_lines == 0` or a `Stream` stride is 0.
+    pub fn new(pattern: AddressPattern, region_lines: u64) -> Self {
+        assert!(region_lines > 0, "region must be non-empty");
+        if let AddressPattern::Stream { stride_lines } = &pattern {
+            assert!(*stride_lines > 0, "stream stride must be non-zero");
+        }
+        PatternCursor {
+            pattern,
+            region_lines,
+            position: 0,
+            delta_index: 0,
+        }
+    }
+
+    /// Region size in lines.
+    pub fn region_lines(&self) -> u64 {
+        self.region_lines
+    }
+
+    /// Advances the cursor and returns the next line offset in
+    /// `[0, region_lines)`.
+    pub fn next_offset(&mut self, rng: &mut SmallRng) -> u64 {
+        let region = self.region_lines;
+        match &self.pattern {
+            AddressPattern::Stream { stride_lines } => {
+                self.position = (self.position + stride_lines) % region;
+                self.position
+            }
+            AddressPattern::MultiDelta { deltas } => {
+                let delta = deltas[self.delta_index];
+                self.delta_index = (self.delta_index + 1) % deltas.len();
+                let next = self.position as i64 + delta;
+                self.position = next.rem_euclid(region as i64) as u64;
+                self.position
+            }
+            AddressPattern::Random => {
+                self.position = rng.gen_range(0..region);
+                self.position
+            }
+            AddressPattern::RandomWalk { max_jump } => {
+                let jump = rng.gen_range(-(*max_jump as i64)..=*max_jump as i64);
+                let next = self.position as i64 + jump;
+                self.position = next.rem_euclid(region as i64) as u64;
+                self.position
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn stream_wraps_in_region() {
+        let mut c = PatternCursor::new(AddressPattern::Stream { stride_lines: 3 }, 10);
+        let mut r = rng();
+        let offsets: Vec<u64> = (0..5).map(|_| c.next_offset(&mut r)).collect();
+        assert_eq!(offsets, vec![3, 6, 9, 2, 5]);
+    }
+
+    #[test]
+    fn multidelta_cycles() {
+        let mut c = PatternCursor::new(
+            AddressPattern::MultiDelta {
+                deltas: vec![1, 2, -1],
+            },
+            100,
+        );
+        let mut r = rng();
+        let offsets: Vec<u64> = (0..6).map(|_| c.next_offset(&mut r)).collect();
+        // 0 -> 1 -> 3 -> 2 -> 3 -> 5 -> 4
+        assert_eq!(offsets, vec![1, 3, 2, 3, 5, 4]);
+    }
+
+    #[test]
+    fn multidelta_handles_negative_wrap() {
+        let mut c = PatternCursor::new(AddressPattern::MultiDelta { deltas: vec![-5] }, 8);
+        let mut r = rng();
+        assert_eq!(c.next_offset(&mut r), 3); // 0 - 5 mod 8
+    }
+
+    #[test]
+    fn random_stays_in_region() {
+        let mut c = PatternCursor::new(AddressPattern::Random, 16);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(c.next_offset(&mut r) < 16);
+        }
+    }
+
+    #[test]
+    fn random_walk_stays_in_region() {
+        let mut c = PatternCursor::new(AddressPattern::RandomWalk { max_jump: 40 }, 16);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(c.next_offset(&mut r) < 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mk = || PatternCursor::new(AddressPattern::Random, 1 << 20);
+        let mut a = mk();
+        let mut b = mk();
+        let mut ra = rng();
+        let mut rb = rng();
+        for _ in 0..100 {
+            assert_eq!(a.next_offset(&mut ra), b.next_offset(&mut rb));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_region_panics() {
+        PatternCursor::new(AddressPattern::Random, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! The unit of workload traffic.
+
+/// One memory reference in an instruction stream.
+///
+/// `gap_instructions` is the number of non-memory instructions the core
+/// executes *before* this reference — the trace-driven core model retires
+/// them at its issue width and then issues the reference. Addresses are
+/// byte addresses; the CPU model converts to cache-line addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Non-memory instructions preceding this reference.
+    pub gap_instructions: u32,
+    /// Byte address referenced.
+    pub addr: u64,
+    /// True for stores, false for loads.
+    pub is_write: bool,
+}
+
+impl TraceRecord {
+    /// The cache-line address for a given line size.
+    #[inline]
+    pub fn line_addr(&self, line_bytes: u64) -> u64 {
+        self.addr / line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_divides() {
+        let r = TraceRecord {
+            gap_instructions: 3,
+            addr: 1000,
+            is_write: false,
+        };
+        assert_eq!(r.line_addr(64), 15);
+    }
+}

@@ -1,0 +1,311 @@
+//! Trace recording and replay.
+//!
+//! The synthetic generators regenerate traffic on the fly, but downstream
+//! users often have *real* traces (Pin/DynamoRIO captures, production
+//! samples). This module defines a minimal line-oriented text format and
+//! a [`ReplayWorkload`] that feeds any recorded trace through the same
+//! [`WorkloadGen`] interface the cores consume:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! <gap_instructions> <R|W> <hex byte address>
+//! 12 R 0x7f001040
+//! 0  W 0x7f001080
+//! ```
+//!
+//! Replay loops the trace when the simulation needs more records than the
+//! file holds (fixed-work runs usually do), mirroring how trace-driven
+//! simulators wrap SPEC slices.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use crate::record::TraceRecord;
+use crate::WorkloadGen;
+
+/// Error from parsing a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that does not match the format, with its 1-based number.
+    Parse {
+        /// Line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// The file contained no records.
+    Empty,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+            TraceError::Empty => write!(f, "trace contains no records"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Parses one record line (`gap R|W 0xADDR`).
+fn parse_line(line: &str, number: usize) -> Result<Option<TraceRecord>, TraceError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let gap = parts
+        .next()
+        .ok_or_else(|| TraceError::Parse {
+            line: number,
+            reason: "missing gap field".into(),
+        })?
+        .parse::<u32>()
+        .map_err(|e| TraceError::Parse {
+            line: number,
+            reason: format!("bad gap: {e}"),
+        })?;
+    let kind = parts.next().ok_or_else(|| TraceError::Parse {
+        line: number,
+        reason: "missing R/W field".into(),
+    })?;
+    let is_write = match kind {
+        "R" | "r" => false,
+        "W" | "w" => true,
+        other => {
+            return Err(TraceError::Parse {
+                line: number,
+                reason: format!("expected R or W, got {other}"),
+            })
+        }
+    };
+    let addr_str = parts.next().ok_or_else(|| TraceError::Parse {
+        line: number,
+        reason: "missing address field".into(),
+    })?;
+    let addr_str = addr_str
+        .strip_prefix("0x")
+        .or_else(|| addr_str.strip_prefix("0X"))
+        .unwrap_or(addr_str);
+    let addr = u64::from_str_radix(addr_str, 16).map_err(|e| TraceError::Parse {
+        line: number,
+        reason: format!("bad address: {e}"),
+    })?;
+    if parts.next().is_some() {
+        return Err(TraceError::Parse {
+            line: number,
+            reason: "trailing fields".into(),
+        });
+    }
+    Ok(Some(TraceRecord {
+        gap_instructions: gap,
+        addr,
+        is_write,
+    }))
+}
+
+/// Reads a trace from any line source.
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut records = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        if let Some(rec) = parse_line(&line?, i + 1)? {
+            records.push(rec);
+        }
+    }
+    if records.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    Ok(records)
+}
+
+/// Loads a trace file from disk.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<Vec<TraceRecord>, TraceError> {
+    let file = std::fs::File::open(path)?;
+    read_trace(std::io::BufReader::new(file))
+}
+
+/// Writes records in the trace format (with a descriptive header).
+pub fn write_trace<W: Write>(
+    mut writer: W,
+    name: &str,
+    records: &[TraceRecord],
+) -> std::io::Result<()> {
+    writeln!(writer, "# rop-sim trace: {name}")?;
+    writeln!(writer, "# format: <gap_instructions> <R|W> <hex address>")?;
+    for r in records {
+        writeln!(
+            writer,
+            "{} {} 0x{:x}",
+            r.gap_instructions,
+            if r.is_write { 'W' } else { 'R' },
+            r.addr
+        )?;
+    }
+    Ok(())
+}
+
+/// Captures `n` records from any generator (e.g. to snapshot a synthetic
+/// workload into a portable trace file).
+pub fn capture<G: WorkloadGen>(gen: &mut G, n: usize) -> Vec<TraceRecord> {
+    (0..n).map(|_| gen.next_record()).collect()
+}
+
+/// A [`WorkloadGen`] that replays a recorded trace, looping at the end.
+#[derive(Debug, Clone)]
+pub struct ReplayWorkload {
+    name: String,
+    records: Vec<TraceRecord>,
+    pos: usize,
+    loops: u64,
+}
+
+impl ReplayWorkload {
+    /// Wraps an in-memory record list.
+    ///
+    /// # Panics
+    /// Panics if `records` is empty.
+    pub fn new(name: impl Into<String>, records: Vec<TraceRecord>) -> Self {
+        assert!(!records.is_empty(), "cannot replay an empty trace");
+        ReplayWorkload {
+            name: name.into(),
+            records,
+            pos: 0,
+            loops: 0,
+        }
+    }
+
+    /// Loads and wraps a trace file.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let name = path
+            .as_ref()
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string());
+        Ok(Self::new(name, load_trace(path)?))
+    }
+
+    /// Number of records in one pass of the trace.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Always false (construction rejects empty traces); provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many times the trace has wrapped so far.
+    pub fn loops(&self) -> u64 {
+        self.loops
+    }
+}
+
+impl WorkloadGen for ReplayWorkload {
+    fn next_record(&mut self) -> TraceRecord {
+        let rec = self.records[self.pos];
+        self.pos += 1;
+        if self.pos == self.records.len() {
+            self.pos = 0;
+            self.loops += 1;
+        }
+        rec
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    #[test]
+    fn roundtrip_through_text_format() {
+        let mut w = Benchmark::Gcc.workload(3);
+        let records = capture(&mut w, 500);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, "gcc-snapshot", &records).unwrap();
+        let parsed = read_trace(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn replay_loops_and_repeats() {
+        let records = vec![
+            TraceRecord { gap_instructions: 1, addr: 0x40, is_write: false },
+            TraceRecord { gap_instructions: 2, addr: 0x80, is_write: true },
+        ];
+        let mut r = ReplayWorkload::new("tiny", records.clone());
+        assert_eq!(r.len(), 2);
+        let got: Vec<TraceRecord> = (0..5).map(|_| r.next_record()).collect();
+        assert_eq!(got[0], records[0]);
+        assert_eq!(got[1], records[1]);
+        assert_eq!(got[2], records[0]);
+        assert_eq!(r.loops(), 2);
+        assert_eq!(r.name(), "tiny");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n12 R 0x1000\n# mid comment\n0 W 0X2040\n";
+        let recs = read_trace(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].addr, 0x1000);
+        assert!(!recs[0].is_write);
+        assert_eq!(recs[1].addr, 0x2040);
+        assert!(recs[1].is_write);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        for (text, expect_line) in [
+            ("bogus\n", 1),
+            ("1 R 0x10\n2 X 0x20\n", 2),
+            ("1 R 0x10\n2 W\n", 2),
+            ("1 R 0x10 extra\n", 1),
+            ("x R 0x10\n", 1),
+        ] {
+            match read_trace(std::io::Cursor::new(text)) {
+                Err(TraceError::Parse { line, .. }) => assert_eq!(line, expect_line, "{text:?}"),
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert!(matches!(
+            read_trace(std::io::Cursor::new("# only comments\n")),
+            Err(TraceError::Empty)
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rop_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.trace");
+        let mut w = Benchmark::Bzip2.workload(9);
+        let records = capture(&mut w, 200);
+        write_trace(std::fs::File::create(&path).unwrap(), "bzip2", &records).unwrap();
+        let replay = ReplayWorkload::from_file(&path).unwrap();
+        assert_eq!(replay.len(), 200);
+        assert_eq!(replay.name(), "snap");
+        std::fs::remove_file(&path).ok();
+    }
+}

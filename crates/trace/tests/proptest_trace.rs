@@ -1,0 +1,89 @@
+//! Property tests: synthetic workloads are deterministic and stay inside
+//! their declared footprints for arbitrary parameterisations.
+
+use proptest::prelude::*;
+use rop_trace::{AddressPattern, SyntheticWorkload, WorkloadGen, WorkloadParams};
+
+fn pattern_strategy() -> impl Strategy<Value = AddressPattern> {
+    prop_oneof![
+        (1u64..64).prop_map(|stride_lines| AddressPattern::Stream { stride_lines }),
+        proptest::collection::vec(-32i64..32, 1..5)
+            .prop_filter("non-degenerate", |d| d.iter().any(|&x| x != 0))
+            .prop_map(|deltas| AddressPattern::MultiDelta { deltas }),
+        Just(AddressPattern::Random),
+        (1u64..512).prop_map(|max_jump| AddressPattern::RandomWalk { max_jump }),
+    ]
+}
+
+fn params_strategy() -> impl Strategy<Value = WorkloadParams> {
+    (
+        pattern_strategy(),
+        1u64..(1 << 16), // region
+        1u64..(1 << 10), // hot lines
+        0.0f64..1.0,     // hot fraction
+        0.0f64..1.0,     // write fraction
+        1u32..1024,      // burst len
+        0u32..100,       // burst gap
+        0u32..50_000,    // idle gap
+    )
+        .prop_map(
+            |(pattern, region, hot, hot_frac, wfrac, burst, bgap, igap)| WorkloadParams {
+                name: "prop",
+                intensive: false,
+                pattern,
+                region_lines: region,
+                hot_lines: hot,
+                hot_fraction: hot_frac,
+                write_fraction: wfrac,
+                burst_len: burst,
+                burst_gap_mean: bgap,
+                idle_gap_mean: igap,
+                base_addr: 0,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any valid parameterisation yields an in-footprint, deterministic,
+    /// infinite stream.
+    #[test]
+    fn workloads_are_deterministic_and_bounded(
+        params in params_strategy(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(params.validate().is_ok());
+        let limit = (params.hot_lines + params.region_lines) * 64;
+        let mut a = SyntheticWorkload::new(params.clone(), seed);
+        let mut b = SyntheticWorkload::new(params, seed);
+        for _ in 0..500 {
+            let ra = a.next_record();
+            let rb = b.next_record();
+            prop_assert_eq!(ra, rb);
+            prop_assert!(ra.addr < limit, "addr {} beyond footprint {}", ra.addr, limit);
+            prop_assert_eq!(ra.addr % 64, 0, "line aligned");
+        }
+        prop_assert_eq!(a.records_emitted(), 500);
+    }
+
+    /// Base-address offsets translate the whole stream rigidly.
+    #[test]
+    fn base_addr_translates(seed in any::<u64>(), base in 0u64..(1 << 40)) {
+        let base = base & !63; // keep line alignment
+        let mk = |base_addr| {
+            let mut p = rop_trace::Benchmark::Gcc.params();
+            p.base_addr = base_addr;
+            SyntheticWorkload::new(p, seed)
+        };
+        let mut zero = mk(0);
+        let mut offset = mk(base);
+        for _ in 0..300 {
+            let a = zero.next_record();
+            let b = offset.next_record();
+            prop_assert_eq!(a.addr + base, b.addr);
+            prop_assert_eq!(a.gap_instructions, b.gap_instructions);
+            prop_assert_eq!(a.is_write, b.is_write);
+        }
+    }
+}

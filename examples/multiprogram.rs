@@ -1,0 +1,81 @@
+//! 4-core multiprogram scenario (the paper's §V-C): run one of the
+//! WL1–WL6 mixes under Baseline, Baseline-RP and ROP, and report
+//! per-core IPC, weighted speedup (Equation 4) and energy.
+//!
+//! ```text
+//! cargo run --release --example multiprogram [WL1..WL6] [instructions]
+//! ```
+
+use rop_sim::sim::{System, SystemConfig, SystemKind};
+use rop_sim::trace::WORKLOAD_MIXES;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mix = args
+        .get(1)
+        .map(|name| {
+            WORKLOAD_MIXES
+                .into_iter()
+                .find(|m| m.name.eq_ignore_ascii_case(name))
+                .unwrap_or_else(|| {
+                    eprintln!("unknown mix {name}; use WL1..WL6");
+                    std::process::exit(2);
+                })
+        })
+        .unwrap_or(WORKLOAD_MIXES[2]);
+    let instructions: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000_000);
+
+    println!(
+        "mix {}: {} ({} of 4 memory-intensive)\n",
+        mix.name,
+        mix.programs
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(" + "),
+        mix.intensive_count()
+    );
+
+    // Alone-IPCs on the baseline machine (Equation 4 denominators).
+    let alone: Vec<f64> = mix
+        .programs
+        .iter()
+        .map(|&b| {
+            let mut cfg = SystemConfig::multi_core(mix.programs, SystemKind::Baseline, 42);
+            cfg.benchmarks = vec![b];
+            let mut sys = System::new(cfg);
+            sys.run_until(instructions, 4_000_000_000).ipc()
+        })
+        .collect();
+
+    let mut base_ws = None;
+    for kind in [
+        SystemKind::Baseline,
+        SystemKind::BaselineRp,
+        SystemKind::Rop { buffer: 64 },
+    ] {
+        let mut sys = System::new(SystemConfig::multi_core(mix.programs, kind, 42));
+        let m = sys.run_until(instructions, 4_000_000_000);
+        let ws = m.weighted_speedup(&alone);
+        let norm = base_ws.map(|b: f64| ws / b).unwrap_or(1.0);
+        base_ws.get_or_insert(ws);
+        println!("{} —", kind.label());
+        for (c, a) in m.cores.iter().zip(&alone) {
+            println!(
+                "  {:<11} IPC {:.3} (alone {:.3}, slowdown {:.2}x)",
+                c.benchmark,
+                c.ipc,
+                a,
+                a / c.ipc.max(1e-9)
+            );
+        }
+        println!(
+            "  weighted speedup {ws:.3} ({norm:.3}x vs baseline), energy {:.2} mJ, sram hit {:.2}\n",
+            m.energy.total_mj(),
+            m.sram_hit_rate
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! §III-style refresh analysis of one benchmark: how many refreshes
+//! block requests, how many reads each blocking refresh delays, the λ/β
+//! conditional probabilities at 1×/2×/4× windows, and the measured
+//! performance/energy cost of refresh vs. an ideal no-refresh memory.
+//!
+//! ```text
+//! cargo run --release --example refresh_analysis [benchmark] [instructions]
+//! ```
+
+use rop_sim::sim::{System, SystemConfig, SystemKind};
+use rop_sim::trace::{Benchmark, ALL_BENCHMARKS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = args
+        .get(1)
+        .map(|name| {
+            ALL_BENCHMARKS
+                .into_iter()
+                .find(|b| b.name().eq_ignore_ascii_case(name))
+                .unwrap_or_else(|| {
+                    eprintln!("unknown benchmark {name}");
+                    std::process::exit(2);
+                })
+        })
+        .unwrap_or(Benchmark::Bzip2);
+    let instructions: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000_000);
+
+    let mut base = System::new(SystemConfig::single_core(bench, SystemKind::Baseline, 42));
+    let b = base.run_until(instructions, 4_000_000_000);
+    let mut ideal = System::new(SystemConfig::single_core(bench, SystemKind::NoRefresh, 42));
+    let i = ideal.run_until(instructions, 4_000_000_000);
+
+    println!(
+        "=== {} — refresh microscope (§III of the paper) ===\n",
+        bench.name()
+    );
+    println!(
+        "baseline IPC {:.3} vs no-refresh {:.3}  → refresh costs {:.1}% performance",
+        b.ipc(),
+        i.ipc(),
+        (i.ipc() / b.ipc() - 1.0) * 100.0
+    );
+    println!(
+        "baseline energy {:.2} mJ vs no-refresh {:.2} mJ → refresh adds {:.1}% energy",
+        b.energy.total_mj(),
+        i.energy.total_mj(),
+        (b.energy.total_nj() / i.energy.total_nj() - 1.0) * 100.0
+    );
+    println!(
+        "energy split: act/pre {:.0} µJ, reads {:.0} µJ, writes {:.0} µJ, refresh {:.0} µJ, background {:.0} µJ\n",
+        b.energy.act_pre_nj / 1e3,
+        b.energy.read_nj / 1e3,
+        b.energy.write_nj / 1e3,
+        b.energy.refresh_nj / 1e3,
+        b.energy.background_nj / 1e3,
+    );
+
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>8} {:>6} {:>6} {:>9}",
+        "window", "refreshes", "non-blocking", "avg blocked", "max", "λ", "β", "E1∪E2"
+    );
+    for r in b.analysis[0] {
+        println!(
+            "{:<8} {:>10} {:>11.1}% {:>12.2} {:>8} {:>6.2} {:>6.2} {:>8.1}%",
+            format!("{}x tRFC", r.window_multiplier),
+            r.refreshes,
+            r.non_blocking_fraction * 100.0,
+            r.avg_blocked_per_blocking,
+            r.max_blocked,
+            r.lambda,
+            r.beta,
+            r.dominant_fraction * 100.0,
+        );
+    }
+    println!(
+        "\nReading the table: λ = P{{reads arrive during refresh | window before it was busy}},\n\
+         β = P{{no reads during refresh | window was quiet}} — the two confidences ROP's\n\
+         probabilistic throttle uses to decide when prefetching is worth it."
+    );
+}

@@ -1,0 +1,55 @@
+//! # rop-sim — Refresh-Oriented Prefetching, reproduced in Rust
+//!
+//! A full-system reproduction of *"ROP: Alleviating Refresh Overheads via
+//! Reviving the Memory System in Frozen Cycles"* (ICPP 2016): a
+//! cycle-level DDR4 memory system with an auto-refresh controller, plus
+//! the paper's contribution — a refresh-aware prefetcher that stages
+//! likely-read cache lines into a small SRAM buffer right before each
+//! rank refresh, so reads arriving during the `tRFC` *frozen cycles* are
+//! served from SRAM instead of stalling.
+//!
+//! This crate is a façade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`dram`] | `rop-dram` | cycle-level DDR4 device: banks/ranks, full timing, FGR, IDD energy model |
+//! | [`memctrl`] | `rop-memctrl` | FR-FCFS controller, refresh manager, ROP integration, §III analysis instrumentation |
+//! | [`core`] | `rop-core` | ROP itself: Pattern Profiler, VLDP-style prediction table, prefetcher, SRAM buffer, λ/β throttle |
+//! | [`cache`] | `rop-cache` | set-associative write-back LLC |
+//! | [`cpu`] | `rop-cpu` | trace-driven OoO-lite core |
+//! | [`trace`] | `rop-trace` | synthetic SPEC CPU2006-like workloads (Table II) |
+//! | [`sim`] | `rop-sim-system` | full-system assembly + one experiment module per paper table/figure |
+//! | [`stats`] | `rop-stats` | counters, histograms, summary math, table rendering |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rop_sim::sim::{System, SystemConfig, SystemKind};
+//! use rop_sim::trace::Benchmark;
+//!
+//! // Paper single-core setup: libquantum on the ROP-64 system.
+//! let cfg = SystemConfig::single_core(
+//!     Benchmark::Libquantum,
+//!     SystemKind::Rop { buffer: 64 },
+//!     42,
+//! );
+//! let mut system = System::new(cfg);
+//! // (Tiny quota so the doctest is fast; experiments use millions.)
+//! let metrics = system.run_until(20_000, 10_000_000);
+//! assert!(metrics.ipc() > 0.0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/repro`
+//! for the per-figure reproduction driver.
+
+pub use rop_cache as cache;
+pub use rop_core as core;
+pub use rop_cpu as cpu;
+pub use rop_dram as dram;
+pub use rop_memctrl as memctrl;
+pub use rop_sim_system as sim;
+pub use rop_stats as stats;
+pub use rop_trace as trace;
+
+/// Memory-clock cycle type used across all crates.
+pub type Cycle = u64;

@@ -1,0 +1,127 @@
+//! Property-based integration tests: random request streams against the
+//! controller + device stack, checking invariants that must hold for any
+//! traffic whatsoever.
+
+use proptest::prelude::*;
+
+use rop_sim::dram::DramConfig;
+use rop_sim::memctrl::{MemController, MemCtrlConfig};
+
+/// One externally-generated stimulus step.
+#[derive(Debug, Clone)]
+enum Step {
+    Read { line: u64, gap: u8 },
+    Write { line: u64, gap: u8 },
+    Idle { cycles: u16 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u64..1 << 22, 0u8..40).prop_map(|(line, gap)| Step::Read { line, gap }),
+        (0u64..1 << 22, 0u8..40).prop_map(|(line, gap)| Step::Write { line, gap }),
+        (1u16..2000).prop_map(|cycles| Step::Idle { cycles }),
+    ]
+}
+
+/// Drives the controller with arbitrary traffic; returns
+/// (reads accepted, completions delivered, final cycle).
+fn drive(mut ctrl: MemController, steps: &[Step]) -> (u64, u64, u64) {
+    let mut now = 0u64;
+    let mut accepted = 0u64;
+    let mut completions = 0u64;
+    let mut completion_times: Vec<u64> = Vec::new();
+    for step in steps {
+        match *step {
+            Step::Read { line, gap } => {
+                now += gap as u64;
+                ctrl.tick(now);
+                if ctrl.enqueue_read(line, 0, now).is_some() {
+                    accepted += 1;
+                }
+            }
+            Step::Write { line, gap } => {
+                now += gap as u64;
+                ctrl.tick(now);
+                let _ = ctrl.enqueue_write(line, 0, now);
+            }
+            Step::Idle { cycles } => {
+                let end = now + cycles as u64;
+                while now < end {
+                    let hint = ctrl.tick(now);
+                    now = hint.max(now + 1).min(end);
+                }
+            }
+        }
+        for c in ctrl.take_completions() {
+            assert!(
+                c.done_at >= now.saturating_sub(1) || c.done_at <= now + 1_000_000,
+                "completion time sane"
+            );
+            completion_times.push(c.done_at);
+            completions += 1;
+        }
+    }
+    // Drain: run until every accepted read completed (bounded).
+    let deadline = now + 10_000_000;
+    while completions < accepted && now < deadline {
+        let hint = ctrl.tick(now);
+        for c in ctrl.take_completions() {
+            completion_times.push(c.done_at);
+            completions += 1;
+        }
+        now = hint.max(now + 1);
+    }
+    (accepted, completions, now)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every accepted read eventually completes, exactly once, under any
+    /// traffic: no lost or duplicated requests across refreshes, drains,
+    /// prefetch interference and queue pressure.
+    #[test]
+    fn all_accepted_reads_complete(steps in proptest::collection::vec(step_strategy(), 1..120)) {
+        for cfg in [
+            MemCtrlConfig::baseline(DramConfig::baseline(2)),
+            MemCtrlConfig::rop(DramConfig::baseline(2), 32, 9),
+        ] {
+            let (accepted, completed, _) = drive(MemController::new(cfg), &steps);
+            prop_assert_eq!(accepted, completed);
+        }
+    }
+
+    /// The controller makes forward progress: the fast-forward hint never
+    /// goes backwards and the system never deadlocks inside the horizon.
+    #[test]
+    fn hints_are_monotonic(steps in proptest::collection::vec(step_strategy(), 1..60)) {
+        let mut ctrl = MemController::new(MemCtrlConfig::baseline(DramConfig::baseline(1)));
+        let mut now = 0u64;
+        for step in &steps {
+            if let Step::Read { line, gap } = step {
+                now += *gap as u64;
+                let _ = ctrl.enqueue_read(*line, 0, now);
+            }
+            let hint = ctrl.tick(now);
+            prop_assert!(hint > now, "hint {} must be in the future of {}", hint, now);
+            now += 1;
+        }
+    }
+
+    /// Energy is monotone in time: accruing more cycles never decreases
+    /// the breakdown total.
+    #[test]
+    fn energy_monotone_in_time(reads in proptest::collection::vec(0u64..1<<20, 1..40)) {
+        let mut ctrl = MemController::new(MemCtrlConfig::baseline(DramConfig::baseline(1)));
+        let mut now = 0;
+        for (i, line) in reads.iter().enumerate() {
+            let _ = ctrl.enqueue_read(*line, 0, now);
+            now = ctrl.tick(now).max(now + 1).min(now + 100);
+            let _ = ctrl.take_completions();
+            let _ = i;
+        }
+        let e1 = ctrl.energy_breakdown(now).total_nj();
+        let e2 = ctrl.energy_breakdown(now + 50_000).total_nj();
+        prop_assert!(e2 >= e1);
+    }
+}
