@@ -1,0 +1,69 @@
+//! Engine-throughput bench: simulated cycles per wall-clock second for
+//! the event-driven loop vs the per-cycle reference loop.
+//!
+//! Two workload classes bracket the engine's behaviour:
+//!
+//! * `memlight` (gobmk) — long idle gaps between bursts, so dead cycles
+//!   dominate and hint-driven fast-forward should win big (the
+//!   acceptance bar is >= 3x over the reference loop here);
+//! * `membound` (libquantum) — pure streaming, an event every couple of
+//!   cycles, so the event loop must merely not regress.
+//!
+//! Throughput is reported in simulated cycles/sec (`Throughput::Elements`
+//! with the run's total simulated cycle count).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rop_sim_system::runner::{run_single, run_single_reference, RunSpec};
+use rop_sim_system::SystemKind;
+use rop_trace::Benchmark;
+
+const INSTRUCTIONS: u64 = 100_000;
+
+fn spec() -> RunSpec {
+    RunSpec {
+        instructions: INSTRUCTIONS,
+        max_cycles: 100_000_000,
+        seed: 42,
+    }
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    for (class, benchmark) in [
+        ("memlight", Benchmark::Gobmk),
+        ("membound", Benchmark::Libquantum),
+    ] {
+        let mut g = c.benchmark_group(format!("engine_{class}"));
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(300));
+        g.measurement_time(std::time::Duration::from_secs(2));
+
+        for kind in [SystemKind::Baseline, SystemKind::Rop { buffer: 64 }] {
+            let label = match kind {
+                SystemKind::Baseline => "baseline",
+                _ => "rop64",
+            };
+            // One calibration run pins the simulated-cycle count so the
+            // ns/iter lines convert to simulated cycles/sec.
+            let cycles = run_single(benchmark, kind, spec()).total_cycles;
+            g.throughput(Throughput::Elements(cycles));
+            g.bench_function(format!("event_{label}"), |b| {
+                b.iter(|| {
+                    let m = run_single(benchmark, kind, spec());
+                    assert_eq!(m.total_cycles, cycles);
+                    m.total_cycles
+                })
+            });
+            g.bench_function(format!("reference_{label}"), |b| {
+                b.iter(|| {
+                    let m = run_single_reference(benchmark, kind, spec());
+                    assert_eq!(m.total_cycles, cycles);
+                    m.total_cycles
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

@@ -231,5 +231,18 @@ fn main() {
         }
         _ => usage(),
     }
-    eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+    let secs = t0.elapsed().as_secs_f64();
+    let totals = rop_sim_system::engine_stats::totals();
+    if totals.cycles > 0 && secs > 0.0 {
+        eprintln!(
+            "# done in {secs:.1}s — simulated {} cycles / {} instructions \
+             ({:.3e} cycles/sec, {:.3e} instr/sec)",
+            totals.cycles,
+            totals.instructions,
+            totals.cycles as f64 / secs,
+            totals.instructions as f64 / secs,
+        );
+    } else {
+        eprintln!("# done in {secs:.1}s");
+    }
 }

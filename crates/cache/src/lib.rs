@@ -14,4 +14,4 @@ pub mod config;
 pub mod set_assoc;
 
 pub use config::CacheConfig;
-pub use set_assoc::{AccessOutcome, Cache, CacheStats};
+pub use set_assoc::{AccessOutcome, Cache, CacheStats, MissToken, TryAccess};

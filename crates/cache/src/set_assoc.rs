@@ -44,6 +44,46 @@ impl AccessOutcome {
     }
 }
 
+/// Result of a single-probe [`Cache::try_access`].
+#[derive(Debug)]
+pub enum TryAccess {
+    /// The line was present; the LRU/dirty update is already committed.
+    Hit,
+    /// The line is absent. Nothing was mutated; pass the token to
+    /// [`Cache::fill`] to allocate, or drop it to abort the access
+    /// (e.g. on memory-system back-pressure) at zero cost.
+    Miss(MissToken),
+}
+
+impl TryAccess {
+    /// True for hits.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, TryAccess::Hit)
+    }
+}
+
+/// Pending miss state from [`Cache::try_access`]: the probed set, the
+/// victim way chosen, and the writeback the fill would generate.
+///
+/// Only valid for the very next mutation of the cache — commit it with
+/// [`Cache::fill`] before any other access, or drop it.
+#[derive(Debug)]
+pub struct MissToken {
+    set: usize,
+    way: usize,
+    tag: u64,
+    is_write: bool,
+    writeback: Option<u64>,
+}
+
+impl MissToken {
+    /// Dirty victim line address the fill will evict, if any. Available
+    /// before committing, so callers can reserve memory-system room.
+    pub fn writeback(&self) -> Option<u64> {
+        self.writeback
+    }
+}
+
 /// Aggregate cache statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CacheStats {
@@ -105,48 +145,84 @@ impl Cache {
     /// Accesses `line_addr` (a cache-line address). `is_write` marks the
     /// line dirty on hit and allocates it dirty on miss (write-allocate).
     pub fn access(&mut self, line_addr: u64, is_write: bool) -> AccessOutcome {
-        self.clock += 1;
+        match self.try_access(line_addr, is_write) {
+            TryAccess::Hit => AccessOutcome::Hit,
+            TryAccess::Miss(token) => AccessOutcome::Miss {
+                writeback: self.fill(token),
+            },
+        }
+    }
+
+    /// Probes for `line_addr` with a single set scan. A hit commits the
+    /// LRU bump and dirty bit immediately; a miss mutates nothing and
+    /// returns a [`MissToken`] describing the allocation [`Cache::fill`]
+    /// would perform. Dropping the token aborts the access with no trace
+    /// in the cache state or statistics.
+    pub fn try_access(&mut self, line_addr: u64, is_write: bool) -> TryAccess {
         let (set_idx, tag) = self.index(line_addr);
         let tag_shift = self.set_mask.trailing_ones();
-        let clock = self.clock;
         let set = &mut self.sets[set_idx];
 
-        // Hit path.
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.last_used = clock;
-            line.dirty |= is_write;
-            self.stats.accesses.hit();
-            return AccessOutcome::Hit;
+        // One scan finds the hit way, the first invalid way, and the
+        // first least-recently-used way.
+        let mut hit: Option<usize> = None;
+        let mut invalid: Option<usize> = None;
+        let mut lru_way = 0usize;
+        let mut lru_used = u64::MAX;
+        for (i, l) in set.iter().enumerate() {
+            if !l.valid {
+                if invalid.is_none() {
+                    invalid = Some(i);
+                }
+                continue;
+            }
+            if l.tag == tag {
+                hit = Some(i);
+                break;
+            }
+            if l.last_used < lru_used {
+                lru_used = l.last_used;
+                lru_way = i;
+            }
         }
 
-        // Miss: pick an invalid way or the LRU way.
-        self.stats.accesses.miss();
-        let victim_idx = set
-            .iter()
-            .enumerate()
-            .find(|(_, l)| !l.valid)
-            .map(|(i, _)| i)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_used)
-                    .map(|(i, _)| i)
-                    .expect("non-zero associativity")
-            });
-        let victim = set[victim_idx];
-        let writeback = if victim.valid && victim.dirty {
-            self.stats.writebacks += 1;
-            Some((victim.tag << tag_shift) | set_idx as u64)
-        } else {
-            None
-        };
-        set[victim_idx] = Line {
+        if let Some(way) = hit {
+            self.clock += 1;
+            let line = &mut set[way];
+            line.last_used = self.clock;
+            line.dirty |= is_write;
+            self.stats.accesses.hit();
+            return TryAccess::Hit;
+        }
+
+        let way = invalid.unwrap_or(lru_way);
+        let victim = set[way];
+        let writeback =
+            (victim.valid && victim.dirty).then(|| (victim.tag << tag_shift) | set_idx as u64);
+        TryAccess::Miss(MissToken {
+            set: set_idx,
+            way,
             tag,
+            is_write,
+            writeback,
+        })
+    }
+
+    /// Commits the allocation described by a [`MissToken`] and returns
+    /// the dirty victim line address to write back, if any.
+    pub fn fill(&mut self, token: MissToken) -> Option<u64> {
+        self.clock += 1;
+        self.stats.accesses.miss();
+        if token.writeback.is_some() {
+            self.stats.writebacks += 1;
+        }
+        self.sets[token.set][token.way] = Line {
+            tag: token.tag,
             valid: true,
-            dirty: is_write,
-            last_used: clock,
+            dirty: token.is_write,
+            last_used: self.clock,
         };
-        AccessOutcome::Miss { writeback }
+        token.writeback
     }
 
     /// True when `line_addr` is currently resident (no LRU update).
@@ -270,6 +346,70 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.accesses.total(), 4);
         assert_eq!(s.accesses.hits(), 2);
+    }
+
+    #[test]
+    fn aborted_miss_leaves_no_trace() {
+        let mut c = small();
+        c.access(0, true);
+        let clock_before = c.clock;
+        let stats_before = *c.stats();
+        match c.try_access(4, false) {
+            TryAccess::Miss(token) => {
+                assert_eq!(token.writeback(), None);
+            }
+            TryAccess::Hit => panic!("expected miss"),
+        }
+        assert_eq!(c.clock, clock_before);
+        assert_eq!(c.stats().accesses.total(), stats_before.accesses.total());
+        assert!(!c.contains(4), "aborted miss must not allocate");
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn token_fill_matches_direct_access() {
+        // Two identical caches driven by the same access stream, one via
+        // `access`, one via `try_access`+`fill`, end in identical state.
+        let mut a = small();
+        let mut b = small();
+        let stream: Vec<(u64, bool)> = (0..200)
+            .map(|i: u64| ((i * 7919) % 64, i.is_multiple_of(3)))
+            .collect();
+        for &(addr, w) in &stream {
+            let oa = a.access(addr, w);
+            let ob = match b.try_access(addr, w) {
+                TryAccess::Hit => AccessOutcome::Hit,
+                TryAccess::Miss(t) => AccessOutcome::Miss {
+                    writeback: b.fill(t),
+                },
+            };
+            assert_eq!(oa, ob, "outcome diverged at addr {addr}");
+        }
+        assert_eq!(a.clock, b.clock);
+        assert_eq!(a.stats().writebacks, b.stats().writebacks);
+        assert_eq!(a.stats().accesses.hits(), b.stats().accesses.hits());
+        for addr in 0..64u64 {
+            assert_eq!(a.contains(addr), b.contains(addr), "line {addr}");
+        }
+    }
+
+    #[test]
+    fn miss_token_reports_writeback_before_commit() {
+        let mut c = small();
+        c.access(0, true); // dirty
+        c.access(4, false);
+        c.access(4, false); // 0 is LRU
+        match c.try_access(8, false) {
+            TryAccess::Miss(token) => {
+                assert_eq!(token.writeback(), Some(0));
+                // Nothing evicted yet.
+                assert!(c.contains(0));
+                assert_eq!(c.fill(token), Some(0));
+                assert!(!c.contains(0));
+                assert!(c.contains(8));
+            }
+            TryAccess::Hit => panic!("expected miss"),
+        }
     }
 
     #[test]

@@ -171,6 +171,182 @@ impl<G: WorkloadGen> Core<G> {
             .is_some_and(|o| self.stats.instructions - o.issued_at_instr >= self.cfg.rob_window)
     }
 
+    /// Instructions the core may retire before the reorder window blocks
+    /// on the oldest outstanding load (`u64::MAX` when none).
+    fn headroom(&self) -> u64 {
+        self.outstanding
+            .first()
+            .map(|o| {
+                self.cfg
+                    .rob_window
+                    .saturating_sub(self.stats.instructions - o.issued_at_instr)
+            })
+            .unwrap_or(u64::MAX)
+    }
+
+    /// True when the core sits at its memory op but cannot submit it
+    /// (a load with the MLP budget exhausted).
+    fn mlp_blocked_at_mem(&self) -> bool {
+        !self.current.is_write && self.outstanding.len() >= self.cfg.mlp_limit
+    }
+
+    /// The earliest future cycle at which this core can interact with the
+    /// memory system, given its state after ticking at `now`.
+    ///
+    /// Returns:
+    /// * `now + 1` — a memory op submit (or retry) happens on the very
+    ///   next tick;
+    /// * `now + 1 + gap/budget` — the core retires gap instructions at
+    ///   full width until the tick on which it reaches its memory op;
+    /// * `u64::MAX` — the core is blocked (ROB window or MLP budget) and
+    ///   only a read completion can unblock it.
+    ///
+    /// Ticks strictly before the returned cycle neither submit memory
+    /// operations nor depend on the memory system; [`Core::fast_forward`]
+    /// replays them in O(1). Delivering a completion invalidates the
+    /// value — recompute after [`Core::complete_read`].
+    pub fn next_event(&self, now: u64) -> u64 {
+        if self.rob_blocked() {
+            return u64::MAX;
+        }
+        match self.next_action {
+            NextAction::Gap(remaining) if remaining > 0 => {
+                if self.headroom() > remaining {
+                    // Gap retirement reaches the memory op on the tick
+                    // after `remaining / budget` full-width cycles.
+                    now + 1 + remaining / self.cfg.budget_per_mem_cycle()
+                } else {
+                    // The ROB window blocks mid-gap.
+                    u64::MAX
+                }
+            }
+            // At the memory op (Gap(0) normalises to Mem on the next tick).
+            _ => {
+                if self.mlp_blocked_at_mem() {
+                    u64::MAX
+                } else {
+                    now + 1
+                }
+            }
+        }
+    }
+
+    /// The cycle of the tick on which `instructions` will first reach
+    /// `target`, assuming uninterrupted gap retirement after a tick at
+    /// `now` — or `u64::MAX` when that cannot happen before the next
+    /// memory event (already past target, blocked, or the memory op
+    /// comes first, all of which explicit ticks handle).
+    ///
+    /// The event loop clamps its fast-forward span to this cycle so a
+    /// quota crossing always lands on a span boundary: the per-cycle
+    /// reference loop stops simulating the moment the last core crosses,
+    /// and replaying any cycles past the crossing would accrue stall
+    /// cycles the reference never executes.
+    pub fn next_quota_crossing(&self, now: u64, target: u64) -> u64 {
+        if self.stats.instructions >= target || self.rob_blocked() {
+            return u64::MAX;
+        }
+        let need = target - self.stats.instructions;
+        match self.next_action {
+            NextAction::Gap(remaining) if remaining > 0 => {
+                // Retirement stops at the memory op or the ROB window;
+                // a crossing beyond either is not predictable here.
+                if need > remaining.min(self.headroom()) {
+                    return u64::MAX;
+                }
+                // Cycles before the crossing all retire a full budget
+                // (need <= headroom), so the crossing tick is offset
+                // ceil(need/budget)-1 into the replayed span.
+                now + 1 + (need.div_ceil(self.cfg.budget_per_mem_cycle()) - 1)
+            }
+            _ => u64::MAX,
+        }
+    }
+
+    /// Replays `cycles` consecutive ticks in O(1), valid only while no
+    /// memory event occurs — i.e. for spans that end strictly before
+    /// [`Core::next_event`] and during which no completion is delivered.
+    ///
+    /// Reproduces exactly what `cycles` calls of [`Core::tick`] would do
+    /// to `instructions`, `stall_cycles`, and the gap state machine.
+    /// Returns the 0-based offset of the tick on which `instructions`
+    /// first reached `target`, if that happened within the span.
+    pub fn fast_forward(&mut self, cycles: u64, target: u64) -> Option<u64> {
+        if cycles == 0 {
+            return None;
+        }
+        let budget = self.cfg.budget_per_mem_cycle();
+        let instr0 = self.stats.instructions;
+
+        // The per-cycle loop converts an exhausted gap to the memory op
+        // without consuming budget; mirror that normalisation.
+        if matches!(self.next_action, NextAction::Gap(0)) {
+            self.next_action = NextAction::Mem;
+        }
+
+        // How many instructions this span retires, and over how many
+        // leading busy (non-stall) cycles.
+        let (retired, busy) = if self.rob_blocked() {
+            (0, 0)
+        } else {
+            match self.next_action {
+                NextAction::Mem => {
+                    debug_assert!(
+                        self.mlp_blocked_at_mem(),
+                        "fast_forward would skip a memory submit"
+                    );
+                    (0, 0)
+                }
+                NextAction::Gap(remaining) => {
+                    let headroom = self.headroom();
+                    if headroom > remaining {
+                        // The span ends before the gap does, so every
+                        // cycle retires a full budget.
+                        debug_assert!(
+                            cycles <= remaining / budget,
+                            "fast_forward would skip a memory submit"
+                        );
+                        (cycles * budget, cycles)
+                    } else {
+                        // The ROB window blocks after `headroom` more
+                        // instructions: full-width cycles, one partial
+                        // cycle for the remainder, then pure stalls.
+                        let full = headroom / budget;
+                        let partial = headroom % budget;
+                        let retired = if cycles <= full {
+                            cycles * budget
+                        } else {
+                            headroom
+                        };
+                        let busy = (full + u64::from(partial != 0)).min(cycles);
+                        (retired, busy)
+                    }
+                }
+            }
+        };
+
+        self.stats.instructions += retired;
+        self.stats.stall_cycles += cycles - busy;
+        if retired > 0 {
+            if let NextAction::Gap(remaining) = self.next_action {
+                self.next_action = if remaining == retired {
+                    NextAction::Mem
+                } else {
+                    NextAction::Gap(remaining - retired)
+                };
+            }
+        }
+
+        if instr0 < target && instr0 + retired >= target {
+            // The crossing tick retires instructions instr0+1..=target;
+            // full-width cycles precede it, so it is tick ceil(need/B)-1.
+            let need = target - instr0;
+            Some(need.div_ceil(budget) - 1)
+        } else {
+            None
+        }
+    }
+
     /// Advances the core by one memory cycle. `submit` is called for each
     /// memory operation the core reaches within this cycle's instruction
     /// budget; it must return what the memory system did with it.
@@ -193,16 +369,7 @@ impl<G: WorkloadGen> Core<G> {
                     }
                     // Cap by ROB headroom so a large chunk cannot run past
                     // the reorder window within one cycle.
-                    let headroom = self
-                        .outstanding
-                        .first()
-                        .map(|o| {
-                            self.cfg
-                                .rob_window
-                                .saturating_sub(self.stats.instructions - o.issued_at_instr)
-                        })
-                        .unwrap_or(u64::MAX);
-                    let retire = remaining.min(budget).min(headroom);
+                    let retire = remaining.min(budget).min(self.headroom());
                     if retire == 0 {
                         break;
                     }
@@ -217,7 +384,7 @@ impl<G: WorkloadGen> Core<G> {
                 }
                 NextAction::Mem => {
                     let is_write = self.current.is_write;
-                    if !is_write && self.outstanding.len() >= self.cfg.mlp_limit {
+                    if self.mlp_blocked_at_mem() {
                         // MLP budget exhausted: stall until a completion.
                         break;
                     }
@@ -406,6 +573,170 @@ mod tests {
         assert_eq!(core.stats().retries, 1);
         assert_eq!(core.stats().instructions, 0);
         assert_eq!(core.stats().stall_cycles, 1);
+    }
+
+    #[test]
+    fn next_event_gap_arithmetic() {
+        // Budget is 16/cycle; a gap of g instructions reaches the memory
+        // op on tick now + 1 + g/16.
+        for (gap, offset) in [(0u32, 1u64), (15, 1), (16, 2), (17, 2), (33, 3)] {
+            let core = Core::new(
+                CoreConfig::default_ooo(),
+                Script::new(vec![rec(gap, 64, false)]),
+            );
+            assert_eq!(core.next_event(100), 100 + offset, "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn next_event_blocked_states_are_max() {
+        // MLP-blocked at the memory op.
+        let cfg = CoreConfig {
+            mlp_limit: 1,
+            ..CoreConfig::default_ooo()
+        };
+        let mut core = Core::new(cfg, Script::new(vec![rec(0, 64, false)]));
+        core.tick(|_| SubmitResult::QueuedRead(1));
+        assert_eq!(core.next_event(5), u64::MAX);
+        core.complete_read(1);
+        assert_eq!(core.next_event(5), 6);
+
+        // ROB-blocked mid-gap: the window closes before the gap ends.
+        let cfg = CoreConfig {
+            rob_window: 8,
+            ..CoreConfig::default_ooo()
+        };
+        let mut core = Core::new(
+            cfg,
+            Script::new(vec![rec(0, 64, false), rec(1000, 128, false)]),
+        );
+        core.tick(|_| SubmitResult::QueuedRead(1));
+        assert_eq!(core.next_event(0), u64::MAX);
+        core.complete_read(1);
+        // Gap 1000 with no outstanding reads: events resume.
+        assert!(core.next_event(0) < u64::MAX);
+    }
+
+    #[test]
+    fn fast_forward_counts_stalls_when_blocked() {
+        let cfg = CoreConfig {
+            mlp_limit: 1,
+            ..CoreConfig::default_ooo()
+        };
+        let mut core = Core::new(cfg, Script::new(vec![rec(0, 64, false)]));
+        core.tick(|_| SubmitResult::QueuedRead(1));
+        let before = core.stats();
+        assert_eq!(core.fast_forward(50, u64::MAX), None);
+        assert_eq!(core.stats().instructions, before.instructions);
+        assert_eq!(core.stats().stall_cycles, before.stall_cycles + 50);
+    }
+
+    #[test]
+    fn next_quota_crossing_prediction_matches_replay() {
+        // Gap of 1M: tick 0 retires 16, then target 100 needs 84 more —
+        // crossed on skipped tick ceil(84/16)-1 = 5, i.e. cycle 0+1+5.
+        let mut core = Core::new(
+            CoreConfig::default_ooo(),
+            Script::new(vec![rec(1_000_000, 64, false)]),
+        );
+        core.tick(|_| unreachable!());
+        assert_eq!(core.next_quota_crossing(0, 100), 6);
+        assert_eq!(core.fast_forward(6, 100), Some(5));
+        // Already past the target: no further crossing.
+        assert_eq!(core.next_quota_crossing(6, 100), u64::MAX);
+
+        // Blocked cores cannot cross.
+        let cfg = CoreConfig {
+            mlp_limit: 1,
+            ..CoreConfig::default_ooo()
+        };
+        let mut core = Core::new(cfg, Script::new(vec![rec(0, 64, false)]));
+        core.tick(|_| SubmitResult::QueuedRead(1));
+        assert_eq!(core.next_quota_crossing(0, 1_000), u64::MAX);
+    }
+
+    #[test]
+    fn fast_forward_reports_quota_crossing() {
+        let mut core = Core::new(
+            CoreConfig::default_ooo(),
+            Script::new(vec![rec(1_000_000, 64, false)]),
+        );
+        // Tick 0 retires 16; then fast-forward 10 cycles with target 100:
+        // cumulative hits 100 during the 6th skipped tick (offset 5).
+        core.tick(|_| unreachable!());
+        assert_eq!(core.fast_forward(10, 100), Some(5));
+        assert_eq!(core.stats().instructions, 16 + 160);
+    }
+
+    /// Drives two identical cores — one per-cycle, one via
+    /// `next_event`/`fast_forward` — through the same scripted memory
+    /// system and asserts identical statistics at every step.
+    #[test]
+    fn fast_forward_is_cycle_exact() {
+        let records = vec![
+            rec(40, 64, false),
+            rec(0, 128, true),
+            rec(300, 192, false),
+            rec(3, 256, false),
+            rec(1000, 320, false),
+        ];
+        let cfg = CoreConfig {
+            rob_window: 48,
+            mlp_limit: 2,
+            ..CoreConfig::default_ooo()
+        };
+        const LATENCY: u64 = 37;
+        const HORIZON: u64 = 4_000;
+
+        // Scripted memory system: every read is queued and completes a
+        // fixed latency later; writes are absorbed.
+        let run = |event_driven: bool| {
+            let mut core = Core::new(cfg, Script::new(records.clone()));
+            let mut next_id = 0u64;
+            let mut pending: Vec<(u64, u64)> = Vec::new(); // (done_at, id)
+            let mut now = 0u64;
+            while now < HORIZON {
+                pending.retain(|&(done_at, id)| {
+                    if done_at <= now {
+                        core.complete_read(id);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                core.tick(|op| match op {
+                    MemOp::Read { .. } => {
+                        next_id += 1;
+                        pending.push((now + LATENCY, next_id));
+                        SubmitResult::QueuedRead(next_id)
+                    }
+                    MemOp::Write { .. } => SubmitResult::QueuedWrite,
+                });
+                if event_driven {
+                    let mut next = core.next_event(now);
+                    if let Some(&(done_at, _)) = pending.iter().min_by_key(|&&(d, _)| d) {
+                        next = next.min(done_at);
+                    }
+                    let next = next.max(now + 1).min(HORIZON);
+                    assert_ne!(next, u64::MAX, "deadlock");
+                    core.fast_forward(next - now - 1, u64::MAX);
+                    now = next;
+                } else {
+                    now += 1;
+                }
+            }
+            core.stats()
+        };
+
+        let per_cycle = run(false);
+        let event = run(true);
+        assert_eq!(per_cycle.instructions, event.instructions);
+        assert_eq!(per_cycle.stall_cycles, event.stall_cycles);
+        assert_eq!(per_cycle.read_misses, event.read_misses);
+        assert_eq!(per_cycle.writes, event.writes);
+        assert_eq!(per_cycle.llc_hits, event.llc_hits);
+        assert!(per_cycle.instructions > 0);
+        assert!(per_cycle.stall_cycles > 0, "script must exercise stalls");
     }
 
     #[test]

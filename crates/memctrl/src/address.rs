@@ -50,18 +50,52 @@ impl DecodedAddr {
     }
 }
 
+/// Precomputed shift/mask field layout for all-power-of-two geometries,
+/// letting the hot `decode`/`encode` paths avoid div/mod entirely.
+#[derive(Debug, Clone, Copy)]
+struct Pow2Layout {
+    bank_log: u32,
+    rank_log: u32,
+    col_log: u32,
+    row_log: u32,
+    total_mask: u64,
+}
+
 /// Stateless mapper for a fixed geometry and scheme.
 #[derive(Debug, Clone, Copy)]
 pub struct AddressMapping {
     geometry: Geometry,
     scheme: MappingScheme,
+    /// `Some` when every dimension is a power of two (the normal case;
+    /// only an exotic rank count falls back to div/mod).
+    pow2: Option<Pow2Layout>,
 }
 
 impl AddressMapping {
     /// Creates a mapping.
     pub fn new(geometry: Geometry, scheme: MappingScheme) -> Self {
         geometry.validate().expect("invalid geometry");
-        AddressMapping { geometry, scheme }
+        let dims = [
+            geometry.banks_per_rank,
+            geometry.ranks,
+            geometry.lines_per_row,
+            geometry.rows_per_bank,
+        ];
+        let pow2 = dims
+            .iter()
+            .all(|d| d.is_power_of_two())
+            .then(|| Pow2Layout {
+                bank_log: geometry.banks_per_rank.trailing_zeros(),
+                rank_log: geometry.ranks.trailing_zeros(),
+                col_log: geometry.lines_per_row.trailing_zeros(),
+                row_log: geometry.rows_per_bank.trailing_zeros(),
+                total_mask: geometry.total_lines() as u64 - 1,
+            });
+        AddressMapping {
+            geometry,
+            scheme,
+            pow2,
+        }
     }
 
     /// The mapping's scheme.
@@ -78,6 +112,39 @@ impl AddressMapping {
     /// capacity wrap (the synthetic workloads use modest footprints, but
     /// per-core base offsets can push beyond the top).
     pub fn decode(&self, line_addr: u64) -> DecodedAddr {
+        if let Some(l) = self.pow2 {
+            let addr = line_addr & l.total_mask;
+            return match self.scheme {
+                MappingScheme::RowRankBankCol => {
+                    let bank = addr & ((1 << l.bank_log) - 1);
+                    let rest = addr >> l.bank_log;
+                    let rank = rest & ((1 << l.rank_log) - 1);
+                    let rest = rest >> l.rank_log;
+                    let col = rest & ((1 << l.col_log) - 1);
+                    let row = rest >> l.col_log;
+                    DecodedAddr {
+                        rank: rank as usize,
+                        bank: bank as usize,
+                        row: row as usize,
+                        col: col as usize,
+                    }
+                }
+                MappingScheme::RankPartitioned => {
+                    let bank = addr & ((1 << l.bank_log) - 1);
+                    let rest = addr >> l.bank_log;
+                    let col = rest & ((1 << l.col_log) - 1);
+                    let rest = rest >> l.col_log;
+                    let row = rest & ((1 << l.row_log) - 1);
+                    let rank = rest >> l.row_log;
+                    DecodedAddr {
+                        rank: rank as usize,
+                        bank: bank as usize,
+                        row: row as usize,
+                        col: col as usize,
+                    }
+                }
+            };
+        }
         let g = &self.geometry;
         let lines_per_row = g.lines_per_row as u64;
         let banks = g.banks_per_rank as u64;
@@ -121,6 +188,22 @@ impl AddressMapping {
     /// turn ROP prefetch candidates (bank + line-in-bank coordinates) back
     /// into bufferable line addresses.
     pub fn encode(&self, d: &DecodedAddr) -> u64 {
+        if let Some(l) = self.pow2 {
+            return match self.scheme {
+                MappingScheme::RowRankBankCol => {
+                    ((((((d.row as u64) << l.col_log) | d.col as u64) << l.rank_log)
+                        | d.rank as u64)
+                        << l.bank_log)
+                        | d.bank as u64
+                }
+                MappingScheme::RankPartitioned => {
+                    ((((((d.rank as u64) << l.row_log) | d.row as u64) << l.col_log)
+                        | d.col as u64)
+                        << l.bank_log)
+                        | d.bank as u64
+                }
+            };
+        }
         let g = &self.geometry;
         let lines_per_row = g.lines_per_row as u64;
         let banks = g.banks_per_rank as u64;
@@ -141,14 +224,24 @@ impl AddressMapping {
     /// Builds the global line address for a `(rank, bank, line-in-bank)`
     /// coordinate — the shape ROP's prediction table works in.
     pub fn encode_bank_line(&self, rank: usize, bank: usize, line_in_bank: u64) -> u64 {
-        let lines_per_row = self.geometry.lines_per_row as u64;
-        let d = DecodedAddr {
+        let (row, col) = if let Some(l) = self.pow2 {
+            (
+                (line_in_bank >> l.col_log) as usize,
+                (line_in_bank & ((1 << l.col_log) - 1)) as usize,
+            )
+        } else {
+            let lines_per_row = self.geometry.lines_per_row as u64;
+            (
+                (line_in_bank / lines_per_row) as usize,
+                (line_in_bank % lines_per_row) as usize,
+            )
+        };
+        self.encode(&DecodedAddr {
             rank,
             bank,
-            row: (line_in_bank / lines_per_row) as usize,
-            col: (line_in_bank % lines_per_row) as usize,
-        };
-        self.encode(&d)
+            row,
+            col,
+        })
     }
 
     /// Lines in one rank's partition (for computing per-core base
@@ -306,5 +399,88 @@ mod tests {
         let m = mapping(MappingScheme::RowRankBankCol);
         let total = m.geometry().total_lines() as u64;
         assert_eq!(m.decode(total + 5), m.decode(5));
+    }
+
+    /// Plain div/mod re-implementation of `decode`, used to pin down the
+    /// shift/mask fast path.
+    fn decode_reference(g: &Geometry, scheme: MappingScheme, line_addr: u64) -> DecodedAddr {
+        let (lines_per_row, banks, ranks, rows) = (
+            g.lines_per_row as u64,
+            g.banks_per_rank as u64,
+            g.ranks as u64,
+            g.rows_per_bank as u64,
+        );
+        let addr = line_addr % g.total_lines() as u64;
+        let (rank, bank, row, col) = match scheme {
+            MappingScheme::RowRankBankCol => {
+                let rest = addr / banks;
+                let rest2 = rest / ranks;
+                (
+                    rest % ranks,
+                    addr % banks,
+                    rest2 / lines_per_row,
+                    rest2 % lines_per_row,
+                )
+            }
+            MappingScheme::RankPartitioned => {
+                let rest = addr / banks;
+                let rest2 = rest / lines_per_row;
+                (
+                    rest2 / rows,
+                    addr % banks,
+                    rest2 % rows,
+                    rest % lines_per_row,
+                )
+            }
+        };
+        DecodedAddr {
+            rank: rank as usize,
+            bank: bank as usize,
+            row: row as usize,
+            col: col as usize,
+        }
+    }
+
+    #[test]
+    fn shift_mask_matches_div_mod_reference() {
+        for scheme in [
+            MappingScheme::RowRankBankCol,
+            MappingScheme::RankPartitioned,
+        ] {
+            let m = mapping(scheme);
+            let total = m.geometry().total_lines() as u64;
+            let addrs = (0..2000u64)
+                .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % (2 * total))
+                .chain([0, 1, total - 1, total, total + 7]);
+            for addr in addrs {
+                let fast = m.decode(addr);
+                let slow = decode_reference(m.geometry(), scheme, addr);
+                assert_eq!(fast, slow, "{scheme:?} addr {addr}");
+                assert_eq!(m.encode(&fast), addr % total, "{scheme:?} addr {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_pow2_rank_count_falls_back() {
+        // 3 ranks is valid (only non-zero is required) but not a power of
+        // two, so the div/mod fallback must handle it.
+        let g = Geometry {
+            ranks: 3,
+            ..Geometry::ddr4_1rank()
+        };
+        for scheme in [
+            MappingScheme::RowRankBankCol,
+            MappingScheme::RankPartitioned,
+        ] {
+            let m = AddressMapping::new(g, scheme);
+            let total = m.geometry().total_lines() as u64;
+            for addr in [0u64, 1, 12345, total - 1] {
+                let d = m.decode(addr);
+                assert!(d.rank < 3);
+                assert_eq!(m.encode(&d), addr, "{scheme:?} addr {addr}");
+                assert_eq!(d, decode_reference(m.geometry(), scheme, addr));
+            }
+        }
     }
 }

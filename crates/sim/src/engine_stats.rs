@@ -1,0 +1,50 @@
+//! Process-wide engine throughput accounting.
+//!
+//! Every finished [`crate::system::System`] run adds its simulated cycle
+//! and instruction counts here. Drivers that fan runs out across threads
+//! (the `repro` binary's figure sweeps) can then report aggregate
+//! simulated cycles/sec and instructions/sec against their own wall
+//! clock, making engine speedups measurable run-over-run without
+//! threading per-run timing through every experiment result type.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CYCLES: AtomicU64 = AtomicU64::new(0);
+static INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Totals simulated by this process so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTotals {
+    /// Simulated memory-clock cycles, summed over all finished runs.
+    pub cycles: u64,
+    /// Retired instructions, summed over all cores of all finished runs.
+    pub instructions: u64,
+}
+
+/// Adds one finished run to the process totals.
+pub(crate) fn record(cycles: u64, instructions: u64) {
+    CYCLES.fetch_add(cycles, Ordering::Relaxed);
+    INSTRUCTIONS.fetch_add(instructions, Ordering::Relaxed);
+}
+
+/// Snapshot of the process totals.
+pub fn totals() -> EngineTotals {
+    EngineTotals {
+        cycles: CYCLES.load(Ordering::Relaxed),
+        instructions: INSTRUCTIONS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate_monotonically() {
+        let before = totals();
+        record(100, 40);
+        let after = totals();
+        assert!(after.cycles >= before.cycles + 100);
+        assert!(after.instructions >= before.instructions + 40);
+    }
+}

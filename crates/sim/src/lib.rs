@@ -14,6 +14,7 @@
 //! execution-time differences show up in both IPC and energy.
 
 pub mod config;
+pub mod engine_stats;
 pub mod experiments;
 pub mod metrics;
 pub mod runner;

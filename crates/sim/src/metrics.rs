@@ -64,6 +64,11 @@ pub struct RunMetrics {
     /// True when the run hit its safety cycle cap before all cores
     /// finished their instruction quota.
     pub hit_cycle_cap: bool,
+    /// Wall-clock seconds spent inside the simulation loop.
+    pub wall_seconds: f64,
+    /// Instructions retired summed over all cores (each capped at its
+    /// fixed-work target), for throughput reporting.
+    pub instructions_total: u64,
 }
 
 impl RunMetrics {
@@ -75,6 +80,23 @@ impl RunMetrics {
     /// Total energy in millijoules.
     pub fn energy_mj(&self) -> f64 {
         self.energy.total_mj()
+    }
+
+    /// Simulated memory-clock cycles per wall-clock second — the
+    /// engine-throughput figure of merit (0 when timing was not captured).
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_cycles as f64 / self.wall_seconds
+    }
+
+    /// Simulated instructions per wall-clock second, over all cores.
+    pub fn instructions_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.instructions_total as f64 / self.wall_seconds
     }
 
     /// Weighted speedup against per-benchmark alone-IPCs:
@@ -111,6 +133,7 @@ mod tests {
     fn run(cores: Vec<CoreMetrics>) -> RunMetrics {
         RunMetrics {
             system: "test".into(),
+            instructions_total: cores.iter().map(|c| c.instructions).sum(),
             cores,
             total_cycles: 100,
             energy: EnergyBreakdown::default(),
@@ -122,6 +145,7 @@ mod tests {
             row_hit_rate: 0.0,
             avg_read_latency: 0.0,
             hit_cycle_cap: false,
+            wall_seconds: 0.0,
         }
     }
 

@@ -42,8 +42,14 @@ impl RunSpec {
     /// Reads `ROP_INSTR` (instructions per core) from the environment, or
     /// falls back to [`RunSpec::full`]. Lets CI shrink the workload.
     pub fn from_env() -> Self {
+        Self::from_env_with(|key| std::env::var(key).ok())
+    }
+
+    /// [`RunSpec::from_env`] with an injected variable getter, so tests
+    /// can exercise the parsing without mutating process-global state.
+    pub fn from_env_with(getter: impl Fn(&str) -> Option<String>) -> Self {
         let mut spec = Self::full();
-        if let Ok(v) = std::env::var("ROP_INSTR") {
+        if let Some(v) = getter("ROP_INSTR") {
             if let Ok(n) = v.trim().parse::<u64>() {
                 spec.instructions = n.max(1);
             }
@@ -58,6 +64,14 @@ pub fn run_single(benchmark: Benchmark, kind: SystemKind, spec: RunSpec) -> RunM
     sys.run_until(spec.instructions, spec.max_cycles)
 }
 
+/// Runs one single-core experiment through the per-cycle reference loop.
+/// Produces bit-identical metrics to [`run_single`]; exists so benchmarks
+/// and differential tests can compare engine implementations.
+pub fn run_single_reference(benchmark: Benchmark, kind: SystemKind, spec: RunSpec) -> RunMetrics {
+    let mut sys = System::new(SystemConfig::single_core(benchmark, kind, spec.seed));
+    sys.run_until_reference(spec.instructions, spec.max_cycles)
+}
+
 /// Runs one 4-core multiprogram experiment with the given LLC size (MiB).
 pub fn run_multi(mix: WorkloadMix, kind: SystemKind, llc_mib: usize, spec: RunSpec) -> RunMetrics {
     let mut cfg = SystemConfig::multi_core(mix.programs, kind, spec.seed);
@@ -69,33 +83,49 @@ pub fn run_multi(mix: WorkloadMix, kind: SystemKind, llc_mib: usize, spec: RunSp
 /// Applies `f` to every item of `items` on scoped worker threads and
 /// returns the results in input order. The simulator is single-threaded
 /// per system, so figure-level sweeps parallelise across runs.
+///
+/// Workers pull indices from a shared atomic counter and send each
+/// `(index, result)` over a channel as soon as it is ready, so no lock
+/// is held across runs and slow items don't serialize the rest.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    if items.is_empty() {
+        return Vec::new();
+    }
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
-        .min(items.len().max(1));
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        .min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    crossbeam::thread::scope(|scope| {
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            let tx = tx.clone();
+            let (next, items, f) = (&next, &items, &f);
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
-                let mut guard = results_mutex.lock().expect("no poisoned workers");
-                guard[i] = Some(r);
+                // A send error means the receiver is gone, which only
+                // happens if the scope is unwinding from a panic.
+                let _ = tx.send((i, f(&items[i])));
             });
         }
-    })
-    .expect("worker thread panicked");
+        drop(tx);
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+    });
     results
         .into_iter()
         .map(|r| r.expect("every slot filled"))
@@ -121,13 +151,17 @@ mod tests {
 
     #[test]
     fn spec_from_env_parses() {
-        // Note: sets a process-global env var; value restored after.
-        std::env::set_var("ROP_INSTR", "1234");
-        let s = RunSpec::from_env();
+        // Injected getter: no process-global env mutation, safe under
+        // the parallel test runner.
+        let s = RunSpec::from_env_with(|k| (k == "ROP_INSTR").then(|| "1234".to_string()));
         assert_eq!(s.instructions, 1234);
-        std::env::remove_var("ROP_INSTR");
-        let s = RunSpec::from_env();
+        let s = RunSpec::from_env_with(|_| None);
         assert_eq!(s.instructions, RunSpec::full().instructions);
+        // Garbage and zero values fall back / clamp.
+        let s = RunSpec::from_env_with(|_| Some("not a number".to_string()));
+        assert_eq!(s.instructions, RunSpec::full().instructions);
+        let s = RunSpec::from_env_with(|_| Some("0".to_string()));
+        assert_eq!(s.instructions, 1);
     }
 
     #[test]

@@ -1,6 +1,23 @@
 //! System assembly and the fixed-work simulation loop.
+//!
+//! Two loops drive the same machine state:
+//!
+//! * [`System::run_until`] — the event-driven engine. Every iteration
+//!   advances `now` straight to the earliest next event (core memory op,
+//!   controller hint, or in-flight read completion), batch-replaying the
+//!   skipped cycles on each core in O(1) via [`Core::fast_forward`].
+//! * [`System::run_until_reference`] — a pure per-cycle loop with no
+//!   fast-forwarding at all. It exists as the semantic oracle: the
+//!   differential tests assert both loops produce identical metrics.
+//!
+//! See DESIGN.md ("Engine") for the event contract and the invariants
+//! that make the batched loop cycle-exact.
 
-use rop_cache::{AccessOutcome, Cache};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use rop_cache::{Cache, TryAccess};
 use rop_cpu::{Core, MemOp, SubmitResult};
 use rop_memctrl::{Completion, MemController};
 use rop_trace::SyntheticWorkload;
@@ -9,17 +26,44 @@ use crate::config::SystemConfig;
 use crate::metrics::{CoreMetrics, RunMetrics};
 use crate::Cycle;
 
+/// Min-heap ordering for in-flight completions: earliest `done_at`
+/// first, then id for determinism.
+#[derive(Debug)]
+struct Inflight(Completion);
+
+impl PartialEq for Inflight {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.done_at, self.0.id) == (other.0.done_at, other.0.id)
+    }
+}
+impl Eq for Inflight {}
+impl PartialOrd for Inflight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Inflight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.done_at, self.0.id).cmp(&(other.0.done_at, other.0.id))
+    }
+}
+
 /// A complete simulated machine: cores → shared LLC → controller → DRAM.
 pub struct System {
     cfg: SystemConfig,
     cores: Vec<Core<SyntheticWorkload>>,
     llc: Cache,
     ctrl: MemController,
-    /// Read completions waiting for their data-arrival cycle.
-    inflight: Vec<Completion>,
+    /// Read completions waiting for their data-arrival cycle, earliest
+    /// first.
+    inflight: BinaryHeap<Reverse<Inflight>>,
     now: Cycle,
     /// Cycle at which each core crossed its instruction quota.
     finish: Vec<Option<Cycle>>,
+    /// `log2(line_bytes)` when the line size is a power of two.
+    line_shift: Option<u32>,
+    /// Wall-clock seconds spent inside the run loop.
+    wall_seconds: f64,
 }
 
 impl System {
@@ -51,13 +95,18 @@ impl System {
                 Core::new(cfg.core, workload)
             })
             .collect();
+        let llc_line = cfg.llc.line_bytes as u64;
         System {
             llc: Cache::new(cfg.llc),
             finish: vec![None; cfg.benchmarks.len()],
             cores,
             ctrl,
-            inflight: Vec::new(),
+            inflight: BinaryHeap::new(),
             now: 0,
+            line_shift: llc_line
+                .is_power_of_two()
+                .then(|| llc_line.trailing_zeros()),
+            wall_seconds: 0.0,
             cfg,
         }
     }
@@ -79,30 +128,54 @@ impl System {
     /// until the last core completes, as in fixed-work methodology; their
     /// statistics are frozen at the quota-crossing cycle.
     pub fn run_until(&mut self, target_instructions: u64, max_cycles: Cycle) -> RunMetrics {
+        self.drive(target_instructions, max_cycles, true);
+        self.collect(target_instructions, max_cycles)
+    }
+
+    /// [`System::run_until`] without any fast-forwarding: ticks every
+    /// single cycle. Semantically identical and much slower — it is the
+    /// oracle the differential tests compare the event-driven engine
+    /// against.
+    pub fn run_until_reference(
+        &mut self,
+        target_instructions: u64,
+        max_cycles: Cycle,
+    ) -> RunMetrics {
+        self.drive(target_instructions, max_cycles, false);
+        self.collect(target_instructions, max_cycles)
+    }
+
+    /// The simulation loop shared by both entry points.
+    ///
+    /// Event-driven invariants (enforced by the differential tests):
+    /// no core submits a memory op, and no controller action or read
+    /// completion occurs, at any skipped cycle — so replaying the skips
+    /// with [`Core::fast_forward`] and leaving the controller untouched
+    /// reproduces the per-cycle execution exactly.
+    fn drive(&mut self, target_instructions: u64, max_cycles: Cycle, event_driven: bool) {
+        let start = Instant::now();
         let line_bytes = self.cfg.llc.line_bytes as u64;
+        let line_shift = self.line_shift;
         while self.finish.iter().any(Option::is_none) && self.now < max_cycles {
             let now = self.now;
 
             // Deliver read data that has arrived.
-            let cores = &mut self.cores;
-            self.inflight.retain(|c| {
-                if c.done_at <= now {
-                    cores[c.core].complete_read(c.id);
-                    false
-                } else {
-                    true
+            while let Some(Reverse(head)) = self.inflight.peek() {
+                if head.0.done_at > now {
+                    break;
                 }
-            });
+                let Some(Reverse(Inflight(c))) = self.inflight.pop() else {
+                    unreachable!("peeked entry vanished");
+                };
+                self.cores[c.core].complete_read(c.id);
+            }
 
-            // Tick cores, counting progress for the fast-forward check.
-            let mut any_progress = false;
+            // Tick every core for exactly this cycle.
             let Self {
                 cores, llc, ctrl, ..
             } = self;
             for (i, core) in cores.iter_mut().enumerate() {
-                let before = core.stats().instructions;
-                core.tick(|op| submit(llc, ctrl, line_bytes, i, now, op));
-                any_progress |= core.stats().instructions != before;
+                core.tick(|op| submit(llc, ctrl, line_bytes, line_shift, i, now, op));
             }
 
             // Record quota crossings.
@@ -114,27 +187,58 @@ impl System {
 
             // Tick the controller and collect fresh completions.
             let hint = self.ctrl.tick(now);
-            self.inflight.extend(self.ctrl.take_completions());
-
-            // Advance: fast-forward when nothing can happen sooner.
-            if !any_progress && hint > now + 1 {
-                let next_completion = self
-                    .inflight
-                    .iter()
-                    .map(|c| c.done_at)
-                    .min()
-                    .unwrap_or(Cycle::MAX);
-                let jump = hint.min(next_completion).max(now + 1);
-                assert!(
-                    jump != Cycle::MAX,
-                    "system deadlock: all cores stalled with no pending events"
-                );
-                self.now = jump;
-            } else {
-                self.now += 1;
+            for c in self.ctrl.take_completions() {
+                self.inflight.push(Reverse(Inflight(c)));
             }
+
+            // Once every core has crossed its quota the run is over; do
+            // not fast-forward (and tally stalls for) cycles the
+            // per-cycle reference would never execute.
+            if !event_driven || self.finish.iter().all(Option::is_some) {
+                self.now = now + 1;
+                continue;
+            }
+
+            // Advance straight to the earliest next event: the controller
+            // hint, the next read completion, or the next core memory op.
+            let mut next = hint;
+            if let Some(Reverse(head)) = self.inflight.peek() {
+                next = next.min(head.0.done_at);
+            }
+            for (i, core) in self.cores.iter().enumerate() {
+                next = next.min(core.next_event(now));
+                if self.finish[i].is_none() {
+                    // End the span exactly on a quota-crossing tick: the
+                    // reference loop stops simulating once the last core
+                    // crosses, so replaying past the crossing would count
+                    // stall cycles the reference never executes.
+                    let crossing = core.next_quota_crossing(now, target_instructions);
+                    next = next.min(crossing.saturating_add(1));
+                }
+            }
+            assert!(
+                next != Cycle::MAX,
+                "system deadlock: all cores stalled with no pending events"
+            );
+            let next = next.max(now + 1).min(max_cycles);
+
+            // Batch-replay the skipped cycles on every core (stall and
+            // gap-retirement accounting stays cycle-exact), watching for
+            // quota crossings inside the span.
+            if next > now + 1 {
+                let span = next - now - 1;
+                for (i, core) in self.cores.iter_mut().enumerate() {
+                    let crossed = core.fast_forward(span, target_instructions);
+                    if self.finish[i].is_none() {
+                        if let Some(offset) = crossed {
+                            self.finish[i] = Some(now + 1 + offset + 1);
+                        }
+                    }
+                }
+            }
+            self.now = next;
         }
-        self.collect(target_instructions, max_cycles)
+        self.wall_seconds += start.elapsed().as_secs_f64();
     }
 
     fn collect(&mut self, target: u64, max_cycles: Cycle) -> RunMetrics {
@@ -174,6 +278,12 @@ impl System {
         let stats = self.ctrl.stats().clone();
         let refreshes: u64 = (0..ranks).map(|r| self.ctrl.refreshes_issued(r)).sum();
         let _ = max_cycles;
+        let instructions_total: u64 = self
+            .cores
+            .iter()
+            .map(|c| c.stats().instructions.min(target))
+            .sum();
+        crate::engine_stats::record(total_cycles, instructions_total);
         RunMetrics {
             system: self.cfg.kind.label(),
             cores,
@@ -195,12 +305,20 @@ impl System {
                 stats.sum_read_latency as f64 / stats.reads_completed as f64
             },
             hit_cycle_cap,
+            wall_seconds: self.wall_seconds,
+            instructions_total,
         }
     }
 }
 
 /// Routes one core memory operation through the shared LLC and, on a
 /// miss, into the memory controller.
+///
+/// The LLC is probed exactly once: a hit commits immediately, a miss
+/// yields a token that is only committed after the controller has
+/// accepted everything the miss generates — dropping the token on
+/// back-pressure leaves the cache untouched, exactly like the retried
+/// access never happened.
 ///
 /// Store misses allocate in the LLC without fetching the line from DRAM
 /// (their fill traffic is omitted; the store's memory-side cost is the
@@ -211,6 +329,7 @@ fn submit(
     llc: &mut Cache,
     ctrl: &mut MemController,
     line_bytes: u64,
+    line_shift: Option<u32>,
     core: usize,
     now: Cycle,
     op: MemOp,
@@ -219,40 +338,36 @@ fn submit(
         MemOp::Read { addr } => (addr, false),
         MemOp::Write { addr } => (addr, true),
     };
-    let line = addr / line_bytes;
+    let line = match line_shift {
+        Some(shift) => addr >> shift,
+        None => addr / line_bytes,
+    };
 
-    if llc.contains(line) {
-        let outcome = llc.access(line, is_write);
-        debug_assert!(outcome.is_hit());
-        return SubmitResult::LlcHit;
-    }
+    let token = match llc.try_access(line, is_write) {
+        TryAccess::Hit => return SubmitResult::LlcHit,
+        TryAccess::Miss(token) => token,
+    };
 
     // Miss path: make sure the controller can take everything this miss
-    // may generate before mutating the cache.
+    // may generate before committing the fill.
     let write_room = ctrl.write_queue_len() < ctrl.config().write_queue_capacity;
     if !write_room {
         return SubmitResult::Retry;
     }
     if is_write {
-        match llc.access(line, true) {
-            AccessOutcome::Miss {
-                writeback: Some(victim),
-            } => {
+        match llc.fill(token) {
+            Some(victim) => {
                 let ok = ctrl.enqueue_write(victim, core, now);
                 debug_assert!(ok, "write room was checked");
                 SubmitResult::QueuedWrite
             }
-            AccessOutcome::Miss { writeback: None } => SubmitResult::LlcHit,
-            AccessOutcome::Hit => SubmitResult::LlcHit,
+            None => SubmitResult::LlcHit,
         }
     } else {
         let Some(id) = ctrl.enqueue_read(line, core, now) else {
             return SubmitResult::Retry;
         };
-        if let AccessOutcome::Miss {
-            writeback: Some(victim),
-        } = llc.access(line, false)
-        {
+        if let Some(victim) = llc.fill(token) {
             let ok = ctrl.enqueue_write(victim, core, now);
             debug_assert!(ok, "write room was checked");
         }
@@ -335,5 +450,100 @@ mod tests {
         for c in &m.cores {
             assert!(c.ipc > 0.0, "{} stalled forever", c.benchmark);
         }
+    }
+
+    /// Runs the same configuration through both loops and asserts the
+    /// metrics the acceptance criteria pin down are bit-identical.
+    fn assert_loops_agree(kind: SystemKind, b: Benchmark, target: u64, cap: Cycle) {
+        let mut event = System::new(SystemConfig::single_core(b, kind, 42));
+        let me = event.run_until(target, cap);
+        let mut reference = System::new(SystemConfig::single_core(b, kind, 42));
+        let mr = reference.run_until_reference(target, cap);
+
+        assert_eq!(me.total_cycles, mr.total_cycles, "{kind:?}/{b:?}");
+        assert_eq!(me.refreshes, mr.refreshes, "{kind:?}/{b:?}");
+        assert_eq!(me.hit_cycle_cap, mr.hit_cycle_cap, "{kind:?}/{b:?}");
+        assert_eq!(me.sram_lookups, mr.sram_lookups, "{kind:?}/{b:?}");
+        assert_eq!(me.prefetches, mr.prefetches, "{kind:?}/{b:?}");
+        assert_eq!(me.energy.total_nj(), mr.energy.total_nj(), "{kind:?}/{b:?}");
+        for (ce, cr) in me.cores.iter().zip(&mr.cores) {
+            assert_eq!(ce.instructions, cr.instructions, "{kind:?}/{b:?}");
+            assert_eq!(ce.finish_cycle, cr.finish_cycle, "{kind:?}/{b:?}");
+            assert_eq!(ce.ipc, cr.ipc, "{kind:?}/{b:?}");
+            assert_eq!(ce.llc_hits, cr.llc_hits, "{kind:?}/{b:?}");
+            assert_eq!(ce.read_misses, cr.read_misses, "{kind:?}/{b:?}");
+            assert_eq!(ce.stall_cycles, cr.stall_cycles, "{kind:?}/{b:?}");
+        }
+    }
+
+    #[test]
+    fn event_loop_is_cycle_exact_memory_light() {
+        // Compute-heavy: the event engine skips most cycles here, so this
+        // is where fast-forward bugs would surface.
+        assert_loops_agree(SystemKind::Baseline, Benchmark::Gcc, 120_000, 20_000_000);
+        assert_loops_agree(
+            SystemKind::Rop { buffer: 64 },
+            Benchmark::Gcc,
+            120_000,
+            20_000_000,
+        );
+    }
+
+    #[test]
+    fn event_loop_is_cycle_exact_streaming() {
+        assert_loops_agree(
+            SystemKind::Baseline,
+            Benchmark::Libquantum,
+            120_000,
+            20_000_000,
+        );
+        assert_loops_agree(
+            SystemKind::Rop { buffer: 64 },
+            Benchmark::Libquantum,
+            120_000,
+            20_000_000,
+        );
+    }
+
+    #[test]
+    fn event_loop_is_cycle_exact_mixed() {
+        assert_loops_agree(SystemKind::Baseline, Benchmark::Lbm, 120_000, 20_000_000);
+        assert_loops_agree(
+            SystemKind::Rop { buffer: 64 },
+            Benchmark::Lbm,
+            120_000,
+            20_000_000,
+        );
+    }
+
+    #[test]
+    fn event_loop_is_cycle_exact_multicore() {
+        let mix = rop_trace::WORKLOAD_MIXES[5];
+        let mut event = System::new(SystemConfig::multi_core(
+            mix.programs,
+            SystemKind::Baseline,
+            7,
+        ));
+        let me = event.run_until(60_000, 50_000_000);
+        let mut reference = System::new(SystemConfig::multi_core(
+            mix.programs,
+            SystemKind::Baseline,
+            7,
+        ));
+        let mr = reference.run_until_reference(60_000, 50_000_000);
+        assert_eq!(me.total_cycles, mr.total_cycles);
+        assert_eq!(me.refreshes, mr.refreshes);
+        for (ce, cr) in me.cores.iter().zip(&mr.cores) {
+            assert_eq!(ce.finish_cycle, cr.finish_cycle, "{}", ce.benchmark);
+            assert_eq!(ce.stall_cycles, cr.stall_cycles, "{}", ce.benchmark);
+        }
+    }
+
+    #[test]
+    fn wall_clock_throughput_is_populated() {
+        let m = quick(SystemKind::Baseline, Benchmark::Gcc);
+        assert!(m.wall_seconds > 0.0);
+        assert!(m.cycles_per_sec() > 0.0);
+        assert!(m.instructions_per_sec() > 0.0);
     }
 }

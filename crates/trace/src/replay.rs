@@ -247,8 +247,16 @@ mod tests {
     #[test]
     fn replay_loops_and_repeats() {
         let records = vec![
-            TraceRecord { gap_instructions: 1, addr: 0x40, is_write: false },
-            TraceRecord { gap_instructions: 2, addr: 0x80, is_write: true },
+            TraceRecord {
+                gap_instructions: 1,
+                addr: 0x40,
+                is_write: false,
+            },
+            TraceRecord {
+                gap_instructions: 2,
+                addr: 0x80,
+                is_write: true,
+            },
         ];
         let mut r = ReplayWorkload::new("tiny", records.clone());
         assert_eq!(r.len(), 2);

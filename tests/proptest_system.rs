@@ -108,6 +108,42 @@ proptest! {
         }
     }
 
+    /// The event-driven engine and the per-cycle reference loop agree
+    /// bit-for-bit on total cycles, refreshes and per-core instruction
+    /// accounting, for any benchmark, system kind and seed.
+    #[test]
+    fn event_loop_matches_reference(
+        bench_idx in 0usize..12,
+        kind_idx in 0usize..4,
+        seed in 0u64..1 << 32,
+        instructions in 10_000u64..50_000,
+    ) {
+        use rop_sim::sim::runner::{run_single, run_single_reference, RunSpec};
+        use rop_sim::sim::SystemKind;
+        use rop_sim::trace::ALL_BENCHMARKS;
+
+        let benchmark = ALL_BENCHMARKS[bench_idx];
+        let kind = [
+            SystemKind::Baseline,
+            SystemKind::BaselineRp,
+            SystemKind::Rop { buffer: 64 },
+            SystemKind::NoRefresh,
+        ][kind_idx];
+        let spec = RunSpec { instructions, max_cycles: 50_000_000, seed };
+        let ev = run_single(benchmark, kind, spec);
+        let rf = run_single_reference(benchmark, kind, spec);
+        prop_assert_eq!(ev.total_cycles, rf.total_cycles);
+        prop_assert_eq!(ev.refreshes, rf.refreshes);
+        prop_assert_eq!(ev.cores.len(), rf.cores.len());
+        for (a, b) in ev.cores.iter().zip(&rf.cores) {
+            prop_assert_eq!(a.instructions, b.instructions);
+            prop_assert_eq!(a.finish_cycle, b.finish_cycle);
+            prop_assert_eq!(a.stall_cycles, b.stall_cycles);
+            prop_assert_eq!(a.llc_hits, b.llc_hits);
+            prop_assert_eq!(a.read_misses, b.read_misses);
+        }
+    }
+
     /// Energy is monotone in time: accruing more cycles never decreases
     /// the breakdown total.
     #[test]

@@ -1,0 +1,228 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the slice of criterion's API its benches use: `Criterion`,
+//! `benchmark_group` with `throughput` / timing knobs, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark warms up for
+//! `warm_up_time`, then runs timed batches until `measurement_time`
+//! elapses, and reports mean ns/iter plus derived element throughput.
+//! No statistical analysis, plots, or baselines — the numbers are for
+//! relative tracking, not publication.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration (e.g. simulated cycles).
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies CLI args: the first non-flag argument is a substring
+    /// filter on benchmark names (flags like `--bench` are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_one(
+            &name,
+            self.filter.as_deref(),
+            None,
+            Duration::from_millis(300),
+            Duration::from_secs(1),
+            f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput and timing settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the warm-up duration before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-bounded here.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.throughput,
+            self.warm_up,
+            self.measurement,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    mode: Mode,
+    /// (total elapsed, total iterations) accumulated by `iter`.
+    result: Option<(Duration, u64)>,
+}
+
+enum Mode {
+    WarmUp(Duration),
+    Measure(Duration),
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let budget = match self.mode {
+            Mode::WarmUp(d) | Mode::Measure(d) => d,
+        };
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn run_one<F>(
+    name: &str,
+    filter: Option<&str>,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+
+    let mut b = Bencher {
+        mode: Mode::WarmUp(warm_up),
+        result: None,
+    };
+    f(&mut b);
+
+    let mut b = Bencher {
+        mode: Mode::Measure(measurement),
+        result: None,
+    };
+    f(&mut b);
+    let (elapsed, iters) = b.result.expect("benchmark closure must call Bencher::iter");
+
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = throughput.map(|t| {
+        let per_iter = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = per_iter.0 as f64 * 1e9 / ns_per_iter;
+        format!("  {:>12.0} {}/s", per_sec, per_iter.1)
+    });
+    println!(
+        "bench {name:<48} {ns_per_iter:>14.0} ns/iter ({iters} iters){}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,139 @@
+//! The case runner behind the `proptest!` macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!` or a filtered strategy);
+    /// retried against the rejection budget.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration; only the fields the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum rejected draws before the runner gives up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives `body` through `config.cases` successful cases.
+///
+/// Each case gets an rng seeded from `(base seed, case index)` so a
+/// reported failure replays exactly. Set `PROPTEST_SEED` to override
+/// the base seed when reproducing.
+///
+/// # Panics
+/// Panics when a case fails or the rejection budget is exhausted.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+{
+    let base_seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| fnv1a(name.as_bytes()));
+
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    let mut case = 0u64;
+    while passed < config.cases {
+        let mut rng = SmallRng::seed_from_u64(base_seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "proptest {name}: too many rejected cases ({rejects}); \
+                     loosen the strategy or prop_assume!"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name} failed at case {case} \
+                     (reproduce with PROPTEST_SEED={base_seed}): {msg}"
+                );
+            }
+        }
+        case += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(10), "count", |_rng| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_seed() {
+        run_cases(&ProptestConfig::with_cases(5), "fails", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let mut draws = 0u32;
+        run_cases(&ProptestConfig::with_cases(3), "rejects", |_rng| {
+            draws += 1;
+            if draws.is_multiple_of(2) {
+                Ok(())
+            } else {
+                Err(TestCaseError::Reject)
+            }
+        });
+        assert_eq!(draws, 6);
+    }
+}
