@@ -23,18 +23,27 @@
 //! `--instr` (or env `ROP_INSTR`) sets the per-core instruction quota;
 //! the default (20 M) reproduces the full shapes in minutes. Experiments
 //! sharing simulations are grouped so `all` runs each sweep once.
+//!
+//! `--store PATH` routes the executor-backed experiments (single/multi/
+//! llc/ablations) through the persistent `rop-harness` store: finished
+//! jobs are appended to PATH as JSONL and an interrupted invocation
+//! resumes from it, skipping every job already on disk. The analysis
+//! and extension studies always run fresh in-process.
 
+use rop_harness::{PoolConfig, Store, StoreExecutor};
+use rop_sim_system::experiments::sensitivity::LLC_SIZES_MIB;
 use rop_sim_system::experiments::{
-    ablate_drain, ablate_table, ablate_throttle, ablate_window, run_analysis, run_fgr_sweep,
-    run_llc_sweep, run_multicore, run_per_bank_study, run_policy_comparison, run_singlecore,
+    ablate_drain_with, ablate_table_with, ablate_throttle_with, ablate_window_with, run_analysis,
+    run_fgr_sweep, run_llc_sweep_with, run_per_bank_study, run_policy_comparison,
+    run_singlecore_with,
 };
-use rop_sim_system::runner::RunSpec;
+use rop_sim_system::runner::{LocalExecutor, RunSpec, SweepExecutor};
 use rop_stats::TableBuilder;
 use rop_trace::{ALL_BENCHMARKS, WORKLOAD_MIXES};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment> [--instr N] [--seed S]\n\
+        "usage: repro <experiment> [--instr N] [--seed S] [--store PATH]\n\
          experiments: fig1 fig2 fig3 fig4 table1 fig7 fig8 fig9 fig10 fig11\n\
          fig12 fig13 fig14 table2 table3 analysis single multi llc\n\
          policies fgr per-bank\n\
@@ -43,8 +52,9 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn parse_spec(args: &[String]) -> RunSpec {
+fn parse_spec(args: &[String]) -> (RunSpec, Option<String>) {
     let mut spec = RunSpec::from_env();
+    let mut store = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -62,11 +72,15 @@ fn parse_spec(args: &[String]) -> RunSpec {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--store" => {
+                i += 1;
+                store = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
     }
-    spec
+    (spec, store)
 }
 
 fn render_table2() -> String {
@@ -125,11 +139,21 @@ fn render_table3() -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
-    let spec = parse_spec(&args[1..]);
+    let (spec, store_path) = parse_spec(&args[1..]);
     eprintln!(
         "# repro {} — {} instructions/core, seed {}",
         cmd, spec.instructions, spec.seed
     );
+    let store_exec = store_path.map(|p| {
+        eprintln!("# results store: {p} (resumable)");
+        StoreExecutor::new(Store::open(p))
+            .with_pool(PoolConfig::default())
+            .with_progress()
+    });
+    let exec: &dyn SweepExecutor = match &store_exec {
+        Some(e) => e,
+        None => &LocalExecutor,
+    };
     let t0 = std::time::Instant::now();
 
     match cmd.as_str() {
@@ -151,7 +175,7 @@ fn main() {
             }
         }
         "fig7" | "fig8" | "fig9" | "single" => {
-            let res = run_singlecore(spec);
+            let res = run_singlecore_with(&ALL_BENCHMARKS, spec, exec);
             match cmd.as_str() {
                 "fig7" => println!("{}", res.render_fig7()),
                 "fig8" => println!("{}", res.render_fig8()),
@@ -164,7 +188,8 @@ fn main() {
             }
         }
         "fig10" | "fig11" | "multi" => {
-            let res = run_multicore(4, spec);
+            let mut sweep = run_llc_sweep_with(&[4], &WORKLOAD_MIXES, spec, exec);
+            let res = sweep.per_size.remove(0);
             match cmd.as_str() {
                 "fig10" => println!("{}", res.render_fig10()),
                 "fig11" => println!("{}", res.render_fig11()),
@@ -175,7 +200,7 @@ fn main() {
             }
         }
         "fig12" | "fig13" | "fig14" | "llc" => {
-            let res = run_llc_sweep(spec);
+            let res = run_llc_sweep_with(&LLC_SIZES_MIB, &WORKLOAD_MIXES, spec, exec);
             match cmd.as_str() {
                 "fig12" => println!("{}", res.render_fig12()),
                 "fig13" => println!("{}", res.render_fig13()),
@@ -192,10 +217,10 @@ fn main() {
         "policies" => println!("{}", run_policy_comparison(spec).render()),
         "fgr" => println!("{}", run_fgr_sweep(spec).render()),
         "per-bank" => println!("{}", run_per_bank_study(spec).render()),
-        "ablate-window" => println!("{}", ablate_window(spec).render()),
-        "ablate-throttle" => println!("{}", ablate_throttle(spec).render()),
-        "ablate-drain" => println!("{}", ablate_drain(spec).render()),
-        "ablate-table" => println!("{}", ablate_table(spec).render()),
+        "ablate-window" => println!("{}", ablate_window_with(spec, exec).render()),
+        "ablate-throttle" => println!("{}", ablate_throttle_with(spec, exec).render()),
+        "ablate-drain" => println!("{}", ablate_drain_with(spec, exec).render()),
+        "ablate-table" => println!("{}", ablate_table_with(spec, exec).render()),
         "all" => {
             println!("{}", render_table2());
             println!("{}", render_table3());
@@ -205,11 +230,11 @@ fn main() {
             println!("{}", res.render_fig3());
             println!("{}", res.render_fig4());
             println!("{}", res.render_table1());
-            let res = run_singlecore(spec);
+            let res = run_singlecore_with(&ALL_BENCHMARKS, spec, exec);
             println!("{}", res.render_fig7());
             println!("{}", res.render_fig8());
             println!("{}", res.render_fig9());
-            let res = run_llc_sweep(spec);
+            let res = run_llc_sweep_with(&LLC_SIZES_MIB, &WORKLOAD_MIXES, spec, exec);
             // The 4 MiB point of the sweep *is* Figures 10/11.
             let four = res
                 .per_size
@@ -221,15 +246,32 @@ fn main() {
             println!("{}", res.render_fig12());
             println!("{}", res.render_fig13());
             println!("{}", res.render_fig14());
-            println!("{}", ablate_window(spec).render());
-            println!("{}", ablate_throttle(spec).render());
-            println!("{}", ablate_drain(spec).render());
-            println!("{}", ablate_table(spec).render());
+            println!("{}", ablate_window_with(spec, exec).render());
+            println!("{}", ablate_throttle_with(spec, exec).render());
+            println!("{}", ablate_drain_with(spec, exec).render());
+            println!("{}", ablate_table_with(spec, exec).render());
             println!("{}", run_policy_comparison(spec).render());
             println!("{}", run_fgr_sweep(spec).render());
             println!("{}", run_per_bank_study(spec).render());
         }
         _ => usage(),
+    }
+    if let Some(exec) = &store_exec {
+        let stats = exec.stats();
+        eprintln!(
+            "# store: {} cached, {} executed, {} failed",
+            stats.cache_hits, stats.executed, stats.failed
+        );
+        let failures = exec.failures();
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!(
+                    "# FAILED {} ({} attempts): {}",
+                    f.label, f.attempts, f.panic_msg
+                );
+            }
+            std::process::exit(1);
+        }
     }
     let secs = t0.elapsed().as_secs_f64();
     let totals = rop_sim_system::engine_stats::totals();

@@ -1,0 +1,7 @@
+//! `rop-sweep` — persistent, resumable, fault-isolated sweep runner.
+//! See [`rop_harness::cli`] for the command reference.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(rop_harness::cli::main(&args));
+}

@@ -1,0 +1,549 @@
+//! The `rop-sweep` command line: persistent, resumable sweeps over the
+//! paper's experiments.
+//!
+//! ```text
+//! rop-sweep run    <experiment> [flags]   execute missing jobs, render figures
+//! rop-sweep resume <experiment> [flags]   alias for run (resume is implicit)
+//! rop-sweep status <experiment> [flags]   plan vs store, nothing simulated
+//! rop-sweep diff   <store-a> <store-b>    compare two stores
+//! rop-sweep export [flags]                store as CSV on stdout
+//!
+//! experiments: single multi llc ablate-window ablate-throttle
+//!              ablate-drain ablate-table all
+//! flags: --store PATH (default sweep.jsonl) --instr N --seed S
+//!        --max-cycles N --workers N --retries N --quiet
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rop_sim_system::experiments::{
+    ablate_drain_with, ablate_table_with, ablate_throttle_with, ablate_window_with,
+    run_llc_sweep_with, run_singlecore_with,
+};
+use rop_sim_system::runner::{RunSpec, SweepExecutor};
+use rop_trace::{ALL_BENCHMARKS, WORKLOAD_MIXES};
+
+use crate::executor::{job_id, PlanExecutor, StoreExecutor};
+use crate::pool::PoolConfig;
+use crate::store::{Status, Store};
+
+/// Experiment names `run`/`resume`/`status` accept.
+pub const EXPERIMENTS: [&str; 8] = [
+    "single",
+    "multi",
+    "llc",
+    "ablate-window",
+    "ablate-throttle",
+    "ablate-drain",
+    "ablate-table",
+    "all",
+];
+
+const USAGE: &str = "usage: rop-sweep <command> [experiment] [flags]\n\
+  commands:    run resume status diff export\n\
+  experiments: single multi llc ablate-window ablate-throttle\n\
+               ablate-drain ablate-table all\n\
+  flags:       --store PATH --instr N --seed S --max-cycles N\n\
+               --workers N --retries N --quiet";
+
+/// Parsed command-line options shared by all subcommands.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// JSONL store path.
+    pub store: PathBuf,
+    /// Work quota / seed for every job.
+    pub spec: RunSpec,
+    /// Worker threads (None = machine default).
+    pub workers: Option<usize>,
+    /// Attempts per job.
+    pub retries: u32,
+    /// Suppress the live progress line.
+    pub quiet: bool,
+}
+
+impl Options {
+    /// Parses `--flag value` pairs; unknown flags are an error.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opt = Options {
+            store: PathBuf::from("sweep.jsonl"),
+            spec: RunSpec::from_env(),
+            workers: None,
+            retries: 2,
+            quiet: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |i: &mut usize| -> Result<&str, String> {
+                *i += 1;
+                args.get(*i)
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag {
+                "--store" => opt.store = PathBuf::from(value(&mut i)?),
+                "--instr" => {
+                    opt.spec.instructions = parse_num(flag, value(&mut i)?)?.max(1);
+                }
+                "--seed" => opt.spec.seed = parse_num(flag, value(&mut i)?)?,
+                "--max-cycles" => {
+                    opt.spec.max_cycles = parse_num(flag, value(&mut i)?)?.max(1);
+                }
+                "--workers" => {
+                    opt.workers = Some(parse_num(flag, value(&mut i)?)?.max(1) as usize);
+                }
+                "--retries" => {
+                    opt.retries = parse_num(flag, value(&mut i)?)?.clamp(1, 100) as u32;
+                }
+                "--quiet" => opt.quiet = true,
+                other => return Err(format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        Ok(opt)
+    }
+}
+
+fn parse_num(flag: &str, s: &str) -> Result<u64, String> {
+    s.trim()
+        .parse::<u64>()
+        .map_err(|_| format!("{flag}: '{s}' is not a number"))
+}
+
+/// Runs the named experiment through `exec`; when `render` is true the
+/// assembled figures are returned (a dry [`PlanExecutor`] pass sets it
+/// false — placeholder metrics enumerate jobs fine but cannot be
+/// summarised). This is the single place mapping experiment names to
+/// job sets, shared by `run` (StoreExecutor) and `status`
+/// (PlanExecutor).
+fn drive_experiment(
+    name: &str,
+    spec: RunSpec,
+    exec: &dyn SweepExecutor,
+    render: bool,
+) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let single = |out: &mut Vec<String>| {
+        let res = run_singlecore_with(&ALL_BENCHMARKS, spec, exec);
+        if render {
+            out.push(res.render_fig7());
+            out.push(res.render_fig8());
+            out.push(res.render_fig9());
+        }
+    };
+    let multi = |out: &mut Vec<String>| {
+        let res = run_llc_sweep_with(&[4], &WORKLOAD_MIXES, spec, exec);
+        if render {
+            out.push(res.per_size[0].render_fig10());
+            out.push(res.per_size[0].render_fig11());
+        }
+    };
+    let llc = |out: &mut Vec<String>| {
+        let res = run_llc_sweep_with(
+            &rop_sim_system::experiments::sensitivity::LLC_SIZES_MIB,
+            &WORKLOAD_MIXES,
+            spec,
+            exec,
+        );
+        if render {
+            out.push(res.render_fig12());
+            out.push(res.render_fig13());
+            out.push(res.render_fig14());
+        }
+    };
+    let ablation = |out: &mut Vec<String>, res: rop_sim_system::experiments::AblationResult| {
+        if render {
+            out.push(res.render());
+        }
+    };
+    match name {
+        "single" => single(&mut out),
+        "multi" => multi(&mut out),
+        "llc" => llc(&mut out),
+        "ablate-window" => ablation(&mut out, ablate_window_with(spec, exec)),
+        "ablate-throttle" => ablation(&mut out, ablate_throttle_with(spec, exec)),
+        "ablate-drain" => ablation(&mut out, ablate_drain_with(spec, exec)),
+        "ablate-table" => ablation(&mut out, ablate_table_with(spec, exec)),
+        "all" => {
+            single(&mut out);
+            multi(&mut out);
+            llc(&mut out);
+            ablation(&mut out, ablate_window_with(spec, exec));
+            ablation(&mut out, ablate_throttle_with(spec, exec));
+            ablation(&mut out, ablate_drain_with(spec, exec));
+            ablation(&mut out, ablate_table_with(spec, exec));
+        }
+        other => {
+            return Err(format!(
+                "unknown experiment '{other}' (expected one of: {})",
+                EXPERIMENTS.join(" ")
+            ))
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the named experiment through `exec` and returns its rendered
+/// figures.
+pub fn render_experiment(
+    name: &str,
+    spec: RunSpec,
+    exec: &dyn SweepExecutor,
+) -> Result<Vec<String>, String> {
+    drive_experiment(name, spec, exec, true)
+}
+
+/// The job ids (with labels) an experiment would run, via a dry
+/// [`PlanExecutor`] pass — nothing is simulated.
+pub fn plan_experiment(name: &str, spec: RunSpec) -> Result<Vec<(String, String)>, String> {
+    let plan = PlanExecutor::new();
+    drive_experiment(name, spec, &plan, false)?;
+    let mut seen = std::collections::HashSet::new();
+    let mut jobs = Vec::new();
+    for j in plan.into_jobs() {
+        let id = job_id(&j);
+        if seen.insert(id.clone()) {
+            jobs.push((id, j.label));
+        }
+    }
+    Ok(jobs)
+}
+
+fn cmd_run(experiment: &str, opt: &Options) -> Result<i32, String> {
+    let mut pool = PoolConfig {
+        max_attempts: opt.retries,
+        report_interval: (!opt.quiet).then(|| Duration::from_secs(2)),
+        ..PoolConfig::default()
+    };
+    if let Some(w) = opt.workers {
+        pool.workers = w;
+    }
+    eprintln!(
+        "# rop-sweep {experiment} — store {}, {} instructions/core, seed {}, {} workers",
+        opt.store.display(),
+        opt.spec.instructions,
+        opt.spec.seed,
+        pool.workers
+    );
+    let mut exec = StoreExecutor::new(Store::open(&opt.store)).with_pool(pool);
+    if !opt.quiet {
+        exec = exec.with_progress();
+    }
+    let figures = render_experiment(experiment, opt.spec, &exec)?;
+
+    let stats = exec.stats();
+    let failures = exec.failures();
+    if failures.is_empty() {
+        for fig in &figures {
+            println!("{fig}");
+        }
+    } else {
+        eprintln!(
+            "# {} job(s) failed permanently — figures suppressed:",
+            failures.len()
+        );
+        for f in &failures {
+            eprintln!(
+                "#   {} ({}, {} attempts): {}",
+                f.label, f.job, f.attempts, f.panic_msg
+            );
+        }
+    }
+    let denominator = stats.planned.max(1);
+    println!(
+        "# cache-hits: {}/{} ({:.1}%)",
+        stats.cache_hits,
+        stats.planned,
+        stats.cache_hits as f64 * 100.0 / denominator as f64
+    );
+    println!(
+        "# executed: {} (failed: {}, not run: {})",
+        stats.executed, stats.failed, stats.not_run
+    );
+    Ok(if failures.is_empty() { 0 } else { 1 })
+}
+
+fn cmd_status(experiment: &str, opt: &Options) -> Result<i32, String> {
+    let planned = plan_experiment(experiment, opt.spec)?;
+    let contents = Store::open(&opt.store).load()?;
+    let latest = contents.latest();
+
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    let mut remaining = 0usize;
+    let mut wall = 0.0f64;
+    let mut failed_labels: Vec<&str> = Vec::new();
+    for (id, label) in &planned {
+        match latest.get(id.as_str()) {
+            Some(rec) if rec.status == Status::Ok => {
+                completed += 1;
+                if let Some(m) = &rec.metrics {
+                    wall += m.wall_seconds;
+                }
+            }
+            Some(_) => {
+                failed += 1;
+                failed_labels.push(label);
+            }
+            None => remaining += 1,
+        }
+    }
+
+    println!(
+        "# rop-sweep status — experiment {experiment}, store {}",
+        opt.store.display()
+    );
+    println!("planned:   {}", planned.len());
+    println!("completed: {completed}");
+    println!("failed:    {failed}");
+    println!("remaining: {remaining}");
+    if completed > 0 && wall > 0.0 {
+        println!(
+            "throughput: {:.2} jobs/s over {:.1}s of recorded simulation time",
+            completed as f64 / wall,
+            wall
+        );
+    }
+    if contents.corrupt_lines > 0 {
+        println!("corrupt lines quarantined: {}", contents.corrupt_lines);
+    }
+    for label in failed_labels {
+        println!("  failed: {label}");
+    }
+    Ok(if failed > 0 { 1 } else { 0 })
+}
+
+fn cmd_diff(path_a: &str, path_b: &str) -> Result<i32, String> {
+    let a = Store::open(path_a).load()?;
+    let b = Store::open(path_b).load()?;
+    let la = a.latest();
+    let lb = b.latest();
+
+    let mut differs = false;
+    let only = |name: &str,
+                this: &std::collections::HashMap<&str, &crate::store::Record>,
+                other: &std::collections::HashMap<&str, &crate::store::Record>|
+     -> Vec<String> {
+        let mut lines: Vec<String> = this
+            .iter()
+            .filter(|(id, _)| !other.contains_key(*id))
+            .map(|(id, rec)| format!("  only in {name}: {id} {}", rec.label))
+            .collect();
+        lines.sort();
+        lines
+    };
+    let only_a = only("a", &la, &lb);
+    let only_b = only("b", &lb, &la);
+    for line in only_a.iter().chain(&only_b) {
+        println!("{line}");
+        differs = true;
+    }
+
+    let mut shared: Vec<&&str> = la.keys().filter(|id| lb.contains_key(**id)).collect();
+    shared.sort();
+    for id in shared {
+        let (ra, rb) = (la[*id], lb[*id]);
+        if ra.status != rb.status {
+            println!(
+                "  {id} {}: status {:?} vs {:?}",
+                ra.label, ra.status, rb.status
+            );
+            differs = true;
+            continue;
+        }
+        if let (Some(ma), Some(mb)) = (&ra.metrics, &rb.metrics) {
+            let fields = [
+                ("ipc", ma.ipc(), mb.ipc()),
+                ("cycles", ma.total_cycles as f64, mb.total_cycles as f64),
+                ("energy_mj", ma.energy_mj(), mb.energy_mj()),
+                ("refreshes", ma.refreshes as f64, mb.refreshes as f64),
+            ];
+            for (field, va, vb) in fields {
+                if (va - vb).abs() > 1e-12 {
+                    println!("  {id} {}: {field} {va} vs {vb}", ra.label);
+                    differs = true;
+                }
+            }
+        }
+    }
+    if !differs {
+        println!("stores agree ({} shared jobs)", la.len());
+    }
+    Ok(if differs { 1 } else { 0 })
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn cmd_export(opt: &Options) -> Result<i32, String> {
+    let contents = Store::open(&opt.store).load()?;
+    let latest = contents.latest();
+    let mut ids: Vec<&&str> = latest.keys().collect();
+    ids.sort();
+    println!(
+        "job,label,status,attempts,ipc,energy_mj,refreshes,sram_hit_rate,total_cycles,wall_seconds"
+    );
+    for id in ids {
+        let rec = latest[*id];
+        let (ipc, energy, refreshes, sram, cycles, wall) = match &rec.metrics {
+            Some(m) => (
+                format!("{:?}", m.ipc()),
+                format!("{:?}", m.energy_mj()),
+                m.refreshes.to_string(),
+                format!("{:?}", m.sram_hit_rate),
+                m.total_cycles.to_string(),
+                format!("{:?}", m.wall_seconds),
+            ),
+            None => Default::default(),
+        };
+        println!(
+            "{},{},{},{},{ipc},{energy},{refreshes},{sram},{cycles},{wall}",
+            rec.job,
+            csv_escape(&rec.label),
+            match rec.status {
+                Status::Ok => "ok",
+                Status::Failed => "failed",
+            },
+            rec.attempts,
+        );
+    }
+    Ok(0)
+}
+
+/// CLI entry point; returns the process exit code.
+pub fn main(args: &[String]) -> i32 {
+    let run = || -> Result<i32, String> {
+        let Some(cmd) = args.first().map(String::as_str) else {
+            return Err(USAGE.to_string());
+        };
+        match cmd {
+            "run" | "resume" => {
+                let exp = args.get(1).ok_or(USAGE)?;
+                cmd_run(exp, &Options::parse(&args[2..])?)
+            }
+            "status" => {
+                let exp = args.get(1).ok_or(USAGE)?;
+                cmd_status(exp, &Options::parse(&args[2..])?)
+            }
+            "diff" => {
+                let a = args.get(1).ok_or(USAGE)?;
+                let b = args.get(2).ok_or(USAGE)?;
+                if args.len() > 3 {
+                    return Err(USAGE.to_string());
+                }
+                cmd_diff(a, b)
+            }
+            "export" => cmd_export(&Options::parse(&args[1..])?),
+            "--help" | "-h" | "help" => {
+                println!("{USAGE}");
+                Ok(0)
+            }
+            _ => Err(USAGE.to_string()),
+        }
+    };
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_flags() {
+        let opt = Options::parse(&argv(&[
+            "--store",
+            "/tmp/x.jsonl",
+            "--instr",
+            "5000",
+            "--seed",
+            "9",
+            "--max-cycles",
+            "100",
+            "--workers",
+            "3",
+            "--retries",
+            "4",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(opt.store, PathBuf::from("/tmp/x.jsonl"));
+        assert_eq!(opt.spec.instructions, 5000);
+        assert_eq!(opt.spec.seed, 9);
+        assert_eq!(opt.spec.max_cycles, 100);
+        assert_eq!(opt.workers, Some(3));
+        assert_eq!(opt.retries, 4);
+        assert!(opt.quiet);
+    }
+
+    #[test]
+    fn options_reject_garbage() {
+        assert!(Options::parse(&argv(&["--instr", "many"])).is_err());
+        assert!(Options::parse(&argv(&["--instr"])).is_err());
+        assert!(Options::parse(&argv(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn unknown_command_and_experiment_fail() {
+        assert_eq!(main(&argv(&["frobnicate"])), 2);
+        assert_eq!(main(&argv(&["run", "not-an-experiment", "--quiet"])), 2);
+        assert_eq!(main(&argv(&[])), 2);
+    }
+
+    #[test]
+    fn plan_enumerates_without_running() {
+        let spec = RunSpec {
+            instructions: 1000,
+            max_cycles: 1000,
+            seed: 1,
+        };
+        let jobs = plan_experiment("single", spec).unwrap();
+        // 12 benchmarks × (baseline + no-refresh + 4 buffer sizes).
+        assert_eq!(jobs.len(), 12 * 6);
+        assert!(jobs.iter().any(|(_, l)| l == "single/lbm/Baseline"));
+        // Ids are unique 16-hex strings.
+        for (id, _) in &jobs {
+            assert_eq!(id.len(), 16);
+        }
+    }
+
+    #[test]
+    fn plan_all_dedups_shared_jobs() {
+        let spec = RunSpec {
+            instructions: 1000,
+            max_cycles: 1000,
+            seed: 1,
+        };
+        let multi = plan_experiment("multi", spec).unwrap();
+        let llc = plan_experiment("llc", spec).unwrap();
+        let all = plan_experiment("all", spec).unwrap();
+        // `multi` is the 4 MiB slice of `llc`, so `all` must not count
+        // those jobs twice.
+        assert!(multi.iter().all(|j| llc.contains(j)));
+        let single = plan_experiment("single", spec).unwrap();
+        assert!(all.len() < single.len() + multi.len() + llc.len() + 200);
+        assert!(all.len() > llc.len());
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -1,0 +1,421 @@
+//! Store-backed sweep execution.
+//!
+//! [`StoreExecutor`] is the bridge between the declarative experiment
+//! job sets in `rop-sim-system` and the persistence layer here: it
+//! resolves every job against the JSONL store first (resume), runs only
+//! the missing ones on the fault-isolated pool, appends each outcome as
+//! soon as it lands, and returns metrics decoded *from their serialized
+//! form* — so a figure assembled through it is, by construction, a
+//! figure read from the store.
+
+use std::sync::{Arc, Mutex};
+
+use rop_sim_system::metrics::RunMetrics;
+use rop_sim_system::runner::{SweepExecutor, SweepJob};
+use rop_stats::Json;
+
+use crate::pool::{run_jobs, JobOutcome, PoolConfig};
+use crate::progress::Progress;
+use crate::store::{unix_now, Record, Status, Store};
+
+/// Hex job id from a job's content hash.
+pub fn job_id(job: &SweepJob) -> String {
+    format!("{:016x}", job.fingerprint())
+}
+
+/// Counters accumulated across an executor's `execute` calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Jobs requested.
+    pub planned: usize,
+    /// Jobs satisfied from the store without running.
+    pub cache_hits: usize,
+    /// Jobs actually simulated this invocation.
+    pub executed: usize,
+    /// Jobs that exhausted their retry budget this invocation.
+    pub failed: usize,
+    /// Jobs left unclaimed because the pool was stopped early.
+    pub not_run: usize,
+}
+
+/// One permanently-failed job, for end-of-run reporting.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Job id.
+    pub job: String,
+    /// Job label.
+    pub label: String,
+    /// Final panic message.
+    pub panic_msg: String,
+    /// Attempts used.
+    pub attempts: u32,
+}
+
+/// A [`SweepExecutor`] that persists every outcome to a [`Store`] and
+/// resumes by content-hashed job id.
+pub struct StoreExecutor {
+    store: Store,
+    pool: PoolConfig,
+    stats: Mutex<ExecStats>,
+    failures: Mutex<Vec<Failure>>,
+    /// Jobs finishing with `Ok` get real metrics; failed or not-run
+    /// jobs yield placeholders so assembly can proceed structurally.
+    /// Callers must check [`StoreExecutor::failures`] before trusting a
+    /// figure.
+    progress_enabled: bool,
+}
+
+impl StoreExecutor {
+    /// An executor over the store at `path` with default pool knobs.
+    pub fn new(store: Store) -> Self {
+        StoreExecutor {
+            store,
+            pool: PoolConfig::default(),
+            stats: Mutex::new(ExecStats::default()),
+            failures: Mutex::new(Vec::new()),
+            progress_enabled: false,
+        }
+    }
+
+    /// Replaces the pool configuration (workers, retry budget,
+    /// stop-after hook, report interval).
+    pub fn with_pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Enables the live stderr progress line.
+    pub fn with_progress(mut self) -> Self {
+        self.progress_enabled = true;
+        self
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> ExecStats {
+        *self.stats.lock().unwrap()
+    }
+
+    /// Permanent failures recorded so far.
+    pub fn failures(&self) -> Vec<Failure> {
+        self.failures.lock().unwrap().clone()
+    }
+}
+
+impl SweepExecutor for StoreExecutor {
+    fn execute(&self, jobs: Vec<SweepJob>) -> Vec<RunMetrics> {
+        let contents = self
+            .store
+            .load()
+            .unwrap_or_else(|e| panic!("cannot load store: {e}"));
+        let latest = contents.latest();
+
+        // Resolve cache hits; collect the rest for the pool. Duplicate
+        // ids inside one batch (e.g. shared baselines) run once.
+        let ids: Vec<String> = jobs.iter().map(job_id).collect();
+        let mut results: Vec<Option<RunMetrics>> = vec![None; jobs.len()];
+        let mut to_run: Vec<usize> = Vec::new();
+        let mut seen_this_batch: std::collections::HashMap<&str, usize> =
+            std::collections::HashMap::new();
+        let mut cache_hits = 0usize;
+        for (i, id) in ids.iter().enumerate() {
+            if let Some(rec) = latest.get(id.as_str()) {
+                if rec.status == Status::Ok {
+                    results[i] = rec.metrics.clone();
+                    cache_hits += 1;
+                    continue;
+                }
+                // Failed previously: retry on this invocation.
+            }
+            match seen_this_batch.get(id.as_str()) {
+                Some(_) => {} // an earlier index already runs this id
+                None => {
+                    seen_this_batch.insert(id.as_str(), i);
+                    to_run.push(i);
+                }
+            }
+        }
+
+        let progress = Arc::new(Progress::new(
+            to_run.len(),
+            cache_hits,
+            self.pool.workers.max(1),
+        ));
+        let pool_cfg = PoolConfig {
+            report_interval: if self.progress_enabled {
+                self.pool.report_interval
+            } else {
+                None
+            },
+            ..self.pool.clone()
+        };
+        let run_indices = to_run.clone();
+        let outcomes = run_jobs(
+            &run_indices,
+            |&i| jobs[i].label.clone(),
+            |&i| jobs[i].run(),
+            &pool_cfg,
+            Some(progress),
+        );
+
+        // Append every outcome, decode ok metrics back from their
+        // serialized record, and fill result slots (including batch
+        // duplicates of the same id).
+        let mut executed = 0usize;
+        let mut failed = 0usize;
+        let mut not_run = 0usize;
+        let mut fresh: std::collections::HashMap<String, Option<RunMetrics>> =
+            std::collections::HashMap::new();
+        for (&i, outcome) in run_indices.iter().zip(outcomes) {
+            let id = ids[i].clone();
+            match outcome {
+                JobOutcome::Ok { value, attempts } => {
+                    executed += 1;
+                    let rec = Record {
+                        job: id.clone(),
+                        label: jobs[i].label.clone(),
+                        status: Status::Ok,
+                        attempts,
+                        panic_msg: None,
+                        ts: unix_now(),
+                        metrics: Some(value),
+                    };
+                    self.store
+                        .append(&rec)
+                        .unwrap_or_else(|e| panic!("store append failed: {e}"));
+                    // Round-trip through the serialized form: what the
+                    // figure sees is exactly what the store holds.
+                    let line = rec.to_json().render();
+                    let decoded = Json::parse(&line)
+                        .and_then(|j| Record::from_json(&j))
+                        .unwrap_or_else(|e| panic!("store round-trip failed: {e}"));
+                    fresh.insert(id, decoded.metrics);
+                }
+                JobOutcome::Failed {
+                    panic_msg,
+                    attempts,
+                } => {
+                    executed += 1;
+                    failed += 1;
+                    let rec = Record {
+                        job: id.clone(),
+                        label: jobs[i].label.clone(),
+                        status: Status::Failed,
+                        attempts,
+                        panic_msg: Some(panic_msg.clone()),
+                        ts: unix_now(),
+                        metrics: None,
+                    };
+                    self.store
+                        .append(&rec)
+                        .unwrap_or_else(|e| panic!("store append failed: {e}"));
+                    self.failures.lock().unwrap().push(Failure {
+                        job: id.clone(),
+                        label: jobs[i].label.clone(),
+                        panic_msg,
+                        attempts,
+                    });
+                    fresh.insert(id, None);
+                }
+                JobOutcome::NotRun => {
+                    not_run += 1;
+                }
+            }
+        }
+
+        {
+            let mut stats = self.stats.lock().unwrap();
+            stats.planned += jobs.len();
+            stats.cache_hits += cache_hits;
+            stats.executed += executed;
+            stats.failed += failed;
+            stats.not_run += not_run;
+        }
+
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(m) => m,
+                None => fresh
+                    .get(&ids[i])
+                    .and_then(|m| m.clone())
+                    .unwrap_or_else(|| jobs[i].placeholder_metrics()),
+            })
+            .collect()
+    }
+}
+
+/// An executor that *enumerates* jobs without running anything: every
+/// job returns placeholder metrics and is recorded in `planned`. Used
+/// by `rop-sweep status` to know a sweep's full job set.
+#[derive(Default)]
+pub struct PlanExecutor {
+    planned: std::cell::RefCell<Vec<SweepJob>>,
+}
+
+impl PlanExecutor {
+    /// A fresh planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every job enumerated so far, in execution order.
+    pub fn into_jobs(self) -> Vec<SweepJob> {
+        self.planned.into_inner()
+    }
+}
+
+impl SweepExecutor for PlanExecutor {
+    fn execute(&self, jobs: Vec<SweepJob>) -> Vec<RunMetrics> {
+        let metrics = jobs.iter().map(SweepJob::placeholder_metrics).collect();
+        self.planned.borrow_mut().extend(jobs);
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rop_sim_system::config::SystemKind;
+    use rop_sim_system::runner::RunSpec;
+    use rop_trace::Benchmark;
+
+    fn tiny_spec() -> RunSpec {
+        RunSpec {
+            instructions: 5_000,
+            max_cycles: 5_000_000,
+            seed: 7,
+        }
+    }
+
+    fn tmp_store(name: &str) -> Store {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rop-exec-test-{name}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        Store::open(p)
+    }
+
+    #[test]
+    fn cache_hit_on_second_execute() {
+        let store = tmp_store("cache");
+        let job = || {
+            vec![SweepJob::single(
+                "t",
+                Benchmark::Bzip2,
+                SystemKind::Baseline,
+                tiny_spec(),
+            )]
+        };
+        let exec = StoreExecutor::new(store.clone());
+        let first = exec.execute(job());
+        assert_eq!(exec.stats().executed, 1);
+        assert_eq!(exec.stats().cache_hits, 0);
+
+        let exec2 = StoreExecutor::new(store.clone());
+        let second = exec2.execute(job());
+        assert_eq!(exec2.stats().executed, 0);
+        assert_eq!(exec2.stats().cache_hits, 1);
+        // Identical metrics either way (both decoded from the store).
+        assert_eq!(first[0].total_cycles, second[0].total_cycles);
+        assert_eq!(first[0].ipc().to_bits(), second[0].ipc().to_bits());
+        let _ = std::fs::remove_file(store.path());
+    }
+
+    #[test]
+    fn duplicate_ids_in_one_batch_run_once() {
+        let store = tmp_store("dup");
+        let exec = StoreExecutor::new(store.clone());
+        let j = SweepJob::single("t", Benchmark::Gobmk, SystemKind::Baseline, tiny_spec());
+        let out = exec.execute(vec![j.clone(), j.clone()]);
+        assert_eq!(exec.stats().executed, 1);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].total_cycles, out[1].total_cycles);
+        let _ = std::fs::remove_file(store.path());
+    }
+
+    #[test]
+    fn invalid_config_is_recorded_as_failed_and_rest_completes() {
+        let store = tmp_store("fail");
+        // ROP with 4 cores on 2 ranks fails validation → panics in run().
+        let mut bad = SweepJob::multi(
+            rop_trace::WORKLOAD_MIXES[0],
+            SystemKind::Rop { buffer: 64 },
+            4,
+            tiny_spec(),
+        );
+        bad.config.ranks = 2;
+        let good = SweepJob::single("t", Benchmark::Bzip2, SystemKind::Baseline, tiny_spec());
+        let exec = StoreExecutor::new(store.clone()).with_pool(PoolConfig {
+            workers: 2,
+            max_attempts: 3,
+            stop_after: None,
+            report_interval: None,
+        });
+        let out = exec.execute(vec![bad.clone(), good.clone()]);
+        assert_eq!(out.len(), 2);
+
+        let failures = exec.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].attempts, 3, "retried to the bound");
+        assert!(
+            failures[0].panic_msg.contains("rank partitioning"),
+            "{}",
+            failures[0].panic_msg
+        );
+        assert!(
+            failures[0].panic_msg.contains(&bad.label),
+            "panic message '{}' lost the job label",
+            failures[0].panic_msg
+        );
+        // The good job completed despite the poisoned one.
+        assert!(out[1].total_cycles > 0);
+
+        // The store recorded the failure durably.
+        let contents = store.load().unwrap();
+        let latest = contents.latest();
+        let rec = latest[job_id(&bad).as_str()];
+        assert_eq!(rec.status, Status::Failed);
+        assert_eq!(rec.attempts, 3);
+        let _ = std::fs::remove_file(store.path());
+    }
+
+    #[test]
+    fn failed_jobs_are_retried_on_resume() {
+        let store = tmp_store("retry");
+        let mut bad = SweepJob::multi(
+            rop_trace::WORKLOAD_MIXES[0],
+            SystemKind::Rop { buffer: 64 },
+            4,
+            tiny_spec(),
+        );
+        bad.config.ranks = 2;
+        let exec = StoreExecutor::new(store.clone());
+        exec.execute(vec![bad.clone()]);
+        assert_eq!(exec.stats().failed, 1);
+
+        // Resume: the failed job is attempted again, not cache-hit.
+        let exec2 = StoreExecutor::new(store.clone());
+        exec2.execute(vec![bad.clone()]);
+        assert_eq!(exec2.stats().cache_hits, 0);
+        assert_eq!(exec2.stats().executed, 1);
+        let _ = std::fs::remove_file(store.path());
+    }
+
+    #[test]
+    fn plan_executor_collects_without_running() {
+        let plan = PlanExecutor::new();
+        let jobs = vec![
+            SweepJob::single("t", Benchmark::Lbm, SystemKind::Baseline, tiny_spec()),
+            SweepJob::single("t", Benchmark::Lbm, SystemKind::NoRefresh, tiny_spec()),
+        ];
+        let out = plan.execute(jobs);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].total_cycles, 0, "placeholder, not a real run");
+        assert_eq!(plan.into_jobs().len(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Sweep orchestration for the ROP reproduction: persistent, resumable,
+//! fault-isolated experiment execution, and the `rop-sweep` CLI.
+//!
+//! The simulation crates stay declarative — an experiment is a list of
+//! [`rop_sim_system::runner::SweepJob`]s handed to a
+//! [`rop_sim_system::runner::SweepExecutor`]. This crate supplies the
+//! production executor:
+//!
+//! * [`pool`] — a work-stealing worker pool sized to the machine, with
+//!   `catch_unwind` fault isolation and a bounded retry budget, so one
+//!   poisoned job never aborts a sweep;
+//! * [`store`] — an append-only JSONL results store keyed by each job's
+//!   content hash; an interrupted sweep resumes by skipping every job
+//!   already recorded `ok` (failed jobs are retried);
+//! * [`executor`] — [`executor::StoreExecutor`] gluing the two together
+//!   (plus [`executor::PlanExecutor`] for dry enumeration);
+//! * [`progress`] — live completed/failed/remaining, throughput, ETA and
+//!   per-worker telemetry;
+//! * [`cli`] — the `rop-sweep` command (`run`, `resume`, `status`,
+//!   `diff`, `export`).
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod executor;
+pub mod pool;
+pub mod progress;
+pub mod store;
+
+pub use executor::{job_id, ExecStats, Failure, PlanExecutor, StoreExecutor};
+pub use pool::{run_jobs, JobOutcome, PoolConfig};
+pub use progress::{Progress, ProgressSnapshot};
+pub use store::{Record, Status, Store, StoreContents};

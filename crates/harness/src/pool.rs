@@ -1,0 +1,298 @@
+//! Fault-isolated worker pool.
+//!
+//! Workers pull jobs from a shared queue (an atomic cursor — idle
+//! workers immediately steal whatever is next, so a slow job never
+//! serializes the rest). Each job runs under `catch_unwind` with a
+//! bounded retry budget: a panicking job is retried in place and, once
+//! the budget is exhausted, reported as [`JobOutcome::Failed`] with the
+//! panic message — the sweep itself never aborts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rop_sim_system::runner::panic_message;
+
+use crate::progress::Progress;
+
+/// Worker-pool knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads. Defaults to the machine's available parallelism.
+    pub workers: usize,
+    /// Total attempts per job (1 = no retry). A job is `Failed` only
+    /// after panicking this many times.
+    pub max_attempts: u32,
+    /// Stop claiming new jobs once this many have finished (ok or
+    /// failed). Unclaimed jobs come back as [`JobOutcome::NotRun`].
+    /// This is the test hook that simulates killing a sweep mid-flight.
+    pub stop_after: Option<usize>,
+    /// When set, a reporter thread prints a progress line to stderr at
+    /// this interval while the pool runs.
+    pub report_interval: Option<Duration>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            max_attempts: 2,
+            stop_after: None,
+            report_interval: None,
+        }
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome<R> {
+    /// The job produced a value (possibly after retries).
+    Ok {
+        /// The job's result.
+        value: R,
+        /// Attempts used (1 = first try succeeded).
+        attempts: u32,
+    },
+    /// Every attempt panicked; the job is poisoned but isolated.
+    Failed {
+        /// Message of the final panic (labeled by the job runner).
+        panic_msg: String,
+        /// Attempts used (== `max_attempts`).
+        attempts: u32,
+    },
+    /// The pool stopped (via `stop_after`) before claiming this job.
+    NotRun,
+}
+
+impl<R> JobOutcome<R> {
+    /// True for [`JobOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobOutcome::Ok { .. })
+    }
+}
+
+/// Runs every job and returns one outcome per job, in input order.
+///
+/// `label` names a job for progress display and failure records;
+/// `work` is the job body (it may panic — that is the point).
+pub fn run_jobs<J, R>(
+    jobs: &[J],
+    label: impl Fn(&J) -> String + Sync,
+    work: impl Fn(&J) -> R + Sync,
+    cfg: &PoolConfig,
+    progress: Option<Arc<Progress>>,
+) -> Vec<JobOutcome<R>>
+where
+    J: Sync,
+    R: Send,
+{
+    let mut results: Vec<JobOutcome<R>> = (0..jobs.len()).map(|_| JobOutcome::NotRun).collect();
+    if jobs.is_empty() {
+        return results;
+    }
+    let workers = cfg.workers.max(1).min(jobs.len());
+    let next = AtomicUsize::new(0);
+    let finished = AtomicUsize::new(0);
+    let done_flag = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, JobOutcome<R>)>();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let (next, finished, jobs, label, work, progress) =
+                (&next, &finished, jobs, &label, &work, &progress);
+            scope.spawn(move || loop {
+                if let Some(cap) = cfg.stop_after {
+                    if finished.load(Ordering::SeqCst) >= cap {
+                        break;
+                    }
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let name = label(&jobs[i]);
+                if let Some(p) = progress {
+                    p.worker_starts(w, &name);
+                }
+                let mut attempts = 0;
+                let outcome = loop {
+                    attempts += 1;
+                    match catch_unwind(AssertUnwindSafe(|| work(&jobs[i]))) {
+                        Ok(value) => break JobOutcome::Ok { value, attempts },
+                        Err(payload) => {
+                            let msg = panic_message(payload.as_ref());
+                            if attempts >= cfg.max_attempts {
+                                break JobOutcome::Failed {
+                                    panic_msg: msg,
+                                    attempts,
+                                };
+                            }
+                        }
+                    }
+                };
+                finished.fetch_add(1, Ordering::SeqCst);
+                if let Some(p) = progress {
+                    p.worker_finishes(w, outcome.is_ok());
+                }
+                // A send error means the receiver is gone, which only
+                // happens if the scope is unwinding from a panic.
+                let _ = tx.send((i, outcome));
+            });
+        }
+        drop(tx);
+
+        // Optional reporter thread; exits when all workers are done.
+        if let Some(interval) = cfg.report_interval {
+            if let Some(p) = progress.clone() {
+                let done_flag = &done_flag;
+                scope.spawn(move || {
+                    while done_flag.load(Ordering::SeqCst) == 0 {
+                        std::thread::sleep(interval.min(Duration::from_millis(200)));
+                        eprintln!("# sweep: {}", p.snapshot());
+                    }
+                });
+            }
+        }
+
+        for (i, outcome) in rx {
+            results[i] = outcome;
+        }
+        done_flag.store(1, Ordering::SeqCst);
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn cfg(workers: usize, max_attempts: u32) -> PoolConfig {
+        PoolConfig {
+            workers,
+            max_attempts,
+            stop_after: None,
+            report_interval: None,
+        }
+    }
+
+    #[test]
+    fn all_jobs_run_in_order() {
+        let jobs: Vec<u64> = (0..30).collect();
+        let out = run_jobs(&jobs, |j| format!("j{j}"), |&j| j * 3, &cfg(4, 1), None);
+        for (i, o) in out.iter().enumerate() {
+            match o {
+                JobOutcome::Ok { value, attempts } => {
+                    assert_eq!(*value, i as u64 * 3);
+                    assert_eq!(*attempts, 1);
+                }
+                other => panic!("job {i}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_retried_to_the_bound() {
+        let jobs: Vec<u32> = (0..6).collect();
+        let tries = AtomicU32::new(0);
+        let out = run_jobs(
+            &jobs,
+            |j| format!("job-{j}"),
+            |&j| {
+                if j == 3 {
+                    tries.fetch_add(1, Ordering::SeqCst);
+                    panic!("poisoned job {j}");
+                }
+                j
+            },
+            &cfg(3, 3),
+            None,
+        );
+        // The poisoned job used its full retry budget…
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        match &out[3] {
+            JobOutcome::Failed {
+                panic_msg,
+                attempts,
+            } => {
+                assert_eq!(*attempts, 3);
+                assert!(panic_msg.contains("poisoned job 3"), "{panic_msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // …and every other job still completed.
+        for (i, o) in out.iter().enumerate() {
+            if i != 3 {
+                assert!(o.is_ok(), "job {i} did not complete: {o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flaky_job_succeeds_within_budget() {
+        let jobs = vec![()];
+        let tries = AtomicU32::new(0);
+        let out = run_jobs(
+            &jobs,
+            |_| "flaky".into(),
+            |_| {
+                if tries.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("transient");
+                }
+                42u32
+            },
+            &cfg(1, 5),
+            None,
+        );
+        match &out[0] {
+            JobOutcome::Ok { value, attempts } => {
+                assert_eq!(*value, 42);
+                assert_eq!(*attempts, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stop_after_leaves_remaining_not_run() {
+        let jobs: Vec<u32> = (0..10).collect();
+        let mut c = cfg(1, 1); // single worker → deterministic cut
+        c.stop_after = Some(4);
+        let out = run_jobs(&jobs, |j| format!("{j}"), |&j| j, &c, None);
+        let ran = out.iter().filter(|o| o.is_ok()).count();
+        let not_run = out
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::NotRun))
+            .count();
+        assert_eq!(ran, 4);
+        assert_eq!(not_run, 6);
+    }
+
+    #[test]
+    fn progress_counts_match() {
+        let jobs: Vec<u32> = (0..8).collect();
+        let p = Arc::new(Progress::new(jobs.len(), 0, 2));
+        let out = run_jobs(
+            &jobs,
+            |j| format!("{j}"),
+            |&j| {
+                if j == 1 {
+                    panic!("bad");
+                }
+                j
+            },
+            &cfg(2, 1),
+            Some(p.clone()),
+        );
+        let s = p.snapshot();
+        assert_eq!(s.completed, 7);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.remaining, 0);
+        assert_eq!(out.len(), 8);
+    }
+}

@@ -1,0 +1,158 @@
+//! Live progress telemetry for a running sweep: completed/failed/
+//! remaining counts, throughput, ETA, and what each worker is on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Shared progress state updated by pool workers and read by the
+/// reporter thread (and by tests).
+pub struct Progress {
+    /// Jobs in this invocation's batch (excludes cache hits).
+    pub total: usize,
+    /// Jobs already satisfied from the store before the pool started.
+    pub cache_hits: usize,
+    completed: AtomicUsize,
+    failed: AtomicUsize,
+    start: Instant,
+    /// What each worker is currently running (`None` = idle).
+    current: Mutex<Vec<Option<String>>>,
+}
+
+/// A point-in-time copy of the counters, plus derived rates.
+#[derive(Debug, Clone)]
+pub struct ProgressSnapshot {
+    /// Jobs finished successfully this invocation.
+    pub completed: usize,
+    /// Jobs that exhausted their retry budget.
+    pub failed: usize,
+    /// Jobs not yet finished.
+    pub remaining: usize,
+    /// Jobs satisfied from the store without running.
+    pub cache_hits: usize,
+    /// Finished jobs (ok + failed) per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Estimated seconds to drain `remaining` at the current rate.
+    pub eta_seconds: Option<f64>,
+    /// Per-worker current job label.
+    pub workers: Vec<Option<String>>,
+}
+
+impl Progress {
+    /// Fresh state for a batch of `total` to-run jobs, noting how many
+    /// were already served from the store.
+    pub fn new(total: usize, cache_hits: usize, workers: usize) -> Self {
+        Progress {
+            total,
+            cache_hits,
+            completed: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            start: Instant::now(),
+            current: Mutex::new(vec![None; workers]),
+        }
+    }
+
+    /// Marks worker `w` as running `label`.
+    pub fn worker_starts(&self, w: usize, label: &str) {
+        let mut cur = self.current.lock().unwrap();
+        if let Some(slot) = cur.get_mut(w) {
+            *slot = Some(label.to_string());
+        }
+    }
+
+    /// Marks worker `w` idle and tallies the finished job.
+    pub fn worker_finishes(&self, w: usize, ok: bool) {
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut cur = self.current.lock().unwrap();
+        if let Some(slot) = cur.get_mut(w) {
+            *slot = None;
+        }
+    }
+
+    /// Copies out the counters and computes rates.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let done = completed + failed;
+        let remaining = self.total.saturating_sub(done);
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let jobs_per_sec = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let eta_seconds = (jobs_per_sec > 0.0).then(|| remaining as f64 / jobs_per_sec);
+        ProgressSnapshot {
+            completed,
+            failed,
+            remaining,
+            cache_hits: self.cache_hits,
+            jobs_per_sec,
+            eta_seconds,
+            workers: self.current.lock().unwrap().clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProgressSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} done, {} failed, {} remaining ({} cached) — {:.2} jobs/s",
+            self.completed, self.failed, self.remaining, self.cache_hits, self.jobs_per_sec
+        )?;
+        if let Some(eta) = self.eta_seconds {
+            write!(f, ", ETA {eta:.0}s")?;
+        }
+        let busy: Vec<String> = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.as_ref().map(|l| format!("w{i}: {l}")))
+            .collect();
+        if !busy.is_empty() {
+            write!(f, " [{}]", busy.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_snapshot() {
+        let p = Progress::new(5, 2, 2);
+        p.worker_starts(0, "job-a");
+        p.worker_starts(1, "job-b");
+        let s = p.snapshot();
+        assert_eq!(s.remaining, 5);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.workers[0].as_deref(), Some("job-a"));
+
+        p.worker_finishes(0, true);
+        p.worker_finishes(1, false);
+        let s = p.snapshot();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.remaining, 3);
+        assert!(s.workers.iter().all(Option::is_none));
+        // Render exercises the Display impl.
+        let line = s.to_string();
+        assert!(line.contains("1 done"), "{line}");
+        assert!(line.contains("1 failed"), "{line}");
+    }
+
+    #[test]
+    fn out_of_range_worker_is_ignored() {
+        let p = Progress::new(1, 0, 1);
+        p.worker_starts(9, "x"); // must not panic
+        p.worker_finishes(9, true);
+        assert_eq!(p.snapshot().completed, 1);
+    }
+}

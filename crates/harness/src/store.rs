@@ -1,0 +1,306 @@
+//! Append-only JSONL results store.
+//!
+//! One record per line, one line per finished job attempt-group. A
+//! sweep resumes by loading the store and skipping every job whose
+//! `JobId` already has an `ok` record; `failed` records are retried on
+//! the next invocation (the newest record for a job wins). A line
+//! truncated by a crash mid-write fails to parse and is counted as
+//! corrupt, never trusted.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use rop_sim_system::metrics::RunMetrics;
+use rop_stats::Json;
+
+/// Terminal status of a stored job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The job produced metrics.
+    Ok,
+    /// The job exhausted its retry budget; `panic_msg` says why.
+    Failed,
+}
+
+impl Status {
+    fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Failed => "failed",
+        }
+    }
+}
+
+/// One store line: the outcome of one job.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Content-hash identity (16 hex digits, from `SweepJob::fingerprint`).
+    pub job: String,
+    /// Human-readable label the job ran under.
+    pub label: String,
+    /// Outcome.
+    pub status: Status,
+    /// Attempts used.
+    pub attempts: u32,
+    /// Final panic message (failed jobs only).
+    pub panic_msg: Option<String>,
+    /// Unix seconds when the record was appended.
+    pub ts: u64,
+    /// The run's metrics (ok jobs only).
+    pub metrics: Option<RunMetrics>,
+}
+
+impl Record {
+    /// Encodes as one JSON object (no newline).
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("v", Json::Num(1.0))
+            .push("job", Json::Str(self.job.clone()))
+            .push("label", Json::Str(self.label.clone()))
+            .push("status", Json::Str(self.status.as_str().to_string()))
+            .push("attempts", Json::Num(self.attempts as f64))
+            .push("ts", Json::Num(self.ts as f64));
+        if let Some(msg) = &self.panic_msg {
+            j.push("panic", Json::Str(msg.clone()));
+        }
+        if let Some(m) = &self.metrics {
+            j.push("metrics", m.to_json());
+        }
+        j
+    }
+
+    /// Decodes one parsed store line.
+    pub fn from_json(j: &Json) -> Result<Record, String> {
+        let status = match j.get("status").and_then(Json::as_str) {
+            Some("ok") => Status::Ok,
+            Some("failed") => Status::Failed,
+            other => return Err(format!("bad status {other:?}")),
+        };
+        let job = j
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or("missing job id")?
+            .to_string();
+        let metrics = match j.get("metrics") {
+            Some(m) => Some(RunMetrics::from_json(m)?),
+            None => None,
+        };
+        if status == Status::Ok && metrics.is_none() {
+            return Err(format!("ok record {job} has no metrics"));
+        }
+        Ok(Record {
+            job,
+            label: j
+                .get("label")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            status,
+            attempts: j.get("attempts").and_then(Json::as_u64).unwrap_or(1) as u32,
+            panic_msg: j.get("panic").and_then(Json::as_str).map(str::to_string),
+            ts: j.get("ts").and_then(Json::as_u64).unwrap_or(0),
+            metrics,
+        })
+    }
+}
+
+/// Everything read from a store file.
+#[derive(Debug, Default)]
+pub struct StoreContents {
+    /// Parseable records, in file order.
+    pub records: Vec<Record>,
+    /// Lines that failed to parse (e.g. truncated by a crash).
+    pub corrupt_lines: usize,
+}
+
+impl StoreContents {
+    /// Newest record per job id (later lines supersede earlier ones).
+    pub fn latest(&self) -> HashMap<&str, &Record> {
+        let mut map = HashMap::new();
+        for r in &self.records {
+            map.insert(r.job.as_str(), r);
+        }
+        map
+    }
+
+    /// (ok, failed) counts over [`StoreContents::latest`].
+    pub fn counts(&self) -> (usize, usize) {
+        let latest = self.latest();
+        let ok = latest.values().filter(|r| r.status == Status::Ok).count();
+        (ok, latest.len() - ok)
+    }
+}
+
+/// Handle on a JSONL store file.
+#[derive(Debug, Clone)]
+pub struct Store {
+    path: PathBuf,
+}
+
+impl Store {
+    /// A store at `path`. The file is created lazily on first append.
+    pub fn open(path: impl Into<PathBuf>) -> Store {
+        Store { path: path.into() }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads every record. A missing file is an empty store.
+    pub fn load(&self) -> Result<StoreContents, String> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Default::default()),
+            Err(e) => return Err(format!("{}: {e}", self.path.display())),
+        };
+        let mut out = StoreContents::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Json::parse(line).and_then(|j| Record::from_json(&j)) {
+                Ok(rec) => out.records.push(rec),
+                Err(_) => out.corrupt_lines += 1,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Appends one record (single line + newline, flushed before
+    /// returning so a subsequent crash cannot lose it).
+    pub fn append(&self, rec: &Record) -> Result<(), String> {
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| format!("{}: {e}", self.path.display()))?;
+        let mut line = rec.to_json().render();
+        line.push('\n');
+        f.write_all(line.as_bytes())
+            .and_then(|_| f.flush())
+            .map_err(|e| format!("{}: {e}", self.path.display()))
+    }
+}
+
+/// Current unix time in whole seconds (0 if the clock is before 1970).
+pub fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rop-store-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn ok_record(job: &str, ipc: f64) -> Record {
+        let metrics_json = Json::parse(&format!(
+            r#"{{"system":"Baseline","cores":[{{"benchmark":"lbm","instructions":100,"finish_cycle":50,"ipc":{ipc},"llc_hits":1,"read_misses":2,"stall_cycles":3}}],"total_cycles":50}}"#
+        ))
+        .unwrap();
+        Record {
+            job: job.to_string(),
+            label: format!("test/{job}"),
+            status: Status::Ok,
+            attempts: 1,
+            panic_msg: None,
+            ts: 1_700_000_000,
+            metrics: Some(RunMetrics::from_json(&metrics_json).unwrap()),
+        }
+    }
+
+    #[test]
+    fn append_load_roundtrip() {
+        let path = tmp("roundtrip");
+        let store = Store::open(&path);
+        assert!(store.load().unwrap().records.is_empty());
+
+        store.append(&ok_record("aaaa", 0.5)).unwrap();
+        let failed = Record {
+            job: "bbbb".into(),
+            label: "test/bbbb".into(),
+            status: Status::Failed,
+            attempts: 3,
+            panic_msg: Some("[test/bbbb] boom".into()),
+            ts: 1_700_000_001,
+            metrics: None,
+        };
+        store.append(&failed).unwrap();
+
+        let contents = store.load().unwrap();
+        assert_eq!(contents.records.len(), 2);
+        assert_eq!(contents.corrupt_lines, 0);
+        assert_eq!(contents.records[0].metrics.as_ref().unwrap().ipc(), 0.5);
+        assert_eq!(contents.records[1].status, Status::Failed);
+        assert_eq!(
+            contents.records[1].panic_msg.as_deref(),
+            Some("[test/bbbb] boom")
+        );
+        let (ok, bad) = contents.counts();
+        assert_eq!((ok, bad), (1, 1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn newest_record_wins() {
+        let path = tmp("newest");
+        let store = Store::open(&path);
+        let failed = Record {
+            status: Status::Failed,
+            panic_msg: Some("first try".into()),
+            metrics: None,
+            ..ok_record("cccc", 0.0)
+        };
+        store.append(&failed).unwrap();
+        store.append(&ok_record("cccc", 0.9)).unwrap();
+        let contents = store.load().unwrap();
+        let latest = contents.latest();
+        assert_eq!(latest.len(), 1);
+        assert_eq!(latest["cccc"].status, Status::Ok);
+        assert_eq!(contents.counts(), (1, 0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_tail_is_quarantined() {
+        let path = tmp("truncated");
+        let store = Store::open(&path);
+        store.append(&ok_record("dddd", 0.7)).unwrap();
+        // Simulate a crash mid-write: append half a record, no newline.
+        let full = ok_record("eeee", 0.8).to_json().render();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&full.as_bytes()[..full.len() / 2]).unwrap();
+        drop(f);
+
+        let contents = store.load().unwrap();
+        assert_eq!(contents.records.len(), 1);
+        assert_eq!(contents.corrupt_lines, 1);
+        assert_eq!(contents.records[0].job, "dddd");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ok_without_metrics_is_rejected() {
+        let j = Json::parse(r#"{"v":1,"job":"ffff","status":"ok","attempts":1,"ts":0}"#).unwrap();
+        assert!(Record::from_json(&j).is_err());
+    }
+}

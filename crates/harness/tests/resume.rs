@@ -1,0 +1,154 @@
+//! Acceptance tests for the sweep harness: an interrupted sweep resumes
+//! by running exactly the missing jobs and produces byte-identical
+//! figures, and a poisoned job is retried, recorded, and isolated.
+
+use rop_harness::{PlanExecutor, PoolConfig, Status, Store, StoreExecutor};
+use rop_sim_system::config::SystemKind;
+use rop_sim_system::experiments::run_singlecore_with;
+use rop_sim_system::runner::{LocalExecutor, RunSpec, SweepJob};
+use rop_trace::Benchmark;
+
+fn tiny_spec() -> RunSpec {
+    RunSpec {
+        instructions: 5_000,
+        max_cycles: 5_000_000,
+        seed: 42,
+    }
+}
+
+fn tmp_store(name: &str) -> Store {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "rop-resume-test-{name}-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    Store::open(p)
+}
+
+fn serial_pool() -> PoolConfig {
+    PoolConfig {
+        workers: 1,
+        max_attempts: 2,
+        stop_after: None,
+        report_interval: None,
+    }
+}
+
+/// Kill a 6-job sweep after 2 jobs, resume it, and check that exactly
+/// the 4 missing jobs run and the final figure is identical to an
+/// uninterrupted run.
+#[test]
+fn interrupted_sweep_resumes_and_matches_uninterrupted_figures() {
+    let benchmarks = [Benchmark::Lbm];
+    let spec = tiny_spec();
+
+    // How many jobs is this sweep? Ask the planner, don't hardcode.
+    let plan = PlanExecutor::new();
+    run_singlecore_with(&benchmarks, spec, &plan);
+    let total = plan.into_jobs().len();
+    assert_eq!(total, 6, "baseline + no-refresh + 4 buffer sizes");
+
+    // Uninterrupted reference run into its own store.
+    let ref_store = tmp_store("reference");
+    let ref_exec = StoreExecutor::new(ref_store.clone()).with_pool(serial_pool());
+    let reference = run_singlecore_with(&benchmarks, spec, &ref_exec);
+    assert_eq!(ref_exec.stats().executed, total);
+
+    // Interrupted run: stop claiming after 2 finished jobs. A single
+    // worker makes the cut deterministic.
+    let store = tmp_store("interrupted");
+    let killed = 2usize;
+    let exec = StoreExecutor::new(store.clone()).with_pool(PoolConfig {
+        stop_after: Some(killed),
+        ..serial_pool()
+    });
+    run_singlecore_with(&benchmarks, spec, &exec);
+    assert_eq!(exec.stats().executed, killed);
+    assert_eq!(exec.stats().not_run, total - killed);
+    let (ok, failed) = store.load().unwrap().counts();
+    assert_eq!((ok, failed), (killed, 0), "only finished jobs persisted");
+
+    // Resume: exactly the M - N missing jobs execute.
+    let resume = StoreExecutor::new(store.clone()).with_pool(serial_pool());
+    let resumed = run_singlecore_with(&benchmarks, spec, &resume);
+    assert_eq!(resume.stats().cache_hits, killed);
+    assert_eq!(resume.stats().executed, total - killed);
+    assert_eq!(resume.stats().failed, 0);
+
+    // The figure assembled from the resumed store is byte-identical to
+    // the uninterrupted run (floats round-trip the store bit-exactly).
+    assert_eq!(resumed.render_fig7(), reference.render_fig7());
+    assert_eq!(resumed.render_fig8(), reference.render_fig8());
+    assert_eq!(resumed.render_fig9(), reference.render_fig9());
+
+    // And both match a fresh in-process run with no store at all.
+    let local = run_singlecore_with(&benchmarks, spec, &LocalExecutor);
+    assert_eq!(resumed.render_fig7(), local.render_fig7());
+
+    // A second resume is a pure cache read: zero executions.
+    let warm = StoreExecutor::new(store.clone()).with_pool(serial_pool());
+    let cached = run_singlecore_with(&benchmarks, spec, &warm);
+    assert_eq!(warm.stats().executed, 0);
+    assert_eq!(warm.stats().cache_hits, total);
+    assert_eq!(cached.render_fig7(), reference.render_fig7());
+
+    let _ = std::fs::remove_file(store.path());
+    let _ = std::fs::remove_file(ref_store.path());
+}
+
+/// A job whose config cannot validate panics every attempt: it must be
+/// retried to the bound, recorded as failed in the store, and leave the
+/// rest of the sweep untouched.
+#[test]
+fn poisoned_job_is_retried_recorded_and_isolated() {
+    let spec = tiny_spec();
+    let store = tmp_store("poison");
+
+    // 4-core ROP on 2 ranks violates rank partitioning → validate()
+    // fails → the job panics (with its label) on every attempt.
+    let mut poisoned = SweepJob::multi(
+        rop_trace::WORKLOAD_MIXES[0],
+        SystemKind::Rop { buffer: 64 },
+        4,
+        spec,
+    );
+    poisoned.config.ranks = 2;
+    let healthy: Vec<SweepJob> = [Benchmark::Lbm, Benchmark::Bzip2]
+        .iter()
+        .map(|&b| SweepJob::single("t", b, SystemKind::Baseline, spec))
+        .collect();
+
+    let mut jobs = vec![poisoned.clone()];
+    jobs.extend(healthy.clone());
+    let exec = StoreExecutor::new(store.clone()).with_pool(PoolConfig {
+        workers: 2,
+        max_attempts: 3,
+        stop_after: None,
+        report_interval: None,
+    });
+    use rop_sim_system::runner::SweepExecutor;
+    let out = exec.execute(jobs);
+
+    // The sweep finished: healthy jobs produced real metrics.
+    assert_eq!(out.len(), 3);
+    assert!(out[1].total_cycles > 0);
+    assert!(out[2].total_cycles > 0);
+    assert_eq!(exec.stats().failed, 1);
+    assert_eq!(exec.stats().executed, 3);
+
+    // The failure is durable, labeled, and carries the attempt count.
+    let contents = store.load().unwrap();
+    let latest = contents.latest();
+    let id = rop_harness::job_id(&poisoned);
+    let rec = latest[id.as_str()];
+    assert_eq!(rec.status, Status::Failed);
+    assert_eq!(rec.attempts, 3, "retried to the configured bound");
+    let msg = rec.panic_msg.as_deref().unwrap();
+    assert!(msg.contains(&poisoned.label), "panic lost its label: {msg}");
+
+    let (ok, failed) = contents.counts();
+    assert_eq!((ok, failed), (2, 1));
+
+    let _ = std::fs::remove_file(store.path());
+}

@@ -14,8 +14,7 @@ use rop_trace::Benchmark;
 
 use crate::config::{SystemConfig, SystemKind};
 use crate::metrics::RunMetrics;
-use crate::runner::{parallel_map, RunSpec};
-use crate::system::System;
+use crate::runner::{LocalExecutor, RunSpec, SweepExecutor, SweepJob};
 
 /// Benchmarks used in ablations: the three streaming-intensive ones plus
 /// one phase-structured one.
@@ -88,58 +87,94 @@ fn rop_system(benchmark: Benchmark, spec: RunSpec) -> SystemConfig {
     SystemConfig::single_core(benchmark, SystemKind::Rop { buffer: CAP }, spec.seed)
 }
 
-fn run(cfg: SystemConfig, spec: RunSpec) -> RunMetrics {
-    let mut sys = System::new(cfg);
-    sys.run_until(spec.instructions, spec.max_cycles)
+/// The declarative baseline job set shared by every ablation study
+/// (the auto-refresh runs the IPC columns normalise against). Identical
+/// across studies, so a content-addressed store runs them only once.
+pub fn baseline_jobs(spec: RunSpec) -> Vec<SweepJob> {
+    ABLATION_BENCHMARKS
+        .iter()
+        .map(|&b| {
+            SweepJob::custom(
+                format!("ablate/baseline/{}", b.name()),
+                SystemConfig::single_core(b, SystemKind::Baseline, spec.seed),
+                spec,
+            )
+        })
+        .collect()
 }
 
-fn baselines(spec: RunSpec) -> Vec<(&'static str, f64)> {
-    parallel_map(ABLATION_BENCHMARKS.to_vec(), |&b| {
-        let m = run(
-            SystemConfig::single_core(b, SystemKind::Baseline, spec.seed),
-            spec,
-        );
-        (b.name(), m.ipc())
-    })
+fn baselines(spec: RunSpec, exec: &dyn SweepExecutor) -> Vec<(&'static str, f64)> {
+    let metrics = exec.execute(baseline_jobs(spec));
+    ABLATION_BENCHMARKS
+        .iter()
+        .zip(&metrics)
+        .map(|(&b, m)| (b.name(), m.ipc()))
+        .collect()
 }
 
 /// A named configuration mutator for one ablation variant.
-type Variant = (&'static str, Box<dyn Fn(&mut SystemConfig) + Sync>);
+type Variant = (&'static str, Box<dyn Fn(&mut SystemConfig)>);
+
+/// Builds the fully-resolved job for one (variant, benchmark) cell: the
+/// mutator is applied at job-construction time, so the job's config —
+/// and therefore its content hash — captures the variant completely.
+fn variant_job(
+    slug: &str,
+    variant: &str,
+    mutate: &dyn Fn(&mut SystemConfig),
+    b: Benchmark,
+    spec: RunSpec,
+) -> SweepJob {
+    let mut cfg = rop_system(b, spec);
+    // Give the mutator the controller config via the override hook.
+    cfg.ctrl_override = Some(cfg.kind.memctrl_config(cfg.ranks, cfg.seed));
+    mutate(&mut cfg);
+    SweepJob::custom(format!("ablate/{slug}/{variant}/{}", b.name()), cfg, spec)
+}
 
 /// Generic driver: one configured system per (variant, benchmark).
-fn sweep(study: &'static str, variants: Vec<Variant>, spec: RunSpec) -> AblationResult {
+fn sweep(
+    study: &'static str,
+    slug: &str,
+    variants: Vec<Variant>,
+    spec: RunSpec,
+    exec: &dyn SweepExecutor,
+) -> AblationResult {
     let labels: Vec<&'static str> = variants.iter().map(|(l, _)| *l).collect();
     let mut items: Vec<(usize, Benchmark)> = Vec::new();
-    for v in 0..variants.len() {
+    let mut jobs = Vec::new();
+    for (v, (label, mutate)) in variants.iter().enumerate() {
         for &b in &ABLATION_BENCHMARKS {
             items.push((v, b));
+            jobs.push(variant_job(slug, label, mutate.as_ref(), b, spec));
         }
     }
-    let cells = parallel_map(items, |&(v, b)| {
-        let mut cfg = rop_system(b, spec);
-        let mut ctrl = cfg.kind.memctrl_config(cfg.ranks, cfg.seed);
-        // Give the mutator the controller config via the override hook.
-        cfg.ctrl_override = Some(ctrl.clone());
-        (variants[v].1)(&mut cfg);
-        ctrl = cfg.ctrl_override.clone().expect("override stays set");
-        cfg.ctrl_override = Some(ctrl);
-        AblationCell {
+    let metrics = exec.execute(jobs);
+    let cells = items
+        .into_iter()
+        .zip(metrics)
+        .map(|((v, b), m)| AblationCell {
             variant: labels[v],
             benchmark: b.name(),
-            metrics: run(cfg, spec),
-        }
-    });
+            metrics: m,
+        })
+        .collect();
     AblationResult {
         study,
         variants: labels,
         cells,
-        baseline_ipc: baselines(spec),
+        baseline_ipc: baselines(spec, exec),
     }
 }
 
 /// Observational-window length ablation (1×/2×/4× tRFC).
 pub fn ablate_window(spec: RunSpec) -> AblationResult {
-    let mk = |mult: u64| -> Box<dyn Fn(&mut SystemConfig) + Sync> {
+    ablate_window_with(spec, &LocalExecutor)
+}
+
+/// [`ablate_window`] through an arbitrary executor.
+pub fn ablate_window_with(spec: RunSpec, exec: &dyn SweepExecutor) -> AblationResult {
+    let mk = |mult: u64| -> Box<dyn Fn(&mut SystemConfig)> {
         Box::new(move |cfg| {
             let ctrl = cfg.ctrl_override.as_mut().expect("override present");
             let rop = ctrl.rop.as_mut().expect("ROP system");
@@ -148,14 +183,21 @@ pub fn ablate_window(spec: RunSpec) -> AblationResult {
     };
     sweep(
         "observational window (1x/2x/4x tRFC)",
+        "window",
         vec![("1x", mk(1)), ("2x", mk(2)), ("4x", mk(4))],
         spec,
+        exec,
     )
 }
 
 /// Throttle-mode ablation: adaptive λ/β vs. always vs. never.
 pub fn ablate_throttle(spec: RunSpec) -> AblationResult {
-    let mk = |mode: ThrottleMode| -> Box<dyn Fn(&mut SystemConfig) + Sync> {
+    ablate_throttle_with(spec, &LocalExecutor)
+}
+
+/// [`ablate_throttle`] through an arbitrary executor.
+pub fn ablate_throttle_with(spec: RunSpec, exec: &dyn SweepExecutor) -> AblationResult {
+    let mk = |mode: ThrottleMode| -> Box<dyn Fn(&mut SystemConfig)> {
         Box::new(move |cfg| {
             let ctrl = cfg.ctrl_override.as_mut().expect("override present");
             ctrl.rop.as_mut().expect("ROP system").throttle_mode = mode;
@@ -163,19 +205,26 @@ pub fn ablate_throttle(spec: RunSpec) -> AblationResult {
     };
     sweep(
         "probabilistic throttle",
+        "throttle",
         vec![
             ("adaptive", mk(ThrottleMode::Adaptive)),
             ("always", mk(ThrottleMode::Always)),
             ("never", mk(ThrottleMode::Never)),
         ],
         spec,
+        exec,
     )
 }
 
 /// Drain-before-refresh ablation: normal budget vs. force-at-due.
 pub fn ablate_drain(spec: RunSpec) -> AblationResult {
-    let with_drain: Box<dyn Fn(&mut SystemConfig) + Sync> = Box::new(|_| {});
-    let no_drain: Box<dyn Fn(&mut SystemConfig) + Sync> = Box::new(|cfg| {
+    ablate_drain_with(spec, &LocalExecutor)
+}
+
+/// [`ablate_drain`] through an arbitrary executor.
+pub fn ablate_drain_with(spec: RunSpec, exec: &dyn SweepExecutor) -> AblationResult {
+    let with_drain: Box<dyn Fn(&mut SystemConfig)> = Box::new(|_| {});
+    let no_drain: Box<dyn Fn(&mut SystemConfig)> = Box::new(|cfg| {
         let ctrl = cfg.ctrl_override.as_mut().expect("override present");
         // Refresh forced the moment it falls due: no drain, no grace.
         ctrl.max_refresh_postpone = 0;
@@ -183,28 +232,43 @@ pub fn ablate_drain(spec: RunSpec) -> AblationResult {
     });
     sweep(
         "drain-before-refresh",
+        "drain",
         vec![("drain", with_drain), ("no-drain", no_drain)],
         spec,
+        exec,
     )
 }
 
 /// Prediction-table ablation: multi-delta vs. 1-delta only.
 pub fn ablate_table(spec: RunSpec) -> AblationResult {
-    let multi: Box<dyn Fn(&mut SystemConfig) + Sync> = Box::new(|_| {});
-    let single: Box<dyn Fn(&mut SystemConfig) + Sync> = Box::new(|cfg| {
+    ablate_table_with(spec, &LocalExecutor)
+}
+
+/// [`ablate_table`] through an arbitrary executor.
+pub fn ablate_table_with(spec: RunSpec, exec: &dyn SweepExecutor) -> AblationResult {
+    let multi: Box<dyn Fn(&mut SystemConfig)> = Box::new(|_| {});
+    let single: Box<dyn Fn(&mut SystemConfig)> = Box::new(|cfg| {
         let ctrl = cfg.ctrl_override.as_mut().expect("override present");
         ctrl.rop.as_mut().expect("ROP system").single_delta_only = true;
     });
     sweep(
         "prediction table (multi-delta vs 1-delta)",
+        "table",
         vec![("multi-delta", multi), ("1-delta", single)],
         spec,
+        exec,
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::System;
+
+    fn run(cfg: SystemConfig, spec: RunSpec) -> RunMetrics {
+        let mut sys = System::new(cfg);
+        sys.run_until(spec.instructions, spec.max_cycles)
+    }
 
     #[test]
     fn throttle_ablation_smoke() {

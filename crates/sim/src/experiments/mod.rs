@@ -14,12 +14,15 @@ pub mod multicore;
 pub mod sensitivity;
 pub mod singlecore;
 
-pub use ablations::{ablate_drain, ablate_table, ablate_throttle, ablate_window, AblationResult};
+pub use ablations::{
+    ablate_drain, ablate_drain_with, ablate_table, ablate_table_with, ablate_throttle,
+    ablate_throttle_with, ablate_window, ablate_window_with, AblationResult,
+};
 pub use analysis_figs::{run_analysis, AnalysisResult};
 pub use extensions::{
     run_fgr_sweep, run_per_bank_study, run_policy_comparison, FgrSweep, PerBankStudy,
     PolicyComparison,
 };
-pub use multicore::{run_multicore, MulticoreResult};
-pub use sensitivity::{run_llc_sweep, LlcSweepResult};
-pub use singlecore::{run_singlecore, SinglecoreResult};
+pub use multicore::{run_multicore, run_multicore_on, AloneIpcs, MulticoreResult};
+pub use sensitivity::{run_llc_sweep, run_llc_sweep_with, LlcSweepResult};
+pub use singlecore::{run_singlecore, run_singlecore_on, run_singlecore_with, SinglecoreResult};

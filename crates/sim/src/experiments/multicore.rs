@@ -7,8 +7,7 @@ use rop_trace::{Benchmark, WorkloadMix, ALL_BENCHMARKS, WORKLOAD_MIXES};
 
 use crate::config::{SystemConfig, SystemKind};
 use crate::metrics::RunMetrics;
-use crate::runner::{parallel_map, run_multi, RunSpec};
-use crate::system::System;
+use crate::runner::{LocalExecutor, RunSpec, SweepExecutor, SweepJob};
 
 /// The ROP buffer size used in the multicore experiments (paper default).
 pub const ROP_BUFFER: usize = 64;
@@ -23,21 +22,43 @@ pub struct AloneIpcs {
 impl AloneIpcs {
     /// Measures alone-IPCs for every benchmark (parallelised).
     pub fn measure(llc_mib: usize, spec: RunSpec) -> Self {
-        let ipcs = parallel_map(ALL_BENCHMARKS.to_vec(), |&b| {
-            let cfg = SystemConfig {
-                benchmarks: vec![b],
-                kind: SystemKind::Baseline,
-                llc: rop_cache::CacheConfig::llc_mib(llc_mib),
-                core: rop_cpu::CoreConfig::default_ooo(),
-                ranks: 4,
-                seed: spec.seed,
-                ctrl_override: None,
-            };
-            cfg.llc.validate().expect("valid LLC");
-            let mut sys = System::new(cfg);
-            let m = sys.run_until(spec.instructions, spec.max_cycles);
-            (b, m.ipc())
-        });
+        Self::measure_with(&ALL_BENCHMARKS, llc_mib, spec, &LocalExecutor)
+    }
+
+    /// The declarative job set behind [`AloneIpcs::measure_with`]:
+    /// each benchmark alone on the baseline 4-rank machine.
+    pub fn jobs(benchmarks: &[Benchmark], llc_mib: usize, spec: RunSpec) -> Vec<SweepJob> {
+        benchmarks
+            .iter()
+            .map(|&b| {
+                let cfg = SystemConfig {
+                    benchmarks: vec![b],
+                    kind: SystemKind::Baseline,
+                    llc: rop_cache::CacheConfig::llc_mib(llc_mib),
+                    core: rop_cpu::CoreConfig::default_ooo(),
+                    ranks: 4,
+                    seed: spec.seed,
+                    ctrl_override: None,
+                };
+                SweepJob::custom(format!("alone/llc{llc_mib}/{}", b.name()), cfg, spec)
+            })
+            .collect()
+    }
+
+    /// Alone-IPC measurement for a benchmark subset through an
+    /// arbitrary executor.
+    pub fn measure_with(
+        benchmarks: &[Benchmark],
+        llc_mib: usize,
+        spec: RunSpec,
+        exec: &dyn SweepExecutor,
+    ) -> Self {
+        let metrics = exec.execute(Self::jobs(benchmarks, llc_mib, spec));
+        let ipcs = benchmarks
+            .iter()
+            .zip(&metrics)
+            .map(|(&b, m)| (b, m.ipc()))
+            .collect();
         AloneIpcs { ipcs }
     }
 
@@ -95,20 +116,39 @@ pub fn run_multicore_with_alone(
     spec: RunSpec,
     alone: &AloneIpcs,
 ) -> MulticoreResult {
-    let kinds = [
-        SystemKind::Baseline,
-        SystemKind::BaselineRp,
-        SystemKind::Rop { buffer: ROP_BUFFER },
-    ];
-    let mut items: Vec<(WorkloadMix, SystemKind)> = Vec::new();
-    for &mix in &WORKLOAD_MIXES {
-        for &k in &kinds {
-            items.push((mix, k));
+    run_multicore_on(&WORKLOAD_MIXES, llc_mib, spec, alone, &LocalExecutor)
+}
+
+/// The three comparison systems of Figures 10/11.
+pub const MULTICORE_SYSTEMS: [SystemKind; 3] = [
+    SystemKind::Baseline,
+    SystemKind::BaselineRp,
+    SystemKind::Rop { buffer: ROP_BUFFER },
+];
+
+/// The declarative job set behind [`run_multicore_on`], in row order:
+/// per mix, one job per [`MULTICORE_SYSTEMS`] entry.
+pub fn multicore_jobs(mixes: &[WorkloadMix], llc_mib: usize, spec: RunSpec) -> Vec<SweepJob> {
+    let mut jobs = Vec::new();
+    for &mix in mixes {
+        for &k in &MULTICORE_SYSTEMS {
+            jobs.push(SweepJob::multi(mix, k, llc_mib, spec));
         }
     }
-    let metrics = parallel_map(items, |&(mix, kind)| run_multi(mix, kind, llc_mib, spec));
+    jobs
+}
 
-    let rows = WORKLOAD_MIXES
+/// The multicore comparison for a mix subset through an arbitrary
+/// executor (figures assemble from whatever metrics it returns).
+pub fn run_multicore_on(
+    mixes: &[WorkloadMix],
+    llc_mib: usize,
+    spec: RunSpec,
+    alone: &AloneIpcs,
+    exec: &dyn SweepExecutor,
+) -> MulticoreResult {
+    let metrics = exec.execute(multicore_jobs(mixes, llc_mib, spec));
+    let rows = mixes
         .iter()
         .enumerate()
         .map(|(i, mix)| {

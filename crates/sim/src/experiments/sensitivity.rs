@@ -2,9 +2,10 @@
 //! Figure 13 (energy vs. LLC) and Figure 14 (SRAM hit rate vs. LLC).
 
 use rop_stats::{geometric_mean, normalize_to, TableBuilder};
+use rop_trace::{Benchmark, WorkloadMix, ALL_BENCHMARKS, WORKLOAD_MIXES};
 
-use crate::experiments::multicore::{run_multicore_with_alone, AloneIpcs, MulticoreResult};
-use crate::runner::RunSpec;
+use crate::experiments::multicore::{run_multicore_on, AloneIpcs, MulticoreResult};
+use crate::runner::{LocalExecutor, RunSpec, SweepExecutor};
 
 /// LLC sizes swept (MiB), per the paper's sensitivity study.
 pub const LLC_SIZES_MIB: [usize; 3] = [1, 2, 4];
@@ -18,23 +19,46 @@ pub struct LlcSweepResult {
 
 /// Runs the full multicore comparison at each LLC size.
 pub fn run_llc_sweep(spec: RunSpec) -> LlcSweepResult {
-    let per_size = LLC_SIZES_MIB
+    run_llc_sweep_with(&LLC_SIZES_MIB, &WORKLOAD_MIXES, spec, &LocalExecutor)
+}
+
+/// The LLC sweep over chosen sizes and mixes through an arbitrary
+/// executor. Alone-IPC denominators are measured (per size) only for
+/// benchmarks appearing in `mixes`, in [`ALL_BENCHMARKS`] order.
+pub fn run_llc_sweep_with(
+    sizes: &[usize],
+    mixes: &[WorkloadMix],
+    spec: RunSpec,
+    exec: &dyn SweepExecutor,
+) -> LlcSweepResult {
+    let needed: Vec<Benchmark> = ALL_BENCHMARKS
+        .into_iter()
+        .filter(|b| mixes.iter().any(|m| m.programs.contains(b)))
+        .collect();
+    let per_size = sizes
         .iter()
         .map(|&mib| {
-            let alone = AloneIpcs::measure(mib, spec);
-            run_multicore_with_alone(mib, spec, &alone)
+            let alone = AloneIpcs::measure_with(&needed, mib, spec, exec);
+            run_multicore_on(mixes, mib, spec, &alone, exec)
         })
         .collect();
     LlcSweepResult { per_size }
 }
 
 impl LlcSweepResult {
+    /// Header row: `mix` plus one column per swept LLC size.
+    fn size_header(&self) -> Vec<String> {
+        std::iter::once("mix".to_string())
+            .chain(self.per_size.iter().map(|r| format!("{}MB", r.llc_mib)))
+            .collect()
+    }
+
     /// Figure 12: ROP's normalised weighted speedup per LLC size.
     pub fn render_fig12(&self) -> String {
         let mut t = TableBuilder::new(
             "Figure 12 — ROP weighted speedup normalised to Baseline, by LLC size",
         )
-        .header(["mix", "1MB", "2MB", "4MB"]);
+        .header(self.size_header());
         let mixes: Vec<&str> = self.per_size[0].rows.iter().map(|r| r.mix).collect();
         for (i, mix) in mixes.iter().enumerate() {
             let mut cells = vec![mix.to_string()];
@@ -60,7 +84,7 @@ impl LlcSweepResult {
     /// Figure 13: ROP's normalised energy per LLC size.
     pub fn render_fig13(&self) -> String {
         let mut t = TableBuilder::new("Figure 13 — ROP energy normalised to Baseline, by LLC size")
-            .header(["mix", "1MB", "2MB", "4MB"]);
+            .header(self.size_header());
         let mixes: Vec<&str> = self.per_size[0].rows.iter().map(|r| r.mix).collect();
         for (i, mix) in mixes.iter().enumerate() {
             let mut cells = vec![mix.to_string()];
@@ -79,7 +103,7 @@ impl LlcSweepResult {
     /// Figure 14: SRAM buffer hit rate per LLC size (ROP system).
     pub fn render_fig14(&self) -> String {
         let mut t = TableBuilder::new("Figure 14 — SRAM buffer hit rate, by LLC size (ROP-64)")
-            .header(["mix", "1MB", "2MB", "4MB"]);
+            .header(self.size_header());
         let mixes: Vec<&str> = self.per_size[0].rows.iter().map(|r| r.mix).collect();
         for (i, mix) in mixes.iter().enumerate() {
             let mut cells = vec![mix.to_string()];

@@ -7,7 +7,7 @@ use rop_trace::{Benchmark, ALL_BENCHMARKS};
 
 use crate::config::SystemKind;
 use crate::metrics::RunMetrics;
-use crate::runner::{parallel_map, run_single, RunSpec};
+use crate::runner::{LocalExecutor, RunSpec, SweepExecutor, SweepJob};
 
 /// SRAM capacities swept by the paper.
 pub const BUFFER_SIZES: [usize; 4] = [16, 32, 64, 128];
@@ -39,17 +39,37 @@ pub fn run_singlecore(spec: RunSpec) -> SinglecoreResult {
 
 /// Same sweep on a chosen benchmark subset (used by tests and benches).
 pub fn run_singlecore_on(benchmarks: &[Benchmark], spec: RunSpec) -> SinglecoreResult {
-    // Flatten (benchmark × system) into one parallel batch.
-    let mut items: Vec<(Benchmark, SystemKind)> = Vec::new();
+    run_singlecore_with(benchmarks, spec, &LocalExecutor)
+}
+
+/// The declarative job set behind [`run_singlecore_on`], in row order:
+/// per benchmark, baseline, no-refresh, then each [`BUFFER_SIZES`] entry.
+pub fn singlecore_jobs(benchmarks: &[Benchmark], spec: RunSpec) -> Vec<SweepJob> {
+    let mut jobs = Vec::new();
     for &b in benchmarks {
-        items.push((b, SystemKind::Baseline));
-        items.push((b, SystemKind::NoRefresh));
+        jobs.push(SweepJob::single("single", b, SystemKind::Baseline, spec));
+        jobs.push(SweepJob::single("single", b, SystemKind::NoRefresh, spec));
         for &cap in &BUFFER_SIZES {
-            items.push((b, SystemKind::Rop { buffer: cap }));
+            jobs.push(SweepJob::single(
+                "single",
+                b,
+                SystemKind::Rop { buffer: cap },
+                spec,
+            ));
         }
     }
-    let metrics = parallel_map(items, |&(b, kind)| run_single(b, kind, spec));
+    jobs
+}
 
+/// The single-core sweep through an arbitrary executor: the figures are
+/// assembled from whatever metrics the executor returns (fresh runs for
+/// [`LocalExecutor`], store-backed results for the sweep harness).
+pub fn run_singlecore_with(
+    benchmarks: &[Benchmark],
+    spec: RunSpec,
+    exec: &dyn SweepExecutor,
+) -> SinglecoreResult {
+    let metrics = exec.execute(singlecore_jobs(benchmarks, spec));
     let per = 2 + BUFFER_SIZES.len();
     let rows = benchmarks
         .iter()

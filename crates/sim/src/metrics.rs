@@ -1,7 +1,9 @@
-//! Run-level metrics extracted from a finished simulation.
+//! Run-level metrics extracted from a finished simulation, plus their
+//! stable serde-free JSON encoding (the sweep store's record payload).
 
 use rop_dram::EnergyBreakdown;
 use rop_memctrl::RefreshAnalysisReport;
+use rop_stats::Json;
 
 use crate::Cycle;
 
@@ -114,6 +116,195 @@ impl RunMetrics {
     }
 }
 
+// --- JSON encoding -------------------------------------------------------
+//
+// Hand-rolled per the vendored-stubs policy: no serde in the workspace.
+// Numbers use `Json`'s shortest-roundtrip float rendering, so metrics
+// survive a store round-trip bit-exactly (figures rendered from a
+// resumed store match an uninterrupted run byte-for-byte). Decoding is
+// strict about types but lenient about *missing* fields (zero/empty
+// defaults), so old stores keep loading after a field is added.
+
+fn get_f64(j: &Json, key: &str) -> f64 {
+    j.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn get_u64(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn get_str(j: &Json, key: &str) -> String {
+    j.get(key).and_then(Json::as_str).unwrap_or("").to_string()
+}
+
+fn energy_to_json(e: &EnergyBreakdown) -> Json {
+    let mut j = Json::obj();
+    j.push("act_pre_nj", Json::Num(e.act_pre_nj))
+        .push("read_nj", Json::Num(e.read_nj))
+        .push("write_nj", Json::Num(e.write_nj))
+        .push("refresh_nj", Json::Num(e.refresh_nj))
+        .push("background_nj", Json::Num(e.background_nj))
+        .push("sram_nj", Json::Num(e.sram_nj));
+    j
+}
+
+fn energy_from_json(j: &Json) -> EnergyBreakdown {
+    EnergyBreakdown {
+        act_pre_nj: get_f64(j, "act_pre_nj"),
+        read_nj: get_f64(j, "read_nj"),
+        write_nj: get_f64(j, "write_nj"),
+        refresh_nj: get_f64(j, "refresh_nj"),
+        background_nj: get_f64(j, "background_nj"),
+        sram_nj: get_f64(j, "sram_nj"),
+    }
+}
+
+fn report_to_json(r: &RefreshAnalysisReport) -> Json {
+    let mut j = Json::obj();
+    j.push("window_multiplier", Json::Num(r.window_multiplier as f64))
+        .push("refreshes", Json::Num(r.refreshes as f64))
+        .push("non_blocking_fraction", Json::Num(r.non_blocking_fraction))
+        .push(
+            "avg_blocked_per_blocking",
+            Json::Num(r.avg_blocked_per_blocking),
+        )
+        .push("max_blocked", Json::Num(r.max_blocked as f64))
+        .push("lambda", Json::Num(r.lambda))
+        .push("beta", Json::Num(r.beta))
+        .push("dominant_fraction", Json::Num(r.dominant_fraction));
+    j
+}
+
+fn report_from_json(j: &Json) -> RefreshAnalysisReport {
+    RefreshAnalysisReport {
+        window_multiplier: get_u64(j, "window_multiplier"),
+        refreshes: get_u64(j, "refreshes"),
+        non_blocking_fraction: get_f64(j, "non_blocking_fraction"),
+        avg_blocked_per_blocking: get_f64(j, "avg_blocked_per_blocking"),
+        max_blocked: get_u64(j, "max_blocked"),
+        lambda: get_f64(j, "lambda"),
+        beta: get_f64(j, "beta"),
+        dominant_fraction: get_f64(j, "dominant_fraction"),
+    }
+}
+
+impl CoreMetrics {
+    /// Encodes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("benchmark", Json::Str(self.benchmark.clone()))
+            .push("instructions", Json::Num(self.instructions as f64))
+            .push("finish_cycle", Json::Num(self.finish_cycle as f64))
+            .push("ipc", Json::Num(self.ipc))
+            .push("llc_hits", Json::Num(self.llc_hits as f64))
+            .push("read_misses", Json::Num(self.read_misses as f64))
+            .push("stall_cycles", Json::Num(self.stall_cycles as f64));
+        j
+    }
+
+    /// Decodes from [`CoreMetrics::to_json`] output.
+    pub fn from_json(j: &Json) -> Result<CoreMetrics, String> {
+        if !matches!(j, Json::Obj(_)) {
+            return Err("core metrics: expected object".into());
+        }
+        Ok(CoreMetrics {
+            benchmark: get_str(j, "benchmark"),
+            instructions: get_u64(j, "instructions"),
+            finish_cycle: get_u64(j, "finish_cycle"),
+            ipc: get_f64(j, "ipc"),
+            llc_hits: get_u64(j, "llc_hits"),
+            read_misses: get_u64(j, "read_misses"),
+            stall_cycles: get_u64(j, "stall_cycles"),
+        })
+    }
+}
+
+impl RunMetrics {
+    /// Encodes as a JSON object (the sweep store's `metrics` payload).
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("system", Json::Str(self.system.clone()))
+            .push(
+                "cores",
+                Json::Arr(self.cores.iter().map(CoreMetrics::to_json).collect()),
+            )
+            .push("total_cycles", Json::Num(self.total_cycles as f64))
+            .push("energy", energy_to_json(&self.energy))
+            .push("refreshes", Json::Num(self.refreshes as f64))
+            .push("sram_hit_rate", Json::Num(self.sram_hit_rate))
+            .push("sram_lookups", Json::Num(self.sram_lookups as f64))
+            .push("prefetches", Json::Num(self.prefetches as f64))
+            .push(
+                "analysis",
+                Json::Arr(
+                    self.analysis
+                        .iter()
+                        .map(|trio| Json::Arr(trio.iter().map(report_to_json).collect()))
+                        .collect(),
+                ),
+            )
+            .push("row_hit_rate", Json::Num(self.row_hit_rate))
+            .push("avg_read_latency", Json::Num(self.avg_read_latency))
+            .push("hit_cycle_cap", Json::Bool(self.hit_cycle_cap))
+            .push("wall_seconds", Json::Num(self.wall_seconds))
+            .push(
+                "instructions_total",
+                Json::Num(self.instructions_total as f64),
+            );
+        j
+    }
+
+    /// Decodes from [`RunMetrics::to_json`] output.
+    pub fn from_json(j: &Json) -> Result<RunMetrics, String> {
+        if !matches!(j, Json::Obj(_)) {
+            return Err("run metrics: expected object".into());
+        }
+        let cores = j
+            .get("cores")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(CoreMetrics::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let analysis = j
+            .get("analysis")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|trio| -> Result<[RefreshAnalysisReport; 3], String> {
+                let items = trio.as_arr().ok_or("analysis: expected array")?;
+                if items.len() != 3 {
+                    return Err(format!("analysis: expected 3 windows, got {}", items.len()));
+                }
+                Ok([
+                    report_from_json(&items[0]),
+                    report_from_json(&items[1]),
+                    report_from_json(&items[2]),
+                ])
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RunMetrics {
+            system: get_str(j, "system"),
+            cores,
+            total_cycles: get_u64(j, "total_cycles"),
+            energy: energy_from_json(j.get("energy").unwrap_or(&Json::Null)),
+            refreshes: get_u64(j, "refreshes"),
+            sram_hit_rate: get_f64(j, "sram_hit_rate"),
+            sram_lookups: get_u64(j, "sram_lookups"),
+            prefetches: get_u64(j, "prefetches"),
+            analysis,
+            row_hit_rate: get_f64(j, "row_hit_rate"),
+            avg_read_latency: get_f64(j, "avg_read_latency"),
+            hit_cycle_cap: j
+                .get("hit_cycle_cap")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            wall_seconds: get_f64(j, "wall_seconds"),
+            instructions_total: get_u64(j, "instructions_total"),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +363,94 @@ mod tests {
     #[should_panic]
     fn weighted_speedup_length_mismatch() {
         run(vec![core(1.0)]).weighted_speedup(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let mut m = run(vec![core(0.123456789012345), core(2.0 / 3.0)]);
+        m.system = "ROP-64".into();
+        m.total_cycles = 987_654_321;
+        m.energy = EnergyBreakdown {
+            act_pre_nj: 1.5,
+            read_nj: 0.1 + 0.2, // deliberately non-representable sum
+            write_nj: 3.25,
+            refresh_nj: 1e-9,
+            background_nj: 123456.789,
+            sram_nj: 0.0,
+        };
+        m.refreshes = 4242;
+        m.sram_hit_rate = 0.6180339887498949;
+        m.sram_lookups = 17;
+        m.prefetches = 99;
+        m.row_hit_rate = 0.75;
+        m.avg_read_latency = 41.7;
+        m.hit_cycle_cap = true;
+        m.wall_seconds = 1.25;
+        m.analysis = vec![[
+            RefreshAnalysisReport {
+                window_multiplier: 1,
+                refreshes: 100,
+                non_blocking_fraction: 0.5,
+                avg_blocked_per_blocking: 2.5,
+                max_blocked: 7,
+                lambda: 0.9,
+                beta: 0.1,
+                dominant_fraction: 0.8,
+            },
+            RefreshAnalysisReport {
+                window_multiplier: 2,
+                refreshes: 100,
+                non_blocking_fraction: 0.25,
+                avg_blocked_per_blocking: 3.5,
+                max_blocked: 9,
+                lambda: 0.95,
+                beta: 0.05,
+                dominant_fraction: 0.85,
+            },
+            RefreshAnalysisReport {
+                window_multiplier: 4,
+                refreshes: 100,
+                non_blocking_fraction: 0.125,
+                avg_blocked_per_blocking: 4.5,
+                max_blocked: 11,
+                lambda: 0.99,
+                beta: 0.01,
+                dominant_fraction: 0.9,
+            },
+        ]];
+
+        let text = m.to_json().render();
+        let back = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+
+        // Bit-exact float fields and identical re-render.
+        assert_eq!(back.to_json().render(), text);
+        assert_eq!(back.system, m.system);
+        assert_eq!(back.cores.len(), 2);
+        assert_eq!(back.cores[0].ipc.to_bits(), m.cores[0].ipc.to_bits());
+        assert_eq!(back.cores[1].ipc.to_bits(), m.cores[1].ipc.to_bits());
+        assert_eq!(back.total_cycles, m.total_cycles);
+        assert_eq!(back.energy.read_nj.to_bits(), m.energy.read_nj.to_bits());
+        assert_eq!(back.sram_hit_rate.to_bits(), m.sram_hit_rate.to_bits());
+        assert_eq!(back.analysis.len(), 1);
+        assert_eq!(back.analysis[0][2].window_multiplier, 4);
+        assert_eq!(back.analysis[0][1].max_blocked, 9);
+        assert!(back.hit_cycle_cap);
+    }
+
+    #[test]
+    fn json_decode_rejects_non_objects() {
+        assert!(RunMetrics::from_json(&Json::Num(1.0)).is_err());
+        assert!(CoreMetrics::from_json(&Json::Arr(vec![])).is_err());
+    }
+
+    #[test]
+    fn json_decode_tolerates_missing_fields() {
+        // Forward compatibility: an older store without a newer field
+        // still decodes, with zero defaults.
+        let j = Json::parse(r#"{"system":"Baseline","cores":[]}"#).unwrap();
+        let m = RunMetrics::from_json(&j).unwrap();
+        assert_eq!(m.system, "Baseline");
+        assert_eq!(m.total_cycles, 0);
+        assert!(!m.hit_cycle_cap);
     }
 }

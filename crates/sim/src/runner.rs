@@ -39,8 +39,10 @@ impl RunSpec {
         }
     }
 
-    /// Reads `ROP_INSTR` (instructions per core) from the environment, or
-    /// falls back to [`RunSpec::full`]. Lets CI shrink the workload.
+    /// Reads `ROP_INSTR` (instructions per core), `ROP_SEED` (master
+    /// seed) and `ROP_MAX_CYCLES` (safety cap) from the environment,
+    /// falling back to [`RunSpec::full`] for anything unset or
+    /// malformed. Lets CI shrink the workload.
     pub fn from_env() -> Self {
         Self::from_env_with(|key| std::env::var(key).ok())
     }
@@ -48,13 +50,42 @@ impl RunSpec {
     /// [`RunSpec::from_env`] with an injected variable getter, so tests
     /// can exercise the parsing without mutating process-global state.
     pub fn from_env_with(getter: impl Fn(&str) -> Option<String>) -> Self {
+        let parse = |key: &str| -> Option<u64> { getter(key)?.trim().parse::<u64>().ok() };
         let mut spec = Self::full();
-        if let Some(v) = getter("ROP_INSTR") {
-            if let Ok(n) = v.trim().parse::<u64>() {
-                spec.instructions = n.max(1);
-            }
+        if let Some(n) = parse("ROP_INSTR") {
+            spec.instructions = n.max(1);
+        }
+        if let Some(n) = parse("ROP_SEED") {
+            spec.seed = n;
+        }
+        if let Some(n) = parse("ROP_MAX_CYCLES") {
+            spec.max_cycles = n.max(1);
         }
         spec
+    }
+}
+
+/// Extracts the human-readable message from a panic payload (the
+/// `Box<dyn Any>` that [`std::panic::catch_unwind`] returns).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f`, and if it panics re-raises with `label` prepended to the
+/// panic message so sweep-level failures identify the offending
+/// benchmark × system instead of an anonymous worker thread.
+pub fn with_panic_label<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            std::panic::panic_any(format!("[{label}] {}", panic_message(payload.as_ref())))
+        }
     }
 }
 
@@ -80,6 +111,159 @@ pub fn run_multi(mix: WorkloadMix, kind: SystemKind, llc_mib: usize, spec: RunSp
     sys.run_until(spec.instructions, spec.max_cycles)
 }
 
+/// One fully-resolved simulation in a sweep: everything needed to build
+/// and run a [`System`], plus a human-readable label for progress
+/// reporting and panic attribution.
+///
+/// Jobs are *declarative*: an experiment enumerates its jobs and hands
+/// them to a [`SweepExecutor`], which decides how (and whether) to run
+/// them — in-process for the classic figures, or through the persistent
+/// `rop-harness` store for resumable sweeps.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Display label, e.g. `single/lbm/ROP-64`. Not part of the
+    /// identity hash: relabeling must not invalidate stored results.
+    pub label: String,
+    /// The resolved system configuration (including any controller
+    /// override an ablation applied).
+    pub config: SystemConfig,
+    /// Work quota and seed.
+    pub spec: RunSpec,
+}
+
+impl SweepJob {
+    /// A single-core job as the paper's single-core experiments run it.
+    pub fn single(prefix: &str, benchmark: Benchmark, kind: SystemKind, spec: RunSpec) -> Self {
+        SweepJob {
+            label: format!("{prefix}/{}/{}", benchmark.name(), kind.label()),
+            config: SystemConfig::single_core(benchmark, kind, spec.seed),
+            spec,
+        }
+    }
+
+    /// A 4-core multiprogram job with an explicit LLC size.
+    pub fn multi(mix: WorkloadMix, kind: SystemKind, llc_mib: usize, spec: RunSpec) -> Self {
+        let mut config = SystemConfig::multi_core(mix.programs, kind, spec.seed);
+        config.llc = rop_cache::CacheConfig::llc_mib(llc_mib);
+        SweepJob {
+            label: format!("multi/llc{llc_mib}/{}/{}", mix.name, kind.label()),
+            config,
+            spec,
+        }
+    }
+
+    /// A job over an arbitrary configuration (ablations, alone-IPC runs).
+    pub fn custom(label: impl Into<String>, config: SystemConfig, spec: RunSpec) -> Self {
+        SweepJob {
+            label: label.into(),
+            config,
+            spec,
+        }
+    }
+
+    /// Content hash of the job identity: the fully-resolved
+    /// configuration plus the run spec (instructions, cycle cap, seed).
+    /// Two jobs with the same hash would simulate the identical system,
+    /// so a results store can dedup on it; any config or spec change
+    /// produces a fresh identity. FNV-1a over the `Debug` rendering of
+    /// the resolved config — stable across runs of the same build, and
+    /// deliberately *invalidated* when a config field is added or
+    /// changed, which is exactly when cached metrics go stale.
+    pub fn fingerprint(&self) -> u64 {
+        let canonical = format!("{:?}|{:?}", self.config, self.spec);
+        fnv1a_64(canonical.as_bytes())
+    }
+
+    /// Runs the simulation (panicking with this job's label on any
+    /// internal failure, including config validation).
+    pub fn run(&self) -> RunMetrics {
+        with_panic_label(&self.label, || {
+            if let Err(e) = self.config.validate() {
+                panic!("invalid config: {e}");
+            }
+            let mut sys = System::new(self.config.clone());
+            sys.run_until(self.spec.instructions, self.spec.max_cycles)
+        })
+    }
+
+    /// Zeroed metrics shaped like this job's output (right core count
+    /// and labels). Used by planners that enumerate jobs without
+    /// running them.
+    pub fn placeholder_metrics(&self) -> RunMetrics {
+        RunMetrics {
+            system: self.config.kind.label(),
+            cores: self
+                .config
+                .benchmarks
+                .iter()
+                .map(|b| crate::metrics::CoreMetrics {
+                    benchmark: b.name().to_string(),
+                    instructions: 0,
+                    finish_cycle: 0,
+                    ipc: 0.0,
+                    llc_hits: 0,
+                    read_misses: 0,
+                    stall_cycles: 0,
+                })
+                .collect(),
+            total_cycles: 0,
+            energy: Default::default(),
+            refreshes: 0,
+            sram_hit_rate: 0.0,
+            sram_lookups: 0,
+            prefetches: 0,
+            analysis: Vec::new(),
+            row_hit_rate: 0.0,
+            avg_read_latency: 0.0,
+            hit_cycle_cap: false,
+            wall_seconds: 0.0,
+            instructions_total: 0,
+        }
+    }
+}
+
+/// 64-bit FNV-1a — the store's stable content hash (no dependency on
+/// `std::hash` internals, identical in every process and build).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Strategy for executing a batch of sweep jobs. `execute` must return
+/// one [`RunMetrics`] per job, in input order.
+///
+/// The in-process [`LocalExecutor`] runs everything fresh via
+/// [`parallel_map_labeled`]; the harness crate provides a store-backed
+/// executor with persistence, fault isolation and resume.
+pub trait SweepExecutor {
+    /// Executes (or resolves from cache) every job, preserving order.
+    fn execute(&self, jobs: Vec<SweepJob>) -> Vec<RunMetrics>;
+}
+
+/// Default executor: fresh in-process runs on scoped worker threads,
+/// panics propagated (with job labels) on first failure.
+pub struct LocalExecutor;
+
+impl SweepExecutor for LocalExecutor {
+    fn execute(&self, jobs: Vec<SweepJob>) -> Vec<RunMetrics> {
+        parallel_map_labeled(
+            jobs,
+            |j| Some(j.label.clone()),
+            |j| {
+                if let Err(e) = j.config.validate() {
+                    panic!("invalid config: {e}");
+                }
+                let mut sys = System::new(j.config.clone());
+                sys.run_until(j.spec.instructions, j.spec.max_cycles)
+            },
+        )
+    }
+}
+
 /// Applies `f` to every item of `items` on scoped worker threads and
 /// returns the results in input order. The simulator is single-threaded
 /// per system, so figure-level sweeps parallelise across runs.
@@ -93,6 +277,25 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_labeled(items, |_| None, f)
+}
+
+/// [`parallel_map`] variant that labels each item: when a worker
+/// panics, the propagated message is prefixed with the failing item's
+/// label (see [`with_panic_label`]) instead of losing which input died.
+pub fn parallel_map_labeled<T, R, F, L>(items: Vec<T>, label: L, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    L: Fn(&T) -> Option<String> + Sync,
+{
+    let run_one = |item: &T| -> R {
+        match label(item) {
+            Some(l) => with_panic_label(&l, || f(item)),
+            None => f(item),
+        }
+    };
     if items.is_empty() {
         return Vec::new();
     }
@@ -101,7 +304,7 @@ where
         .unwrap_or(4)
         .min(items.len());
     if threads <= 1 {
-        return items.iter().map(&f).collect();
+        return items.iter().map(run_one).collect();
     }
 
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -110,7 +313,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
-            let (next, items, f) = (&next, &items, &f);
+            let (next, items, run_one) = (&next, &items, &run_one);
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
@@ -118,7 +321,7 @@ where
                 }
                 // A send error means the receiver is gone, which only
                 // happens if the scope is unwinding from a panic.
-                let _ = tx.send((i, f(&items[i])));
+                let _ = tx.send((i, run_one(&items[i])));
             });
         }
         drop(tx);
@@ -157,11 +360,110 @@ mod tests {
         assert_eq!(s.instructions, 1234);
         let s = RunSpec::from_env_with(|_| None);
         assert_eq!(s.instructions, RunSpec::full().instructions);
-        // Garbage and zero values fall back / clamp.
+        // Garbage values fall back; zero instruction quota clamps to 1.
         let s = RunSpec::from_env_with(|_| Some("not a number".to_string()));
         assert_eq!(s.instructions, RunSpec::full().instructions);
-        let s = RunSpec::from_env_with(|_| Some("0".to_string()));
+        let s = RunSpec::from_env_with(|k| (k == "ROP_INSTR").then(|| "0".to_string()));
         assert_eq!(s.instructions, 1);
+    }
+
+    #[test]
+    fn spec_from_env_parses_seed_and_max_cycles() {
+        let s = RunSpec::from_env_with(|k| match k {
+            "ROP_SEED" => Some(" 77 ".to_string()),
+            "ROP_MAX_CYCLES" => Some("123456".to_string()),
+            _ => None,
+        });
+        assert_eq!(s.seed, 77);
+        assert_eq!(s.max_cycles, 123_456);
+        assert_eq!(s.instructions, RunSpec::full().instructions);
+        // Malformed values leave the full-spec defaults untouched.
+        let s = RunSpec::from_env_with(|k| match k {
+            "ROP_SEED" => Some("-3".to_string()),
+            "ROP_MAX_CYCLES" => Some("1e9".to_string()),
+            _ => None,
+        });
+        assert_eq!(s.seed, RunSpec::full().seed);
+        assert_eq!(s.max_cycles, RunSpec::full().max_cycles);
+        // A zero cycle cap would spin forever doing nothing: clamp to 1.
+        let s = RunSpec::from_env_with(|k| (k == "ROP_MAX_CYCLES").then(|| "0".to_string()));
+        assert_eq!(s.max_cycles, 1);
+    }
+
+    #[test]
+    fn labeled_panic_names_the_failing_item() {
+        let items: Vec<u64> = (0..8).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map_labeled(
+                items,
+                |&x| Some(format!("job-{x}")),
+                |&x| {
+                    if x == 5 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                },
+            )
+        }));
+        let msg = panic_message(caught.unwrap_err().as_ref());
+        assert!(msg.contains("[job-5]"), "label missing from '{msg}'");
+        assert!(msg.contains("boom at 5"), "message lost in '{msg}'");
+    }
+
+    #[test]
+    fn sweep_job_fingerprint_is_content_hash() {
+        let spec = RunSpec::quick();
+        let a = SweepJob::single(
+            "single",
+            rop_trace::Benchmark::Lbm,
+            SystemKind::Baseline,
+            spec,
+        );
+        let b = SweepJob::single(
+            "single",
+            rop_trace::Benchmark::Lbm,
+            SystemKind::Baseline,
+            spec,
+        );
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Label changes do NOT change identity…
+        let mut c = a.clone();
+        c.label = "renamed".into();
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        // …but any config or spec change does.
+        let d = SweepJob::single(
+            "single",
+            rop_trace::Benchmark::Lbm,
+            SystemKind::Rop { buffer: 64 },
+            spec,
+        );
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        let mut e = a.clone();
+        e.spec.seed += 1;
+        assert_ne!(a.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn local_executor_matches_run_single() {
+        let spec = RunSpec {
+            instructions: 20_000,
+            max_cycles: 10_000_000,
+            seed: 3,
+        };
+        let job = SweepJob::single("t", rop_trace::Benchmark::Bzip2, SystemKind::Baseline, spec);
+        let via_exec = LocalExecutor.execute(vec![job]).pop().unwrap();
+        let direct = run_single(rop_trace::Benchmark::Bzip2, SystemKind::Baseline, spec);
+        assert_eq!(via_exec.total_cycles, direct.total_cycles);
+        assert_eq!(via_exec.cores[0].instructions, direct.cores[0].instructions);
+    }
+
+    #[test]
+    fn placeholder_metrics_match_core_count() {
+        let spec = RunSpec::quick();
+        let job = SweepJob::multi(rop_trace::WORKLOAD_MIXES[0], SystemKind::Baseline, 4, spec);
+        let m = job.placeholder_metrics();
+        assert_eq!(m.cores.len(), 4);
+        assert_eq!(m.total_cycles, 0);
     }
 
     #[test]

@@ -12,12 +12,14 @@
 
 pub mod counter;
 pub mod histogram;
+pub mod json;
 pub mod online;
 pub mod summary;
 pub mod table;
 
 pub use counter::{Counter, RatioCounter};
 pub use histogram::Histogram;
+pub use json::Json;
 pub use online::OnlineStats;
 pub use summary::{geometric_mean, normalize_to, percent_delta};
 pub use table::TableBuilder;
