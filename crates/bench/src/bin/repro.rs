@@ -29,6 +29,12 @@
 //! jobs are appended to PATH as JSONL and an interrupted invocation
 //! resumes from it, skipping every job already on disk. The analysis
 //! and extension studies always run fresh in-process.
+//!
+//! `--audit` attaches the trace-backed invariant auditor to every
+//! executor-backed job: runs that break a DRAM timing rule, the
+//! refresh-postpone bound, SRAM consistency, or profiler A/B
+//! replication abort with a labeled violation report (see DESIGN.md
+//! §Auditor).
 
 use rop_harness::{PoolConfig, Store, StoreExecutor};
 use rop_sim_system::experiments::sensitivity::LLC_SIZES_MIB;
@@ -37,13 +43,13 @@ use rop_sim_system::experiments::{
     run_fgr_sweep, run_llc_sweep_with, run_per_bank_study, run_policy_comparison,
     run_singlecore_with,
 };
-use rop_sim_system::runner::{LocalExecutor, RunSpec, SweepExecutor};
+use rop_sim_system::runner::{AuditingExecutor, LocalExecutor, RunSpec, SweepExecutor};
 use rop_stats::TableBuilder;
 use rop_trace::{ALL_BENCHMARKS, WORKLOAD_MIXES};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment> [--instr N] [--seed S] [--store PATH]\n\
+        "usage: repro <experiment> [--instr N] [--seed S] [--store PATH] [--audit]\n\
          experiments: fig1 fig2 fig3 fig4 table1 fig7 fig8 fig9 fig10 fig11\n\
          fig12 fig13 fig14 table2 table3 analysis single multi llc\n\
          policies fgr per-bank\n\
@@ -52,12 +58,14 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn parse_spec(args: &[String]) -> (RunSpec, Option<String>) {
+fn parse_spec(args: &[String]) -> (RunSpec, Option<String>, bool) {
     let mut spec = RunSpec::from_env();
     let mut store = None;
+    let mut audit = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--audit" => audit = true,
             "--instr" => {
                 i += 1;
                 spec.instructions = args
@@ -80,7 +88,7 @@ fn parse_spec(args: &[String]) -> (RunSpec, Option<String>) {
         }
         i += 1;
     }
-    (spec, store)
+    (spec, store, audit)
 }
 
 fn render_table2() -> String {
@@ -139,10 +147,13 @@ fn render_table3() -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
-    let (spec, store_path) = parse_spec(&args[1..]);
+    let (spec, store_path, audit) = parse_spec(&args[1..]);
     eprintln!(
-        "# repro {} — {} instructions/core, seed {}",
-        cmd, spec.instructions, spec.seed
+        "# repro {} — {} instructions/core, seed {}{}",
+        cmd,
+        spec.instructions,
+        spec.seed,
+        if audit { ", auditing on" } else { "" }
     );
     let store_exec = store_path.map(|p| {
         eprintln!("# results store: {p} (resumable)");
@@ -150,10 +161,12 @@ fn main() {
             .with_pool(PoolConfig::default())
             .with_progress()
     });
-    let exec: &dyn SweepExecutor = match &store_exec {
+    let base_exec: &dyn SweepExecutor = match &store_exec {
         Some(e) => e,
         None => &LocalExecutor,
     };
+    let auditing_exec = AuditingExecutor(base_exec);
+    let exec: &dyn SweepExecutor = if audit { &auditing_exec } else { base_exec };
     let t0 = std::time::Instant::now();
 
     match cmd.as_str() {

@@ -10,7 +10,10 @@
 //! membership, not the data bytes, because the simulator tracks timing and
 //! energy rather than contents.
 
+use rop_events::{TraceBuffer, TraceEvent};
 use rop_stats::RatioCounter;
+
+use crate::Cycle;
 
 /// A fully-associative buffer of at most `capacity` line keys with FIFO
 /// replacement (each refresh's prefetch batch is written fresh, so
@@ -29,6 +32,12 @@ pub struct SramBuffer {
     /// True when the buffer is powered (it is turned off during Training
     /// to save leakage, per §IV-B).
     powered: bool,
+    /// Trace sink for fills/hits/evictions (the FIFO eviction is visible
+    /// nowhere else, so the buffer stamps its own events).
+    trace: TraceBuffer,
+    /// Cycle stamp for the next emitted events (the owner advances it,
+    /// since buffer operations themselves carry no clock).
+    trace_cycle: Cycle,
 }
 
 impl SramBuffer {
@@ -45,7 +54,20 @@ impl SramBuffer {
             writes: 0,
             reads_served: 0,
             powered: false,
+            trace: TraceBuffer::new(),
+            trace_cycle: 0,
         }
+    }
+
+    /// The buffer's trace sink (enable/drain it from the owner).
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
+    }
+
+    /// Sets the cycle stamped onto subsequently emitted trace events.
+    #[inline]
+    pub fn set_trace_cycle(&mut self, now: Cycle) {
+        self.trace_cycle = now;
     }
 
     /// Capacity in cache lines.
@@ -72,6 +94,8 @@ impl SramBuffer {
     pub fn power_off(&mut self) {
         self.powered = false;
         self.lines.clear();
+        let cycle = self.trace_cycle;
+        self.trace.emit(|| TraceEvent::SramClear { cycle });
     }
 
     /// True when powered.
@@ -88,11 +112,18 @@ impl SramBuffer {
         if self.lines.contains(&key) {
             return;
         }
+        let cycle = self.trace_cycle;
         if self.lines.len() == self.capacity {
-            self.lines.remove(0);
+            let evicted = self.lines.remove(0);
+            self.trace.emit(|| TraceEvent::SramEvict {
+                cycle,
+                line: evicted,
+            });
         }
         self.lines.push(key);
         self.writes += 1;
+        self.trace
+            .emit(|| TraceEvent::SramFill { cycle, line: key });
     }
 
     /// Looks up a line for a read arriving during a refresh. Records the
@@ -106,6 +137,8 @@ impl SramBuffer {
         self.lookups.record(hit);
         if hit {
             self.reads_served += 1;
+            let cycle = self.trace_cycle;
+            self.trace.emit(|| TraceEvent::SramHit { cycle, line: key });
         }
         hit
     }
@@ -122,6 +155,8 @@ impl SramBuffer {
         let hit = self.contains(key);
         if hit {
             self.reads_served += 1;
+            let cycle = self.trace_cycle;
+            self.trace.emit(|| TraceEvent::SramHit { cycle, line: key });
         }
         hit
     }
@@ -129,6 +164,8 @@ impl SramBuffer {
     /// Flushes all contents (refresh completed; the next rank takes over).
     pub fn invalidate_all(&mut self) {
         self.lines.clear();
+        let cycle = self.trace_cycle;
+        self.trace.emit(|| TraceEvent::SramClear { cycle });
     }
 
     /// Lifetime lookup statistics (hits = reads served from SRAM).

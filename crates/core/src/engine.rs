@@ -20,6 +20,7 @@
 
 use std::collections::VecDeque;
 
+use rop_events::{TraceBuffer, TraceEvent};
 use rop_stats::RatioCounter;
 
 use crate::config::RopConfig;
@@ -136,8 +137,14 @@ pub struct RopEngine {
     refresh_bank: Option<usize>,
     refresh_b: u64,
     refresh_a: u64,
+    /// Cycle the in-flight refresh started (stamps blocked-queue events).
+    refresh_started_at: Cycle,
     observing_hits: RatioCounter,
     stats: EngineStats,
+    /// Trace sink for demand observations and profiler windows.
+    trace: TraceBuffer,
+    /// Rank index stamped onto emitted events (set by the controller).
+    trace_rank: usize,
 }
 
 impl RopEngine {
@@ -161,10 +168,23 @@ impl RopEngine {
             refresh_bank: None,
             refresh_b: 0,
             refresh_a: 0,
+            refresh_started_at: 0,
             observing_hits: RatioCounter::new(),
             stats: EngineStats::default(),
+            trace: TraceBuffer::new(),
+            trace_rank: 0,
             config,
         }
+    }
+
+    /// The engine's trace sink (enable/drain it from the owner).
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
+    }
+
+    /// Sets the rank index stamped onto emitted trace events.
+    pub fn set_trace_rank(&mut self, rank: usize) {
+        self.trace_rank = rank;
     }
 
     /// Current phase.
@@ -220,6 +240,13 @@ impl RopEngine {
     pub fn note_access(&mut self, bank: usize, line_offset: u64, is_read: bool, now: Cycle) {
         let _ = line_offset;
         self.window.record(now);
+        let rank = self.trace_rank;
+        self.trace.emit(|| TraceEvent::DemandObserved {
+            cycle: now,
+            rank,
+            bank,
+            is_read,
+        });
         if self.refresh_active && is_read && self.refresh_bank.is_none_or(|rb| rb == bank) {
             self.refresh_a += 1;
         }
@@ -345,6 +372,14 @@ impl RopEngine {
         self.refresh_bank = bank;
         self.refresh_b = self.window.count(now);
         self.refresh_a = 0;
+        self.refresh_started_at = now;
+        let (rank, b) = (self.trace_rank, self.refresh_b);
+        self.trace.emit(|| TraceEvent::ProfilerWindowOpen {
+            cycle: now,
+            rank,
+            bank,
+            b,
+        });
     }
 
     /// Per-bank candidate generation for REFpb: the whole `count` budget
@@ -375,6 +410,9 @@ impl RopEngine {
     pub fn note_blocked_queued(&mut self, count: u64) {
         if self.refresh_active {
             self.refresh_a += count;
+            let (cycle, rank) = (self.refresh_started_at, self.trace_rank);
+            self.trace
+                .emit(|| TraceEvent::BlockedQueued { cycle, rank, count });
         }
     }
 
@@ -391,6 +429,13 @@ impl RopEngine {
     ) -> PhaseTransition {
         self.refresh_active = false;
         self.refresh_bank = None;
+        let (rank, b, a) = (self.trace_rank, self.refresh_b, self.refresh_a);
+        self.trace.emit(|| TraceEvent::ProfilerWindowClose {
+            cycle: _now,
+            rank,
+            b,
+            a,
+        });
         match self.phase {
             RopPhase::Training => {
                 self.profiler.record(self.refresh_b, self.refresh_a);

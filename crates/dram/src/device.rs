@@ -7,6 +7,7 @@ use crate::config::DramConfig;
 use crate::energy::{EnergyBreakdown, EnergyEvents};
 use crate::rank::Rank;
 use crate::Cycle;
+use rop_events::{CmdKind, TraceBuffer, TraceEvent};
 
 /// Why a command cannot be issued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +86,21 @@ pub struct DramDevice {
     /// Rank that last drove the data bus (for the tRTRS switch penalty).
     last_data_rank: Option<usize>,
     counts: CommandCounts,
+    /// Trace sink stamping every successfully issued command (disabled
+    /// by default; the controller enables and drains it when auditing).
+    trace: TraceBuffer,
+}
+
+/// Trace discriminant of a command.
+fn trace_kind(cmd: &Command) -> CmdKind {
+    match cmd.kind() {
+        CommandKind::Activate => CmdKind::Activate,
+        CommandKind::Precharge => CmdKind::Precharge,
+        CommandKind::Read => CmdKind::Read,
+        CommandKind::Write => CmdKind::Write,
+        CommandKind::Refresh => CmdKind::Refresh,
+        CommandKind::RefreshBank => CmdKind::RefreshBank,
+    }
 }
 
 impl DramDevice {
@@ -105,12 +121,18 @@ impl DramDevice {
             data_bus_free: 0,
             last_data_rank: None,
             counts: CommandCounts::default(),
+            trace: TraceBuffer::new(),
         }
     }
 
     /// The configuration this device was built with.
     pub fn config(&self) -> &DramConfig {
         &self.config
+    }
+
+    /// The device's trace buffer (enable/drain it from the owner).
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
     }
 
     /// Command counts so far.
@@ -359,6 +381,12 @@ impl DramDevice {
                 }
             }
         };
+        self.trace.emit(|| TraceEvent::CmdIssued {
+            cycle: now,
+            kind: trace_kind(cmd),
+            rank: rank_idx,
+            bank: cmd.bank(),
+        });
         Ok(outcome)
     }
 

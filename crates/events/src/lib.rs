@@ -1,0 +1,316 @@
+//! Cycle-stamped structured trace events for the memory system.
+//!
+//! Every layer of the stack (DRAM device, memory controller, ROP engine,
+//! SRAM buffer) owns a [`TraceBuffer`] and pushes [`TraceEvent`]s into it
+//! as state changes happen. The buffers are disabled by default and the
+//! emit path takes a closure, so a disabled trace costs one branch per
+//! call site and never constructs an event — the simulation loops run at
+//! full speed unless an auditor asked for the stream.
+//!
+//! The controller merges all buffers once per tick (its own first, then
+//! the device's, then per-rank engine buffers, then the SRAM buffer's),
+//! which gives consumers a deterministic order: demand arrivals recorded
+//! before a tick precede that tick's refresh transitions, and controller
+//! events of a tick precede engine profiler-window events of the same
+//! tick. The `Auditor` in `rop-sim-system` relies on exactly this order.
+
+/// Memory-clock cycle (same unit as `rop-dram`).
+pub type Cycle = u64;
+
+/// Discriminant of a DRAM command in the trace (mirrors
+/// `rop_dram::CommandKind` without depending on it; this crate sits
+/// below the device model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdKind {
+    /// Row activation.
+    Activate,
+    /// Precharge (row close).
+    Precharge,
+    /// Column read (one BL8 burst).
+    Read,
+    /// Column write.
+    Write,
+    /// All-bank auto-refresh (locks the rank for tRFC).
+    Refresh,
+    /// Per-bank refresh (REFpb; locks one bank for tRFCpb).
+    RefreshBank,
+}
+
+/// One structured event in the memory-system trace.
+///
+/// Every variant carries the memory-clock cycle at which it happened.
+/// Variants are grouped by emitter: the DRAM device stamps commands, the
+/// controller stamps refresh/drain transitions, the ROP engine stamps
+/// demand observations and profiler windows, and the SRAM buffer stamps
+/// its own fills/hits/evictions (its internal FIFO eviction is visible
+/// nowhere else).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// The device accepted a command (emitted only on successful issue).
+    CmdIssued {
+        /// Issue cycle.
+        cycle: Cycle,
+        /// Command discriminant.
+        kind: CmdKind,
+        /// Target rank.
+        rank: usize,
+        /// Target bank (`None` for all-bank refresh).
+        bank: Option<usize>,
+    },
+    /// A refresh began on `rank` (`bank` set for REFpb scope).
+    RefreshStart {
+        /// Issue cycle of the REF/REFpb command.
+        cycle: Cycle,
+        /// Refreshing rank.
+        rank: usize,
+        /// Refreshing bank for per-bank refresh, `None` for all-bank.
+        bank: Option<usize>,
+    },
+    /// The controller observed a refresh completing on `rank`.
+    RefreshEnd {
+        /// Cycle the completion was observed (>= start + tRFC).
+        cycle: Cycle,
+        /// Rank whose refresh ended.
+        rank: usize,
+        /// Bank for per-bank refresh, `None` for all-bank.
+        bank: Option<usize>,
+    },
+    /// A due refresh was postponed past another tREFI (Elastic policy
+    /// debt accrual). `debt` is the pending-refresh count afterwards.
+    RefreshPostponed {
+        /// Cycle the postponement was decided.
+        cycle: Cycle,
+        /// Rank whose refresh was postponed.
+        rank: usize,
+        /// Outstanding postponed refreshes after this one.
+        debt: u64,
+    },
+    /// The controller began draining queued demands ahead of a refresh.
+    DrainStart {
+        /// Cycle the refresh fell due and draining began.
+        cycle: Cycle,
+        /// Rank being drained.
+        rank: usize,
+    },
+    /// Draining finished (the refresh issues next) or was abandoned.
+    DrainEnd {
+        /// Cycle the drain ended.
+        cycle: Cycle,
+        /// Rank that was being drained.
+        rank: usize,
+    },
+    /// The SRAM buffer stored a line.
+    SramFill {
+        /// Fill cycle.
+        cycle: Cycle,
+        /// Global line key.
+        line: u64,
+    },
+    /// The SRAM buffer served a read from a resident line.
+    SramHit {
+        /// Service cycle.
+        cycle: Cycle,
+        /// Global line key served.
+        line: u64,
+    },
+    /// The SRAM buffer evicted a line to make room (FIFO).
+    SramEvict {
+        /// Eviction cycle.
+        cycle: Cycle,
+        /// Global line key evicted.
+        line: u64,
+    },
+    /// The SRAM buffer dropped every line (flush or power-off).
+    SramClear {
+        /// Clear cycle.
+        cycle: Cycle,
+    },
+    /// A profiler observation window opened: a refresh started and the
+    /// engine latched `b` (arrivals inside the observational window).
+    ProfilerWindowOpen {
+        /// Refresh start cycle.
+        cycle: Cycle,
+        /// Rank whose engine opened the window.
+        rank: usize,
+        /// Bank scope for per-bank refresh, `None` for all-bank.
+        bank: Option<usize>,
+        /// The `B` count the engine latched at refresh start.
+        b: u64,
+    },
+    /// The window closed: the refresh completed and the engine finalised
+    /// its `(B, A)` pair for the profiler.
+    ProfilerWindowClose {
+        /// Refresh completion cycle.
+        cycle: Cycle,
+        /// Rank whose engine closed the window.
+        rank: usize,
+        /// The `B` latched at open.
+        b: u64,
+        /// The `A` accumulated during the refresh (reads arriving while
+        /// frozen, plus reads already queued when the freeze began).
+        a: u64,
+    },
+    /// The engine observed one demand access (feeds its access window
+    /// and, during a refresh, the `A` count).
+    DemandObserved {
+        /// Arrival cycle.
+        cycle: Cycle,
+        /// Rank the access targets.
+        rank: usize,
+        /// Bank the access targets.
+        bank: usize,
+        /// True for reads (only reads count toward `A`).
+        is_read: bool,
+    },
+    /// Reads already queued when a refresh started were counted into `A`.
+    BlockedQueued {
+        /// Refresh start cycle.
+        cycle: Cycle,
+        /// Rank whose queue was swept.
+        rank: usize,
+        /// Number of blocked reads counted.
+        count: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle stamp of this event.
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            TraceEvent::CmdIssued { cycle, .. }
+            | TraceEvent::RefreshStart { cycle, .. }
+            | TraceEvent::RefreshEnd { cycle, .. }
+            | TraceEvent::RefreshPostponed { cycle, .. }
+            | TraceEvent::DrainStart { cycle, .. }
+            | TraceEvent::DrainEnd { cycle, .. }
+            | TraceEvent::SramFill { cycle, .. }
+            | TraceEvent::SramHit { cycle, .. }
+            | TraceEvent::SramEvict { cycle, .. }
+            | TraceEvent::SramClear { cycle }
+            | TraceEvent::ProfilerWindowOpen { cycle, .. }
+            | TraceEvent::ProfilerWindowClose { cycle, .. }
+            | TraceEvent::DemandObserved { cycle, .. }
+            | TraceEvent::BlockedQueued { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// Anything that can receive trace events. [`TraceBuffer`] is the one
+/// concrete sink the simulation uses; the trait exists so tests and
+/// external tools can consume the stream directly.
+pub trait EventSink {
+    /// Receives one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+impl EventSink for Vec<TraceEvent> {
+    fn record(&mut self, event: TraceEvent) {
+        self.push(event);
+    }
+}
+
+/// A per-component event buffer, disabled by default.
+///
+/// Components call [`TraceBuffer::emit`] with a closure; when the buffer
+/// is disabled the closure is never evaluated, so tracing has no cost
+/// beyond one predictable branch. An owner periodically drains the
+/// buffer into a merged stream with [`TraceBuffer::drain_into`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuffer {
+    /// A disabled buffer (the default for every component).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns event collection on or off. Disabling drops any buffered
+    /// events.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.events.clear();
+        }
+    }
+
+    /// True when events are being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records the event built by `f` — only evaluated when enabled.
+    #[inline]
+    pub fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if self.enabled {
+            self.events.push(f());
+        }
+    }
+
+    /// Number of buffered (undrained) events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Moves every buffered event into `sink`, preserving order.
+    pub fn drain_into(&mut self, sink: &mut impl EventSink) {
+        for e in self.events.drain(..) {
+            sink.record(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_never_evaluates_the_closure() {
+        let mut buf = TraceBuffer::new();
+        let mut evaluated = false;
+        buf.emit(|| {
+            evaluated = true;
+            TraceEvent::SramClear { cycle: 1 }
+        });
+        assert!(!evaluated);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn enabled_buffer_collects_and_drains_in_order() {
+        let mut buf = TraceBuffer::new();
+        buf.set_enabled(true);
+        buf.emit(|| TraceEvent::DrainStart { cycle: 5, rank: 0 });
+        buf.emit(|| TraceEvent::RefreshStart {
+            cycle: 9,
+            rank: 0,
+            bank: None,
+        });
+        assert_eq!(buf.len(), 2);
+        let mut out = Vec::new();
+        buf.drain_into(&mut out);
+        assert!(buf.is_empty());
+        assert_eq!(out[0].cycle(), 5);
+        assert_eq!(out[1].cycle(), 9);
+    }
+
+    #[test]
+    fn disabling_drops_buffered_events() {
+        let mut buf = TraceBuffer::new();
+        buf.set_enabled(true);
+        buf.emit(|| TraceEvent::SramClear { cycle: 3 });
+        buf.set_enabled(false);
+        assert!(buf.is_empty());
+        // Emissions while disabled are ignored.
+        buf.emit(|| TraceEvent::SramClear { cycle: 4 });
+        assert!(buf.is_empty());
+    }
+}

@@ -11,8 +11,13 @@
 //! experiments: single multi llc ablate-window ablate-throttle
 //!              ablate-drain ablate-table all
 //! flags: --store PATH (default sweep.jsonl) --instr N --seed S
-//!        --max-cycles N --workers N --retries N --quiet
+//!        --max-cycles N --workers N --retries N --quiet --audit
 //! ```
+//!
+//! `--retries N` is the *total* attempt budget per job: `--retries 1`
+//! means one attempt and no retry. `--audit` attaches the trace-backed
+//! invariant auditor to every executed job; a violation fails the job
+//! with a labeled report, recorded in the store like any other failure.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -21,7 +26,7 @@ use rop_sim_system::experiments::{
     ablate_drain_with, ablate_table_with, ablate_throttle_with, ablate_window_with,
     run_llc_sweep_with, run_singlecore_with,
 };
-use rop_sim_system::runner::{RunSpec, SweepExecutor};
+use rop_sim_system::runner::{AuditingExecutor, RunSpec, SweepExecutor};
 use rop_trace::{ALL_BENCHMARKS, WORKLOAD_MIXES};
 
 use crate::executor::{job_id, PlanExecutor, StoreExecutor};
@@ -45,7 +50,7 @@ const USAGE: &str = "usage: rop-sweep <command> [experiment] [flags]\n\
   experiments: single multi llc ablate-window ablate-throttle\n\
                ablate-drain ablate-table all\n\
   flags:       --store PATH --instr N --seed S --max-cycles N\n\
-               --workers N --retries N --quiet";
+               --workers N --retries N (total attempts) --quiet --audit";
 
 /// Parsed command-line options shared by all subcommands.
 #[derive(Debug, Clone)]
@@ -56,10 +61,12 @@ pub struct Options {
     pub spec: RunSpec,
     /// Worker threads (None = machine default).
     pub workers: Option<usize>,
-    /// Attempts per job.
+    /// Total attempts per job (1 = no retry).
     pub retries: u32,
     /// Suppress the live progress line.
     pub quiet: bool,
+    /// Run every job with the invariant auditor attached.
+    pub audit: bool,
 }
 
 impl Options {
@@ -71,6 +78,7 @@ impl Options {
             workers: None,
             retries: 2,
             quiet: false,
+            audit: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -91,12 +99,17 @@ impl Options {
                     opt.spec.max_cycles = parse_num(flag, value(&mut i)?)?.max(1);
                 }
                 "--workers" => {
-                    opt.workers = Some(parse_num(flag, value(&mut i)?)?.max(1) as usize);
+                    opt.workers = Some(parse_positive(flag, value(&mut i)?)? as usize);
                 }
                 "--retries" => {
-                    opt.retries = parse_num(flag, value(&mut i)?)?.clamp(1, 100) as u32;
+                    let n = parse_positive(flag, value(&mut i)?)?;
+                    if n > 100 {
+                        return Err(format!("{flag}: {n} exceeds the maximum of 100"));
+                    }
+                    opt.retries = n as u32;
                 }
                 "--quiet" => opt.quiet = true,
+                "--audit" => opt.audit = true,
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 1;
@@ -109,6 +122,16 @@ fn parse_num(flag: &str, s: &str) -> Result<u64, String> {
     s.trim()
         .parse::<u64>()
         .map_err(|_| format!("{flag}: '{s}' is not a number"))
+}
+
+/// Like [`parse_num`] but zero is an error, not something to silently
+/// round up: a user typing `--workers 0` should find out their request
+/// is impossible rather than get one worker they did not ask for.
+fn parse_positive(flag: &str, s: &str) -> Result<u64, String> {
+    match parse_num(flag, s)? {
+        0 => Err(format!("{flag} must be at least 1 (got 0)")),
+        n => Ok(n),
+    }
 }
 
 /// Runs the named experiment through `exec`; when `render` is true the
@@ -220,17 +243,20 @@ fn cmd_run(experiment: &str, opt: &Options) -> Result<i32, String> {
         pool.workers = w;
     }
     eprintln!(
-        "# rop-sweep {experiment} — store {}, {} instructions/core, seed {}, {} workers",
+        "# rop-sweep {experiment} — store {}, {} instructions/core, seed {}, {} workers{}",
         opt.store.display(),
         opt.spec.instructions,
         opt.spec.seed,
-        pool.workers
+        pool.workers,
+        if opt.audit { ", auditing on" } else { "" }
     );
     let mut exec = StoreExecutor::new(Store::open(&opt.store)).with_pool(pool);
     if !opt.quiet {
         exec = exec.with_progress();
     }
-    let figures = render_experiment(experiment, opt.spec, &exec)?;
+    let auditing = AuditingExecutor(&exec);
+    let driver: &dyn SweepExecutor = if opt.audit { &auditing } else { &exec };
+    let figures = render_experiment(experiment, opt.spec, driver)?;
 
     let stats = exec.stats();
     let failures = exec.failures();
@@ -387,7 +413,8 @@ fn cmd_export(opt: &Options) -> Result<i32, String> {
     let mut ids: Vec<&&str> = latest.keys().collect();
     ids.sort();
     println!(
-        "job,label,status,attempts,ipc,energy_mj,refreshes,sram_hit_rate,total_cycles,wall_seconds"
+        "job,label,status,attempts,ipc,energy_mj,refreshes,sram_hit_rate,total_cycles,\
+         wall_seconds,audit_events,audit_violations"
     );
     for id in ids {
         let rec = latest[*id];
@@ -402,8 +429,15 @@ fn cmd_export(opt: &Options) -> Result<i32, String> {
             ),
             None => Default::default(),
         };
+        // Audit columns stay empty for un-audited runs so "0 events"
+        // is never conflated with "auditing was off".
+        let (audit_events, audit_violations) = match rec.metrics.as_ref().and_then(|m| m.audit) {
+            Some(a) => (a.events.to_string(), a.violations.to_string()),
+            None => Default::default(),
+        };
         println!(
-            "{},{},{},{},{ipc},{energy},{refreshes},{sram},{cycles},{wall}",
+            "{},{},{},{},{ipc},{energy},{refreshes},{sram},{cycles},{wall},\
+             {audit_events},{audit_violations}",
             rec.job,
             csv_escape(&rec.label),
             match rec.status {
@@ -489,6 +523,8 @@ mod tests {
         assert_eq!(opt.workers, Some(3));
         assert_eq!(opt.retries, 4);
         assert!(opt.quiet);
+        assert!(!opt.audit);
+        assert!(Options::parse(&argv(&["--audit"])).unwrap().audit);
     }
 
     #[test]
@@ -496,6 +532,25 @@ mod tests {
         assert!(Options::parse(&argv(&["--instr", "many"])).is_err());
         assert!(Options::parse(&argv(&["--instr"])).is_err());
         assert!(Options::parse(&argv(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn zero_workers_and_retries_are_errors_not_rewrites() {
+        let err = Options::parse(&argv(&["--workers", "0"])).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+        let err = Options::parse(&argv(&["--retries", "0"])).unwrap_err();
+        assert!(err.contains("--retries"), "{err}");
+        assert!(Options::parse(&argv(&["--retries", "101"])).is_err());
+        // The boundaries themselves parse.
+        assert_eq!(
+            Options::parse(&argv(&["--retries", "1"])).unwrap().retries,
+            1
+        );
+        assert_eq!(
+            Options::parse(&argv(&["--workers", "1"])).unwrap().workers,
+            Some(1)
+        );
     }
 
     #[test]

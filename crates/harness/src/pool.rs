@@ -25,9 +25,11 @@ pub struct PoolConfig {
     /// Total attempts per job (1 = no retry). A job is `Failed` only
     /// after panicking this many times.
     pub max_attempts: u32,
-    /// Stop claiming new jobs once this many have finished (ok or
-    /// failed). Unclaimed jobs come back as [`JobOutcome::NotRun`].
-    /// This is the test hook that simulates killing a sweep mid-flight.
+    /// Run at most this many jobs (ok or failed); the rest come back
+    /// as [`JobOutcome::NotRun`]. The cap is enforced at claim time as
+    /// a single atomic decision, so exactly `min(cap, jobs)` run no
+    /// matter how many workers race. This is the test hook that
+    /// simulates killing a sweep mid-flight.
     pub stop_after: Option<usize>,
     /// When set, a reporter thread prints a progress line to stderr at
     /// this interval while the pool runs.
@@ -96,18 +98,22 @@ where
     }
     let workers = cfg.workers.max(1).min(jobs.len());
     let next = AtomicUsize::new(0);
-    let finished = AtomicUsize::new(0);
+    let claims = AtomicUsize::new(0);
     let done_flag = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, JobOutcome<R>)>();
 
     std::thread::scope(|scope| {
         for w in 0..workers {
             let tx = tx.clone();
-            let (next, finished, jobs, label, work, progress) =
-                (&next, &finished, jobs, &label, &work, &progress);
+            let (next, claims, jobs, label, work, progress) =
+                (&next, &claims, jobs, &label, &work, &progress);
             scope.spawn(move || loop {
+                // The cap check IS the claim: one fetch_add decides
+                // whether this worker may take another job, so workers
+                // racing past a separate "have enough finished?" test
+                // can never overshoot the cap.
                 if let Some(cap) = cfg.stop_after {
-                    if finished.load(Ordering::SeqCst) >= cap {
+                    if claims.fetch_add(1, Ordering::SeqCst) >= cap {
                         break;
                     }
                 }
@@ -135,7 +141,6 @@ where
                         }
                     }
                 };
-                finished.fetch_add(1, Ordering::SeqCst);
                 if let Some(p) = progress {
                     p.worker_finishes(w, outcome.is_ok());
                 }
@@ -271,6 +276,42 @@ mod tests {
             .count();
         assert_eq!(ran, 4);
         assert_eq!(not_run, 6);
+    }
+
+    #[test]
+    fn stop_after_is_exact_under_worker_races() {
+        // Many workers hammering the claim path: the cap must hold
+        // exactly, not approximately. The old finished-count check let
+        // every in-flight worker claim one more job past the cap.
+        let jobs: Vec<u32> = (0..100).collect();
+        let mut c = cfg(8, 1);
+        c.stop_after = Some(7);
+        let out = run_jobs(
+            &jobs,
+            |j| format!("{j}"),
+            |&j| {
+                std::thread::sleep(Duration::from_millis(1));
+                j
+            },
+            &c,
+            None,
+        );
+        let ran = out.iter().filter(|o| o.is_ok()).count();
+        let not_run = out
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::NotRun))
+            .count();
+        assert_eq!(ran, 7);
+        assert_eq!(not_run, 93);
+    }
+
+    #[test]
+    fn stop_after_zero_runs_nothing() {
+        let jobs: Vec<u32> = (0..5).collect();
+        let mut c = cfg(3, 1);
+        c.stop_after = Some(0);
+        let out = run_jobs(&jobs, |j| format!("{j}"), |&j| j, &c, None);
+        assert!(out.iter().all(|o| matches!(o, JobOutcome::NotRun)));
     }
 
     #[test]

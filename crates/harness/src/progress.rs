@@ -30,9 +30,15 @@ pub struct ProgressSnapshot {
     pub remaining: usize,
     /// Jobs satisfied from the store without running.
     pub cache_hits: usize,
-    /// Finished jobs (ok + failed) per wall-clock second.
+    /// Finished jobs (ok + failed) per wall-clock second. This is the
+    /// drain rate, which is what the ETA needs.
     pub jobs_per_sec: f64,
-    /// Estimated seconds to drain `remaining` at the current rate.
+    /// Successful jobs per wall-clock second. Kept separate from
+    /// [`ProgressSnapshot::jobs_per_sec`] so a sweep full of
+    /// fast-failing jobs cannot masquerade as high throughput.
+    pub ok_per_sec: f64,
+    /// Estimated seconds to drain `remaining` at the current total
+    /// rate.
     pub eta_seconds: Option<f64>,
     /// Per-worker current job label.
     pub workers: Vec<Option<String>>,
@@ -60,16 +66,21 @@ impl Progress {
         }
     }
 
-    /// Marks worker `w` idle and tallies the finished job.
+    /// Marks worker `w` idle and tallies the finished job. A worker
+    /// index outside the pool tallies nothing — it can only come from
+    /// a caller bug, and counting its job would corrupt the remaining/
+    /// ETA arithmetic against `total`.
     pub fn worker_finishes(&self, w: usize, ok: bool) {
+        let mut cur = self.current.lock().unwrap();
+        let Some(slot) = cur.get_mut(w) else {
+            return;
+        };
+        *slot = None;
+        drop(cur);
         if ok {
             self.completed.fetch_add(1, Ordering::Relaxed);
         } else {
             self.failed.fetch_add(1, Ordering::Relaxed);
-        }
-        let mut cur = self.current.lock().unwrap();
-        if let Some(slot) = cur.get_mut(w) {
-            *slot = None;
         }
     }
 
@@ -80,11 +91,14 @@ impl Progress {
         let done = completed + failed;
         let remaining = self.total.saturating_sub(done);
         let elapsed = self.start.elapsed().as_secs_f64();
-        let jobs_per_sec = if elapsed > 0.0 {
-            done as f64 / elapsed
-        } else {
-            0.0
+        let rate = |n: usize| {
+            if elapsed > 0.0 {
+                n as f64 / elapsed
+            } else {
+                0.0
+            }
         };
+        let jobs_per_sec = rate(done);
         let eta_seconds = (jobs_per_sec > 0.0).then(|| remaining as f64 / jobs_per_sec);
         ProgressSnapshot {
             completed,
@@ -92,6 +106,7 @@ impl Progress {
             remaining,
             cache_hits: self.cache_hits,
             jobs_per_sec,
+            ok_per_sec: rate(completed),
             eta_seconds,
             workers: self.current.lock().unwrap().clone(),
         }
@@ -102,8 +117,13 @@ impl std::fmt::Display for ProgressSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} done, {} failed, {} remaining ({} cached) — {:.2} jobs/s",
-            self.completed, self.failed, self.remaining, self.cache_hits, self.jobs_per_sec
+            "{} done, {} failed, {} remaining ({} cached) — {:.2} ok/s, {:.2} jobs/s total",
+            self.completed,
+            self.failed,
+            self.remaining,
+            self.cache_hits,
+            self.ok_per_sec,
+            self.jobs_per_sec
         )?;
         if let Some(eta) = self.eta_seconds {
             write!(f, ", ETA {eta:.0}s")?;
@@ -153,6 +173,26 @@ mod tests {
         let p = Progress::new(1, 0, 1);
         p.worker_starts(9, "x"); // must not panic
         p.worker_finishes(9, true);
-        assert_eq!(p.snapshot().completed, 1);
+        // A phantom worker must not tally: counting it would let
+        // `completed` exceed what the pool actually ran.
+        let s = p.snapshot();
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.failed, 0);
+        assert_eq!(s.remaining, 1);
+    }
+
+    #[test]
+    fn failed_jobs_do_not_inflate_ok_rate() {
+        let p = Progress::new(4, 0, 1);
+        p.worker_finishes(0, true);
+        p.worker_finishes(0, false);
+        p.worker_finishes(0, false);
+        let s = p.snapshot();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.failed, 2);
+        // The total rate (which drives the ETA) counts all finished
+        // jobs; the ok rate only counts successes.
+        assert!(s.jobs_per_sec >= s.ok_per_sec);
+        assert!((s.jobs_per_sec - 3.0 * s.ok_per_sec).abs() < 1e-6);
     }
 }

@@ -71,7 +71,21 @@ impl Record {
     }
 
     /// Decodes one parsed store line.
+    ///
+    /// Rejects lines whose `v` field names a format version this build
+    /// does not understand — a newer writer may encode fields with
+    /// different semantics, so trusting such a line silently would be
+    /// worse than re-running the job. A missing `v` is read as version
+    /// 1 (the only version ever written without the field).
     pub fn from_json(j: &Json) -> Result<Record, String> {
+        match j.get("v") {
+            None => {}
+            Some(v) => match v.as_u64() {
+                Some(1) => {}
+                Some(other) => return Err(format!("unsupported record version {other}")),
+                None => return Err("non-numeric record version".into()),
+            },
+        }
         let status = match j.get("status").and_then(Json::as_str) {
             Some("ok") => Status::Ok,
             Some("failed") => Status::Failed,
@@ -169,8 +183,9 @@ impl Store {
         Ok(out)
     }
 
-    /// Appends one record (single line + newline, flushed before
-    /// returning so a subsequent crash cannot lose it).
+    /// Appends one record (single line + newline, fsync'd to the
+    /// device before returning so a machine crash after a successful
+    /// append cannot lose it).
     pub fn append(&self, rec: &Record) -> Result<(), String> {
         if let Some(dir) = self.path.parent() {
             if !dir.as_os_str().is_empty() {
@@ -184,8 +199,11 @@ impl Store {
             .map_err(|e| format!("{}: {e}", self.path.display()))?;
         let mut line = rec.to_json().render();
         line.push('\n');
+        // `File::flush` is a no-op (there is no userspace buffer to
+        // flush); only `sync_data` actually forces the bytes down to
+        // the device.
         f.write_all(line.as_bytes())
-            .and_then(|_| f.flush())
+            .and_then(|_| f.sync_data())
             .map_err(|e| format!("{}: {e}", self.path.display()))
     }
 }
@@ -302,5 +320,37 @@ mod tests {
     fn ok_without_metrics_is_rejected() {
         let j = Json::parse(r#"{"v":1,"job":"ffff","status":"ok","attempts":1,"ts":0}"#).unwrap();
         assert!(Record::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let j =
+            Json::parse(r#"{"v":2,"job":"aaaa","status":"failed","attempts":1,"ts":0}"#).unwrap();
+        let err = Record::from_json(&j).unwrap_err();
+        assert!(err.contains("version 2"), "{err}");
+        let j =
+            Json::parse(r#"{"v":"x","job":"aaaa","status":"failed","attempts":1,"ts":0}"#).unwrap();
+        assert!(Record::from_json(&j).is_err());
+        // Missing `v` is version 1.
+        let j = Json::parse(r#"{"job":"aaaa","status":"failed","attempts":1,"ts":0}"#).unwrap();
+        assert!(Record::from_json(&j).is_ok());
+    }
+
+    #[test]
+    fn future_version_lines_are_quarantined_on_load() {
+        let path = tmp("future-version");
+        let store = Store::open(&path);
+        store.append(&ok_record("aaaa", 0.5)).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"v\":9,\"job\":\"bbbb\",\"status\":\"failed\",\"attempts\":1,\"ts\":0}\n")
+            .unwrap();
+        drop(f);
+        let contents = store.load().unwrap();
+        assert_eq!(contents.records.len(), 1);
+        assert_eq!(contents.corrupt_lines, 1);
+        let _ = std::fs::remove_file(&path);
     }
 }

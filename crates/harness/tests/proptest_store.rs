@@ -1,0 +1,239 @@
+//! Property tests: random records survive the append→load round trip.
+//!
+//! The store's contract is that anything it accepts it returns intact,
+//! and anything it cannot vouch for (ok records without metrics,
+//! records from an unknown format version) lands in `corrupt_lines`
+//! rather than in `records`. Non-finite metric floats are the sharp
+//! edge: JSON has no NaN/Inf, so the encoder writes `null` and the
+//! decoder reads that back as 0.0 — the round trip must stay lossless
+//! for everything else on the record.
+
+use proptest::prelude::*;
+use rop_dram::EnergyBreakdown;
+use rop_harness::{Record, Status, Store};
+use rop_sim_system::metrics::{CoreMetrics, RunMetrics};
+use rop_sim_system::AuditSummary;
+use std::io::Write;
+use std::path::PathBuf;
+
+fn tmp(tag: u64) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "rop-proptest-store-{}-{tag}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Characters a label can legally contain, chosen to exercise the
+/// JSON-string escaping hazards (quotes, backslashes, commas, spaces).
+const LABEL_CHARS: &[char] = &[
+    'a', 'b', 'z', '0', '9', '/', '-', '_', ' ', ',', '"', '\\', '.',
+];
+
+fn label() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..LABEL_CHARS.len(), 0..24)
+        .prop_map(|ix| ix.into_iter().map(|i| LABEL_CHARS[i]).collect())
+}
+
+fn bench_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, 1..12)
+        .prop_map(|v| v.into_iter().map(|c| (b'a' + c) as char).collect())
+}
+
+/// A counter value. Bounded well below 2^53: the JSON encoding goes
+/// through f64, so larger integers would lose precision and the
+/// round-trip comparison would be testing the generator, not the store.
+fn counter() -> impl Strategy<Value = u64> {
+    0u64..(1u64 << 50)
+}
+
+/// An f64 that is frequently NaN or ±Inf — the values `Json` must
+/// degrade to `null` instead of emitting invalid JSON.
+fn metric_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(|n| n as f64 / 128.0),
+        (0u64..1_000_000).prop_map(|n| -(n as f64) / 4096.0),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+fn core_metrics() -> impl Strategy<Value = CoreMetrics> {
+    (
+        bench_name(),
+        counter(),
+        counter(),
+        metric_f64(),
+        counter(),
+        counter(),
+        counter(),
+    )
+        .prop_map(
+            |(benchmark, instructions, finish_cycle, ipc, llc_hits, read_misses, stall_cycles)| {
+                CoreMetrics {
+                    benchmark,
+                    instructions,
+                    finish_cycle,
+                    ipc,
+                    llc_hits,
+                    read_misses,
+                    stall_cycles,
+                }
+            },
+        )
+}
+
+fn audit_summary() -> impl Strategy<Value = Option<AuditSummary>> {
+    prop_oneof![
+        Just(None),
+        (0u64..1_000_000_000).prop_map(|events| Some(AuditSummary {
+            events,
+            violations: 0,
+        })),
+    ]
+}
+
+fn run_metrics() -> impl Strategy<Value = RunMetrics> {
+    (
+        proptest::collection::vec(core_metrics(), 1..4),
+        counter(),
+        proptest::collection::vec(metric_f64(), 6..7),
+        (counter(), counter(), counter(), any::<bool>()),
+        metric_f64(),
+        audit_summary(),
+    )
+        .prop_map(
+            |(cores, total_cycles, e, (refreshes, sram_lookups, prefetches, cap), wall, audit)| {
+                let instructions_total = cores.iter().map(|c| c.instructions).sum();
+                RunMetrics {
+                    system: "Prop".into(),
+                    cores,
+                    total_cycles,
+                    energy: EnergyBreakdown {
+                        act_pre_nj: e[0],
+                        read_nj: e[1],
+                        write_nj: e[2],
+                        refresh_nj: e[3],
+                        background_nj: e[4],
+                        sram_nj: e[5],
+                    },
+                    refreshes,
+                    sram_hit_rate: wall,
+                    sram_lookups,
+                    prefetches,
+                    analysis: Vec::new(),
+                    row_hit_rate: wall,
+                    avg_read_latency: wall,
+                    hit_cycle_cap: cap,
+                    wall_seconds: wall,
+                    instructions_total,
+                    audit,
+                }
+            },
+        )
+}
+
+fn record() -> impl Strategy<Value = Record> {
+    (
+        any::<u64>(),
+        label(),
+        any::<bool>(),
+        1u32..10,
+        counter(),
+        run_metrics(),
+        label(),
+    )
+        .prop_map(
+            |(job, label, ok, attempts, ts, metrics, panic_msg)| Record {
+                job: format!("{job:016x}"),
+                label,
+                status: if ok { Status::Ok } else { Status::Failed },
+                attempts,
+                // `ok` records carry metrics and no message; `failed` ones
+                // the reverse — the decoder enforces the former.
+                panic_msg: (!ok).then_some(panic_msg),
+                ts,
+                metrics: ok.then_some(metrics),
+            },
+        )
+}
+
+/// Every float that came back from JSON is finite (NaN/Inf were
+/// written as `null` and decoded as 0.0).
+fn floats_are_finite(m: &RunMetrics) -> bool {
+    m.energy.total_nj().is_finite()
+        && m.sram_hit_rate.is_finite()
+        && m.wall_seconds.is_finite()
+        && m.cores.iter().all(|c| c.ipc.is_finite())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random record batches survive append→load: same count, same
+    /// identity fields, non-finite floats degraded to finite, audit
+    /// summaries preserved exactly.
+    #[test]
+    fn records_round_trip(recs in proptest::collection::vec(record(), 1..8), tag in any::<u64>()) {
+        let path = tmp(tag);
+        let store = Store::open(&path);
+        for r in &recs {
+            store.append(r).unwrap();
+        }
+        let contents = store.load().unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        prop_assert_eq!(contents.corrupt_lines, 0);
+        prop_assert_eq!(contents.records.len(), recs.len());
+        for (got, want) in contents.records.iter().zip(&recs) {
+            prop_assert_eq!(&got.job, &want.job);
+            prop_assert_eq!(&got.label, &want.label);
+            prop_assert_eq!(got.status, want.status);
+            prop_assert_eq!(got.attempts, want.attempts);
+            prop_assert_eq!(got.ts, want.ts);
+            prop_assert_eq!(&got.panic_msg, &want.panic_msg);
+            prop_assert_eq!(got.metrics.is_some(), want.metrics.is_some());
+            if let (Some(g), Some(w)) = (&got.metrics, &want.metrics) {
+                prop_assert!(floats_are_finite(g), "non-finite float survived: {g:?}");
+                prop_assert_eq!(g.cores.len(), w.cores.len());
+                prop_assert_eq!(g.total_cycles, w.total_cycles);
+                prop_assert_eq!(g.refreshes, w.refreshes);
+                prop_assert_eq!(g.hit_cycle_cap, w.hit_cycle_cap);
+                prop_assert_eq!(g.audit, w.audit);
+                if w.wall_seconds.is_finite() {
+                    prop_assert_eq!(g.wall_seconds, w.wall_seconds);
+                } else {
+                    prop_assert_eq!(g.wall_seconds, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Lines the decoder must not trust — `ok` without metrics, or an
+    /// unknown `v` — are quarantined on load, never surfaced as
+    /// records, and never take healthy neighbours down with them.
+    #[test]
+    fn untrusted_lines_are_quarantined(rec in record(), version in 2u64..50, tag in any::<u64>()) {
+        let path = tmp(tag.wrapping_add(1));
+        let store = Store::open(&path);
+        store.append(&rec).unwrap();
+        {
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, r#"{{"v":1,"job":"0000","status":"ok","attempts":1,"ts":0}}"#).unwrap();
+            writeln!(
+                f,
+                r#"{{"v":{version},"job":"1111","status":"failed","attempts":1,"ts":0}}"#
+            )
+            .unwrap();
+        }
+        let contents = store.load().unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        prop_assert_eq!(contents.records.len(), 1);
+        prop_assert_eq!(&contents.records[0].job, &rec.job);
+        prop_assert_eq!(contents.corrupt_lines, 2);
+    }
+}

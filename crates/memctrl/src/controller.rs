@@ -22,6 +22,7 @@
 
 use rop_core::{PhaseTransition, RopConfig, RopEngine, RopPhase, SramBuffer};
 use rop_dram::{Command, DramDevice, EnergyBreakdown};
+use rop_events::{EventSink, TraceBuffer, TraceEvent};
 use rop_stats::RatioCounter;
 
 use crate::address::AddressMapping;
@@ -132,6 +133,8 @@ pub struct MemController {
     write_drain: bool,
     next_id: u64,
     stats: MemCtrlStats,
+    /// Controller-level trace sink (refresh/drain lifecycle events).
+    trace: TraceBuffer,
 }
 
 impl MemController {
@@ -212,7 +215,44 @@ impl MemController {
             write_drain: false,
             next_id: 0,
             stats: MemCtrlStats::default(),
+            trace: TraceBuffer::new(),
             cfg,
+        }
+    }
+
+    /// Turns the event trace on or off across every layer the controller
+    /// owns: its own lifecycle events, the DRAM device's command stream,
+    /// the per-rank ROP engines, and the SRAM buffer.
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+        self.device.trace_mut().set_enabled(enabled);
+        if let Some(rop) = &mut self.rop {
+            for (r, e) in rop.engines.iter_mut().enumerate() {
+                e.set_trace_rank(r);
+                e.trace_mut().set_enabled(enabled);
+            }
+            rop.buffer.trace_mut().set_enabled(enabled);
+        }
+    }
+
+    /// True when the event trace is being collected.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Drains every layer's buffered trace events into `sink` in the
+    /// documented merge order: controller first, then the device, then
+    /// the per-rank engines, then the SRAM buffer. Within one tick this
+    /// puts refresh/drain transitions before the commands they caused and
+    /// before the profiler-window events they opened.
+    pub fn drain_trace(&mut self, sink: &mut impl EventSink) {
+        self.trace.drain_into(sink);
+        self.device.trace_mut().drain_into(sink);
+        if let Some(rop) = &mut self.rop {
+            for e in rop.engines.iter_mut() {
+                e.trace_mut().drain_into(sink);
+            }
+            rop.buffer.trace_mut().drain_into(sink);
         }
     }
 
@@ -378,6 +418,9 @@ impl MemController {
         let addr = self.mapping.decode(line_addr);
         let slot = self.addr_slot(&addr);
         let refreshing = self.slot_frozen(slot, now);
+        if let Some(rop) = &mut self.rop {
+            rop.buffer.set_trace_cycle(now);
+        }
 
         // The SRAM buffer answers whenever it holds the line — during the
         // refresh that is the whole point; before it, serving from SRAM
@@ -496,6 +539,9 @@ impl MemController {
     /// Advances the controller at `now`. Returns the next cycle at which
     /// another call can possibly make progress.
     pub fn tick(&mut self, now: Cycle) -> Cycle {
+        if let Some(rop) = &mut self.rop {
+            rop.buffer.set_trace_cycle(now);
+        }
         // 1. Prefetch data arriving from DRAM fills the SRAM buffer.
         self.apply_fills(now);
 
@@ -589,6 +635,12 @@ impl MemController {
     fn handle_refresh_completions(&mut self, now: Cycle) {
         for slot in self.refresh.poll_complete(now) {
             let rank = self.slot_rank(slot);
+            let scope_bank = self.slot_bank(slot);
+            self.trace.emit(|| TraceEvent::RefreshEnd {
+                cycle: now,
+                rank,
+                bank: scope_bank,
+            });
             if let Some(rop) = &mut self.rop {
                 let hits = rop.refresh_hits[slot];
                 let lookups = rop.refresh_lookups[slot];
@@ -636,8 +688,19 @@ impl MemController {
                 }
             })
         };
+        // Elastic-policy debt accrues inside `poll_due`; snapshot it so a
+        // postponement can be traced (only when the trace is live).
+        let debts_before: Vec<u32> = if self.trace.is_enabled() {
+            (0..self.refresh_slots())
+                .map(|s| self.refresh.debt(s))
+                .collect()
+        } else {
+            Vec::new()
+        };
         for slot in self.refresh.poll_due(now, busy) {
             let rank = self.slot_rank(slot);
+            self.trace
+                .emit(|| TraceEvent::DrainStart { cycle: now, rank });
             // Snapshot the drain set: everything queued for this slot's
             // scope (rank, or single bank in per-bank mode).
             let mut set = Vec::new();
@@ -673,6 +736,19 @@ impl MemController {
                     // stream, and extrapolating now would go stale.
                     rop.active_rank = Some(slot);
                     rop.prefetch_pending[slot] = true;
+                }
+            }
+        }
+        if !debts_before.is_empty() {
+            for (slot, &before) in debts_before.iter().enumerate() {
+                let debt = u64::from(self.refresh.debt(slot));
+                if debt > u64::from(before) {
+                    let rank = self.slot_rank(slot);
+                    self.trace.emit(|| TraceEvent::RefreshPostponed {
+                        cycle: now,
+                        rank,
+                        debt,
+                    });
                 }
             }
         }
@@ -828,6 +904,13 @@ impl MemController {
                         self.refresh.refresh_issued(slot, now, outcome.completes_at);
                         self.analysis[slot].refresh_started(now);
                         let scope_bank = self.slot_bank(slot);
+                        self.trace
+                            .emit(|| TraceEvent::DrainEnd { cycle: now, rank });
+                        self.trace.emit(|| TraceEvent::RefreshStart {
+                            cycle: now,
+                            rank,
+                            bank: scope_bank,
+                        });
                         if let Some(rop) = &mut self.rop {
                             rop.refresh_hits[slot] = 0;
                             rop.refresh_lookups[slot] = 0;

@@ -13,6 +13,7 @@
 //! (as the paper does with its 1-billion-instruction SPEC slices), so
 //! execution-time differences show up in both IPC and energy.
 
+pub mod audit;
 pub mod config;
 pub mod engine_stats;
 pub mod experiments;
@@ -20,9 +21,13 @@ pub mod metrics;
 pub mod runner;
 pub mod system;
 
+pub use audit::{AuditSummary, Auditor, AuditorConfig, Violation};
 pub use config::{SystemConfig, SystemKind};
 pub use metrics::{CoreMetrics, RunMetrics};
-pub use runner::{parallel_map, run_multi, run_single, RunSpec};
+pub use runner::{
+    parallel_map, run_multi, run_single, AuditingExecutor, LocalExecutor, RunSpec, SweepExecutor,
+    SweepJob,
+};
 pub use system::System;
 
 /// Memory-clock cycle.

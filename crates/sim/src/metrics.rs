@@ -5,6 +5,7 @@ use rop_dram::EnergyBreakdown;
 use rop_memctrl::RefreshAnalysisReport;
 use rop_stats::Json;
 
+use crate::audit::AuditSummary;
 use crate::Cycle;
 
 /// Per-core results.
@@ -71,6 +72,10 @@ pub struct RunMetrics {
     /// Instructions retired summed over all cores (each capped at its
     /// fixed-work target), for throughput reporting.
     pub instructions_total: u64,
+    /// Invariant-audit outcome, when the run was audited (`None` for
+    /// ordinary runs; audited runs that *fail* panic instead, so a
+    /// present summary always reports zero violations).
+    pub audit: Option<AuditSummary>,
 }
 
 impl RunMetrics {
@@ -251,6 +256,10 @@ impl RunMetrics {
                 "instructions_total",
                 Json::Num(self.instructions_total as f64),
             );
+        if let Some(a) = self.audit {
+            j.push("audit_events", Json::Num(a.events as f64))
+                .push("audit_violations", Json::Num(a.violations as f64));
+        }
         j
     }
 
@@ -301,6 +310,13 @@ impl RunMetrics {
                 .unwrap_or(false),
             wall_seconds: get_f64(j, "wall_seconds"),
             instructions_total: get_u64(j, "instructions_total"),
+            audit: j
+                .get("audit_events")
+                .and_then(Json::as_u64)
+                .map(|events| AuditSummary {
+                    events,
+                    violations: get_u64(j, "audit_violations"),
+                }),
         })
     }
 }
@@ -337,6 +353,7 @@ mod tests {
             avg_read_latency: 0.0,
             hit_cycle_cap: false,
             wall_seconds: 0.0,
+            audit: None,
         }
     }
 
@@ -386,6 +403,10 @@ mod tests {
         m.avg_read_latency = 41.7;
         m.hit_cycle_cap = true;
         m.wall_seconds = 1.25;
+        m.audit = Some(AuditSummary {
+            events: 123_456,
+            violations: 0,
+        });
         m.analysis = vec![[
             RefreshAnalysisReport {
                 window_multiplier: 1,
@@ -435,6 +456,13 @@ mod tests {
         assert_eq!(back.analysis[0][2].window_multiplier, 4);
         assert_eq!(back.analysis[0][1].max_blocked, 9);
         assert!(back.hit_cycle_cap);
+        assert_eq!(
+            back.audit,
+            Some(AuditSummary {
+                events: 123_456,
+                violations: 0
+            })
+        );
     }
 
     #[test]
@@ -452,5 +480,7 @@ mod tests {
         assert_eq!(m.system, "Baseline");
         assert_eq!(m.total_cycles, 0);
         assert!(!m.hit_cycle_cap);
+        // An un-audited record decodes to no audit summary.
+        assert_eq!(m.audit, None);
     }
 }

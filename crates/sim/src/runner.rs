@@ -129,6 +129,11 @@ pub struct SweepJob {
     pub config: SystemConfig,
     /// Work quota and seed.
     pub spec: RunSpec,
+    /// Run with the invariant auditor attached (see [`crate::audit`]).
+    /// Deliberately *not* part of [`SweepJob::fingerprint`]: auditing
+    /// checks a run, it does not change what is simulated, so stored
+    /// results keep their identity either way.
+    pub audit: bool,
 }
 
 impl SweepJob {
@@ -138,6 +143,7 @@ impl SweepJob {
             label: format!("{prefix}/{}/{}", benchmark.name(), kind.label()),
             config: SystemConfig::single_core(benchmark, kind, spec.seed),
             spec,
+            audit: false,
         }
     }
 
@@ -149,6 +155,7 @@ impl SweepJob {
             label: format!("multi/llc{llc_mib}/{}/{}", mix.name, kind.label()),
             config,
             spec,
+            audit: false,
         }
     }
 
@@ -158,7 +165,14 @@ impl SweepJob {
             label: label.into(),
             config,
             spec,
+            audit: false,
         }
+    }
+
+    /// Returns the job with auditing switched on or off.
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
+        self
     }
 
     /// Content hash of the job identity: the fully-resolved
@@ -182,6 +196,9 @@ impl SweepJob {
                 panic!("invalid config: {e}");
             }
             let mut sys = System::new(self.config.clone());
+            if self.audit {
+                sys.enable_audit();
+            }
             sys.run_until(self.spec.instructions, self.spec.max_cycles)
         })
     }
@@ -218,6 +235,7 @@ impl SweepJob {
             hit_cycle_cap: false,
             wall_seconds: 0.0,
             instructions_total: 0,
+            audit: None,
         }
     }
 }
@@ -258,9 +276,24 @@ impl SweepExecutor for LocalExecutor {
                     panic!("invalid config: {e}");
                 }
                 let mut sys = System::new(j.config.clone());
+                if j.audit {
+                    sys.enable_audit();
+                }
                 sys.run_until(j.spec.instructions, j.spec.max_cycles)
             },
         )
+    }
+}
+
+/// Executor adapter that switches auditing on for every job before
+/// delegating to the wrapped executor. Lets `--audit` flags reuse the
+/// experiment drivers unchanged — they keep constructing plain jobs.
+pub struct AuditingExecutor<'a>(pub &'a dyn SweepExecutor);
+
+impl SweepExecutor for AuditingExecutor<'_> {
+    fn execute(&self, jobs: Vec<SweepJob>) -> Vec<RunMetrics> {
+        self.0
+            .execute(jobs.into_iter().map(|j| j.with_audit(true)).collect())
     }
 }
 

@@ -22,6 +22,7 @@ use rop_cpu::{Core, MemOp, SubmitResult};
 use rop_memctrl::{Completion, MemController};
 use rop_trace::SyntheticWorkload;
 
+use crate::audit::{Auditor, AuditorConfig};
 use crate::config::SystemConfig;
 use crate::metrics::{CoreMetrics, RunMetrics};
 use crate::Cycle;
@@ -64,6 +65,9 @@ pub struct System {
     line_shift: Option<u32>,
     /// Wall-clock seconds spent inside the run loop.
     wall_seconds: f64,
+    /// Online invariant checker consuming the event trace, when audit
+    /// mode is enabled.
+    auditor: Option<Auditor>,
 }
 
 impl System {
@@ -107,8 +111,31 @@ impl System {
                 .is_power_of_two()
                 .then(|| llc_line.trailing_zeros()),
             wall_seconds: 0.0,
+            auditor: None,
             cfg,
         }
+    }
+
+    /// Enables audit mode with parameters derived from the controller
+    /// configuration: the full event trace is collected and checked
+    /// online, and the run panics with a labelled violation report if
+    /// any invariant fails (see [`crate::audit`]).
+    pub fn enable_audit(&mut self) {
+        let cfg = AuditorConfig::from_ctrl(self.ctrl.config());
+        self.enable_audit_with(cfg);
+    }
+
+    /// [`System::enable_audit`] with explicit audit parameters — the
+    /// differential tests use this to audit against deliberately
+    /// corrupted timing and prove the auditor catches it.
+    pub fn enable_audit_with(&mut self, cfg: AuditorConfig) {
+        self.ctrl.set_trace_enabled(true);
+        self.auditor = Some(Auditor::new(cfg));
+    }
+
+    /// The audit outcome so far, when audit mode is on.
+    pub fn audit_summary(&self) -> Option<crate::audit::AuditSummary> {
+        self.auditor.as_ref().map(|a| a.summary())
     }
 
     /// The current simulation cycle.
@@ -187,6 +214,9 @@ impl System {
 
             // Tick the controller and collect fresh completions.
             let hint = self.ctrl.tick(now);
+            if let Some(auditor) = &mut self.auditor {
+                self.ctrl.drain_trace(auditor);
+            }
             for c in self.ctrl.take_completions() {
                 self.inflight.push(Reverse(Inflight(c)));
             }
@@ -239,6 +269,11 @@ impl System {
             self.now = next;
         }
         self.wall_seconds += start.elapsed().as_secs_f64();
+        if let Some(auditor) = &self.auditor {
+            if auditor.summary().violations > 0 {
+                panic!("{}", auditor.report());
+            }
+        }
     }
 
     fn collect(&mut self, target: u64, max_cycles: Cycle) -> RunMetrics {
@@ -307,6 +342,7 @@ impl System {
             hit_cycle_cap,
             wall_seconds: self.wall_seconds,
             instructions_total,
+            audit: self.auditor.as_ref().map(|a| a.summary()),
         }
     }
 }
@@ -545,5 +581,64 @@ mod tests {
         assert!(m.wall_seconds > 0.0);
         assert!(m.cycles_per_sec() > 0.0);
         assert!(m.instructions_per_sec() > 0.0);
+    }
+
+    fn quick_audited(kind: SystemKind, b: Benchmark) -> RunMetrics {
+        let mut sys = System::new(SystemConfig::single_core(b, kind, 42));
+        sys.enable_audit();
+        sys.run_until(200_000, 20_000_000)
+    }
+
+    #[test]
+    fn audited_runs_are_clean() {
+        // Every controller flavour must stream an event trace the
+        // auditor accepts; `run_until` panics on any violation.
+        for kind in [
+            SystemKind::Baseline,
+            SystemKind::ElasticRefresh,
+            SystemKind::PerBankRefresh,
+            SystemKind::Rop { buffer: 64 },
+        ] {
+            let m = quick_audited(kind, Benchmark::Libquantum);
+            let audit = m.audit.expect("audited run must carry a summary");
+            assert!(audit.events > 0, "{kind:?}: no events traced");
+            assert_eq!(audit.violations, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn audit_does_not_perturb_the_run() {
+        let plain = quick(SystemKind::Rop { buffer: 64 }, Benchmark::Lbm);
+        let audited = quick_audited(SystemKind::Rop { buffer: 64 }, Benchmark::Lbm);
+        assert_eq!(plain.total_cycles, audited.total_cycles);
+        assert_eq!(plain.refreshes, audited.refreshes);
+        assert_eq!(plain.cores[0].ipc, audited.cores[0].ipc);
+        assert!((plain.energy.total_nj() - audited.energy.total_nj()).abs() < 1e-6);
+        assert_eq!(plain.audit, None);
+    }
+
+    /// Differential check from the acceptance criteria: auditing the
+    /// real device against deliberately tightened timing parameters
+    /// must produce a labeled violation report.
+    #[test]
+    fn corrupted_timing_is_detected() {
+        let cfg = SystemConfig::single_core(Benchmark::Libquantum, SystemKind::Baseline, 42);
+        let mcfg = cfg.kind.memctrl_config(cfg.ranks, cfg.seed);
+        let mut audit_cfg = crate::audit::AuditorConfig::from_ctrl(&mcfg);
+        // Pretend the device must wait twice as long after ACT before a
+        // column command: every real tRCD-paced read now looks illegal.
+        audit_cfg.timing.t_rcd *= 2;
+        let err = std::panic::catch_unwind(move || {
+            let mut sys = System::new(cfg);
+            sys.enable_audit_with(audit_cfg);
+            sys.run_until(200_000, 20_000_000)
+        })
+        .expect_err("tightened tRCD must trip the auditor");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "unexpected panic payload".into());
+        assert!(msg.contains("timing.tRCD"), "report was: {msg}");
+        assert!(msg.contains("violation"), "report was: {msg}");
     }
 }
