@@ -37,6 +37,8 @@
 //! §Auditor).
 
 use rop_harness::{PoolConfig, Store, StoreExecutor};
+use rop_lint::config::lint_jobs;
+use rop_sim_system::experiments::driver::plan_jobs;
 use rop_sim_system::experiments::sensitivity::LLC_SIZES_MIB;
 use rop_sim_system::experiments::{
     ablate_drain_with, ablate_table_with, ablate_throttle_with, ablate_window_with, run_analysis,
@@ -49,7 +51,7 @@ use rop_trace::{ALL_BENCHMARKS, WORKLOAD_MIXES};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment> [--instr N] [--seed S] [--store PATH] [--audit]\n\
+        "usage: repro <experiment> [--instr N] [--seed S] [--store PATH] [--audit] [--no-lint]\n\
          experiments: fig1 fig2 fig3 fig4 table1 fig7 fig8 fig9 fig10 fig11\n\
          fig12 fig13 fig14 table2 table3 analysis single multi llc\n\
          policies fgr per-bank\n\
@@ -58,14 +60,16 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn parse_spec(args: &[String]) -> (RunSpec, Option<String>, bool) {
+fn parse_spec(args: &[String]) -> (RunSpec, Option<String>, bool, bool) {
     let mut spec = RunSpec::from_env();
     let mut store = None;
     let mut audit = false;
+    let mut no_lint = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--audit" => audit = true,
+            "--no-lint" => no_lint = true,
             "--instr" => {
                 i += 1;
                 spec.instructions = args
@@ -88,7 +92,51 @@ fn parse_spec(args: &[String]) -> (RunSpec, Option<String>, bool) {
         }
         i += 1;
     }
-    (spec, store, audit)
+    (spec, store, audit, no_lint)
+}
+
+/// The `rop-sweep` experiment name covering a repro command's
+/// executor-backed jobs, if any (analysis/extension studies always run
+/// fresh in-process and are vetted by their own `validate()` calls).
+fn lintable_experiment(cmd: &str) -> Option<&'static str> {
+    match cmd {
+        "fig7" | "fig8" | "fig9" | "single" => Some("single"),
+        "fig10" | "fig11" | "multi" => Some("multi"),
+        "fig12" | "fig13" | "fig14" | "llc" => Some("llc"),
+        "ablate-window" => Some("ablate-window"),
+        "ablate-throttle" => Some("ablate-throttle"),
+        "ablate-drain" => Some("ablate-drain"),
+        "ablate-table" => Some("ablate-table"),
+        "all" => Some("all"),
+        _ => None,
+    }
+}
+
+/// Fail-fast static config check: no job is dispatched from a provably
+/// illegal grid point. `--no-lint` bypasses.
+fn lint_gate(cmd: &str, spec: RunSpec) {
+    let Some(experiment) = lintable_experiment(cmd) else {
+        return;
+    };
+    let jobs = match plan_jobs(experiment, spec) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("# lint: cannot enumerate jobs: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = lint_jobs(&jobs);
+    if report.clean() {
+        eprintln!(
+            "# lint: {} job config(s) statically verified{}",
+            report.points,
+            if report.symbolic { " (symbolic)" } else { "" }
+        );
+    } else {
+        eprintln!("# lint: static config check rejected this run (use --no-lint to bypass):");
+        eprint!("{}", report.render());
+        std::process::exit(1);
+    }
 }
 
 fn render_table2() -> String {
@@ -147,7 +195,7 @@ fn render_table3() -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
-    let (spec, store_path, audit) = parse_spec(&args[1..]);
+    let (spec, store_path, audit, no_lint) = parse_spec(&args[1..]);
     eprintln!(
         "# repro {} — {} instructions/core, seed {}{}",
         cmd,
@@ -155,6 +203,9 @@ fn main() {
         spec.seed,
         if audit { ", auditing on" } else { "" }
     );
+    if !no_lint {
+        lint_gate(cmd, spec);
+    }
     let store_exec = store_path.map(|p| {
         eprintln!("# results store: {p} (resumable)");
         StoreExecutor::new(Store::open(p))

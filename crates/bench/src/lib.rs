@@ -7,6 +7,8 @@
 //!
 //! This library only hosts shared helpers for those targets.
 
+#![forbid(unsafe_code)]
+
 use rop_sim_system::runner::RunSpec;
 
 /// Run spec used by the Criterion benches: small enough to iterate, large

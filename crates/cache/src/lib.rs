@@ -10,6 +10,8 @@
 //! Addresses handled here are *cache-line addresses* (byte address divided
 //! by the line size); the CPU model does the shifting.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod set_assoc;
 

@@ -26,6 +26,8 @@
 //! (in `rop-memctrl`) feeds it access notifications and refresh timing and
 //! executes the prefetch requests it emits.
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod config;
 pub mod engine;

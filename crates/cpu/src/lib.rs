@@ -20,6 +20,8 @@
 //! [`SubmitResult`] for each memory operation, so the same core runs
 //! against the real controller, an ideal memory, or a test stub.
 
+#![forbid(unsafe_code)]
+
 pub mod core_model;
 
 pub use core_model::{Core, CoreConfig, CoreStats, MemOp, SubmitResult};

@@ -394,6 +394,8 @@ impl DramDevice {
     /// that have already consulted [`Self::earliest_issue`].
     pub fn issue(&mut self, cmd: &Command, now: Cycle) -> IssueOutcome {
         self.try_issue(cmd, now)
+            // Documented contract: callers consult `earliest_issue` first.
+            // rop-lint: allow(no-panic)
             .unwrap_or_else(|e| panic!("illegal DRAM command {cmd:?} at cycle {now}: {e:?}"))
     }
 

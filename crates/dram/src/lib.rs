@@ -26,6 +26,8 @@
 //! ([`DramDevice::earliest_issue`]), which lets the controller fast-forward
 //! over dead time without losing cycle accuracy.
 
+#![forbid(unsafe_code)]
+
 pub mod bank;
 pub mod command;
 pub mod config;

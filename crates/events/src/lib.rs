@@ -14,6 +14,8 @@
 //! events of a tick precede engine profiler-window events of the same
 //! tick. The `Auditor` in `rop-sim-system` relies on exactly this order.
 
+#![forbid(unsafe_code)]
+
 /// Memory-clock cycle (same unit as `rop-dram`).
 pub type Cycle = u64;
 

@@ -22,35 +22,26 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use rop_sim_system::experiments::{
-    ablate_drain_with, ablate_table_with, ablate_throttle_with, ablate_window_with,
-    run_llc_sweep_with, run_singlecore_with,
-};
+use rop_lint::config::lint_jobs;
 use rop_sim_system::runner::{AuditingExecutor, RunSpec, SweepExecutor};
-use rop_trace::{ALL_BENCHMARKS, WORKLOAD_MIXES};
 
-use crate::executor::{job_id, PlanExecutor, StoreExecutor};
+use crate::executor::StoreExecutor;
 use crate::pool::PoolConfig;
 use crate::store::{Status, Store};
 
-/// Experiment names `run`/`resume`/`status` accept.
-pub const EXPERIMENTS: [&str; 8] = [
-    "single",
-    "multi",
-    "llc",
-    "ablate-window",
-    "ablate-throttle",
-    "ablate-drain",
-    "ablate-table",
-    "all",
-];
+// The experiment-name → job-set mapping lives in `rop-sim-system`
+// (`experiments::driver`), shared with `repro` and `rop-lint`.
+pub use rop_sim_system::experiments::driver::{
+    plan_experiment, plan_jobs, render_experiment, EXPERIMENTS,
+};
 
 const USAGE: &str = "usage: rop-sweep <command> [experiment] [flags]\n\
   commands:    run resume status diff export\n\
   experiments: single multi llc ablate-window ablate-throttle\n\
                ablate-drain ablate-table all\n\
   flags:       --store PATH --instr N --seed S --max-cycles N\n\
-               --workers N --retries N (total attempts) --quiet --audit";
+               --workers N --retries N (total attempts) --quiet --audit\n\
+               --no-lint (skip the static config pre-check)";
 
 /// Parsed command-line options shared by all subcommands.
 #[derive(Debug, Clone)]
@@ -67,6 +58,8 @@ pub struct Options {
     pub quiet: bool,
     /// Run every job with the invariant auditor attached.
     pub audit: bool,
+    /// Skip the static config lint before dispatching jobs.
+    pub no_lint: bool,
 }
 
 impl Options {
@@ -79,6 +72,7 @@ impl Options {
             retries: 2,
             quiet: false,
             audit: false,
+            no_lint: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -110,6 +104,7 @@ impl Options {
                 }
                 "--quiet" => opt.quiet = true,
                 "--audit" => opt.audit = true,
+                "--no-lint" => opt.no_lint = true,
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 1;
@@ -134,106 +129,31 @@ fn parse_positive(flag: &str, s: &str) -> Result<u64, String> {
     }
 }
 
-/// Runs the named experiment through `exec`; when `render` is true the
-/// assembled figures are returned (a dry [`PlanExecutor`] pass sets it
-/// false — placeholder metrics enumerate jobs fine but cannot be
-/// summarised). This is the single place mapping experiment names to
-/// job sets, shared by `run` (StoreExecutor) and `status`
-/// (PlanExecutor).
-fn drive_experiment(
-    name: &str,
-    spec: RunSpec,
-    exec: &dyn SweepExecutor,
-    render: bool,
-) -> Result<Vec<String>, String> {
-    let mut out = Vec::new();
-    let single = |out: &mut Vec<String>| {
-        let res = run_singlecore_with(&ALL_BENCHMARKS, spec, exec);
-        if render {
-            out.push(res.render_fig7());
-            out.push(res.render_fig8());
-            out.push(res.render_fig9());
-        }
-    };
-    let multi = |out: &mut Vec<String>| {
-        let res = run_llc_sweep_with(&[4], &WORKLOAD_MIXES, spec, exec);
-        if render {
-            out.push(res.per_size[0].render_fig10());
-            out.push(res.per_size[0].render_fig11());
-        }
-    };
-    let llc = |out: &mut Vec<String>| {
-        let res = run_llc_sweep_with(
-            &rop_sim_system::experiments::sensitivity::LLC_SIZES_MIB,
-            &WORKLOAD_MIXES,
-            spec,
-            exec,
+/// Statically vets the experiment's full job set before anything is
+/// dispatched. Returns an error listing every violated rule per job
+/// label; `--no-lint` bypasses it.
+fn lint_gate(experiment: &str, spec: RunSpec) -> Result<(), String> {
+    let jobs = plan_jobs(experiment, spec)?;
+    let report = lint_jobs(&jobs);
+    if report.clean() {
+        eprintln!(
+            "# lint: {} job config(s) statically verified{}",
+            report.points,
+            if report.symbolic { " (symbolic)" } else { "" }
         );
-        if render {
-            out.push(res.render_fig12());
-            out.push(res.render_fig13());
-            out.push(res.render_fig14());
-        }
-    };
-    let ablation = |out: &mut Vec<String>, res: rop_sim_system::experiments::AblationResult| {
-        if render {
-            out.push(res.render());
-        }
-    };
-    match name {
-        "single" => single(&mut out),
-        "multi" => multi(&mut out),
-        "llc" => llc(&mut out),
-        "ablate-window" => ablation(&mut out, ablate_window_with(spec, exec)),
-        "ablate-throttle" => ablation(&mut out, ablate_throttle_with(spec, exec)),
-        "ablate-drain" => ablation(&mut out, ablate_drain_with(spec, exec)),
-        "ablate-table" => ablation(&mut out, ablate_table_with(spec, exec)),
-        "all" => {
-            single(&mut out);
-            multi(&mut out);
-            llc(&mut out);
-            ablation(&mut out, ablate_window_with(spec, exec));
-            ablation(&mut out, ablate_throttle_with(spec, exec));
-            ablation(&mut out, ablate_drain_with(spec, exec));
-            ablation(&mut out, ablate_table_with(spec, exec));
-        }
-        other => {
-            return Err(format!(
-                "unknown experiment '{other}' (expected one of: {})",
-                EXPERIMENTS.join(" ")
-            ))
-        }
+        Ok(())
+    } else {
+        Err(format!(
+            "static config lint rejected the sweep (rerun with --no-lint to bypass):\n{}",
+            report.render()
+        ))
     }
-    Ok(out)
-}
-
-/// Runs the named experiment through `exec` and returns its rendered
-/// figures.
-pub fn render_experiment(
-    name: &str,
-    spec: RunSpec,
-    exec: &dyn SweepExecutor,
-) -> Result<Vec<String>, String> {
-    drive_experiment(name, spec, exec, true)
-}
-
-/// The job ids (with labels) an experiment would run, via a dry
-/// [`PlanExecutor`] pass — nothing is simulated.
-pub fn plan_experiment(name: &str, spec: RunSpec) -> Result<Vec<(String, String)>, String> {
-    let plan = PlanExecutor::new();
-    drive_experiment(name, spec, &plan, false)?;
-    let mut seen = std::collections::HashSet::new();
-    let mut jobs = Vec::new();
-    for j in plan.into_jobs() {
-        let id = job_id(&j);
-        if seen.insert(id.clone()) {
-            jobs.push((id, j.label));
-        }
-    }
-    Ok(jobs)
 }
 
 fn cmd_run(experiment: &str, opt: &Options) -> Result<i32, String> {
+    if !opt.no_lint {
+        lint_gate(experiment, opt.spec)?;
+    }
     let mut pool = PoolConfig {
         max_attempts: opt.retries,
         report_interval: (!opt.quiet).then(|| Duration::from_secs(2)),
@@ -348,8 +268,8 @@ fn cmd_diff(path_a: &str, path_b: &str) -> Result<i32, String> {
 
     let mut differs = false;
     let only = |name: &str,
-                this: &std::collections::HashMap<&str, &crate::store::Record>,
-                other: &std::collections::HashMap<&str, &crate::store::Record>|
+                this: &std::collections::BTreeMap<&str, &crate::store::Record>,
+                other: &std::collections::BTreeMap<&str, &crate::store::Record>|
      -> Vec<String> {
         let mut lines: Vec<String> = this
             .iter()

@@ -8,7 +8,7 @@
 //! form* — so a figure assembled through it is, by construction, a
 //! figure read from the store.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use rop_sim_system::metrics::RunMetrics;
 use rop_sim_system::runner::{SweepExecutor, SweepJob};
@@ -18,10 +18,10 @@ use crate::pool::{run_jobs, JobOutcome, PoolConfig};
 use crate::progress::Progress;
 use crate::store::{unix_now, Record, Status, Store};
 
-/// Hex job id from a job's content hash.
-pub fn job_id(job: &SweepJob) -> String {
-    format!("{:016x}", job.fingerprint())
-}
+// The dry-run planner and job-id scheme moved to `rop-sim-system`
+// (`experiments::driver`) so the static linter can enumerate job sets
+// without depending on this crate; re-exported here for existing users.
+pub use rop_sim_system::experiments::driver::{job_id, PlanExecutor};
 
 /// Counters accumulated across an executor's `execute` calls.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -97,12 +97,17 @@ impl StoreExecutor {
 
     /// Counters accumulated so far.
     pub fn stats(&self) -> ExecStats {
-        *self.stats.lock().unwrap()
+        // A panicking holder of this lock only ever leaves fully-written
+        // counters behind, so recovering from poison is sound.
+        *self.stats.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Permanent failures recorded so far.
     pub fn failures(&self) -> Vec<Failure> {
-        self.failures.lock().unwrap().clone()
+        self.failures
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -111,7 +116,9 @@ impl SweepExecutor for StoreExecutor {
         let contents = self
             .store
             .load()
-            .unwrap_or_else(|e| panic!("cannot load store: {e}"));
+            // A store that cannot even be read makes every job outcome
+            // unrecordable; aborting the sweep is the only safe move.
+            .unwrap_or_else(|e| panic!("cannot load store: {e}")); // rop-lint: allow(no-panic)
         let latest = contents.latest();
 
         // Resolve cache hits; collect the rest for the pool. Duplicate
@@ -186,13 +193,15 @@ impl SweepExecutor for StoreExecutor {
                     };
                     self.store
                         .append(&rec)
-                        .unwrap_or_else(|e| panic!("store append failed: {e}"));
-                    // Round-trip through the serialized form: what the
-                    // figure sees is exactly what the store holds.
+                        // Losing a finished result silently would defeat
+                        // the durability contract; fail loudly instead.
+                        .unwrap_or_else(|e| panic!("store append failed: {e}")); // rop-lint: allow(no-panic)
+                                                                                 // Round-trip through the serialized form: what the
+                                                                                 // figure sees is exactly what the store holds.
                     let line = rec.to_json().render();
                     let decoded = Json::parse(&line)
                         .and_then(|j| Record::from_json(&j))
-                        .unwrap_or_else(|e| panic!("store round-trip failed: {e}"));
+                        .unwrap_or_else(|e| panic!("store round-trip failed: {e}")); // rop-lint: allow(no-panic)
                     fresh.insert(id, decoded.metrics);
                 }
                 JobOutcome::Failed {
@@ -212,13 +221,16 @@ impl SweepExecutor for StoreExecutor {
                     };
                     self.store
                         .append(&rec)
-                        .unwrap_or_else(|e| panic!("store append failed: {e}"));
-                    self.failures.lock().unwrap().push(Failure {
-                        job: id.clone(),
-                        label: jobs[i].label.clone(),
-                        panic_msg,
-                        attempts,
-                    });
+                        .unwrap_or_else(|e| panic!("store append failed: {e}")); // rop-lint: allow(no-panic)
+                    self.failures
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(Failure {
+                            job: id.clone(),
+                            label: jobs[i].label.clone(),
+                            panic_msg,
+                            attempts,
+                        });
                     fresh.insert(id, None);
                 }
                 JobOutcome::NotRun => {
@@ -228,7 +240,7 @@ impl SweepExecutor for StoreExecutor {
         }
 
         {
-            let mut stats = self.stats.lock().unwrap();
+            let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
             stats.planned += jobs.len();
             stats.cache_hits += cache_hits;
             stats.executed += executed;
@@ -247,34 +259,6 @@ impl SweepExecutor for StoreExecutor {
                     .unwrap_or_else(|| jobs[i].placeholder_metrics()),
             })
             .collect()
-    }
-}
-
-/// An executor that *enumerates* jobs without running anything: every
-/// job returns placeholder metrics and is recorded in `planned`. Used
-/// by `rop-sweep status` to know a sweep's full job set.
-#[derive(Default)]
-pub struct PlanExecutor {
-    planned: std::cell::RefCell<Vec<SweepJob>>,
-}
-
-impl PlanExecutor {
-    /// A fresh planner.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Every job enumerated so far, in execution order.
-    pub fn into_jobs(self) -> Vec<SweepJob> {
-        self.planned.into_inner()
-    }
-}
-
-impl SweepExecutor for PlanExecutor {
-    fn execute(&self, jobs: Vec<SweepJob>) -> Vec<RunMetrics> {
-        let metrics = jobs.iter().map(SweepJob::placeholder_metrics).collect();
-        self.planned.borrow_mut().extend(jobs);
-        metrics
     }
 }
 

@@ -19,6 +19,7 @@
 //! * [`cli`] — the `rop-sweep` command (`run`, `resume`, `status`,
 //!   `diff`, `export`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;

@@ -2,7 +2,7 @@
 //! remaining counts, throughput, ETA, and what each worker is on.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Shared progress state updated by pool workers and read by the
@@ -60,7 +60,7 @@ impl Progress {
 
     /// Marks worker `w` as running `label`.
     pub fn worker_starts(&self, w: usize, label: &str) {
-        let mut cur = self.current.lock().unwrap();
+        let mut cur = self.current.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(slot) = cur.get_mut(w) {
             *slot = Some(label.to_string());
         }
@@ -71,7 +71,7 @@ impl Progress {
     /// a caller bug, and counting its job would corrupt the remaining/
     /// ETA arithmetic against `total`.
     pub fn worker_finishes(&self, w: usize, ok: bool) {
-        let mut cur = self.current.lock().unwrap();
+        let mut cur = self.current.lock().unwrap_or_else(PoisonError::into_inner);
         let Some(slot) = cur.get_mut(w) else {
             return;
         };
@@ -108,7 +108,11 @@ impl Progress {
             jobs_per_sec,
             ok_per_sec: rate(completed),
             eta_seconds,
-            workers: self.current.lock().unwrap().clone(),
+            workers: self
+                .current
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
         }
     }
 }

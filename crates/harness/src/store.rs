@@ -7,7 +7,7 @@
 //! truncated by a crash mid-write fails to parse and is counted as
 //! corrupt, never trusted.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -130,8 +130,10 @@ pub struct StoreContents {
 
 impl StoreContents {
     /// Newest record per job id (later lines supersede earlier ones).
-    pub fn latest(&self) -> HashMap<&str, &Record> {
-        let mut map = HashMap::new();
+    /// A `BTreeMap` so every consumer iterates in job-id order — diff
+    /// and CSV export output is byte-stable across runs by construction.
+    pub fn latest(&self) -> BTreeMap<&str, &Record> {
+        let mut map = BTreeMap::new();
         for r in &self.records {
             map.insert(r.job.as_str(), r);
         }

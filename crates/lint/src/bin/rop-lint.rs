@@ -1,0 +1,182 @@
+//! `rop-lint` — static analysis gate for the ROP reproduction.
+//!
+//! ```text
+//! rop-lint check-config [experiment...]   vet experiment job configs (default: all)
+//! rop-lint fsm                            model-check the throttle/profiler FSM
+//! rop-lint src [--root DIR] [--baseline FILE] [--update-baseline]
+//!                                         determinism/robustness source lint
+//! rop-lint rules                          list the config rule catalog
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/environment error.
+
+use std::path::PathBuf;
+
+use rop_core::RopConfig;
+use rop_lint::config::{lint_jobs, RULES};
+use rop_lint::fsm::{build_rop_fsm, check_fsm};
+use rop_lint::srclint::{compare, parse_baseline, render_baseline, scan_workspace, to_baseline};
+use rop_sim_system::experiments::driver::{plan_jobs, EXPERIMENTS};
+use rop_sim_system::runner::RunSpec;
+
+const USAGE: &str = "usage: rop-lint <command> [args]\n\
+  check-config [experiment...]   vet experiment job configs (default: all)\n\
+  fsm                            model-check the throttle/profiler FSM\n\
+  src [--root DIR] [--baseline FILE] [--update-baseline]\n\
+                                 determinism/robustness source lint\n\
+  rules                          list the config rule catalog";
+
+fn cmd_check_config(args: &[String]) -> Result<i32, String> {
+    let experiments: Vec<&str> = if args.is_empty() {
+        vec!["all"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    // The spec's work quota never affects config legality; any value
+    // enumerates the same grid.
+    let spec = RunSpec {
+        instructions: 1000,
+        max_cycles: 1000,
+        seed: 1,
+    };
+    let mut bad = false;
+    for exp in experiments {
+        if !EXPERIMENTS.contains(&exp) {
+            return Err(format!(
+                "unknown experiment '{exp}' (expected one of: {})",
+                EXPERIMENTS.join(" ")
+            ));
+        }
+        let jobs = plan_jobs(exp, spec)?;
+        let report = lint_jobs(&jobs);
+        if report.clean() {
+            println!(
+                "check-config {exp}: ok — {} job config(s){}",
+                report.points,
+                if report.symbolic {
+                    " proven on the interval hull"
+                } else {
+                    " (per-point)"
+                }
+            );
+        } else {
+            bad = true;
+            println!("check-config {exp}: FAIL");
+            print!("{}", report.render());
+        }
+    }
+    Ok(if bad { 1 } else { 0 })
+}
+
+fn cmd_fsm() -> i32 {
+    let cfg = RopConfig::paper_default();
+    let report = check_fsm(&build_rop_fsm(&cfg));
+    print!("{}", report.render());
+    if report.ok() {
+        println!("fsm: ok — every mandated state reachable, no dead states, no livelocks");
+        0
+    } else {
+        println!("fsm: FAIL");
+        1
+    }
+}
+
+fn cmd_src(args: &[String]) -> Result<i32, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                root = PathBuf::from(args.get(i).ok_or("--root needs a value")?);
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = Some(PathBuf::from(
+                    args.get(i).ok_or("--baseline needs a value")?,
+                ));
+            }
+            "--update-baseline" => update = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("rop-lint.baseline"));
+
+    let findings =
+        scan_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    if update {
+        let text = render_baseline(&to_baseline(&findings));
+        std::fs::write(&baseline_path, text)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "src: baseline rewritten with {} finding(s) at {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return Ok(0);
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => parse_baseline(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
+        Err(e) => return Err(format!("reading {}: {e}", baseline_path.display())),
+    };
+    let report = compare(&findings, &baseline);
+    for (rule, path, accepted, current) in &report.regressions {
+        println!("src: NEW [{rule}] {path}: {current} finding(s), baseline allows {accepted}");
+        for f in findings
+            .iter()
+            .filter(|f| f.rule == rule && &f.path == path)
+        {
+            println!("  {f}");
+        }
+    }
+    for (rule, path, accepted, current) in &report.improvements {
+        println!(
+            "src: improved [{rule}] {path}: {current} < baseline {accepted} \
+             (ratchet down with --update-baseline)"
+        );
+    }
+    if report.ok() {
+        println!("src: ok — {} finding(s), none above baseline", report.total);
+        Ok(0)
+    } else {
+        println!("src: FAIL — findings above baseline");
+        Ok(1)
+    }
+}
+
+fn cmd_rules() {
+    for r in RULES {
+        println!("{:16} {}", r.id, r.summary);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("check-config") => cmd_check_config(&args[1..]),
+        Some("fsm") => Ok(cmd_fsm()),
+        Some("src") => cmd_src(&args[1..]),
+        Some("rules") => {
+            cmd_rules();
+            Ok(0)
+        }
+        Some("--help") | Some("-h") | Some("help") => {
+            println!("{USAGE}");
+            Ok(0)
+        }
+        _ => Err(USAGE.to_string()),
+    };
+    match code {
+        Ok(c) => std::process::exit(c),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! Pass 2 — the FSM model checker.
+//!
+//! Builds a finite, discretized model of the ROP engine's
+//! Training → Observing → Prefetching state machine (`rop_core::engine`)
+//! crossed with the profiler's observational quadrants and the hit-rate
+//! fallback buckets, then exhaustively checks it:
+//!
+//! * every paper-mandated state is reachable from the initial state
+//!   (all four §IV-B refresh categories during training, quiet and
+//!   active observing windows, all three hit-rate buckets, prefetching);
+//! * no reachable state is *dead* (without outgoing edges the engine
+//!   would wedge at the next refresh);
+//! * no *livelock*: from every reachable state the engine can still
+//!   reach Prefetching (the mechanism can engage) and Training (the
+//!   §IV-C fallback can retrain);
+//! * the hit-rate fallback edge to Training exists *directly* from
+//!   every reachable Observing state whose bucket is degraded.
+//!
+//! The model abstracts workload and λ/β randomness nondeterministically:
+//! an edge exists when *some* workload/probability outcome produces the
+//! transition under the given [`RopConfig`]. Structural impossibilities
+//! are config-driven — e.g. `ThrottleMode::Never` removes every
+//! `GateGo` edge, and a fallback threshold of 0 makes the degraded
+//! bucket unreachable; the checker reports both.
+
+use rop_core::config::ThrottleMode;
+use rop_core::RopConfig;
+
+/// The engine phase (mirrors `rop_core::RopPhase`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Pattern Profiler collecting (B, A) statistics.
+    Training,
+    /// λ/β known; throttle gating each refresh.
+    Observing,
+    /// A prefetch was issued for the imminent refresh (transient).
+    Prefetching,
+}
+
+/// Discretized request count in an observational window (`B` or `A`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Occ {
+    /// No requests in the window.
+    Zero,
+    /// At least one request in the window.
+    Pos,
+}
+
+/// Discretized state of the Observing hit-rate counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Bucket {
+    /// Fewer than `hit_rate_min_samples` lookups — fallback disarmed.
+    Insufficient,
+    /// Enough samples and hit rate at or above the threshold.
+    Healthy,
+    /// Enough samples and hit rate below the threshold — fallback fires.
+    Degraded,
+}
+
+/// One state of the discretized model.
+///
+/// The quadrant `(b, a)` is the classification of the most recent
+/// refresh's observational windows (before/during); `bucket` is the
+/// hit-rate counter standing after that refresh was accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct State {
+    /// Engine phase.
+    pub phase: Phase,
+    /// Window-before occupancy (`B`).
+    pub b: Occ,
+    /// Window-during occupancy (`A`, reads only).
+    pub a: Occ,
+    /// Hit-rate bucket.
+    pub bucket: Bucket,
+}
+
+impl std::fmt::Display for State {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let phase = match self.phase {
+            Phase::Training => "Training",
+            Phase::Observing => "Observing",
+            Phase::Prefetching => "Prefetching",
+        };
+        let occ = |o: Occ| match o {
+            Occ::Zero => "0",
+            Occ::Pos => "+",
+        };
+        let bucket = match self.bucket {
+            Bucket::Insufficient => "ins",
+            Bucket::Healthy => "ok",
+            Bucket::Degraded => "low",
+        };
+        write!(f, "{phase}/B{}/A{}/{bucket}", occ(self.b), occ(self.a))
+    }
+}
+
+/// What drove a transition (the lever mutation tests remove).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// One more training refresh recorded, training not yet complete.
+    TrainStep,
+    /// Training quota reached: λ/β finalized, counters reset, buffer on.
+    TrainDone,
+    /// Throttle said prefetch: enter the transient Prefetching phase.
+    GateGo,
+    /// Throttle said skip: the refresh runs unprefetched.
+    GateSkip,
+    /// The prefetched refresh completed; back to Observing.
+    Complete,
+    /// §IV-C hit-rate fallback: degraded bucket forces retraining.
+    Fallback,
+}
+
+/// One labeled transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Source state.
+    pub from: State,
+    /// What drove the transition.
+    pub kind: EdgeKind,
+    /// Destination state.
+    pub to: State,
+}
+
+/// The discretized model: full state space, edges, initial state.
+#[derive(Debug, Clone)]
+pub struct Fsm {
+    /// Every state of the space (reachable or not).
+    pub states: Vec<State>,
+    /// Every transition.
+    pub edges: Vec<Edge>,
+    /// Power-on state (`RopEngine::new` starts in Training).
+    pub init: State,
+}
+
+const QUADRANTS: [(Occ, Occ); 4] = [
+    (Occ::Zero, Occ::Zero),
+    (Occ::Zero, Occ::Pos),
+    (Occ::Pos, Occ::Zero),
+    (Occ::Pos, Occ::Pos),
+];
+
+/// Builds the discretized model for one ROP configuration.
+///
+/// The state space is the cross product pruned of structurally
+/// impossible combinations: training always carries a freshly reset
+/// counter (`Insufficient`), and a degraded verdict forces the fallback
+/// *before* the next gate decision, so `Prefetching × Degraded` does
+/// not exist.
+pub fn build_rop_fsm(cfg: &RopConfig) -> Fsm {
+    let mut states = Vec::new();
+    for (b, a) in QUADRANTS {
+        states.push(State {
+            phase: Phase::Training,
+            b,
+            a,
+            bucket: Bucket::Insufficient,
+        });
+    }
+    for bucket in [Bucket::Insufficient, Bucket::Healthy, Bucket::Degraded] {
+        for (b, a) in QUADRANTS {
+            states.push(State {
+                phase: Phase::Observing,
+                b,
+                a,
+                bucket,
+            });
+        }
+    }
+    for bucket in [Bucket::Insufficient, Bucket::Healthy] {
+        for (b, a) in QUADRANTS {
+            states.push(State {
+                phase: Phase::Prefetching,
+                b,
+                a,
+                bucket,
+            });
+        }
+    }
+
+    // Which bucket verdicts one refresh's accounting can produce next.
+    // The counter only accumulates between resets, so `Insufficient`
+    // is never re-entered; a threshold of 0 can never be undercut
+    // (ratio >= 0), and a threshold above 1 can never be met once
+    // enough samples exist (ratio <= 1).
+    let degraded_possible = cfg.hit_rate_threshold > 0.0;
+    let healthy_possible = cfg.hit_rate_threshold <= 1.0;
+    let bucket_next = |bucket: Bucket| -> Vec<Bucket> {
+        let mut out = Vec::new();
+        if bucket == Bucket::Insufficient && cfg.hit_rate_min_samples > 1 {
+            out.push(Bucket::Insufficient);
+        }
+        if healthy_possible {
+            out.push(Bucket::Healthy);
+        }
+        if degraded_possible {
+            out.push(Bucket::Degraded);
+        }
+        out
+    };
+
+    // Which gate outcomes the throttle can produce. Under `Adaptive`
+    // both are possible for some λ/β ∈ [0,1]; the fixed modes collapse
+    // the gate to one side (throttle.decide with (1,0) or (0,1)).
+    let (go_possible, skip_possible) = match cfg.throttle_mode {
+        ThrottleMode::Adaptive => (true, true),
+        ThrottleMode::Always => (true, false),
+        ThrottleMode::Never => (false, true),
+    };
+
+    let mut edges = Vec::new();
+    for &from in &states {
+        match from.phase {
+            Phase::Training => {
+                for (b, a) in QUADRANTS {
+                    // Quota not yet reached: record and keep training.
+                    if cfg.training_refreshes > 1 {
+                        edges.push(Edge {
+                            from,
+                            kind: EdgeKind::TrainStep,
+                            to: State {
+                                phase: Phase::Training,
+                                b,
+                                a,
+                                bucket: Bucket::Insufficient,
+                            },
+                        });
+                    }
+                    // Quota reached: counters reset, buffer powers on.
+                    edges.push(Edge {
+                        from,
+                        kind: EdgeKind::TrainDone,
+                        to: State {
+                            phase: Phase::Observing,
+                            b,
+                            a,
+                            bucket: if cfg.hit_rate_min_samples > 0 {
+                                Bucket::Insufficient
+                            } else if healthy_possible {
+                                Bucket::Healthy
+                            } else {
+                                Bucket::Degraded
+                            },
+                        },
+                    });
+                }
+            }
+            Phase::Observing if from.bucket == Bucket::Degraded => {
+                // `refresh_completed` moves a degraded engine straight
+                // to Training (profiler and counter reset) — the only
+                // exit from this state.
+                for (b, a) in QUADRANTS {
+                    edges.push(Edge {
+                        from,
+                        kind: EdgeKind::Fallback,
+                        to: State {
+                            phase: Phase::Training,
+                            b,
+                            a,
+                            bucket: Bucket::Insufficient,
+                        },
+                    });
+                }
+            }
+            Phase::Observing => {
+                for (b, a) in QUADRANTS {
+                    if go_possible {
+                        // Gate fires on the *next* window's B; the
+                        // counter is only accounted at completion, so
+                        // the bucket rides along unchanged.
+                        edges.push(Edge {
+                            from,
+                            kind: EdgeKind::GateGo,
+                            to: State {
+                                phase: Phase::Prefetching,
+                                b,
+                                a,
+                                bucket: from.bucket,
+                            },
+                        });
+                    }
+                    if skip_possible {
+                        // Skip: the refresh still runs and still
+                        // accounts SRAM lookups (reads during the
+                        // refresh miss the unfilled buffer).
+                        for bucket in bucket_next(from.bucket) {
+                            edges.push(Edge {
+                                from,
+                                kind: EdgeKind::GateSkip,
+                                to: State {
+                                    phase: Phase::Observing,
+                                    b,
+                                    a,
+                                    bucket,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+            Phase::Prefetching => {
+                // The refresh whose windows are (b, a) completes; the
+                // counter absorbs this refresh's hits and misses.
+                for bucket in bucket_next(from.bucket) {
+                    edges.push(Edge {
+                        from,
+                        kind: EdgeKind::Complete,
+                        to: State {
+                            phase: Phase::Observing,
+                            b: from.b,
+                            a: from.a,
+                            bucket,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    Fsm {
+        states,
+        edges,
+        // Power-on: Training, nothing observed yet.
+        init: State {
+            phase: Phase::Training,
+            b: Occ::Zero,
+            a: Occ::Zero,
+            bucket: Bucket::Insufficient,
+        },
+    }
+}
+
+impl Fsm {
+    /// Removes every edge of one kind (seeded-mutation support: the
+    /// tests drop `Fallback` or `GateGo` and assert the checker
+    /// notices).
+    pub fn remove_edges(&mut self, kind: EdgeKind) {
+        self.edges.retain(|e| e.kind != kind);
+    }
+
+    fn reachable(&self) -> Vec<State> {
+        let mut seen = vec![self.init];
+        let mut frontier = vec![self.init];
+        while let Some(s) = frontier.pop() {
+            for e in self.edges.iter().filter(|e| e.from == s) {
+                if !seen.contains(&e.to) {
+                    seen.push(e.to);
+                    frontier.push(e.to);
+                }
+            }
+        }
+        seen.sort();
+        seen
+    }
+
+    /// States from which `pred` is reachable (including states already
+    /// satisfying it) — a backward closure over the edge set.
+    fn can_reach(&self, pred: impl Fn(&State) -> bool) -> Vec<State> {
+        let mut set: Vec<State> = self.states.iter().copied().filter(|s| pred(s)).collect();
+        loop {
+            let mut grew = false;
+            for e in &self.edges {
+                if set.contains(&e.to) && !set.contains(&e.from) {
+                    set.push(e.from);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break set;
+            }
+        }
+    }
+}
+
+/// One paper-mandated state-space obligation.
+struct Mandate {
+    name: &'static str,
+    pred: fn(&State) -> bool,
+}
+
+/// The states the paper requires the engine to be able to visit.
+const MANDATES: &[Mandate] = &[
+    Mandate {
+        name: "training E1 (B>0, A>0)",
+        pred: |s| s.phase == Phase::Training && s.b == Occ::Pos && s.a == Occ::Pos,
+    },
+    Mandate {
+        name: "training B>0, A=0",
+        pred: |s| s.phase == Phase::Training && s.b == Occ::Pos && s.a == Occ::Zero,
+    },
+    Mandate {
+        name: "training B=0, A>0",
+        pred: |s| s.phase == Phase::Training && s.b == Occ::Zero && s.a == Occ::Pos,
+    },
+    Mandate {
+        name: "training E2 (B=0, A=0)",
+        pred: |s| s.phase == Phase::Training && s.b == Occ::Zero && s.a == Occ::Zero,
+    },
+    Mandate {
+        name: "observing, active window (B>0)",
+        pred: |s| s.phase == Phase::Observing && s.b == Occ::Pos,
+    },
+    Mandate {
+        name: "observing, quiet window (B=0)",
+        pred: |s| s.phase == Phase::Observing && s.b == Occ::Zero,
+    },
+    Mandate {
+        name: "observing, fallback disarmed (insufficient samples)",
+        pred: |s| s.phase == Phase::Observing && s.bucket == Bucket::Insufficient,
+    },
+    Mandate {
+        name: "observing, healthy hit rate",
+        pred: |s| s.phase == Phase::Observing && s.bucket == Bucket::Healthy,
+    },
+    Mandate {
+        name: "observing, degraded hit rate (below fallback threshold)",
+        pred: |s| s.phase == Phase::Observing && s.bucket == Bucket::Degraded,
+    },
+    Mandate {
+        name: "prefetching",
+        pred: |s| s.phase == Phase::Prefetching,
+    },
+];
+
+/// Everything the model checker found.
+#[derive(Debug, Clone)]
+pub struct FsmReport {
+    /// Size of the state space.
+    pub state_count: usize,
+    /// Number of transitions.
+    pub edge_count: usize,
+    /// States reachable from the initial state.
+    pub reachable_count: usize,
+    /// State-space states the engine can never visit.
+    pub unreachable: Vec<String>,
+    /// Paper-mandated obligations with no reachable witness.
+    pub unmet_mandates: Vec<String>,
+    /// Reachable states with no outgoing edge (the engine wedges).
+    pub dead: Vec<String>,
+    /// Reachable states from which Prefetching can never be reached.
+    pub livelock_no_prefetch: Vec<String>,
+    /// Reachable states from which Training can never be re-entered.
+    pub livelock_no_retrain: Vec<String>,
+    /// Reachable degraded Observing states with no direct Fallback edge
+    /// to Training.
+    pub missing_fallback: Vec<String>,
+}
+
+impl FsmReport {
+    /// True when the machine is well-formed.
+    pub fn ok(&self) -> bool {
+        self.unreachable.is_empty()
+            && self.unmet_mandates.is_empty()
+            && self.dead.is_empty()
+            && self.livelock_no_prefetch.is_empty()
+            && self.livelock_no_retrain.is_empty()
+            && self.missing_fallback.is_empty()
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "state space: {} states, {} edges, {} reachable\n",
+            self.state_count, self.edge_count, self.reachable_count
+        );
+        let mut section = |title: &str, items: &[String]| {
+            if !items.is_empty() {
+                out.push_str(&format!("{title}:\n"));
+                for i in items {
+                    out.push_str(&format!("  {i}\n"));
+                }
+            }
+        };
+        section("unreachable states", &self.unreachable);
+        section("unmet paper mandates", &self.unmet_mandates);
+        section("dead states (no outgoing edge)", &self.dead);
+        section(
+            "livelock: prefetching unreachable from",
+            &self.livelock_no_prefetch,
+        );
+        section(
+            "livelock: retraining unreachable from",
+            &self.livelock_no_retrain,
+        );
+        section(
+            "degraded observing states without a fallback edge",
+            &self.missing_fallback,
+        );
+        out
+    }
+}
+
+/// Exhaustively checks a model. Worst case is 24 states and a few
+/// hundred edges, so every check is a plain fixpoint/scan.
+pub fn check_fsm(fsm: &Fsm) -> FsmReport {
+    let reachable = fsm.reachable();
+    let is_reachable = |s: &State| reachable.contains(s);
+
+    let unreachable: Vec<String> = fsm
+        .states
+        .iter()
+        .filter(|s| !is_reachable(s))
+        .map(|s| s.to_string())
+        .collect();
+
+    let unmet_mandates: Vec<String> = MANDATES
+        .iter()
+        .filter(|m| !reachable.iter().any(|s| (m.pred)(s)))
+        .map(|m| m.name.to_string())
+        .collect();
+
+    let dead: Vec<String> = reachable
+        .iter()
+        .filter(|s| !fsm.edges.iter().any(|e| e.from == **s))
+        .map(|s| s.to_string())
+        .collect();
+
+    let to_prefetch = fsm.can_reach(|s| s.phase == Phase::Prefetching);
+    let livelock_no_prefetch: Vec<String> = reachable
+        .iter()
+        .filter(|s| !to_prefetch.contains(s))
+        .map(|s| s.to_string())
+        .collect();
+
+    let to_training = fsm.can_reach(|s| s.phase == Phase::Training);
+    let livelock_no_retrain: Vec<String> = reachable
+        .iter()
+        .filter(|s| !to_training.contains(s))
+        .map(|s| s.to_string())
+        .collect();
+
+    let missing_fallback: Vec<String> = reachable
+        .iter()
+        .filter(|s| s.phase == Phase::Observing && s.bucket == Bucket::Degraded)
+        .filter(|s| {
+            !fsm.edges.iter().any(|e| {
+                e.from == **s && e.kind == EdgeKind::Fallback && e.to.phase == Phase::Training
+            })
+        })
+        .map(|s| s.to_string())
+        .collect();
+
+    FsmReport {
+        state_count: fsm.states.len(),
+        edge_count: fsm.edges.len(),
+        reachable_count: reachable.len(),
+        unreachable,
+        unmet_mandates,
+        dead,
+        livelock_no_prefetch,
+        livelock_no_retrain,
+        missing_fallback,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_cfg() -> RopConfig {
+        RopConfig::paper_default()
+    }
+
+    #[test]
+    fn default_machine_is_well_formed() {
+        let fsm = build_rop_fsm(&default_cfg());
+        let report = check_fsm(&fsm);
+        assert!(report.ok(), "{}", report.render());
+        assert_eq!(report.state_count, 24);
+        assert_eq!(report.reachable_count, 24);
+    }
+
+    #[test]
+    fn removed_fallback_edge_is_caught() {
+        let mut fsm = build_rop_fsm(&default_cfg());
+        fsm.remove_edges(EdgeKind::Fallback);
+        let report = check_fsm(&fsm);
+        assert!(!report.ok());
+        // Degraded observing states lose their only exit: dead, and
+        // every one of them misses the mandated fallback edge.
+        assert_eq!(report.missing_fallback.len(), 4);
+        assert_eq!(report.dead.len(), 4);
+        assert!(report
+            .dead
+            .iter()
+            .all(|s| s.contains("Observing") && s.contains("low")));
+    }
+
+    #[test]
+    fn removed_gate_go_kills_prefetching() {
+        let mut fsm = build_rop_fsm(&default_cfg());
+        fsm.remove_edges(EdgeKind::GateGo);
+        let report = check_fsm(&fsm);
+        assert!(!report.ok());
+        assert!(report.unmet_mandates.iter().any(|m| m == "prefetching"));
+        // With the gate gone no state can ever reach Prefetching.
+        assert!(!report.livelock_no_prefetch.is_empty());
+    }
+
+    #[test]
+    fn zero_threshold_disarms_fallback_and_is_reported() {
+        let mut cfg = default_cfg();
+        cfg.hit_rate_threshold = 0.0;
+        let report = check_fsm(&build_rop_fsm(&cfg));
+        assert!(!report.ok());
+        assert!(report.unmet_mandates.iter().any(|m| m.contains("degraded")));
+    }
+
+    #[test]
+    fn never_throttle_mode_cannot_prefetch() {
+        let mut cfg = default_cfg();
+        cfg.throttle_mode = ThrottleMode::Never;
+        let report = check_fsm(&build_rop_fsm(&cfg));
+        assert!(report.unmet_mandates.iter().any(|m| m == "prefetching"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Closed-interval arithmetic over `f64`, with three-valued comparison.
+//!
+//! The config constraint checker evaluates every rule over *intervals*
+//! rather than points so an entire sweep grid can be vetted in one pass:
+//! each config field is widened to the hull of its values across the
+//! grid, and a rule that holds over the whole box provably holds at
+//! every grid point. Only rules the box cannot decide fall back to
+//! per-point evaluation.
+//!
+//! Comparisons are three-valued ([`Tri`]): `True` (holds for every
+//! point of the box), `False` (fails for every point), `Unknown` (the
+//! box straddles the boundary — some corner may violate).
+
+/// Three-valued truth for interval predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    /// The predicate holds at every point of the interval box.
+    True,
+    /// The predicate fails at every point of the interval box.
+    False,
+    /// The box straddles the boundary; point-wise evaluation decides.
+    Unknown,
+}
+
+impl Tri {
+    /// Logical AND over three-valued truth (`False` dominates).
+    pub fn and(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::False, _) | (_, Tri::False) => Tri::False,
+            (Tri::True, Tri::True) => Tri::True,
+            _ => Tri::Unknown,
+        }
+    }
+
+    /// True exactly when the predicate definitely holds.
+    pub fn is_true(self) -> bool {
+        self == Tri::True
+    }
+}
+
+/// A closed interval `[lo, hi]` on the real line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Iv {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl Iv {
+    /// The degenerate interval `[x, x]`.
+    pub fn point(x: f64) -> Iv {
+        Iv { lo: x, hi: x }
+    }
+
+    /// The interval hull (smallest interval containing both).
+    pub fn hull(self, other: Iv) -> Iv {
+        Iv {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The single point of a degenerate interval, if it is one.
+    pub fn as_point(self) -> Option<f64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Scales by a non-negative constant.
+    pub fn scale(self, k: f64) -> Iv {
+        self * Iv::point(k)
+    }
+
+    /// `self < other`, three-valued.
+    pub fn lt(self, other: Iv) -> Tri {
+        if self.hi < other.lo {
+            Tri::True
+        } else if self.lo >= other.hi {
+            Tri::False
+        } else {
+            Tri::Unknown
+        }
+    }
+
+    /// `self <= other`, three-valued.
+    pub fn le(self, other: Iv) -> Tri {
+        if self.hi <= other.lo {
+            Tri::True
+        } else if self.lo > other.hi {
+            Tri::False
+        } else {
+            Tri::Unknown
+        }
+    }
+
+    /// `self >= other`, three-valued.
+    pub fn ge(self, other: Iv) -> Tri {
+        other.le(self)
+    }
+
+    /// `self > other`, three-valued.
+    pub fn gt(self, other: Iv) -> Tri {
+        other.lt(self)
+    }
+
+    /// Containment in `[lo, hi]`, three-valued.
+    pub fn within(self, lo: f64, hi: f64) -> Tri {
+        if self.lo >= lo && self.hi <= hi {
+            Tri::True
+        } else if self.hi < lo || self.lo > hi {
+            Tri::False
+        } else {
+            Tri::Unknown
+        }
+    }
+}
+
+impl std::ops::Add for Iv {
+    type Output = Iv;
+
+    /// Interval sum (exact under the hull semantics used here).
+    fn add(self, other: Iv) -> Iv {
+        Iv {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+}
+
+impl std::ops::Mul for Iv {
+    type Output = Iv;
+
+    /// Interval product, both operands assumed non-negative (true for
+    /// every config quantity the checker handles).
+    fn mul(self, other: Iv) -> Iv {
+        debug_assert!(self.lo >= 0.0 && other.lo >= 0.0);
+        Iv {
+            lo: self.lo * other.lo,
+            hi: self.hi * other.hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_comparisons_are_decisive() {
+        let a = Iv::point(3.0);
+        let b = Iv::point(5.0);
+        assert_eq!(a.lt(b), Tri::True);
+        assert_eq!(b.lt(a), Tri::False);
+        assert_eq!(a.le(Iv::point(3.0)), Tri::True);
+        assert_eq!(a.lt(Iv::point(3.0)), Tri::False);
+    }
+
+    #[test]
+    fn straddling_boxes_are_unknown() {
+        let a = Iv { lo: 1.0, hi: 10.0 };
+        let b = Iv { lo: 5.0, hi: 6.0 };
+        assert_eq!(a.lt(b), Tri::Unknown);
+        assert_eq!(a.within(0.0, 5.0), Tri::Unknown);
+        assert_eq!(a.within(0.0, 100.0), Tri::True);
+        assert_eq!(a.within(20.0, 30.0), Tri::False);
+    }
+
+    #[test]
+    fn hull_and_arithmetic() {
+        let h = Iv::point(2.0).hull(Iv::point(8.0));
+        assert_eq!(h, Iv { lo: 2.0, hi: 8.0 });
+        assert_eq!(h.as_point(), None);
+        assert_eq!(Iv::point(4.0).as_point(), Some(4.0));
+        assert_eq!(h + Iv::point(1.0), Iv { lo: 3.0, hi: 9.0 });
+        assert_eq!(h.scale(2.0), Iv { lo: 4.0, hi: 16.0 });
+    }
+
+    #[test]
+    fn tri_and_table() {
+        assert_eq!(Tri::True.and(Tri::True), Tri::True);
+        assert_eq!(Tri::True.and(Tri::Unknown), Tri::Unknown);
+        assert_eq!(Tri::Unknown.and(Tri::False), Tri::False);
+    }
+}

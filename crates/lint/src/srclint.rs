@@ -1,0 +1,790 @@
+//! Pass 3 — the determinism & robustness source lint.
+//!
+//! A self-contained (no external deps, per the vendored-stub policy)
+//! token-level scanner over the workspace's library `.rs` files. It
+//! lexes each file — skipping comments, strings, char literals and
+//! lifetimes — and flags:
+//!
+//! * `no-unwrap` — `.unwrap()` in library code (panic paths belong in
+//!   bins and tests, not in code the sweep harness calls);
+//! * `no-panic` — `panic!` in library code;
+//! * `wallclock` — `Instant::now` / `SystemTime` inside *deterministic*
+//!   crates, where any wall-clock read breaks bit-exact resume;
+//! * `float-eq` — `==` / `!=` against a float literal (metrics must be
+//!   compared with tolerances);
+//! * `hash-order` — iterating a `HashMap`/`HashSet` binding declared in
+//!   the same file (iteration order is randomized per process, which
+//!   breaks byte-stable exports);
+//! * `forbid-unsafe` — every crate root must carry
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Escapes and ratcheting:
+//!
+//! * an inline `// rop-lint: allow(<rule>)` comment suppresses the rule
+//!   on its own line, or on the next line when the comment stands alone;
+//! * a checked-in baseline file records accepted debt as
+//!   `(rule, path, count)` triples; the gate fails only on findings
+//!   *above* the baseline count, so debt can shrink but never grow.
+//!
+//! Scope: `src/` trees of workspace crates, excluding `bin/`, `tests/`,
+//! `benches/`, `examples/`, `vendor/`, `target/`, and everything at or
+//! after a `#[cfg(test)]` attribute (test modules sit at the end of
+//! files in this codebase).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose simulation results must be bit-exact: wall-clock reads
+/// are forbidden anywhere inside them.
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "cache", "core", "cpu", "dram", "events", "memctrl", "sim", "stats", "trace",
+];
+
+/// All source-lint rule identifiers (for `allow(...)` validation).
+pub const SRC_RULES: &[&str] = &[
+    "no-unwrap",
+    "no-panic",
+    "wallclock",
+    "float-eq",
+    "hash-order",
+    "forbid-unsafe",
+];
+
+/// One source-lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Path relative to the workspace root (always `/`-separated).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Short description of what was seen.
+    pub what: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.what
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokKind {
+    Ident,
+    Int,
+    Float,
+    Punct,
+}
+
+#[derive(Debug, Clone)]
+struct Tok {
+    kind: TokKind,
+    text: String,
+    line: usize,
+}
+
+impl Tok {
+    fn is(&self, kind: TokKind, text: &str) -> bool {
+        self.kind == kind && self.text == text
+    }
+}
+
+/// Lexes Rust source into identifier/number/punct tokens, discarding
+/// comments, string and char literals, and lifetimes. Good enough for
+/// pattern matching; not a full Rust lexer.
+fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            // Nested block comments.
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            i += 1;
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                } else if b[i] == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        } else if c == 'r' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') {
+            // Raw string r"..." / r#"..."# / r##"..."## ...
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                j += 1;
+                'raw: while j < n {
+                    if b[j] == '\n' {
+                        line += 1;
+                    }
+                    if b[j] == '"' {
+                        let mut k = 0;
+                        while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+            } else {
+                // `r` was just an identifier start (e.g. `r#keyword`
+                // without a quote never reaches here with j at quote).
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+        } else if c == '\'' {
+            // Lifetime or char literal.
+            if i + 2 < n && b[i + 1] != '\\' && b[i + 2] != '\'' {
+                // Lifetime: consume the quote and let the identifier
+                // lexing pick up the name (it is discarded as a normal
+                // ident; harmless).
+                i += 1;
+            } else {
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' {
+                        i += 2;
+                    } else if b[i] == '\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        } else if c.is_ascii_digit() {
+            let start = i;
+            let mut float = false;
+            if c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'o' | 'b') {
+                i += 2;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+                // A `.` starts a fraction only when followed by a digit
+                // (so `1..x` and `1.max(2)` stay integers).
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    float = true;
+                    i += 1;
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                if i < n && (b[i] == 'e' || b[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (b[j] == '+' || b[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && b[j].is_ascii_digit() {
+                        float = true;
+                        i = j;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Type suffix (f64 makes it a float even without a dot).
+                let sfx = i;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let suffix: String = b[sfx..i].iter().collect();
+                if suffix.starts_with('f') {
+                    float = true;
+                }
+            }
+            toks.push(Tok {
+                kind: if float { TokKind::Float } else { TokKind::Int },
+                text: b[start..i].iter().collect(),
+                line,
+            });
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+        } else {
+            // Two-char operators worth keeping whole.
+            let two: String = b[i..(i + 2).min(n)].iter().collect();
+            if two == "==" || two == "!=" || two == "::" {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: two,
+                    line,
+                });
+                i += 2;
+            } else {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+// ---------------------------------------------------------------------
+// Per-file scan
+// ---------------------------------------------------------------------
+
+/// Parses `// rop-lint: allow(rule-a, rule-b)` markers. A marker on a
+/// code line covers that line; a marker on a standalone comment line
+/// covers the following line.
+fn allow_map(src: &str) -> BTreeMap<usize, Vec<String>> {
+    let mut map: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let Some(pos) = raw.find("rop-lint: allow(") else {
+            continue;
+        };
+        let rest = &raw[pos + "rop-lint: allow(".len()..];
+        let Some(end) = rest.find(')') else { continue };
+        let rules: Vec<String> = rest[..end]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let target = if raw.trim_start().starts_with("//") {
+            lineno + 1
+        } else {
+            lineno
+        };
+        map.entry(target).or_default().extend(rules);
+    }
+    map
+}
+
+/// Line of the first `#[cfg(test)]` attribute, if any — everything at
+/// or after it is treated as test code and skipped.
+fn test_cutoff(src: &str) -> Option<usize> {
+    src.lines()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .map(|idx| idx + 1)
+}
+
+struct FileCtx<'a> {
+    path: String,
+    allows: BTreeMap<usize, Vec<String>>,
+    cutoff: Option<usize>,
+    findings: &'a mut Vec<Finding>,
+}
+
+impl FileCtx<'_> {
+    fn emit(&mut self, rule: &'static str, line: usize, what: String) {
+        if let Some(cut) = self.cutoff {
+            if line >= cut {
+                return;
+            }
+        }
+        if self
+            .allows
+            .get(&line)
+            .is_some_and(|rs| rs.iter().any(|r| r == rule))
+        {
+            return;
+        }
+        self.findings.push(Finding {
+            rule,
+            path: self.path.clone(),
+            line,
+            what,
+        });
+    }
+}
+
+/// Scans one library source file.
+fn scan_file(path: &str, src: &str, crate_name: &str, is_crate_root: bool, out: &mut Vec<Finding>) {
+    let mut ctx = FileCtx {
+        path: path.to_string(),
+        allows: allow_map(src),
+        cutoff: test_cutoff(src),
+        findings: out,
+    };
+    let toks = lex(src);
+    let deterministic = DETERMINISTIC_CRATES.contains(&crate_name);
+
+    // Bindings/fields declared as HashMap/HashSet in this file
+    // (`name: HashMap<..>` or `name = HashMap::new()` shapes).
+    let mut hash_names: Vec<&str> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && (toks[i].text == "HashMap" || toks[i].text == "HashSet")
+            && i >= 2
+            && (toks[i - 1].is(TokKind::Punct, ":") || toks[i - 1].is(TokKind::Punct, "="))
+            && toks[i - 2].kind == TokKind::Ident
+        {
+            hash_names.push(&toks[i - 2].text);
+        }
+    }
+
+    const ITER_METHODS: &[&str] = &[
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "into_iter",
+        "into_keys",
+        "into_values",
+        "drain",
+    ];
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // .unwrap()
+        if t.is(TokKind::Punct, ".")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.is(TokKind::Ident, "unwrap"))
+            && toks.get(i + 2).is_some_and(|t| t.is(TokKind::Punct, "("))
+            && toks.get(i + 3).is_some_and(|t| t.is(TokKind::Punct, ")"))
+        {
+            ctx.emit(
+                "no-unwrap",
+                toks[i + 1].line,
+                ".unwrap() in library code".to_string(),
+            );
+        }
+        // panic!(...)
+        if t.is(TokKind::Ident, "panic")
+            && toks.get(i + 1).is_some_and(|t| t.is(TokKind::Punct, "!"))
+        {
+            ctx.emit("no-panic", t.line, "panic! in library code".to_string());
+        }
+        // Wall-clock reads in deterministic crates.
+        if deterministic {
+            if t.is(TokKind::Ident, "Instant")
+                && toks.get(i + 1).is_some_and(|t| t.is(TokKind::Punct, "::"))
+                && toks.get(i + 2).is_some_and(|t| t.is(TokKind::Ident, "now"))
+            {
+                ctx.emit(
+                    "wallclock",
+                    t.line,
+                    "Instant::now in a deterministic crate".to_string(),
+                );
+            }
+            if t.is(TokKind::Ident, "SystemTime") {
+                ctx.emit(
+                    "wallclock",
+                    t.line,
+                    "SystemTime in a deterministic crate".to_string(),
+                );
+            }
+        }
+        // Float literal compared for exact equality.
+        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+            let float_neighbor = (i > 0 && toks[i - 1].kind == TokKind::Float)
+                || toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Float);
+            if float_neighbor {
+                ctx.emit(
+                    "float-eq",
+                    t.line,
+                    format!("`{}` against a float literal", t.text),
+                );
+            }
+        }
+        // HashMap/HashSet iteration.
+        if t.kind == TokKind::Ident && hash_names.contains(&t.text.as_str()) {
+            if toks.get(i + 1).is_some_and(|n| n.is(TokKind::Punct, "."))
+                && toks.get(i + 2).is_some_and(|n| {
+                    n.kind == TokKind::Ident && ITER_METHODS.contains(&n.text.as_str())
+                })
+            {
+                ctx.emit(
+                    "hash-order",
+                    t.line,
+                    format!("iteration over hash collection `{}`", t.text),
+                );
+            }
+            if i >= 1
+                && (toks[i - 1].is(TokKind::Ident, "in")
+                    || (toks[i - 1].is(TokKind::Punct, "&")
+                        && i >= 2
+                        && toks[i - 2].is(TokKind::Ident, "in")))
+                && toks.get(i + 1).is_some_and(|n| n.is(TokKind::Punct, "{"))
+            {
+                ctx.emit(
+                    "hash-order",
+                    t.line,
+                    format!("for-loop over hash collection `{}`", t.text),
+                );
+            }
+        }
+    }
+
+    if is_crate_root && !src.contains("#![forbid(unsafe_code)]") {
+        ctx.emit(
+            "forbid-unsafe",
+            1,
+            "crate root missing #![forbid(unsafe_code)]".to_string(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workspace walk
+// ---------------------------------------------------------------------
+
+fn is_library_source(rel: &str) -> bool {
+    let skip_dirs = ["/bin/", "/tests/", "/benches/", "/examples/"];
+    if skip_dirs.iter().any(|d| rel.contains(d)) {
+        return false;
+    }
+    !(rel.ends_with("/main.rs") || rel.ends_with("/build.rs"))
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole workspace rooted at `root`: `crates/*/src` plus the
+/// façade crate's `src/`. Findings come back sorted by (path, line,
+/// rule) so output and baselines are byte-stable.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut roots: Vec<(String, PathBuf)> = Vec::new(); // (crate name, src dir)
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for m in members {
+            let src = m.join("src");
+            if src.is_dir() {
+                let name = m
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                roots.push((name, src));
+            }
+        }
+    }
+    if root.join("src").is_dir() {
+        roots.push(("rop-sim".to_string(), root.join("src")));
+    }
+
+    for (crate_name, src_dir) in roots {
+        let mut files = Vec::new();
+        walk(&src_dir, &mut files)?;
+        for file in files {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if !is_library_source(&rel) {
+                continue;
+            }
+            let src = fs::read_to_string(&file)?;
+            let is_crate_root = rel.ends_with("/src/lib.rs") || rel == "src/lib.rs";
+            scan_file(&rel, &src, &crate_name, is_crate_root, &mut findings);
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(findings)
+}
+
+// ---------------------------------------------------------------------
+// Baseline (ratchet)
+// ---------------------------------------------------------------------
+
+/// Accepted-debt counts keyed by (rule, path).
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Aggregates findings into baseline counts.
+pub fn to_baseline(findings: &[Finding]) -> Baseline {
+    let mut b = Baseline::new();
+    for f in findings {
+        *b.entry((f.rule.to_string(), f.path.clone())).or_insert(0) += 1;
+    }
+    b
+}
+
+/// Serializes a baseline (sorted, tab-separated, one entry per line).
+pub fn render_baseline(b: &Baseline) -> String {
+    let mut out = String::from(
+        "# rop-lint source-lint baseline: accepted debt as `rule<TAB>path<TAB>count`.\n\
+         # Regenerate with `rop-lint src --update-baseline`; counts may only shrink.\n",
+    );
+    for ((rule, path), count) in b {
+        let _ = writeln!(out, "{rule}\t{path}\t{count}");
+    }
+    out
+}
+
+/// Parses a baseline file; unknown lines are rejected.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let mut b = Baseline::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected rule\\tpath\\tcount",
+                idx + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count {count:?}", idx + 1))?;
+        b.insert((rule.to_string(), path.to_string()), count);
+    }
+    Ok(b)
+}
+
+/// Gate verdict: findings above baseline fail; shrunk entries are
+/// surfaced so the baseline can be ratcheted down.
+#[derive(Debug, Clone)]
+pub struct SrcReport {
+    /// Findings in excess of the baseline, grouped per (rule, path).
+    pub regressions: Vec<(String, String, usize, usize)>, // rule, path, baseline, current
+    /// Entries where debt shrank (baseline should be regenerated).
+    pub improvements: Vec<(String, String, usize, usize)>,
+    /// Total current findings.
+    pub total: usize,
+}
+
+impl SrcReport {
+    /// True when nothing exceeds the baseline.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares current findings against the accepted baseline.
+pub fn compare(findings: &[Finding], baseline: &Baseline) -> SrcReport {
+    let current = to_baseline(findings);
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    for ((rule, path), &count) in &current {
+        let accepted = baseline
+            .get(&(rule.clone(), path.clone()))
+            .copied()
+            .unwrap_or(0);
+        if count > accepted {
+            regressions.push((rule.clone(), path.clone(), accepted, count));
+        }
+    }
+    for ((rule, path), &accepted) in baseline {
+        let count = current
+            .get(&(rule.clone(), path.clone()))
+            .copied()
+            .unwrap_or(0);
+        if count < accepted {
+            improvements.push((rule.clone(), path.clone(), accepted, count));
+        }
+    }
+    SrcReport {
+        regressions,
+        improvements,
+        total: findings.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_str(src: &str, crate_name: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        scan_file("test.rs", src, crate_name, false, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_and_panic_outside_tests() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g() { panic!(\"boom\"); }\n";
+        let rules: Vec<&str> = scan_str(src, "harness").iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["no-unwrap", "no-panic"]);
+    }
+
+    #[test]
+    fn comments_strings_and_tests_are_invisible() {
+        let src = "\
+// x.unwrap() in a comment\n\
+const S: &str = \"panic!\"; // and a string\n\
+#[cfg(test)]\n\
+mod tests { fn t() { None::<u8>.unwrap(); panic!(); } }\n";
+        assert!(scan_str(src, "harness").is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_same_and_next_line() {
+        let inline = "fn f() { x.unwrap() } // rop-lint: allow(no-unwrap)\n";
+        assert!(scan_str(inline, "harness").is_empty());
+        let above = "// rop-lint: allow(no-panic)\nfn f() { panic!(); }\n";
+        assert!(scan_str(above, "harness").is_empty());
+        let wrong_rule = "fn f() { panic!(); } // rop-lint: allow(no-unwrap)\n";
+        assert_eq!(scan_str(wrong_rule, "harness").len(), 1);
+    }
+
+    #[test]
+    fn wallclock_only_in_deterministic_crates() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(scan_str(src, "sim").len(), 1);
+        assert!(scan_str(src, "harness").is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged_int_eq_not() {
+        let f = scan_str("fn f(x: f64) -> bool { x == 0.5 }\n", "stats");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "float-eq");
+        assert!(scan_str("fn f(x: u64) -> bool { x == 5 }\n", "stats").is_empty());
+        // Ranges must not lex as floats.
+        assert!(scan_str("fn f() { for _ in 0..10 {} }\n", "stats").is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_flagged_btree_not() {
+        let src = "\
+use std::collections::HashMap;\n\
+fn f() {\n\
+    let m: HashMap<u32, u32> = HashMap::new();\n\
+    for (k, v) in m.iter() { let _ = (k, v); }\n\
+}\n";
+        let f = scan_str(src, "harness");
+        assert!(f.iter().any(|f| f.rule == "hash-order"), "{f:?}");
+        let src_btree = src.replace("HashMap", "BTreeMap");
+        assert!(scan_str(&src_btree, "harness").is_empty());
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_ratchet() {
+        let findings = vec![
+            Finding {
+                rule: "no-unwrap",
+                path: "a.rs".into(),
+                line: 3,
+                what: String::new(),
+            },
+            Finding {
+                rule: "no-unwrap",
+                path: "a.rs".into(),
+                line: 9,
+                what: String::new(),
+            },
+        ];
+        let base = to_baseline(&findings);
+        let parsed = parse_baseline(&render_baseline(&base)).expect("roundtrip");
+        assert_eq!(parsed, base);
+
+        // Same debt: clean.
+        assert!(compare(&findings, &base).ok());
+        // More debt: regression.
+        let mut worse = findings.clone();
+        worse.push(Finding {
+            rule: "no-unwrap",
+            path: "a.rs".into(),
+            line: 20,
+            what: String::new(),
+        });
+        let r = compare(&worse, &base);
+        assert!(!r.ok());
+        assert_eq!(r.regressions[0].3, 3);
+        // Less debt: improvement, still clean.
+        let better = &findings[..1];
+        let r = compare(better, &base);
+        assert!(r.ok());
+        assert_eq!(r.improvements.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_lex_cleanly() {
+        let src = "fn f<'a>(s: &'a str) -> &'a str { let _r = r#\"panic!()\"#; s }\n";
+        assert!(scan_str(src, "harness").is_empty());
+    }
+}

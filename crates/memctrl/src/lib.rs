@@ -23,6 +23,8 @@
 //! [`analysis::RefreshAnalysis`] per rank that classifies every refresh
 //! by its before/after window activity at 1×/2×/4× window lengths.
 
+#![forbid(unsafe_code)]
+
 pub mod address;
 pub mod analysis;
 pub mod config;

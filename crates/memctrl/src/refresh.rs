@@ -196,7 +196,9 @@ impl RefreshManager {
     pub fn refresh_issued(&mut self, rank: usize, _now: Cycle, until: Cycle) {
         let due = match self.state[rank] {
             RefreshState::Draining { due } => due,
-            other => panic!("refresh issued on rank {rank} in state {other:?}"),
+            // Controller bug, not a config error: the scheduler only
+            // issues REF from Draining.
+            other => panic!("refresh issued on rank {rank} in state {other:?}"), // rop-lint: allow(no-panic)
         };
         self.state[rank] = RefreshState::Refreshing { until };
         match self.policy {

@@ -9,6 +9,7 @@
 
 pub mod ablations;
 pub mod analysis_figs;
+pub mod driver;
 pub mod extensions;
 pub mod multicore;
 pub mod sensitivity;
@@ -19,6 +20,9 @@ pub use ablations::{
     ablate_throttle_with, ablate_window, ablate_window_with, AblationResult,
 };
 pub use analysis_figs::{run_analysis, AnalysisResult};
+pub use driver::{
+    job_id, plan_experiment, plan_jobs, render_experiment, PlanExecutor, EXPERIMENTS,
+};
 pub use extensions::{
     run_fgr_sweep, run_per_bank_study, run_policy_comparison, FgrSweep, PerBankStudy,
     PolicyComparison,

@@ -13,6 +13,8 @@
 //! (as the paper does with its 1-billion-instruction SPEC slices), so
 //! execution-time differences show up in both IPC and energy.
 
+#![forbid(unsafe_code)]
+
 pub mod audit;
 pub mod config;
 pub mod engine_stats;

@@ -193,7 +193,9 @@ impl SweepJob {
     pub fn run(&self) -> RunMetrics {
         with_panic_label(&self.label, || {
             if let Err(e) = self.config.validate() {
-                panic!("invalid config: {e}");
+                // Documented contract: run() panics with the job label so
+                // the pool can record a labeled failure.
+                panic!("invalid config: {e}"); // rop-lint: allow(no-panic)
             }
             let mut sys = System::new(self.config.clone());
             if self.audit {
@@ -273,7 +275,7 @@ impl SweepExecutor for LocalExecutor {
             |j| Some(j.label.clone()),
             |j| {
                 if let Err(e) = j.config.validate() {
-                    panic!("invalid config: {e}");
+                    panic!("invalid config: {e}"); // rop-lint: allow(no-panic)
                 }
                 let mut sys = System::new(j.config.clone());
                 if j.audit {

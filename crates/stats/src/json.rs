@@ -62,6 +62,8 @@ impl Json {
     /// The value as `u64`, if it is a non-negative integral number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            // Exact integral test is the point: 2.0 is an integer, 2.5 is not.
+            // rop-lint: allow(float-eq)
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
                 Some(*n as u64)
             }
@@ -106,6 +108,7 @@ impl Json {
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => {
                 if n.is_finite() {
+                    // rop-lint: allow(float-eq)
                     if n.fract() == 0.0 && n.abs() < 9.0e15 {
                         // Integral values print without ".0" so integer
                         // counters look like integers in the store.
@@ -362,7 +365,8 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("non-UTF-8 number at offset {start}"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("bad number '{text}' at offset {start}"))

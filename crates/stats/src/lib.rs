@@ -10,6 +10,8 @@
 //! need (geometric means for weighted-speedup summaries, normalisation
 //! helpers, an ASCII table renderer for the `repro` binary).
 
+#![forbid(unsafe_code)]
+
 pub mod counter;
 pub mod histogram;
 pub mod json;

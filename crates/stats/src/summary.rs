@@ -27,6 +27,7 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 /// Returns 0.0 when the baseline is zero, which only happens for
 /// degenerate zero-length runs.
 pub fn normalize_to(value: f64, baseline: f64) -> f64 {
+    // rop-lint: allow(float-eq)
     if baseline == 0.0 {
         0.0
     } else {
@@ -37,6 +38,7 @@ pub fn normalize_to(value: f64, baseline: f64) -> f64 {
 /// Percentage change of `value` relative to `baseline`, in percent.
 /// `percent_delta(103.3, 100.0) == 3.3`.
 pub fn percent_delta(value: f64, baseline: f64) -> f64 {
+    // rop-lint: allow(float-eq)
     if baseline == 0.0 {
         0.0
     } else {

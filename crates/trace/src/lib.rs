@@ -20,6 +20,8 @@
 //! (~20 ns/record), so experiments regenerate traffic on the fly instead
 //! of storing traces.
 
+#![forbid(unsafe_code)]
+
 pub mod pattern;
 pub mod record;
 pub mod replay;

@@ -80,7 +80,7 @@ impl SyntheticWorkload {
     pub fn new(params: WorkloadParams, seed: u64) -> Self {
         params
             .validate()
-            .unwrap_or_else(|e| panic!("invalid workload parameters for {}: {e}", params.name));
+            .unwrap_or_else(|e| panic!("invalid workload parameters for {}: {e}", params.name)); // rop-lint: allow(no-panic)
         let cursor = PatternCursor::new(params.pattern.clone(), params.region_lines);
         SyntheticWorkload {
             cursor,

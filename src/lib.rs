@@ -42,6 +42,8 @@
 //! See `examples/` for runnable scenarios and `crates/bench/src/bin/repro`
 //! for the per-figure reproduction driver.
 
+#![forbid(unsafe_code)]
+
 pub use rop_cache as cache;
 pub use rop_core as core;
 pub use rop_cpu as cpu;
