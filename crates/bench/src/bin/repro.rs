@@ -208,6 +208,10 @@ fn main() {
     }
     let store_exec = store_path.map(|p| {
         eprintln!("# results store: {p} (resumable)");
+        // Every finished job is fsync'd into the store as it completes,
+        // so Ctrl-C loses at most the jobs in flight: re-running the
+        // same command resumes from the last checkpoint.
+        eprintln!("# checkpoint: safe to interrupt — rerun to resume from {p}");
         StoreExecutor::new(Store::open(p))
             .with_pool(PoolConfig::default())
             .with_progress()

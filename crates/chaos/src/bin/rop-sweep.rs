@@ -1,0 +1,13 @@
+//! `rop-sweep` — persistent, resumable, fault-isolated sweep runner.
+//!
+//! The core commands (`run`, `resume`, `status`, `diff`, `export`) live
+//! in [`rop_harness::cli`]; this binary extends them with the `chaos`
+//! crash-consistency oracle from [`rop_chaos::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(rop_harness::cli::main_with(
+        &args,
+        &[rop_chaos::cli::extension()],
+    ));
+}

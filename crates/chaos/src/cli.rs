@@ -1,0 +1,204 @@
+//! The `rop-sweep chaos` subcommand.
+//!
+//! ```text
+//! rop-sweep chaos [flags]     crash-consistency oracle over a sweep
+//! flags: --seed S (default 1)       schedule seed
+//!        --faults K (default 8)     faults to inject (1..=32)
+//!        --experiment E             target experiment (default single)
+//!        --instr N --max-cycles N   per-job work quota
+//!        --workers N (default 2)    pool width for every round
+//!        --store PATH               chaos store (artifact on failure)
+//!        --stall-ms N (default 300) watchdog stall window
+//!        --keep                     keep stores + plan even on success
+//! ```
+//!
+//! Exit code 0 means the oracle verdict was "byte-identical"; 1 means
+//! the figures diverged (artifacts are kept); 2 means the oracle could
+//! not reach a verdict.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rop_harness::cli::Extension;
+
+use crate::oracle::{clean_artifacts, run_oracle, ChaosOptions};
+
+const CHAOS_USAGE: &str = "  chaos flags: --seed S --faults K --experiment E --instr N\n\
+     --max-cycles N --workers N --store PATH --stall-ms N --keep";
+
+/// The subcommand registration handed to [`rop_harness::cli::main_with`].
+pub fn extension() -> Extension {
+    Extension {
+        name: "chaos",
+        usage: CHAOS_USAGE,
+        run: run_command,
+    }
+}
+
+struct Parsed {
+    opt: ChaosOptions,
+    keep: bool,
+}
+
+fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut opt = ChaosOptions::new();
+    opt.spec = rop_sim_system::runner::RunSpec::from_env();
+    let mut keep = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: &mut usize| -> Result<&str, String> {
+            *i += 1;
+            args.get(*i)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let num = |flag: &str, s: &str| -> Result<u64, String> {
+            s.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("{flag}: '{s}' is not a number"))
+        };
+        match flag {
+            "--seed" => opt.seed = num(flag, value(&mut i)?)?,
+            "--faults" => {
+                let k = num(flag, value(&mut i)?)?;
+                if k == 0 || k > 32 {
+                    return Err(format!("{flag} must be in 1..=32 (got {k})"));
+                }
+                opt.faults = k as usize;
+            }
+            "--experiment" => opt.experiment = value(&mut i)?.to_string(),
+            "--instr" => opt.spec.instructions = num(flag, value(&mut i)?)?.max(1),
+            "--max-cycles" => opt.spec.max_cycles = num(flag, value(&mut i)?)?.max(1),
+            "--workers" => {
+                let w = num(flag, value(&mut i)?)?;
+                if w == 0 {
+                    return Err(format!("{flag} must be at least 1 (got 0)"));
+                }
+                opt.workers = w as usize;
+            }
+            "--store" => opt.store = PathBuf::from(value(&mut i)?),
+            "--stall-ms" => {
+                opt.stall = Duration::from_millis(num(flag, value(&mut i)?)?.max(1));
+            }
+            "--keep" => keep = true,
+            other => return Err(format!("unknown chaos flag {other}\n{CHAOS_USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(Parsed { opt, keep })
+}
+
+fn run_command(args: &[String]) -> Result<i32, String> {
+    let Parsed { opt, keep } = parse(args)?;
+    eprintln!(
+        "# rop-sweep chaos — seed {}, {} faults, experiment {}, {} instructions/job, {} workers",
+        opt.seed, opt.faults, opt.experiment, opt.spec.instructions, opt.workers
+    );
+
+    // The plan file is written up front so a wedged or killed oracle
+    // still leaves the schedule behind for replay.
+    let plan_path = opt.store.with_extension("plan.txt");
+    let plan = crate::plan::FaultPlan::generate(opt.seed, opt.faults);
+    std::fs::write(&plan_path, plan.render())
+        .map_err(|e| format!("cannot write {}: {e}", plan_path.display()))?;
+    eprint!("{}", plan.render());
+
+    let report = match run_oracle(&opt) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!(
+                "# oracle aborted: artifacts kept at {}",
+                opt.store.display()
+            );
+            return Err(e);
+        }
+    };
+
+    for event in &report.events {
+        eprintln!("#   {event}");
+    }
+    eprintln!(
+        "# {} round(s), {} watchdog cancellation(s)",
+        report.rounds, report.watchdog_cancellations
+    );
+    if report.identical {
+        println!(
+            "chaos oracle PASS: seed {}, {} faults — figures byte-identical to fault-free run",
+            opt.seed, opt.faults
+        );
+        if !keep {
+            clean_artifacts(&opt);
+            let _ = std::fs::remove_file(&plan_path);
+        }
+        Ok(0)
+    } else {
+        println!(
+            "chaos oracle FAIL: figures diverged — stores kept at {} (+.ref.jsonl), plan at {}",
+            opt.store.display(),
+            plan_path.display()
+        );
+        Ok(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_all_flags() {
+        let p = parse(&argv(&[
+            "--seed",
+            "9",
+            "--faults",
+            "5",
+            "--experiment",
+            "multi",
+            "--instr",
+            "2000",
+            "--max-cycles",
+            "99",
+            "--workers",
+            "3",
+            "--store",
+            "/tmp/c.jsonl",
+            "--stall-ms",
+            "150",
+            "--keep",
+        ]))
+        .unwrap();
+        assert_eq!(p.opt.seed, 9);
+        assert_eq!(p.opt.faults, 5);
+        assert_eq!(p.opt.experiment, "multi");
+        assert_eq!(p.opt.spec.instructions, 2000);
+        assert_eq!(p.opt.spec.max_cycles, 99);
+        assert_eq!(p.opt.workers, 3);
+        assert_eq!(p.opt.store, PathBuf::from("/tmp/c.jsonl"));
+        assert_eq!(p.opt.stall, Duration::from_millis(150));
+        assert!(p.keep);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(&argv(&["--faults", "0"])).is_err());
+        assert!(parse(&argv(&["--faults", "33"])).is_err());
+        assert!(parse(&argv(&["--workers", "0"])).is_err());
+        assert!(parse(&argv(&["--seed"])).is_err());
+        assert!(parse(&argv(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn oracle_rejects_an_experiment_too_small_for_the_schedule() {
+        let mut opt = ChaosOptions::new();
+        // ablate-drain has 12 jobs at any spec — fewer than the 2×8
+        // sites an 8-fault schedule draws from.
+        opt.experiment = "ablate-drain".to_string();
+        let err = run_oracle(&opt).unwrap_err();
+        assert!(err.contains("lower --faults"), "{err}");
+    }
+}

@@ -1,0 +1,174 @@
+//! The store-level injection seam.
+//!
+//! [`FaultyIo`] wraps [`RealIo`] behind the [`StoreIo`] trait: reads
+//! pass straight through, and every append consults the [`ArmedPlan`].
+//! A planned store fault then perturbs the write exactly the way a
+//! dying process or failing disk would — partial bytes, missing fsync,
+//! ENOSPC, duplicated line — while everything off-schedule behaves
+//! identically to production I/O.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+use rop_harness::{RealIo, StoreIo};
+
+use crate::plan::{ArmedPlan, FaultKind};
+
+/// A [`StoreIo`] that injects planned faults into appends.
+#[derive(Debug, Clone)]
+pub struct FaultyIo {
+    plan: Arc<ArmedPlan>,
+}
+
+impl FaultyIo {
+    /// Wraps real I/O with `plan`'s append faults.
+    pub fn new(plan: Arc<ArmedPlan>) -> FaultyIo {
+        FaultyIo { plan }
+    }
+}
+
+/// Appends raw bytes without a trailing newline and without going
+/// through [`RealIo`] — the torn/short-write primitives need to leave
+/// deliberately incomplete data behind.
+fn append_raw(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("create {parent:?}: {e}"))?;
+        }
+    }
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("open {path:?}: {e}"))?;
+    f.write_all(bytes)
+        .map_err(|e| format!("write {path:?}: {e}"))?;
+    f.sync_data().map_err(|e| format!("fsync {path:?}: {e}"))?;
+    Ok(())
+}
+
+impl StoreIo for FaultyIo {
+    fn read_file(&self, path: &Path) -> Result<Option<String>, String> {
+        RealIo.read_file(path)
+    }
+
+    fn append_line(&self, path: &Path, line: &str) -> Result<(), String> {
+        let Some(kind) = self.plan.take_append_fault() else {
+            return RealIo.append_line(path, line);
+        };
+        match kind {
+            FaultKind::TornWrite => {
+                // Half the bytes land, then the process "dies": the
+                // error aborts the round mid-append, leaving a torn
+                // line with no terminator for the next load to
+                // quarantine.
+                append_raw(path, &line.as_bytes()[..line.len() / 2])?;
+                Err("injected torn-write: process killed mid-append".to_string())
+            }
+            FaultKind::ShortWrite => {
+                // Silent corruption: the tail (including the newline)
+                // never lands but the caller is told all is well. Only
+                // a later load can notice.
+                let keep = line.len().saturating_sub(4);
+                append_raw(path, &line.as_bytes()[..keep])
+            }
+            FaultKind::FsyncError => {
+                // The data is actually durable; only the fsync report
+                // is a lie. The round must still abort — an unsynced
+                // record cannot be trusted.
+                RealIo.append_line(path, line)?;
+                Err("injected fsync-error: sync_data failed after write".to_string())
+            }
+            FaultKind::DiskFull => Err("injected disk-full: no space left on device".to_string()),
+            FaultKind::DuplicateLine => {
+                RealIo.append_line(path, line)?;
+                RealIo.append_line(path, line)
+            }
+            // Worker faults never land on append sites by construction
+            // ([`crate::plan::FaultPlan::generate`]); if a hand-written
+            // plan puts one here, pass the write through untouched.
+            FaultKind::WorkerPanic | FaultKind::HungJob | FaultKind::SlowJob => {
+                RealIo.append_line(path, line)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultPlan, Site};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rop-chaos-io-{name}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn armed(faults: Vec<(Site, FaultKind)>) -> Arc<ArmedPlan> {
+        ArmedPlan::new(&FaultPlan { seed: 0, faults })
+    }
+
+    #[test]
+    fn torn_write_leaves_half_a_line_and_reports_death() {
+        let path = tmp("torn");
+        let io = FaultyIo::new(armed(vec![(Site::Append(0), FaultKind::TornWrite)]));
+        let line = "{\"job\":\"abcd\"}\n";
+        let err = io.append_line(&path, line).unwrap_err();
+        assert!(err.contains("torn-write"), "{err}");
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, &line[..line.len() / 2]);
+        // The next append is off-schedule and behaves normally.
+        io.append_line(&path, line).unwrap();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert!(on_disk.ends_with('\n'));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn short_write_is_silent_but_corrupt() {
+        let path = tmp("short");
+        let io = FaultyIo::new(armed(vec![(Site::Append(0), FaultKind::ShortWrite)]));
+        let line = "{\"job\":\"abcd\",\"v\":1}\n";
+        io.append_line(&path, line).unwrap(); // reports success!
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, &line[..line.len() - 4]);
+        assert!(!on_disk.ends_with('\n'), "tail (and newline) dropped");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disk_full_writes_nothing() {
+        let path = tmp("enospc");
+        let io = FaultyIo::new(armed(vec![(Site::Append(0), FaultKind::DiskFull)]));
+        let err = io.append_line(&path, "{\"a\":1}\n").unwrap_err();
+        assert!(err.contains("disk-full"), "{err}");
+        assert!(!path.exists(), "no bytes may land");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsync_error_persists_data_but_fails() {
+        let path = tmp("fsync");
+        let io = FaultyIo::new(armed(vec![(Site::Append(0), FaultKind::FsyncError)]));
+        let line = "{\"a\":1}\n";
+        let err = io.append_line(&path, line).unwrap_err();
+        assert!(err.contains("fsync-error"), "{err}");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), line);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_line_lands_twice() {
+        let path = tmp("dup");
+        let io = FaultyIo::new(armed(vec![(Site::Append(0), FaultKind::DuplicateLine)]));
+        let line = "{\"a\":1}\n";
+        io.append_line(&path, line).unwrap();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, format!("{line}{line}"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,39 @@
+//! Deterministic fault injection for the ROP sweep pipeline.
+//!
+//! The harness claims it survives torn writes, worker crashes, and hung
+//! jobs; this crate *proves* it, on a schedule replayable from a seed:
+//!
+//! * [`plan`] — a [`plan::FaultPlan`]: `(site, kind)` pairs derived
+//!   deterministically from `(seed, count)`, where a site is the nth
+//!   store append or the nth job attempt since the plan was armed;
+//! * [`io`] — [`io::FaultyIo`], a [`rop_harness::StoreIo`] that injects
+//!   torn writes, short writes, fsync errors, disk-full, and duplicate
+//!   lines at planned append sites;
+//! * [`watchdog`] — a heartbeat monitor that cancels attempts whose
+//!   [`rop_sim_system::runner::CancelToken`] stops progressing (or
+//!   exceeds a cycle budget), plus [`watchdog::ChaosSupervisor`], the
+//!   [`rop_harness::Supervisor`] that registers every attempt with the
+//!   watchdog and injects worker panics / hangs / delays;
+//! * [`oracle`] — the crash-consistency oracle: run a sweep, kill and
+//!   corrupt it at every planned site, resume after each crash, and
+//!   assert the final figures are byte-identical to a fault-free run;
+//! * [`cli`] — the `rop-sweep chaos` subcommand (this crate also ships
+//!   the `rop-sweep` binary itself, extending [`rop_harness::cli`]).
+//!
+//! Every fault fires exactly once: sites are global monotone counters
+//! that keep counting across crash/resume rounds, so a schedule cannot
+//! re-kill the same append forever and the oracle provably terminates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod io;
+pub mod oracle;
+pub mod plan;
+pub mod watchdog;
+
+pub use io::FaultyIo;
+pub use oracle::{run_oracle, ChaosOptions, OracleReport};
+pub use plan::{ArmedPlan, FaultKind, FaultPlan, Site};
+pub use watchdog::{ChaosSupervisor, Watchdog, WatchdogConfig};

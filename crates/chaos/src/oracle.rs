@@ -1,0 +1,247 @@
+//! The crash-consistency oracle.
+//!
+//! Protocol (see DESIGN.md §13):
+//!
+//! 1. **Reference** — run the experiment fault-free into its own store;
+//!    keep the rendered figures.
+//! 2. **Crash loop** — arm the seeded [`FaultPlan`] and run the same
+//!    experiment against a second store through [`FaultyIo`] and a
+//!    [`ChaosSupervisor`]-equipped pool. A store fault that errors
+//!    aborts the round (the "process" died); the next round *resumes*
+//!    from whatever the store holds. Repeat until a round completes
+//!    cleanly with the whole schedule consumed (bounded by
+//!    `faults + 3` rounds — sites are consumed monotonically, so the
+//!    loop provably drains).
+//! 3. **Verify** — one final round with *clean* I/O. This is what
+//!    catches silent corruption (short writes): the load quarantines
+//!    corrupt lines, re-runs exactly those jobs, and re-renders.
+//! 4. **Compare** — the verify round's figures must be byte-identical
+//!    to the reference figures.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rop_harness::{PoolConfig, Store, StoreExecutor, Supervisor};
+use rop_sim_system::experiments::driver::{plan_jobs, render_experiment};
+use rop_sim_system::runner::{panic_message, RunSpec};
+
+use crate::io::FaultyIo;
+use crate::plan::{ArmedPlan, FaultPlan};
+use crate::watchdog::{ChaosSupervisor, Watchdog, WatchdogConfig};
+
+/// Everything a chaos run needs.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Schedule seed — `(seed, faults)` fully determines the plan.
+    pub seed: u64,
+    /// Number of faults to inject.
+    pub faults: usize,
+    /// Experiment name (see `rop-sweep --help`).
+    pub experiment: String,
+    /// Work quota per job.
+    pub spec: RunSpec,
+    /// Worker threads for every round.
+    pub workers: usize,
+    /// Path of the chaos store; the fault-free reference store lives
+    /// next to it with a `.ref.jsonl` suffix.
+    pub store: PathBuf,
+    /// Watchdog stall window for injected hangs.
+    pub stall: Duration,
+}
+
+impl ChaosOptions {
+    /// Defaults: seed 1, 8 faults, `single` under [`RunSpec::quick`],
+    /// 2 workers, store in the system temp dir.
+    pub fn new() -> ChaosOptions {
+        let mut store = std::env::temp_dir();
+        store.push(format!("rop-chaos-{}.jsonl", std::process::id()));
+        ChaosOptions {
+            seed: 1,
+            faults: 8,
+            experiment: "single".to_string(),
+            spec: RunSpec::quick(),
+            workers: 2,
+            store,
+            stall: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions::new()
+    }
+}
+
+/// What a chaos run produced.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// The schedule that ran.
+    pub plan: FaultPlan,
+    /// Crash-loop rounds used (1 = no round-killing fault fired).
+    pub rounds: usize,
+    /// Chronological event log: faults fired, crashes, watchdog
+    /// cancellations, round transitions.
+    pub events: Vec<String>,
+    /// Attempts the watchdog cancelled.
+    pub watchdog_cancellations: u64,
+    /// The headline verdict: verify-round figures byte-identical to the
+    /// fault-free reference.
+    pub identical: bool,
+    /// Figures from the fault-free reference run.
+    pub reference_figures: Vec<String>,
+    /// Figures from the final verify round over the faulted store.
+    pub final_figures: Vec<String>,
+}
+
+fn round_pool(opt: &ChaosOptions, supervisor: Option<Arc<dyn Supervisor>>) -> PoolConfig {
+    PoolConfig {
+        workers: opt.workers.max(1),
+        // Stacked worker faults on one job must never exhaust the
+        // budget: every injected panic/hang consumes one attempt, and
+        // there are at most `faults` of them in the whole run.
+        max_attempts: opt.faults as u32 + 2,
+        retry_backoff: Some(Duration::from_millis(2)),
+        supervisor,
+        ..PoolConfig::default()
+    }
+}
+
+/// Runs the full oracle protocol. `Err` means the oracle could not
+/// reach a verdict (bad experiment, reference failure, undrained
+/// schedule); a reached verdict — even "figures differ" — comes back
+/// as an [`OracleReport`] with [`OracleReport::identical`] set.
+pub fn run_oracle(opt: &ChaosOptions) -> Result<OracleReport, String> {
+    let jobs = plan_jobs(&opt.experiment, opt.spec)?;
+    if jobs.len() < 2 * opt.faults {
+        return Err(format!(
+            "experiment '{}' has {} job(s) but the schedule needs at least {} \
+             (sites are drawn from the first 2×faults events); lower --faults",
+            opt.experiment,
+            jobs.len(),
+            2 * opt.faults
+        ));
+    }
+
+    let ref_path = opt.store.with_extension("ref.jsonl");
+    let _ = std::fs::remove_file(&opt.store);
+    let _ = std::fs::remove_file(&ref_path);
+
+    // 1. Fault-free reference.
+    let ref_exec = StoreExecutor::new(Store::open(&ref_path)).with_pool(round_pool(opt, None));
+    let reference_figures = render_experiment(&opt.experiment, opt.spec, &ref_exec)?;
+    if !ref_exec.failures().is_empty() {
+        return Err(format!(
+            "reference run failed {} job(s); the oracle needs a clean baseline",
+            ref_exec.failures().len()
+        ));
+    }
+
+    // 2. Crash loop under the armed plan.
+    let plan = FaultPlan::generate(opt.seed, opt.faults);
+    let armed = ArmedPlan::new(&plan);
+    let watchdog = Watchdog::spawn_logging(
+        WatchdogConfig {
+            stall: opt.stall,
+            ..WatchdogConfig::default()
+        },
+        Some(armed.clone()),
+    );
+    let supervisor: Arc<dyn Supervisor> =
+        Arc::new(ChaosSupervisor::new(armed.clone(), watchdog.registry()));
+
+    let max_rounds = opt.faults + 3;
+    let mut rounds = 0;
+    let mut clean_exit = false;
+    for round in 1..=max_rounds {
+        rounds = round;
+        let store = Store::with_io(&opt.store, Arc::new(FaultyIo::new(armed.clone())));
+        let exec = StoreExecutor::new(store).with_pool(round_pool(opt, Some(supervisor.clone())));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            render_experiment(&opt.experiment, opt.spec, &exec)
+        }));
+        match outcome {
+            Err(payload) => {
+                // The "process" died mid-round (torn write, disk full,
+                // fsync error…). Resume in the next round.
+                armed.log(format!(
+                    "round {round}: crashed: {}",
+                    panic_message(payload.as_ref())
+                ));
+            }
+            Ok(Err(e)) => {
+                watchdog.shutdown();
+                return Err(e);
+            }
+            Ok(Ok(_figs)) => {
+                let failed = exec.failures().len();
+                if failed > 0 {
+                    armed.log(format!(
+                        "round {round}: completed with {failed} failed job(s); retrying"
+                    ));
+                    continue;
+                }
+                if armed.remaining() > 0 {
+                    armed.log(format!(
+                        "round {round}: completed clean but {} fault(s) unfired; rerunning",
+                        armed.remaining()
+                    ));
+                    continue;
+                }
+                armed.log(format!("round {round}: completed clean"));
+                clean_exit = true;
+                break;
+            }
+        }
+    }
+    let cancellations = watchdog.registry().cancellations();
+    watchdog.shutdown();
+    if armed.remaining() > 0 {
+        return Err(format!(
+            "fault schedule did not drain after {rounds} round(s); never fired: {}",
+            armed.remaining_sites().join(", ")
+        ));
+    }
+    if !clean_exit {
+        return Err(format!(
+            "no clean round within {max_rounds} rounds — the store never converged"
+        ));
+    }
+
+    // 3. Verify round with clean I/O: quarantines silent corruption,
+    // re-runs exactly the damaged jobs, re-renders.
+    let verify_exec = StoreExecutor::new(Store::open(&opt.store)).with_pool(round_pool(opt, None));
+    let final_figures = render_experiment(&opt.experiment, opt.spec, &verify_exec)?;
+    if !verify_exec.failures().is_empty() {
+        return Err(format!(
+            "verify round failed {} job(s)",
+            verify_exec.failures().len()
+        ));
+    }
+    let stats = verify_exec.stats();
+    armed.log(format!(
+        "verify: {} cache hits, {} re-run after quarantine",
+        stats.cache_hits, stats.executed
+    ));
+
+    // 4. Byte-identical comparison.
+    let identical = final_figures == reference_figures;
+    Ok(OracleReport {
+        plan,
+        rounds,
+        events: armed.events(),
+        watchdog_cancellations: cancellations,
+        identical,
+        reference_figures,
+        final_figures,
+    })
+}
+
+/// Removes the oracle's on-disk artifacts (chaos + reference store).
+/// Call on success; keep them for forensics on failure.
+pub fn clean_artifacts(opt: &ChaosOptions) {
+    let _ = std::fs::remove_file(&opt.store);
+    let _ = std::fs::remove_file(opt.store.with_extension("ref.jsonl"));
+}

@@ -1,0 +1,397 @@
+//! Hung-job detection and the worker-side injection seam.
+//!
+//! [`Watchdog`] owns a polling thread that watches every registered
+//! attempt's [`CancelToken`] heartbeat: an attempt whose progress stops
+//! advancing for the stall window — or exceeds its cycle budget — is
+//! cancelled cooperatively (the simulation panics with a labeled
+//! message at its next engine iteration, the pool catches it, backs
+//! off, and retries). [`ChaosSupervisor`] is the [`Supervisor`] wired
+//! into the pool: it registers each attempt with the watchdog and, when
+//! the [`ArmedPlan`] says so, injects a worker panic, a hang (a wedge
+//! with no heartbeat, exactly what the watchdog exists to reclaim), or
+//! a brief delay.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rop_harness::Supervisor;
+use rop_sim_system::runner::CancelToken;
+
+use crate::plan::{ArmedPlan, FaultKind};
+
+/// Watchdog knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// How often the monitor thread samples heartbeats.
+    pub poll: Duration,
+    /// An attempt whose heartbeat does not advance for this long is
+    /// cancelled.
+    pub stall: Duration,
+    /// An attempt whose heartbeat (simulated cycle) exceeds this budget
+    /// is cancelled even while still making progress.
+    pub cycle_budget: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            poll: Duration::from_millis(10),
+            stall: Duration::from_millis(300),
+            cycle_budget: u64::MAX,
+        }
+    }
+}
+
+struct Entry {
+    label: String,
+    token: Arc<CancelToken>,
+    last_progress: u64,
+    last_change: Instant,
+    cancelled: bool,
+}
+
+/// Shared registry of live attempts; the monitor thread and the
+/// supervisor both hold it. `BTreeMap` keeps scan order deterministic.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<u64, Entry>>,
+    next_id: AtomicU64,
+    cancellations: AtomicU64,
+}
+
+impl Registry {
+    /// Starts watching `token` under `label`; returns a handle id.
+    pub fn register(&self, label: &str, token: &Arc<CancelToken>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(
+                id,
+                Entry {
+                    label: label.to_string(),
+                    token: token.clone(),
+                    last_progress: token.progress(),
+                    last_change: Instant::now(),
+                    cancelled: false,
+                },
+            );
+        id
+    }
+
+    /// Stops watching; unknown ids are a no-op (the attempt may have
+    /// panicked before registration completed).
+    pub fn unregister(&self, id: u64) {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id);
+    }
+
+    /// Total attempts this watchdog has cancelled.
+    pub fn cancellations(&self) -> u64 {
+        self.cancellations.load(Ordering::SeqCst)
+    }
+
+    /// One monitor sweep; returns labels cancelled this pass.
+    fn scan(&self, cfg: &WatchdogConfig) -> Vec<String> {
+        let mut cancelled = Vec::new();
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        for entry in entries.values_mut() {
+            if entry.cancelled {
+                continue;
+            }
+            let progress = entry.token.progress();
+            let over_budget = progress >= cfg.cycle_budget;
+            if progress != entry.last_progress && !over_budget {
+                entry.last_progress = progress;
+                entry.last_change = Instant::now();
+                continue;
+            }
+            if over_budget || entry.last_change.elapsed() >= cfg.stall {
+                entry.token.cancel();
+                entry.cancelled = true;
+                self.cancellations.fetch_add(1, Ordering::SeqCst);
+                let why = if over_budget {
+                    format!("cycle budget {} exceeded (at {progress})", cfg.cycle_budget)
+                } else {
+                    format!("no heartbeat for {:?} (stuck at {progress})", cfg.stall)
+                };
+                cancelled.push(format!("watchdog cancelled '{}': {why}", entry.label));
+            }
+        }
+        cancelled
+    }
+}
+
+/// The hung-job monitor: spawn it, register attempts through
+/// [`Watchdog::registry`], shut it down when the run ends.
+pub struct Watchdog {
+    registry: Arc<Registry>,
+    cfg: WatchdogConfig,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    log: Option<Arc<ArmedPlan>>,
+}
+
+impl Watchdog {
+    /// Starts the monitor thread.
+    pub fn spawn(cfg: WatchdogConfig) -> Watchdog {
+        Watchdog::spawn_logging(cfg, None)
+    }
+
+    /// Starts the monitor thread, recording cancellations into `log`'s
+    /// event stream.
+    pub fn spawn_logging(cfg: WatchdogConfig, log: Option<Arc<ArmedPlan>>) -> Watchdog {
+        let registry = Arc::new(Registry::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let (registry, stop, log) = (registry.clone(), stop.clone(), log.clone());
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    for event in registry.scan(&cfg) {
+                        match &log {
+                            Some(plan) => plan.log(event),
+                            None => eprintln!("# {event}"),
+                        }
+                    }
+                    std::thread::sleep(cfg.poll);
+                }
+            })
+        };
+        Watchdog {
+            registry,
+            cfg,
+            stop,
+            handle: Some(handle),
+            log,
+        }
+    }
+
+    /// The shared registry (hand this to a [`ChaosSupervisor`]).
+    pub fn registry(&self) -> Arc<Registry> {
+        self.registry.clone()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> WatchdogConfig {
+        self.cfg
+    }
+
+    /// Stops the monitor thread and waits for it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            if handle.join().is_err() {
+                // A monitor that died mid-scan already printed a panic;
+                // nothing useful left to do during shutdown.
+                if let Some(plan) = &self.log {
+                    plan.log("watchdog thread panicked".to_string());
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// How long an injected hang will wedge before giving up on the
+/// watchdog and panicking on its own — a safety net so a misconfigured
+/// watchdog cannot freeze the whole oracle.
+const HANG_ESCAPE: Duration = Duration::from_secs(10);
+
+/// The [`Supervisor`] that arms chaos on the worker pool: watchdog
+/// registration for every attempt, plus planned worker faults.
+pub struct ChaosSupervisor {
+    plan: Arc<ArmedPlan>,
+    registry: Arc<Registry>,
+    ids: Mutex<BTreeMap<(String, u32), u64>>,
+}
+
+impl ChaosSupervisor {
+    /// Wires `plan`'s worker faults to `registry`'s watchdog.
+    pub fn new(plan: Arc<ArmedPlan>, registry: Arc<Registry>) -> ChaosSupervisor {
+        ChaosSupervisor {
+            plan,
+            registry,
+            ids: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl Supervisor for ChaosSupervisor {
+    fn attempt_starts(&self, label: &str, attempt: u32, token: &Arc<CancelToken>) {
+        // Register first: an injected hang must already be visible to
+        // the watchdog, or nothing would ever reclaim it.
+        let id = self.registry.register(label, token);
+        self.ids
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert((label.to_string(), attempt), id);
+        let Some(kind) = self.plan.take_attempt_fault() else {
+            return;
+        };
+        match kind {
+            FaultKind::WorkerPanic => {
+                // Injected fault: dies inside the pool's catch_unwind,
+                // consuming exactly one retry.
+                panic!("[{label}] injected worker-panic at attempt {attempt}"); // rop-lint: allow(no-panic)
+            }
+            FaultKind::HungJob => {
+                // Wedge with a frozen heartbeat until the watchdog
+                // cancels us — the recovery path under test.
+                let started = Instant::now();
+                while !token.is_cancelled() && started.elapsed() < HANG_ESCAPE {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                if token.is_cancelled() {
+                    self.plan
+                        .log(format!("hang on '{label}' reclaimed by watchdog"));
+                    // rop-lint: allow(no-panic)
+                    panic!("[{label}] injected hung-job cancelled by watchdog");
+                }
+                // rop-lint: allow(no-panic)
+                panic!("[{label}] injected hung-job was NOT reclaimed within {HANG_ESCAPE:?}");
+            }
+            FaultKind::SlowJob => {
+                // Slow but alive: long enough to be noticed, far under
+                // the stall window — the watchdog must NOT cancel it.
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            // Store faults never land on attempt sites by construction.
+            _ => {}
+        }
+    }
+
+    fn attempt_ends(&self, label: &str, attempt: u32, _ok: bool) {
+        let id = self
+            .ids
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&(label.to_string(), attempt));
+        if let Some(id) = id {
+            self.registry.unregister(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultPlan, Site};
+
+    fn fast_cfg() -> WatchdogConfig {
+        WatchdogConfig {
+            poll: Duration::from_millis(5),
+            stall: Duration::from_millis(50),
+            cycle_budget: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn stalled_token_is_cancelled_and_beating_token_is_not() {
+        let dog = Watchdog::spawn(fast_cfg());
+        let registry = dog.registry();
+        let stalled = CancelToken::new();
+        let alive = CancelToken::new();
+        let _id1 = registry.register("stalled", &stalled);
+        let _id2 = registry.register("alive", &alive);
+        // Keep the live one beating past the stall window.
+        for i in 1..40u64 {
+            alive.beat(i);
+            std::thread::sleep(Duration::from_millis(5));
+            if stalled.is_cancelled() {
+                break;
+            }
+        }
+        assert!(stalled.is_cancelled(), "no heartbeat → cancelled");
+        assert!(!alive.is_cancelled(), "beating token must survive");
+        assert_eq!(registry.cancellations(), 1);
+        dog.shutdown();
+    }
+
+    #[test]
+    fn cycle_budget_cancels_a_progressing_token() {
+        let mut cfg = fast_cfg();
+        cfg.cycle_budget = 1_000;
+        let dog = Watchdog::spawn(cfg);
+        let registry = dog.registry();
+        let token = CancelToken::new();
+        registry.register("busy", &token);
+        for i in 0..200u64 {
+            token.beat(i * 100); // crosses 1_000 fast, still "advancing"
+            std::thread::sleep(Duration::from_millis(2));
+            if token.is_cancelled() {
+                break;
+            }
+        }
+        assert!(token.is_cancelled(), "budget breach must cancel");
+        dog.shutdown();
+    }
+
+    #[test]
+    fn unregistered_attempts_are_left_alone() {
+        let dog = Watchdog::spawn(fast_cfg());
+        let registry = dog.registry();
+        let token = CancelToken::new();
+        let id = registry.register("brief", &token);
+        registry.unregister(id);
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(!token.is_cancelled(), "unregistered → never cancelled");
+        registry.unregister(9999); // unknown id is a no-op
+        dog.shutdown();
+    }
+
+    #[test]
+    fn supervisor_injects_panic_and_hang_is_reclaimed() {
+        let plan = ArmedPlan::new(&FaultPlan {
+            seed: 0,
+            faults: vec![
+                (Site::Attempt(0), FaultKind::WorkerPanic),
+                (Site::Attempt(1), FaultKind::HungJob),
+            ],
+        });
+        let dog = Watchdog::spawn(fast_cfg());
+        let sup = ChaosSupervisor::new(plan.clone(), dog.registry());
+
+        // Attempt 0: injected panic.
+        let token = CancelToken::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sup.attempt_starts("job-a", 1, &token)
+        }));
+        let msg = rop_sim_system::runner::panic_message(caught.unwrap_err().as_ref());
+        assert!(msg.contains("injected worker-panic"), "{msg}");
+        assert!(msg.contains("job-a"), "{msg}");
+        sup.attempt_ends("job-a", 1, false);
+
+        // Attempt 1: injected hang — the watchdog must cancel it well
+        // within the escape hatch.
+        let token = CancelToken::new();
+        let start = Instant::now();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sup.attempt_starts("job-a", 2, &token)
+        }));
+        let msg = rop_sim_system::runner::panic_message(caught.unwrap_err().as_ref());
+        assert!(msg.contains("cancelled by watchdog"), "{msg}");
+        assert!(start.elapsed() < Duration::from_secs(5), "not the escape");
+        assert!(dog.registry().cancellations() >= 1);
+        sup.attempt_ends("job-a", 2, false);
+
+        // Attempt 2: off-schedule, a clean pass-through.
+        let token = CancelToken::new();
+        sup.attempt_starts("job-a", 3, &token);
+        sup.attempt_ends("job-a", 3, true);
+        assert_eq!(plan.remaining(), 0);
+        dog.shutdown();
+    }
+}

@@ -235,6 +235,13 @@ fn cmd_status(experiment: &str, opt: &Options) -> Result<i32, String> {
             None => remaining += 1,
         }
     }
+    // Gate on the *whole store*, not just this experiment's plan: a
+    // Failed record left by any sweep against this store means the
+    // store is not clean, and CI keys its exit code off this command.
+    let store_failed = latest
+        .values()
+        .filter(|rec| rec.status == Status::Failed)
+        .count();
 
     println!(
         "# rop-sweep status — experiment {experiment}, store {}",
@@ -251,13 +258,12 @@ fn cmd_status(experiment: &str, opt: &Options) -> Result<i32, String> {
             wall
         );
     }
-    if contents.corrupt_lines > 0 {
-        println!("corrupt lines quarantined: {}", contents.corrupt_lines);
-    }
+    println!("store failed records: {store_failed}");
+    println!("corrupt lines quarantined: {}", contents.corrupt_lines);
     for label in failed_labels {
         println!("  failed: {label}");
     }
-    Ok(if failed > 0 { 1 } else { 0 })
+    Ok(if failed > 0 || store_failed > 0 { 1 } else { 0 })
 }
 
 fn cmd_diff(path_a: &str, path_b: &str) -> Result<i32, String> {
@@ -370,35 +376,72 @@ fn cmd_export(opt: &Options) -> Result<i32, String> {
     Ok(0)
 }
 
+/// An extra subcommand plugged into [`main_with`] by a downstream
+/// crate — `rop-chaos` registers `rop-sweep chaos` this way, keeping
+/// the dependency arrow pointing from chaos to harness.
+pub struct Extension {
+    /// Subcommand name (`rop-sweep <name> ...`).
+    pub name: &'static str,
+    /// One usage line appended to `--help` output.
+    pub usage: &'static str,
+    /// Handler; receives the args after the subcommand name and returns
+    /// an exit code, or an error message printed to stderr (exit 2).
+    pub run: fn(&[String]) -> Result<i32, String>,
+}
+
 /// CLI entry point; returns the process exit code.
 pub fn main(args: &[String]) -> i32 {
+    main_with(args, &[])
+}
+
+/// [`main`] plus extension subcommands registered by downstream crates.
+pub fn main_with(args: &[String], extensions: &[Extension]) -> i32 {
+    let usage = || {
+        let mut u = USAGE.to_string();
+        if !extensions.is_empty() {
+            let names: Vec<&str> = extensions.iter().map(|e| e.name).collect();
+            u = u.replacen(
+                "run resume status diff export",
+                &format!("run resume status diff export {}", names.join(" ")),
+                1,
+            );
+        }
+        for ext in extensions {
+            u.push('\n');
+            u.push_str(ext.usage);
+        }
+        u
+    };
     let run = || -> Result<i32, String> {
         let Some(cmd) = args.first().map(String::as_str) else {
-            return Err(USAGE.to_string());
+            return Err(usage());
         };
         match cmd {
             "run" | "resume" => {
-                let exp = args.get(1).ok_or(USAGE)?;
+                let exp = args.get(1).ok_or_else(usage)?;
                 cmd_run(exp, &Options::parse(&args[2..])?)
             }
             "status" => {
-                let exp = args.get(1).ok_or(USAGE)?;
+                let exp = args.get(1).ok_or_else(usage)?;
                 cmd_status(exp, &Options::parse(&args[2..])?)
             }
             "diff" => {
-                let a = args.get(1).ok_or(USAGE)?;
-                let b = args.get(2).ok_or(USAGE)?;
+                let a = args.get(1).ok_or_else(usage)?;
+                let b = args.get(2).ok_or_else(usage)?;
                 if args.len() > 3 {
-                    return Err(USAGE.to_string());
+                    return Err(usage());
                 }
                 cmd_diff(a, b)
             }
             "export" => cmd_export(&Options::parse(&args[1..])?),
             "--help" | "-h" | "help" => {
-                println!("{USAGE}");
+                println!("{}", usage());
                 Ok(0)
             }
-            _ => Err(USAGE.to_string()),
+            other => match extensions.iter().find(|e| e.name == other) {
+                Some(ext) => (ext.run)(&args[1..]),
+                None => Err(usage()),
+            },
         }
     };
     match run() {
@@ -520,5 +563,55 @@ mod tests {
         assert_eq!(csv_escape("plain"), "plain");
         assert_eq!(csv_escape("a,b"), "\"a,b\"");
         assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn status_exits_nonzero_when_store_holds_failed_records() {
+        use crate::store::{unix_now, Record, Store};
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("rop-cli-status-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // Empty store: clean exit.
+        let store_flag = path.to_string_lossy().to_string();
+        assert_eq!(
+            main(&argv(&["status", "single", "--store", &store_flag])),
+            0
+        );
+
+        // A Failed record that is NOT part of the planned experiment
+        // must still flip the exit code — CI gates on the whole store.
+        Store::open(&path)
+            .append(&Record {
+                job: "feedfeedfeedfeed".into(),
+                label: "other-sweep/poisoned".into(),
+                status: Status::Failed,
+                attempts: 2,
+                panic_msg: Some("boom".into()),
+                ts: unix_now(),
+                metrics: None,
+            })
+            .unwrap();
+        assert_eq!(
+            main(&argv(&["status", "single", "--store", &store_flag])),
+            1
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn extension_subcommands_dispatch_through_main_with() {
+        fn handler(args: &[String]) -> Result<i32, String> {
+            Ok(40 + args.len() as i32)
+        }
+        let ext = [Extension {
+            name: "chaos",
+            usage: "  chaos: injected by rop-chaos",
+            run: handler,
+        }];
+        assert_eq!(main_with(&argv(&["chaos", "--a", "--b"]), &ext), 42);
+        // Without the extension the same word is an unknown command.
+        assert_eq!(main_with(&argv(&["chaos"]), &[]), 2);
     }
 }

@@ -164,7 +164,9 @@ impl SweepExecutor for StoreExecutor {
         let outcomes = run_jobs(
             &run_indices,
             |&i| jobs[i].label.clone(),
-            |&i| jobs[i].run(),
+            // Thread the attempt's cancel token into the simulation so
+            // a watchdog can cancel a stalled job cooperatively.
+            |&i, token| jobs[i].run_with(token.clone()),
             &pool_cfg,
             Some(progress),
         );
@@ -337,8 +339,7 @@ mod tests {
         let exec = StoreExecutor::new(store.clone()).with_pool(PoolConfig {
             workers: 2,
             max_attempts: 3,
-            stop_after: None,
-            report_interval: None,
+            ..PoolConfig::default()
         });
         let out = exec.execute(vec![bad.clone(), good.clone()]);
         assert_eq!(out.len(), 2);

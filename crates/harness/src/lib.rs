@@ -29,6 +29,6 @@ pub mod progress;
 pub mod store;
 
 pub use executor::{job_id, ExecStats, Failure, PlanExecutor, StoreExecutor};
-pub use pool::{run_jobs, JobOutcome, PoolConfig};
+pub use pool::{run_jobs, JobOutcome, PoolConfig, Supervisor};
 pub use progress::{Progress, ProgressSnapshot};
-pub use store::{Record, Status, Store, StoreContents};
+pub use store::{RealIo, Record, Status, Store, StoreContents, StoreIo};

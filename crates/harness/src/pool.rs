@@ -13,12 +13,29 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use rop_sim_system::runner::panic_message;
+use rop_sim_system::runner::{panic_message, CancelToken};
 
 use crate::progress::Progress;
 
+/// Observes every job attempt from outside the job body.
+///
+/// The pool hands each attempt's [`CancelToken`] to the supervisor so
+/// it can be registered with a watchdog (stalled attempts get cancelled
+/// rather than waited on forever). `attempt_starts` runs *inside* the
+/// attempt's `catch_unwind`, so a panic raised there — e.g. an injected
+/// fault from the chaos harness — fails the attempt exactly as a panic
+/// from the job body would, consuming one retry. `attempt_ends` always
+/// runs, whether the attempt succeeded or panicked, so registrations
+/// cannot leak.
+pub trait Supervisor: Send + Sync {
+    /// Called inside the attempt's `catch_unwind`, before the job body.
+    fn attempt_starts(&self, label: &str, attempt: u32, token: &Arc<CancelToken>);
+    /// Called after the attempt resolves (ok or panicked).
+    fn attempt_ends(&self, label: &str, attempt: u32, ok: bool);
+}
+
 /// Worker-pool knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PoolConfig {
     /// Worker threads. Defaults to the machine's available parallelism.
     pub workers: usize,
@@ -34,6 +51,27 @@ pub struct PoolConfig {
     /// When set, a reporter thread prints a progress line to stderr at
     /// this interval while the pool runs.
     pub report_interval: Option<Duration>,
+    /// Base delay between failed attempts of the same job. The worker
+    /// sleeps `base * 2^(attempt-1)` (exponent capped at 10, total
+    /// capped at 5 s) before retrying, so a job poisoned by a transient
+    /// environment fault does not burn its whole budget in one burst.
+    /// `None` retries immediately (the pre-chaos behaviour).
+    pub retry_backoff: Option<Duration>,
+    /// Attempt observer (watchdog registration, fault injection).
+    pub supervisor: Option<Arc<dyn Supervisor>>,
+}
+
+impl std::fmt::Debug for PoolConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolConfig")
+            .field("workers", &self.workers)
+            .field("max_attempts", &self.max_attempts)
+            .field("stop_after", &self.stop_after)
+            .field("report_interval", &self.report_interval)
+            .field("retry_backoff", &self.retry_backoff)
+            .field("supervisor", &self.supervisor.as_ref().map(|_| "<dyn>"))
+            .finish()
+    }
 }
 
 impl Default for PoolConfig {
@@ -45,8 +83,18 @@ impl Default for PoolConfig {
             max_attempts: 2,
             stop_after: None,
             report_interval: None,
+            retry_backoff: None,
+            supervisor: None,
         }
     }
+}
+
+/// Backoff delay before retry number `attempt + 1`, given the attempt
+/// that just failed. Exponential with a capped exponent and a 5 s
+/// ceiling so misconfigured bases cannot wedge a worker.
+fn backoff_delay(base: Duration, failed_attempt: u32) -> Duration {
+    let exp = failed_attempt.saturating_sub(1).min(10);
+    base.saturating_mul(1u32 << exp).min(Duration::from_secs(5))
 }
 
 /// Terminal state of one job.
@@ -80,11 +128,15 @@ impl<R> JobOutcome<R> {
 /// Runs every job and returns one outcome per job, in input order.
 ///
 /// `label` names a job for progress display and failure records;
-/// `work` is the job body (it may panic — that is the point).
+/// `work` is the job body (it may panic — that is the point). Each
+/// attempt gets a fresh [`CancelToken`]: the body should thread it into
+/// long-running work (e.g. [`rop_sim_system::runner::SweepJob::run_with`])
+/// so a watchdog registered through [`PoolConfig::supervisor`] can
+/// cancel a stalled attempt cooperatively.
 pub fn run_jobs<J, R>(
     jobs: &[J],
     label: impl Fn(&J) -> String + Sync,
-    work: impl Fn(&J) -> R + Sync,
+    work: impl Fn(&J, &Arc<CancelToken>) -> R + Sync,
     cfg: &PoolConfig,
     progress: Option<Arc<Progress>>,
 ) -> Vec<JobOutcome<R>>
@@ -128,7 +180,17 @@ where
                 let mut attempts = 0;
                 let outcome = loop {
                     attempts += 1;
-                    match catch_unwind(AssertUnwindSafe(|| work(&jobs[i]))) {
+                    let token = CancelToken::new();
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(sup) = &cfg.supervisor {
+                            sup.attempt_starts(&name, attempts, &token);
+                        }
+                        work(&jobs[i], &token)
+                    }));
+                    if let Some(sup) = &cfg.supervisor {
+                        sup.attempt_ends(&name, attempts, result.is_ok());
+                    }
+                    match result {
                         Ok(value) => break JobOutcome::Ok { value, attempts },
                         Err(payload) => {
                             let msg = panic_message(payload.as_ref());
@@ -137,6 +199,12 @@ where
                                     panic_msg: msg,
                                     attempts,
                                 };
+                            }
+                            if let Some(base) = cfg.retry_backoff {
+                                let delay = backoff_delay(base, attempts);
+                                if !delay.is_zero() {
+                                    std::thread::sleep(delay);
+                                }
                             }
                         }
                     }
@@ -181,15 +249,14 @@ mod tests {
         PoolConfig {
             workers,
             max_attempts,
-            stop_after: None,
-            report_interval: None,
+            ..PoolConfig::default()
         }
     }
 
     #[test]
     fn all_jobs_run_in_order() {
         let jobs: Vec<u64> = (0..30).collect();
-        let out = run_jobs(&jobs, |j| format!("j{j}"), |&j| j * 3, &cfg(4, 1), None);
+        let out = run_jobs(&jobs, |j| format!("j{j}"), |&j, _| j * 3, &cfg(4, 1), None);
         for (i, o) in out.iter().enumerate() {
             match o {
                 JobOutcome::Ok { value, attempts } => {
@@ -208,7 +275,7 @@ mod tests {
         let out = run_jobs(
             &jobs,
             |j| format!("job-{j}"),
-            |&j| {
+            |&j, _| {
                 if j == 3 {
                     tries.fetch_add(1, Ordering::SeqCst);
                     panic!("poisoned job {j}");
@@ -245,7 +312,7 @@ mod tests {
         let out = run_jobs(
             &jobs,
             |_| "flaky".into(),
-            |_| {
+            |_, _| {
                 if tries.fetch_add(1, Ordering::SeqCst) < 2 {
                     panic!("transient");
                 }
@@ -268,7 +335,7 @@ mod tests {
         let jobs: Vec<u32> = (0..10).collect();
         let mut c = cfg(1, 1); // single worker → deterministic cut
         c.stop_after = Some(4);
-        let out = run_jobs(&jobs, |j| format!("{j}"), |&j| j, &c, None);
+        let out = run_jobs(&jobs, |j| format!("{j}"), |&j, _| j, &c, None);
         let ran = out.iter().filter(|o| o.is_ok()).count();
         let not_run = out
             .iter()
@@ -289,7 +356,7 @@ mod tests {
         let out = run_jobs(
             &jobs,
             |j| format!("{j}"),
-            |&j| {
+            |&j, _| {
                 std::thread::sleep(Duration::from_millis(1));
                 j
             },
@@ -310,7 +377,7 @@ mod tests {
         let jobs: Vec<u32> = (0..5).collect();
         let mut c = cfg(3, 1);
         c.stop_after = Some(0);
-        let out = run_jobs(&jobs, |j| format!("{j}"), |&j| j, &c, None);
+        let out = run_jobs(&jobs, |j| format!("{j}"), |&j, _| j, &c, None);
         assert!(out.iter().all(|o| matches!(o, JobOutcome::NotRun)));
     }
 
@@ -321,7 +388,7 @@ mod tests {
         let out = run_jobs(
             &jobs,
             |j| format!("{j}"),
-            |&j| {
+            |&j, _| {
                 if j == 1 {
                     panic!("bad");
                 }
@@ -335,5 +402,93 @@ mod tests {
         assert_eq!(s.failed, 1);
         assert_eq!(s.remaining, 0);
         assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn supervisor_sees_every_attempt_and_injected_panics_consume_retries() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder {
+            events: Mutex<Vec<(String, u32, &'static str)>>,
+        }
+        impl Supervisor for Recorder {
+            fn attempt_starts(&self, label: &str, attempt: u32, token: &Arc<CancelToken>) {
+                assert!(!token.is_cancelled(), "fresh token per attempt");
+                self.events.lock().unwrap_or_else(|e| e.into_inner()).push((
+                    label.to_string(),
+                    attempt,
+                    "start",
+                ));
+                // Inject: first attempt of job "bomb" dies before the
+                // body runs — exactly one retry is consumed.
+                if label == "bomb" && attempt == 1 {
+                    panic!("injected: pre-body fault"); // rop-lint: allow(no-panic)
+                }
+            }
+            fn attempt_ends(&self, label: &str, attempt: u32, ok: bool) {
+                self.events.lock().unwrap_or_else(|e| e.into_inner()).push((
+                    label.to_string(),
+                    attempt,
+                    if ok { "ok" } else { "err" },
+                ));
+            }
+        }
+
+        let sup = Arc::new(Recorder::default());
+        let jobs = vec!["bomb", "calm"];
+        let mut c = cfg(1, 3);
+        c.supervisor = Some(sup.clone() as Arc<dyn Supervisor>);
+        c.retry_backoff = Some(Duration::from_millis(1));
+        let out = run_jobs(&jobs, |j| j.to_string(), |&j, _| j.len(), &c, None);
+        // The injected fault consumed one attempt; the retry succeeded.
+        match &out[0] {
+            JobOutcome::Ok { value, attempts } => {
+                assert_eq!(*value, 4);
+                assert_eq!(*attempts, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(out[1].is_ok());
+        let events = sup.events.lock().unwrap_or_else(|e| e.into_inner());
+        let bomb: Vec<_> = events.iter().filter(|(l, _, _)| l == "bomb").collect();
+        assert_eq!(
+            bomb.iter().map(|(_, a, k)| (*a, *k)).collect::<Vec<_>>(),
+            vec![(1, "start"), (1, "err"), (2, "start"), (2, "ok")],
+            "attempt_ends fires even when attempt_starts panicked"
+        );
+    }
+
+    #[test]
+    fn backoff_delay_is_exponential_and_capped() {
+        let base = Duration::from_millis(10);
+        assert_eq!(backoff_delay(base, 1), Duration::from_millis(10));
+        assert_eq!(backoff_delay(base, 2), Duration::from_millis(20));
+        assert_eq!(backoff_delay(base, 4), Duration::from_millis(80));
+        // Exponent cap (2^10) and the 5 s ceiling both hold.
+        assert_eq!(backoff_delay(base, 40), Duration::from_secs(5));
+        assert_eq!(
+            backoff_delay(Duration::from_secs(60), 1),
+            Duration::from_secs(5)
+        );
+    }
+
+    #[test]
+    fn worker_token_reaches_the_job_body() {
+        let jobs = vec![()];
+        let out = run_jobs(
+            &jobs,
+            |_| "tok".into(),
+            |_, token: &Arc<CancelToken>| {
+                token.beat(7);
+                token.progress()
+            },
+            &cfg(1, 1),
+            None,
+        );
+        match &out[0] {
+            JobOutcome::Ok { value, .. } => assert_eq!(*value, 7),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

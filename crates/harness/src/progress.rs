@@ -99,7 +99,7 @@ impl Progress {
             }
         };
         let jobs_per_sec = rate(done);
-        let eta_seconds = (jobs_per_sec > 0.0).then(|| remaining as f64 / jobs_per_sec);
+        let eta_seconds = eta_for(remaining, jobs_per_sec);
         ProgressSnapshot {
             completed,
             failed,
@@ -117,6 +117,22 @@ impl Progress {
     }
 }
 
+/// ETA in seconds for `remaining` jobs at `jobs_per_sec`, or `None`
+/// when no estimate exists yet. Guards the startup case (nothing
+/// finished → rate 0 → the naive division is `inf`/`NaN`) and clamps
+/// the result to a week so a denormal rate can never render `inf`.
+fn eta_for(remaining: usize, jobs_per_sec: f64) -> Option<f64> {
+    if jobs_per_sec <= 0.0 || !jobs_per_sec.is_finite() {
+        return None;
+    }
+    let eta = remaining as f64 / jobs_per_sec;
+    if !eta.is_finite() {
+        return None;
+    }
+    const WEEK_SECONDS: f64 = 7.0 * 24.0 * 3600.0;
+    Some(eta.clamp(0.0, WEEK_SECONDS))
+}
+
 impl std::fmt::Display for ProgressSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -129,8 +145,11 @@ impl std::fmt::Display for ProgressSnapshot {
             self.ok_per_sec,
             self.jobs_per_sec
         )?;
-        if let Some(eta) = self.eta_seconds {
-            write!(f, ", ETA {eta:.0}s")?;
+        match self.eta_seconds {
+            Some(eta) => write!(f, ", ETA {eta:.0}s")?,
+            // No finished job yet → no rate → no estimate. Print a
+            // placeholder rather than the `inf` the bare division gave.
+            None => write!(f, ", ETA --:--")?,
         }
         let busy: Vec<String> = self
             .workers
@@ -183,6 +202,34 @@ mod tests {
         assert_eq!(s.completed, 0);
         assert_eq!(s.failed, 0);
         assert_eq!(s.remaining, 1);
+    }
+
+    #[test]
+    fn startup_eta_is_a_placeholder_not_inf() {
+        let p = Progress::new(10, 0, 2);
+        let s = p.snapshot();
+        assert_eq!(s.eta_seconds, None, "no finished job → no estimate");
+        let line = s.to_string();
+        assert!(line.contains("ETA --:--"), "{line}");
+        assert!(!line.contains("inf"), "{line}");
+        assert!(!line.contains("NaN"), "{line}");
+    }
+
+    #[test]
+    fn eta_guards_degenerate_rates() {
+        assert_eq!(eta_for(5, 0.0), None);
+        assert_eq!(eta_for(5, -1.0), None);
+        assert_eq!(eta_for(5, f64::NAN), None);
+        assert_eq!(eta_for(5, f64::INFINITY), None);
+        // A rate so small the division overflows to `inf` is guarded…
+        assert_eq!(eta_for(usize::MAX, f64::MIN_POSITIVE), None);
+        // …and a finite-but-absurd estimate clamps to a week.
+        let eta = eta_for(1_000_000, 1e-300).unwrap();
+        assert!(eta.is_finite());
+        assert!(eta <= 7.0 * 24.0 * 3600.0);
+        // The healthy path still estimates.
+        assert_eq!(eta_for(6, 2.0), Some(3.0));
+        assert_eq!(eta_for(0, 2.0), Some(0.0));
     }
 
     #[test]

@@ -10,9 +10,57 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use rop_sim_system::metrics::RunMetrics;
 use rop_stats::Json;
+
+/// Raw I/O seam under the store: every byte the store reads from or
+/// writes to the filesystem goes through one of these methods, so a
+/// fault-injection harness (`rop-chaos`) can wrap [`RealIo`] and tear
+/// writes, fail fsyncs, or report disk-full at scheduled points while
+/// the store logic above stays byte-for-byte the production code.
+pub trait StoreIo: Send + Sync {
+    /// Reads the whole file; `Ok(None)` when it does not exist.
+    fn read_file(&self, path: &Path) -> Result<Option<String>, String>;
+
+    /// Appends `line` (which must include its trailing newline) and
+    /// durably syncs it to the device before returning `Ok`.
+    fn append_line(&self, path: &Path, line: &str) -> Result<(), String>;
+}
+
+/// The production [`StoreIo`]: real reads, real appends, real fsyncs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn read_file(&self, path: &Path) -> Result<Option<String>, String> {
+        match std::fs::read_to_string(path) {
+            Ok(t) => Ok(Some(t)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    fn append_line(&self, path: &Path, line: &str) -> Result<(), String> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        // `File::flush` is a no-op (there is no userspace buffer to
+        // flush); only `sync_data` actually forces the bytes down to
+        // the device.
+        f.write_all(line.as_bytes())
+            .and_then(|_| f.sync_data())
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
 
 /// Terminal status of a stored job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,15 +197,32 @@ impl StoreContents {
 }
 
 /// Handle on a JSONL store file.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Store {
     path: PathBuf,
+    io: Arc<dyn StoreIo>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store").field("path", &self.path).finish()
+    }
 }
 
 impl Store {
-    /// A store at `path`. The file is created lazily on first append.
+    /// A store at `path` on the real filesystem. The file is created
+    /// lazily on first append.
     pub fn open(path: impl Into<PathBuf>) -> Store {
-        Store { path: path.into() }
+        Store::with_io(path, Arc::new(RealIo))
+    }
+
+    /// A store at `path` whose raw I/O goes through `io` — the seam
+    /// `rop-chaos` uses to inject deterministic storage faults.
+    pub fn with_io(path: impl Into<PathBuf>, io: Arc<dyn StoreIo>) -> Store {
+        Store {
+            path: path.into(),
+            io,
+        }
     }
 
     /// The backing file path.
@@ -167,10 +232,8 @@ impl Store {
 
     /// Reads every record. A missing file is an empty store.
     pub fn load(&self) -> Result<StoreContents, String> {
-        let text = match std::fs::read_to_string(&self.path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Default::default()),
-            Err(e) => return Err(format!("{}: {e}", self.path.display())),
+        let Some(text) = self.io.read_file(&self.path)? else {
+            return Ok(Default::default());
         };
         let mut out = StoreContents::default();
         for line in text.lines() {
@@ -189,24 +252,9 @@ impl Store {
     /// device before returning so a machine crash after a successful
     /// append cannot lose it).
     pub fn append(&self, rec: &Record) -> Result<(), String> {
-        if let Some(dir) = self.path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-            }
-        }
-        let mut f = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)
-            .map_err(|e| format!("{}: {e}", self.path.display()))?;
         let mut line = rec.to_json().render();
         line.push('\n');
-        // `File::flush` is a no-op (there is no userspace buffer to
-        // flush); only `sync_data` actually forces the bytes down to
-        // the device.
-        f.write_all(line.as_bytes())
-            .and_then(|_| f.sync_data())
-            .map_err(|e| format!("{}: {e}", self.path.display()))
+        self.io.append_line(&self.path, &line)
     }
 }
 
@@ -336,6 +384,55 @@ mod tests {
         // Missing `v` is version 1.
         let j = Json::parse(r#"{"job":"aaaa","status":"failed","attempts":1,"ts":0}"#).unwrap();
         assert!(Record::from_json(&j).is_ok());
+    }
+
+    #[test]
+    fn io_seam_carries_every_read_and_append() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[derive(Default)]
+        struct CountingIo {
+            reads: AtomicUsize,
+            appends: AtomicUsize,
+        }
+        impl StoreIo for CountingIo {
+            fn read_file(&self, path: &Path) -> Result<Option<String>, String> {
+                self.reads.fetch_add(1, Ordering::SeqCst);
+                RealIo.read_file(path)
+            }
+            fn append_line(&self, path: &Path, line: &str) -> Result<(), String> {
+                self.appends.fetch_add(1, Ordering::SeqCst);
+                assert!(line.ends_with('\n'), "append contract: newline included");
+                RealIo.append_line(path, line)
+            }
+        }
+
+        let path = tmp("io-seam");
+        let io = Arc::new(CountingIo::default());
+        let store = Store::with_io(&path, io.clone());
+        store.append(&ok_record("aaaa", 0.5)).unwrap();
+        store.append(&ok_record("bbbb", 0.6)).unwrap();
+        let contents = store.load().unwrap();
+        assert_eq!(contents.records.len(), 2);
+        assert_eq!(io.appends.load(Ordering::SeqCst), 2);
+        assert_eq!(io.reads.load(Ordering::SeqCst), 1);
+
+        // An injected append error surfaces as the store's error.
+        struct FailingIo;
+        impl StoreIo for FailingIo {
+            fn read_file(&self, path: &Path) -> Result<Option<String>, String> {
+                RealIo.read_file(path)
+            }
+            fn append_line(&self, _: &Path, _: &str) -> Result<(), String> {
+                Err("injected disk-full".into())
+            }
+        }
+        let failing = Store::with_io(&path, Arc::new(FailingIo));
+        let err = failing.append(&ok_record("cccc", 0.7)).unwrap_err();
+        assert!(err.contains("disk-full"), "{err}");
+        // The failed append left the file untouched.
+        assert_eq!(failing.load().unwrap().records.len(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

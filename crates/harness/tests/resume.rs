@@ -30,8 +30,7 @@ fn serial_pool() -> PoolConfig {
     PoolConfig {
         workers: 1,
         max_attempts: 2,
-        stop_after: None,
-        report_interval: None,
+        ..PoolConfig::default()
     }
 }
 
@@ -124,8 +123,7 @@ fn poisoned_job_is_retried_recorded_and_isolated() {
     let exec = StoreExecutor::new(store.clone()).with_pool(PoolConfig {
         workers: 2,
         max_attempts: 3,
-        stop_after: None,
-        report_interval: None,
+        ..PoolConfig::default()
     });
     use rop_sim_system::runner::SweepExecutor;
     let out = exec.execute(jobs);

@@ -15,6 +15,11 @@
 //! * `hash-order` — iterating a `HashMap`/`HashSet` binding declared in
 //!   the same file (iteration order is randomized per process, which
 //!   breaks byte-stable exports);
+//! * `io-ignored` — `let _ = <expr>.write(...)` (or `write_all`,
+//!   `flush`, `sync_*`, …) in library code: a swallowed I/O error turns
+//!   a crash-consistent store into a silently corrupt one. Best-effort
+//!   cleanup like `let _ = std::fs::remove_file(..)` is deliberately
+//!   *not* flagged — only method-call results are;
 //! * `forbid-unsafe` — every crate root must carry
 //!   `#![forbid(unsafe_code)]`.
 //!
@@ -50,6 +55,7 @@ pub const SRC_RULES: &[&str] = &[
     "wallclock",
     "float-eq",
     "hash-order",
+    "io-ignored",
     "forbid-unsafe",
 ];
 
@@ -402,6 +408,21 @@ fn scan_file(path: &str, src: &str, crate_name: &str, is_crate_root: bool, out: 
         "drain",
     ];
 
+    /// Method calls whose `Result` must not be discarded with `let _ =`:
+    /// each one can report the only evidence of data loss. Free-function
+    /// forms (`std::fs::remove_file`) are best-effort cleanup and stay
+    /// legal, which is why the pattern requires a `.` receiver.
+    const IO_METHODS: &[&str] = &[
+        "write",
+        "write_all",
+        "write_fmt",
+        "write_vectored",
+        "flush",
+        "sync_all",
+        "sync_data",
+        "fsync",
+    ];
+
     for i in 0..toks.len() {
         let t = &toks[i];
         // .unwrap()
@@ -456,6 +477,33 @@ fn scan_file(path: &str, src: &str, crate_name: &str, is_crate_root: bool, out: 
                 );
             }
         }
+        // `let _ = <expr>.write(...)`-shaped discarded I/O results.
+        // Scan the statement (up to the next `;`) for an I/O method
+        // call on a receiver.
+        if t.is(TokKind::Ident, "let")
+            && toks.get(i + 1).is_some_and(|t| t.is(TokKind::Ident, "_"))
+            && toks.get(i + 2).is_some_and(|t| t.is(TokKind::Punct, "="))
+        {
+            let mut j = i + 3;
+            while j + 2 < toks.len() && !toks[j].is(TokKind::Punct, ";") {
+                if toks[j].is(TokKind::Punct, ".")
+                    && toks[j + 1].kind == TokKind::Ident
+                    && IO_METHODS.contains(&toks[j + 1].text.as_str())
+                    && toks[j + 2].is(TokKind::Punct, "(")
+                {
+                    ctx.emit(
+                        "io-ignored",
+                        toks[j + 1].line,
+                        format!(
+                            "I/O result of `.{}` discarded with `let _ =`",
+                            toks[j + 1].text
+                        ),
+                    );
+                    break;
+                }
+                j += 1;
+            }
+        }
         // HashMap/HashSet iteration.
         if t.kind == TokKind::Ident && hash_names.contains(&t.text.as_str()) {
             if toks.get(i + 1).is_some_and(|n| n.is(TokKind::Punct, "."))
@@ -492,6 +540,16 @@ fn scan_file(path: &str, src: &str, crate_name: &str, is_crate_root: bool, out: 
             "crate root missing #![forbid(unsafe_code)]".to_string(),
         );
     }
+}
+
+/// Scans a single source string as `crate_name` library code — the unit
+/// the workspace walk applies per file. Public so tooling and the
+/// known-bad rule table can lint snippets without touching the
+/// filesystem.
+pub fn scan_source(path: &str, src: &str, crate_name: &str, is_crate_root: bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    scan_file(path, src, crate_name, is_crate_root, &mut out);
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -740,6 +798,57 @@ fn f() {\n\
         assert!(f.iter().any(|f| f.rule == "hash-order"), "{f:?}");
         let src_btree = src.replace("HashMap", "BTreeMap");
         assert!(scan_str(&src_btree, "harness").is_empty());
+    }
+
+    #[test]
+    fn discarded_io_results_flagged() {
+        let f = scan_str(
+            "fn f(mut w: std::fs::File) { let _ = w.write_all(b\"x\"); }\n",
+            "harness",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "io-ignored");
+        let f = scan_str(
+            "fn f(w: &std::fs::File) { let _ = w.sync_data(); }\n",
+            "sim",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        // Multi-token statements are scanned to the `;`.
+        let f = scan_str(
+            "fn f(w: &mut dyn std::io::Write) { let _ = w.by_ref().flush(); }\n",
+            "harness",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn io_ignored_spares_legitimate_discards() {
+        // Macro writes into a String are infallible by construction.
+        assert!(scan_str(
+            "fn f(out: &mut String) { let _ = writeln!(out, \"x\"); }\n",
+            "harness"
+        )
+        .is_empty());
+        // Best-effort cleanup through a free function.
+        assert!(scan_str(
+            "fn f(p: &std::path::Path) { let _ = std::fs::remove_file(p); }\n",
+            "harness"
+        )
+        .is_empty());
+        // Propagated results are the fix, not a violation.
+        assert!(scan_str(
+            "fn f(mut w: std::fs::File) -> std::io::Result<()> { w.write_all(b\"x\")?; w.flush() }\n",
+            "harness"
+        )
+        .is_empty());
+        // Channel sends are not I/O.
+        assert!(scan_str("fn f(tx: &Tx) { let _ = tx.send(1); }\n", "harness").is_empty());
+        // The allow escape works like every other rule.
+        assert!(scan_str(
+            "fn f(mut w: std::fs::File) { let _ = w.flush(); } // rop-lint: allow(io-ignored)\n",
+            "harness"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! The known-bad config table: one config per rule, each violating
-//! exactly that rule, plus acceptance of every shipped experiment
-//! config and the seeded-mutation checks on the FSM model.
+//! The known-bad tables: one config per config rule and one source
+//! snippet per source rule, each violating exactly that rule, plus
+//! acceptance of every shipped experiment config and the
+//! seeded-mutation checks on the FSM model.
 
 use rop_dram::DramConfig;
 use rop_lint::config::{lint_config, lint_jobs, RULES};
 use rop_lint::fsm::{build_rop_fsm, check_fsm, EdgeKind};
+use rop_lint::srclint::{scan_source, SRC_RULES};
 use rop_memctrl::MemCtrlConfig;
 use rop_sim_system::experiments::driver::{plan_jobs, EXPERIMENTS};
 use rop_sim_system::runner::RunSpec;
@@ -161,6 +163,68 @@ fn a_sweep_with_one_illegal_point_is_refused_with_the_job_named() {
     assert_eq!(report.violations.len(), 1);
     assert_eq!(report.violations[0].0, jobs[poisoned].label);
     assert_eq!(report.violations[0].1[0].rule, "rop-window");
+}
+
+/// One entry per source rule: (rule id, crate the snippet is scanned
+/// as, whether it is a crate root, a snippet violating exactly that
+/// rule).
+fn known_bad_src_table() -> Vec<(&'static str, &'static str, bool, &'static str)> {
+    vec![
+        (
+            "no-unwrap",
+            "harness",
+            false,
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        ),
+        ("no-panic", "harness", false, "fn f() { panic!(\"boom\") }\n"),
+        (
+            "wallclock",
+            "sim",
+            false,
+            "fn f() -> Instant { Instant::now() }\n",
+        ),
+        (
+            "float-eq",
+            "stats",
+            false,
+            "fn f(x: f64) -> bool { x == 0.5 }\n",
+        ),
+        (
+            "hash-order",
+            "harness",
+            false,
+            "use std::collections::HashMap;\n\
+             fn f(m: HashMap<u32, u32>) -> u64 { let mut s = 0; for (_, v) in m.iter() { s += *v as u64; } s }\n",
+        ),
+        (
+            "io-ignored",
+            "harness",
+            false,
+            "fn f(mut w: std::fs::File) { let _ = w.write_all(b\"evidence\"); }\n",
+        ),
+        ("forbid-unsafe", "harness", true, "pub fn f() {}\n"),
+    ]
+}
+
+#[test]
+fn every_src_rule_has_a_known_bad_entry() {
+    let table = known_bad_src_table();
+    for rule in SRC_RULES {
+        assert!(
+            table.iter().any(|(id, _, _, _)| id == rule),
+            "source rule {rule} has no known-bad entry"
+        );
+    }
+    assert_eq!(table.len(), SRC_RULES.len());
+}
+
+#[test]
+fn each_known_bad_snippet_violates_exactly_its_rule() {
+    for (rule, krate, is_root, src) in known_bad_src_table() {
+        let findings = scan_source("snippet.rs", src, krate, is_root);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec![rule], "snippet for {rule} found {rules:?}");
+    }
 }
 
 #[test]

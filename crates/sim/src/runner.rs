@@ -1,12 +1,75 @@
 //! Experiment runner: builds and runs systems, with a scoped-thread
 //! parallel map for sweeping benchmarks × systems.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
 use rop_trace::{Benchmark, WorkloadMix};
 
 use crate::config::{SystemConfig, SystemKind};
 use crate::metrics::RunMetrics;
 use crate::system::System;
 use crate::Cycle;
+
+/// Cooperative cancellation and progress heartbeat shared between a
+/// running simulation and an external watchdog.
+///
+/// The simulation side calls [`CancelToken::beat`] with its current
+/// cycle on every engine iteration and [`CancelToken::checkpoint`]s at
+/// the same cadence; a supervisor thread reads [`CancelToken::progress`]
+/// from outside and calls [`CancelToken::cancel`] when the heartbeat
+/// stalls (hung job) or exceeds a cycle budget. Cancellation surfaces as
+/// a labeled panic at the next checkpoint, which the harness pool's
+/// `catch_unwind` fault isolation converts into a retryable attempt
+/// failure — so a cancelled job is indistinguishable from any other
+/// isolated fault and the sweep keeps draining.
+///
+/// Deliberately built from atomics only: no wall-clock state lives in
+/// this (deterministic) crate, and when nobody cancels, beating is a
+/// pair of relaxed atomic operations that cannot perturb simulation
+/// results.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+    heartbeat: AtomicU64,
+}
+
+impl CancelToken {
+    /// A fresh, shareable token.
+    pub fn new() -> Arc<CancelToken> {
+        Arc::new(CancelToken::default())
+    }
+
+    /// Requests cancellation; the running job panics at its next
+    /// [`CancelToken::checkpoint`].
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Publishes the job's progress (the current simulation cycle).
+    pub fn beat(&self, progress: u64) {
+        self.heartbeat.store(progress, Ordering::Relaxed);
+    }
+
+    /// The most recently published progress value.
+    pub fn progress(&self) -> u64 {
+        self.heartbeat.load(Ordering::Relaxed)
+    }
+
+    /// Cooperative cancellation point: panics when cancelled.
+    pub fn checkpoint(&self) {
+        if self.is_cancelled() {
+            // Documented contract: cancellation IS a panic, so the
+            // pool's fault isolation handles it like any other failure.
+            panic!("cancelled by watchdog at cycle {}", self.progress()); // rop-lint: allow(no-panic)
+        }
+    }
+}
 
 /// Work quota and safety cap for a run.
 #[derive(Debug, Clone, Copy)]
@@ -191,6 +254,15 @@ impl SweepJob {
     /// Runs the simulation (panicking with this job's label on any
     /// internal failure, including config validation).
     pub fn run(&self) -> RunMetrics {
+        self.run_with(CancelToken::new())
+    }
+
+    /// [`SweepJob::run`] under a cancellation token: the simulation
+    /// beats `token` with its cycle count as it advances and panics
+    /// (with this job's label) at the next engine iteration after
+    /// `token.cancel()` — the seam a watchdog uses to reclaim hung
+    /// jobs.
+    pub fn run_with(&self, token: Arc<CancelToken>) -> RunMetrics {
         with_panic_label(&self.label, || {
             if let Err(e) = self.config.validate() {
                 // Documented contract: run() panics with the job label so
@@ -198,6 +270,7 @@ impl SweepJob {
                 panic!("invalid config: {e}"); // rop-lint: allow(no-panic)
             }
             let mut sys = System::new(self.config.clone());
+            sys.set_cancel_token(token.clone());
             if self.audit {
                 sys.enable_audit();
             }
@@ -499,6 +572,45 @@ mod tests {
         let m = job.placeholder_metrics();
         assert_eq!(m.cores.len(), 4);
         assert_eq!(m.total_cycles, 0);
+    }
+
+    #[test]
+    fn cancel_token_aborts_a_running_job_with_its_label() {
+        let spec = RunSpec {
+            instructions: 50_000_000, // far more work than we let it do
+            max_cycles: u64::MAX / 2,
+            seed: 1,
+        };
+        let job = SweepJob::single("t", rop_trace::Benchmark::Lbm, SystemKind::Baseline, spec);
+        let token = CancelToken::new();
+        token.cancel(); // pre-cancelled: the first checkpoint fires
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run_with(token.clone())));
+        let msg = panic_message(caught.unwrap_err().as_ref());
+        assert!(msg.contains("cancelled by watchdog"), "{msg}");
+        assert!(msg.contains(&job.label), "label lost: {msg}");
+    }
+
+    #[test]
+    fn heartbeat_reports_forward_progress() {
+        let spec = RunSpec {
+            instructions: 20_000,
+            max_cycles: 10_000_000,
+            seed: 2,
+        };
+        let job = SweepJob::single("t", rop_trace::Benchmark::Bzip2, SystemKind::Baseline, spec);
+        let token = CancelToken::new();
+        let m = job.run_with(token.clone());
+        // The final beat left the last simulated cycle behind; an
+        // uncancelled run is unaffected by the token.
+        assert!(token.progress() > 0);
+        assert!(token.progress() <= m.total_cycles + 1);
+        assert!(!token.is_cancelled());
+        let bare = job.run();
+        assert_eq!(
+            bare.total_cycles, m.total_cycles,
+            "token must not perturb results"
+        );
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct System {
     /// Online invariant checker consuming the event trace, when audit
     /// mode is enabled.
     auditor: Option<Auditor>,
+    /// Cooperative cancellation + heartbeat, when a supervisor watches
+    /// this run (see [`crate::runner::CancelToken`]).
+    cancel: Option<std::sync::Arc<crate::runner::CancelToken>>,
 }
 
 impl System {
@@ -112,8 +115,17 @@ impl System {
                 .then(|| llc_line.trailing_zeros()),
             wall_seconds: 0.0,
             auditor: None,
+            cancel: None,
             cfg,
         }
+    }
+
+    /// Attaches a cancellation token: every engine iteration publishes
+    /// the current cycle as a heartbeat and panics if the token has been
+    /// cancelled. Pure observation while uncancelled — two relaxed
+    /// atomic operations per iteration, no effect on simulated state.
+    pub fn set_cancel_token(&mut self, token: std::sync::Arc<crate::runner::CancelToken>) {
+        self.cancel = Some(token);
     }
 
     /// Enables audit mode with parameters derived from the controller
@@ -187,6 +199,10 @@ impl System {
         let line_shift = self.line_shift;
         while self.finish.iter().any(Option::is_none) && self.now < max_cycles {
             let now = self.now;
+            if let Some(token) = &self.cancel {
+                token.beat(now);
+                token.checkpoint(); // panics when a watchdog cancelled us
+            }
 
             // Deliver read data that has arrived.
             while let Some(Reverse(head)) = self.inflight.peek() {
@@ -269,6 +285,12 @@ impl System {
                 }
             }
             self.now = next;
+        }
+        // Publish the final position: a short run can fast-forward to
+        // completion in a single engine iteration, and its only in-loop
+        // beat would then be cycle 0.
+        if let Some(token) = &self.cancel {
+            token.beat(self.now);
         }
         self.wall_seconds += start.elapsed().as_secs_f64();
         if let Some(auditor) = &self.auditor {
