@@ -11,10 +11,16 @@
 //!
 //! Throughput is reported in simulated cycles/sec (`Throughput::Elements`
 //! with the run's total simulated cycle count).
+//!
+//! Two further groups reuse the canonical perf-gate shapes
+//! (`rop_bench::perf::shapes`): `refresh-heavy` (8x refresh pressure,
+//! constant drain/freeze churn) and `burst-gap` (request bursts split
+//! by ~30k-cycle idle gaps, the timing wheel's cascade-heavy case).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rop_bench::perf::shapes;
 use rop_sim_system::runner::{run_single, run_single_reference, RunSpec};
-use rop_sim_system::SystemKind;
+use rop_sim_system::{System, SystemKind};
 use rop_trace::Benchmark;
 
 const INSTRUCTIONS: u64 = 100_000;
@@ -65,5 +71,48 @@ fn engine_throughput(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, engine_throughput);
+fn shape_throughput(c: &mut Criterion) {
+    // Shorter than the perf gate's fixed work so criterion's repeats
+    // stay cheap; the shapes' configs (refresh divisor, benchmark,
+    // seed) are shared with `BENCH_baseline.json` verbatim.
+    const INSTRUCTIONS: u64 = 300_000;
+    for name in ["refresh-heavy", "burst-gap"] {
+        let shape = shapes()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("canonical shape exists");
+        let mut g = c.benchmark_group(format!("engine_{name}"));
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(300));
+        g.measurement_time(std::time::Duration::from_secs(2));
+
+        let run_event = || {
+            let mut sys = System::new(shape.config());
+            sys.run_until(INSTRUCTIONS, shape.spec.max_cycles)
+        };
+        let run_reference = || {
+            let mut sys = System::new(shape.config());
+            sys.run_until_reference(INSTRUCTIONS, shape.spec.max_cycles)
+        };
+        let cycles = run_event().total_cycles;
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_function("event", |b| {
+            b.iter(|| {
+                let m = run_event();
+                assert_eq!(m.total_cycles, cycles);
+                m.events
+            })
+        });
+        g.bench_function("reference", |b| {
+            b.iter(|| {
+                let m = run_reference();
+                assert_eq!(m.total_cycles, cycles);
+                m.events
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, engine_throughput, shape_throughput);
 criterion_main!(benches);

@@ -345,12 +345,14 @@ fn main() {
     let totals = rop_sim_system::engine_stats::totals();
     if totals.cycles > 0 && secs > 0.0 {
         eprintln!(
-            "# done in {secs:.1}s — simulated {} cycles / {} instructions \
-             ({:.3e} cycles/sec, {:.3e} instr/sec)",
+            "# done in {secs:.1}s — simulated {} cycles / {} instructions / {} events \
+             ({:.3e} cycles/sec, {:.3e} instr/sec, {:.3e} events/sec)",
             totals.cycles,
             totals.instructions,
+            totals.events,
             totals.cycles as f64 / secs,
             totals.instructions as f64 / secs,
+            totals.events as f64 / secs,
         );
     } else {
         eprintln!("# done in {secs:.1}s");

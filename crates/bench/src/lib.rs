@@ -9,6 +9,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use rop_sim_system::runner::RunSpec;
 
 /// Run spec used by the Criterion benches: small enough to iterate, large

@@ -40,16 +40,27 @@ pub struct AccessWindow {
 impl AccessWindow {
     /// Creates a window of the given length in cycles.
     pub fn new(window: Cycle) -> Self {
+        // Pre-size to the worst plausible in-window population: the
+        // command bus admits at most one request per cycle sustained,
+        // so 2x the window (slack for same-cycle bursts) is a hard
+        // ceiling in practice. Growing lazily instead would hit the
+        // allocator whenever a new high-water mark is reached — which
+        // can happen arbitrarily late into an otherwise steady run.
+        let cap = (window as usize).saturating_mul(2).clamp(16, 1 << 16);
         AccessWindow {
             window,
-            times: VecDeque::new(),
+            times: VecDeque::with_capacity(cap),
         }
     }
 
     /// Records an arrival at `now`.
+    // rop-lint: hot
     pub fn record(&mut self, now: Cycle) {
-        self.times.push_back(now);
+        // Prune first: expired entries leave before the new one lands,
+        // keeping occupancy at the true in-window population (the
+        // result of `count` is unaffected by the order).
         self.prune(now);
+        self.times.push_back(now);
     }
 
     /// Number of arrivals in `(now - window, now]`.

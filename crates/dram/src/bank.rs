@@ -1,5 +1,14 @@
-//! Per-bank row state machine and timing registers.
+//! Per-bank row state machine and timing-register transitions, operating
+//! on columns of the channel-wide struct-of-arrays
+//! ([`crate::soa::ChannelTiming`]).
+//!
+//! Each register column holds the first cycle at which the corresponding
+//! command class may issue *as far as that bank is concerned*; rank- and
+//! channel-level constraints are layered on top by [`crate::rank`] and
+//! [`crate::DramDevice`]. `idx` arguments are flat bank indices from
+//! [`ChannelTiming::bank_index`].
 
+use crate::soa::ChannelTiming;
 use crate::Cycle;
 
 /// Row-buffer state of one bank.
@@ -9,163 +18,134 @@ pub enum BankState {
     Idle,
     /// `row` is open in the row buffer; READ/WRITE to that row are
     /// row-buffer hits, other rows require PRE + ACT.
-    Active { row: usize },
+    Active {
+        /// The open row.
+        row: usize,
+    },
 }
 
-/// One DRAM bank: state plus the earliest-issue timing registers that
-/// encode same-bank constraints.
-///
-/// Each register holds the first cycle at which the corresponding command
-/// class may issue *as far as this bank is concerned*; rank- and
-/// channel-level constraints are layered on top by
-/// [`crate::rank::Rank`] and [`crate::DramDevice`].
-#[derive(Debug, Clone)]
-pub struct Bank {
-    /// Row-buffer state.
-    pub state: BankState,
-    /// Earliest cycle an ACT may issue (tRC after previous ACT, tRP after
-    /// PRE, tRFC after refresh).
-    pub next_act: Cycle,
-    /// Earliest cycle a PRE may issue (tRAS after ACT, tRTP after READ,
-    /// write recovery after WRITE).
-    pub next_pre: Cycle,
-    /// Earliest cycle a READ may issue (tRCD after ACT).
-    pub next_read: Cycle,
-    /// Earliest cycle a WRITE may issue (tRCD after ACT).
-    pub next_write: Cycle,
-    /// Cycle of the most recent ACT (for stats).
-    pub last_act_at: Cycle,
-    /// End of the in-flight per-bank refresh (REFpb), if any.
-    refreshing_until: Cycle,
-}
-
-impl Bank {
-    /// A fresh, idle bank with all constraints satisfied at cycle 0.
-    pub fn new() -> Self {
-        Bank {
-            state: BankState::Idle,
-            next_act: 0,
-            next_pre: 0,
-            next_read: 0,
-            next_write: 0,
-            last_act_at: 0,
-            refreshing_until: 0,
+impl ChannelTiming {
+    /// Row-buffer state of bank `idx`.
+    // rop-lint: hot
+    #[inline]
+    pub fn bank_state(&self, idx: usize) -> BankState {
+        match self.open_row_p1[idx] {
+            0 => BankState::Idle,
+            r => BankState::Active { row: r - 1 },
         }
     }
 
-    /// True when a row is open.
+    /// True when bank `idx` has a row open.
+    // rop-lint: hot
     #[inline]
-    pub fn is_open(&self) -> bool {
-        matches!(self.state, BankState::Active { .. })
+    pub fn is_open(&self, idx: usize) -> bool {
+        self.open_row_p1[idx] != 0
     }
 
-    /// The open row, if any.
+    /// The row open in bank `idx`, if any.
+    // rop-lint: hot
     #[inline]
-    pub fn open_row(&self) -> Option<usize> {
-        match self.state {
-            BankState::Active { row } => Some(row),
-            BankState::Idle => None,
-        }
+    pub fn open_row(&self, idx: usize) -> Option<usize> {
+        self.open_row_p1[idx].checked_sub(1)
     }
 
-    /// Applies an ACT issued at `now` with the given timings.
+    /// Applies an ACT to bank `idx` issued at `now`.
+    // rop-lint: hot
     pub fn apply_activate(
         &mut self,
+        idx: usize,
         now: Cycle,
         row: usize,
         t_rcd: Cycle,
         t_ras: Cycle,
         t_rc: Cycle,
     ) {
-        debug_assert!(matches!(self.state, BankState::Idle));
-        debug_assert!(now >= self.next_act);
-        self.state = BankState::Active { row };
-        self.last_act_at = now;
-        self.next_read = now + t_rcd;
-        self.next_write = now + t_rcd;
-        self.next_pre = now + t_ras;
-        self.next_act = now + t_rc;
+        debug_assert!(!self.is_open(idx));
+        debug_assert!(now >= self.next_act[idx]);
+        let rank = idx / self.banks_per_rank();
+        self.open_row_p1[idx] = row + 1;
+        self.open_banks[rank] += 1;
+        self.last_act_at[idx] = now;
+        self.next_read[idx] = now + t_rcd;
+        self.next_write[idx] = now + t_rcd;
+        self.next_pre[idx] = now + t_ras;
+        self.next_act[idx] = now + t_rc;
     }
 
-    /// Applies a PRE issued at `now`.
-    pub fn apply_precharge(&mut self, now: Cycle, t_rp: Cycle) {
-        debug_assert!(self.is_open());
-        debug_assert!(now >= self.next_pre);
-        self.state = BankState::Idle;
-        self.next_act = self.next_act.max(now + t_rp);
+    /// Applies a PRE to bank `idx` issued at `now`.
+    // rop-lint: hot
+    pub fn apply_precharge(&mut self, idx: usize, now: Cycle, t_rp: Cycle) {
+        debug_assert!(self.is_open(idx));
+        debug_assert!(now >= self.next_pre[idx]);
+        let rank = idx / self.banks_per_rank();
+        self.open_row_p1[idx] = 0;
+        self.open_banks[rank] -= 1;
+        self.next_act[idx] = self.next_act[idx].max(now + t_rp);
     }
 
-    /// Applies a READ issued at `now`; returns the cycle the last data
-    /// beat lands.
+    /// Applies a READ to bank `idx` issued at `now`; returns the cycle
+    /// the last data beat lands.
+    // rop-lint: hot
     pub fn apply_read(
         &mut self,
+        idx: usize,
         now: Cycle,
         cl: Cycle,
         burst: Cycle,
         t_rtp: Cycle,
         t_ccd: Cycle,
     ) -> Cycle {
-        debug_assert!(self.is_open());
-        debug_assert!(now >= self.next_read);
+        debug_assert!(self.is_open(idx));
+        debug_assert!(now >= self.next_read[idx]);
         // Read-to-precharge.
-        self.next_pre = self.next_pre.max(now + t_rtp);
+        self.next_pre[idx] = self.next_pre[idx].max(now + t_rtp);
         // Back-to-back column commands on the same bank.
-        self.next_read = self.next_read.max(now + t_ccd);
-        self.next_write = self.next_write.max(now + t_ccd);
+        self.next_read[idx] = self.next_read[idx].max(now + t_ccd);
+        self.next_write[idx] = self.next_write[idx].max(now + t_ccd);
         now + cl + burst
     }
 
-    /// Applies a WRITE issued at `now`; returns the cycle the last data
-    /// beat is driven.
+    /// Applies a WRITE to bank `idx` issued at `now`; returns the cycle
+    /// the last data beat is driven.
+    // rop-lint: hot
     pub fn apply_write(
         &mut self,
+        idx: usize,
         now: Cycle,
         cwl: Cycle,
         burst: Cycle,
         t_wr: Cycle,
         t_ccd: Cycle,
     ) -> Cycle {
-        debug_assert!(self.is_open());
-        debug_assert!(now >= self.next_write);
+        debug_assert!(self.is_open(idx));
+        debug_assert!(now >= self.next_write[idx]);
         let data_done = now + cwl + burst;
         // Write recovery: PRE only after tWR past the last data beat.
-        self.next_pre = self.next_pre.max(data_done + t_wr);
-        self.next_read = self.next_read.max(now + t_ccd);
-        self.next_write = self.next_write.max(now + t_ccd);
+        self.next_pre[idx] = self.next_pre[idx].max(data_done + t_wr);
+        self.next_read[idx] = self.next_read[idx].max(now + t_ccd);
+        self.next_write[idx] = self.next_write[idx].max(now + t_ccd);
         data_done
     }
 
-    /// Applies an all-bank refresh that ends at `done`: the bank may not
-    /// activate before the refresh completes.
-    pub fn apply_refresh_lock(&mut self, done: Cycle) {
-        debug_assert!(matches!(self.state, BankState::Idle));
-        self.next_act = self.next_act.max(done);
+    /// Applies a per-bank refresh (REFpb) to bank `idx` ending at
+    /// `done`: only this bank is unavailable; siblings keep operating.
+    pub fn apply_bank_refresh(&mut self, idx: usize, done: Cycle) {
+        debug_assert!(!self.is_open(idx));
+        self.next_act[idx] = self.next_act[idx].max(done);
+        self.bank_refresh_until[idx] = self.bank_refresh_until[idx].max(done);
     }
 
-    /// Applies a per-bank refresh (REFpb) ending at `done`: only this
-    /// bank is unavailable; siblings keep operating.
-    pub fn apply_bank_refresh(&mut self, done: Cycle) {
-        debug_assert!(matches!(self.state, BankState::Idle));
-        self.next_act = self.next_act.max(done);
-        self.refreshing_until = self.refreshing_until.max(done);
-    }
-
-    /// True while a per-bank refresh holds this bank at `now`.
+    /// True while a per-bank refresh holds bank `idx` at `now`.
     #[inline]
-    pub fn is_bank_refreshing(&self, now: Cycle) -> bool {
-        now < self.refreshing_until
+    pub fn is_bank_refreshing(&self, idx: usize, now: Cycle) -> bool {
+        now < self.bank_refresh_until[idx]
     }
 
-    /// Completion cycle of this bank's in-flight REFpb (0 if none ever).
+    /// Completion cycle of bank `idx`'s in-flight REFpb (0 if none
+    /// ever).
     #[inline]
-    pub fn bank_refresh_done_at(&self) -> Cycle {
-        self.refreshing_until
-    }
-}
-
-impl Default for Bank {
-    fn default() -> Self {
-        Self::new()
+    pub fn bank_refresh_done_at(&self, idx: usize) -> Cycle {
+        self.bank_refresh_until[idx]
     }
 }
 
@@ -181,49 +161,67 @@ mod tests {
     #[test]
     fn activate_opens_row_and_sets_windows() {
         let t = t();
-        let mut b = Bank::new();
-        b.apply_activate(100, 42, t.t_rcd, t.t_ras, t.t_rc);
-        assert_eq!(b.open_row(), Some(42));
-        assert_eq!(b.next_read, 100 + t.t_rcd);
-        assert_eq!(b.next_pre, 100 + t.t_ras);
-        assert_eq!(b.next_act, 100 + t.t_rc);
+        let mut c = ChannelTiming::new(1, 1);
+        c.apply_activate(0, 100, 42, t.t_rcd, t.t_ras, t.t_rc);
+        assert_eq!(c.open_row(0), Some(42));
+        assert_eq!(c.bank_state(0), BankState::Active { row: 42 });
+        assert_eq!(c.next_read[0], 100 + t.t_rcd);
+        assert_eq!(c.next_pre[0], 100 + t.t_ras);
+        assert_eq!(c.next_act[0], 100 + t.t_rc);
     }
 
     #[test]
     fn precharge_closes_and_enforces_trp() {
         let t = t();
-        let mut b = Bank::new();
-        b.apply_activate(0, 1, t.t_rcd, t.t_ras, t.t_rc);
-        b.apply_precharge(t.t_ras, t.t_rp);
-        assert!(!b.is_open());
+        let mut c = ChannelTiming::new(1, 1);
+        c.apply_activate(0, 0, 1, t.t_rcd, t.t_ras, t.t_rc);
+        c.apply_precharge(0, t.t_ras, t.t_rp);
+        assert!(!c.is_open(0));
         // tRC from the ACT still dominates tRAS + tRP here (tRC = tRAS+tRP).
-        assert_eq!(b.next_act, t.t_ras + t.t_rp);
+        assert_eq!(c.next_act[0], t.t_ras + t.t_rp);
     }
 
     #[test]
     fn read_returns_data_completion() {
         let t = t();
-        let mut b = Bank::new();
-        b.apply_activate(0, 1, t.t_rcd, t.t_ras, t.t_rc);
-        let done = b.apply_read(t.t_rcd, t.cl, t.burst_cycles(), t.t_rtp, t.t_ccd);
+        let mut c = ChannelTiming::new(1, 1);
+        c.apply_activate(0, 0, 1, t.t_rcd, t.t_ras, t.t_rc);
+        let done = c.apply_read(0, t.t_rcd, t.cl, t.burst_cycles(), t.t_rtp, t.t_ccd);
         assert_eq!(done, t.t_rcd + t.cl + t.burst_cycles());
     }
 
     #[test]
     fn write_recovery_delays_precharge() {
         let t = t();
-        let mut b = Bank::new();
-        b.apply_activate(0, 1, t.t_rcd, t.t_ras, t.t_rc);
+        let mut c = ChannelTiming::new(1, 1);
+        c.apply_activate(0, 0, 1, t.t_rcd, t.t_ras, t.t_rc);
         let now = t.t_rcd;
-        let data_done = b.apply_write(now, t.cwl, t.burst_cycles(), t.t_wr, t.t_ccd);
+        let data_done = c.apply_write(0, now, t.cwl, t.burst_cycles(), t.t_wr, t.t_ccd);
         assert_eq!(data_done, now + t.cwl + t.burst_cycles());
-        assert_eq!(b.next_pre, data_done + t.t_wr);
+        assert_eq!(c.next_pre[0], data_done + t.t_wr);
     }
 
     #[test]
-    fn refresh_lock_blocks_activation() {
-        let mut b = Bank::new();
-        b.apply_refresh_lock(500);
-        assert_eq!(b.next_act, 500);
+    fn bank_refresh_blocks_activation() {
+        let mut c = ChannelTiming::new(1, 2);
+        c.apply_bank_refresh(0, 500);
+        assert_eq!(c.next_act[0], 500);
+        assert!(c.is_bank_refreshing(0, 499));
+        assert!(!c.is_bank_refreshing(0, 500));
+        // The sibling bank's column is untouched.
+        assert_eq!(c.next_act[1], 0);
+    }
+
+    #[test]
+    fn open_bank_count_tracks_row_state() {
+        let t = t();
+        let mut c = ChannelTiming::new(1, 4);
+        c.apply_activate(0, 0, 1, t.t_rcd, t.t_ras, t.t_rc);
+        c.apply_activate(2, t.t_rrd, 9, t.t_rcd, t.t_ras, t.t_rc);
+        assert!(!c.all_banks_idle(0));
+        c.apply_precharge(0, t.t_ras, t.t_rp);
+        assert!(!c.all_banks_idle(0));
+        c.apply_precharge(2, t.t_rrd + t.t_ras, t.t_rp);
+        assert!(c.all_banks_idle(0));
     }
 }

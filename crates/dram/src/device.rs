@@ -1,11 +1,10 @@
 //! The DRAM device: command validation, timing enforcement, and
 //! energy/event accounting for one memory channel.
 
-use crate::bank::BankState;
 use crate::command::{Command, CommandKind};
 use crate::config::DramConfig;
 use crate::energy::{EnergyBreakdown, EnergyEvents};
-use crate::rank::Rank;
+use crate::soa::ChannelTiming;
 use crate::Cycle;
 use rop_events::{CmdKind, TraceBuffer, TraceEvent};
 
@@ -75,7 +74,9 @@ pub struct CommandCounts {
 #[derive(Debug, Clone)]
 pub struct DramDevice {
     config: DramConfig,
-    ranks: Vec<Rank>,
+    /// All per-bank/per-rank timing registers, flattened into
+    /// struct-of-arrays columns (see [`ChannelTiming`]).
+    state: ChannelTiming,
     /// Channel-level earliest cycle for the next READ (CAS-to-CAS and
     /// write-to-read turnaround).
     next_read_ok: Cycle,
@@ -110,12 +111,10 @@ impl DramDevice {
     /// Panics if the configuration fails validation.
     pub fn new(config: DramConfig) -> Self {
         config.validate().expect("invalid DRAM configuration");
-        let ranks = (0..config.geometry.ranks)
-            .map(|_| Rank::new(config.geometry.banks_per_rank))
-            .collect();
+        let state = ChannelTiming::new(config.geometry.ranks, config.geometry.banks_per_rank);
         DramDevice {
             config,
-            ranks,
+            state,
             next_read_ok: 0,
             next_write_ok: 0,
             data_bus_free: 0,
@@ -142,33 +141,35 @@ impl DramDevice {
 
     /// True while `rank` is frozen by an in-progress refresh.
     pub fn is_rank_refreshing(&self, rank: usize, now: Cycle) -> bool {
-        self.ranks[rank].is_refreshing(now)
+        self.state.is_refreshing(rank, now)
     }
 
     /// Completion cycle of the in-progress refresh on `rank` (0 if none
     /// ever started).
     pub fn refresh_done_at(&self, rank: usize) -> Cycle {
-        self.ranks[rank].refresh_done_at()
+        self.state.refresh_done_at(rank)
     }
 
     /// The row currently open in `(rank, bank)`, if any.
     pub fn open_row(&self, rank: usize, bank: usize) -> Option<usize> {
-        self.ranks[rank].banks[bank].open_row()
+        self.state.open_row(self.state.bank_index(rank, bank))
     }
 
     /// True when every bank of `rank` is precharged.
     pub fn rank_idle(&self, rank: usize) -> bool {
-        self.ranks[rank].all_banks_idle()
+        self.state.all_banks_idle(rank)
     }
 
     /// True while `(rank, bank)` is held by a per-bank refresh (REFpb).
     pub fn is_bank_refreshing(&self, rank: usize, bank: usize, now: Cycle) -> bool {
-        self.ranks[rank].banks[bank].is_bank_refreshing(now)
+        self.state
+            .is_bank_refreshing(self.state.bank_index(rank, bank), now)
     }
 
     /// Completion cycle of `(rank, bank)`'s in-flight REFpb (0 if never).
     pub fn bank_refresh_done_at(&self, rank: usize, bank: usize) -> Cycle {
-        self.ranks[rank].banks[bank].bank_refresh_done_at()
+        self.state
+            .bank_refresh_done_at(self.state.bank_index(rank, bank))
     }
 
     fn check_index(&self, cmd: &Command) -> Result<(), IssueError> {
@@ -197,78 +198,79 @@ impl DramDevice {
     /// Earliest cycle (>= `now`) at which `cmd` could legally issue, or a
     /// structural error if no amount of waiting would make it legal in the
     /// current state.
+    // rop-lint: hot
     pub fn earliest_issue(&self, cmd: &Command, now: Cycle) -> Result<Cycle, IssueError> {
         self.check_index(cmd)?;
         let t = &self.config.timing;
-        let rank = &self.ranks[cmd.rank()];
+        let s = &self.state;
+        let r = cmd.rank();
         match *cmd {
             Command::Activate { bank, .. } => {
-                let b = &rank.banks[bank];
-                if b.is_open() {
+                let i = s.bank_index(r, bank);
+                if s.is_open(i) {
                     return Err(IssueError::BankNotIdle);
                 }
-                Ok(rank.earliest_activate(now, t.t_faw).max(b.next_act))
+                Ok(s.earliest_activate(r, now, t.t_faw).max(s.next_act[i]))
             }
             Command::Precharge { bank, .. } => {
-                let b = &rank.banks[bank];
-                if !b.is_open() {
+                let i = s.bank_index(r, bank);
+                if !s.is_open(i) {
                     return Err(IssueError::BankNotOpen);
                 }
-                Ok(now.max(b.next_pre))
+                Ok(now.max(s.next_pre[i]))
             }
             Command::Read { bank, column, .. } => {
-                let b = &rank.banks[bank];
-                match b.state {
-                    BankState::Idle => return Err(IssueError::BankNotOpen),
-                    BankState::Active { .. } => {}
+                let i = s.bank_index(r, bank);
+                if !s.is_open(i) {
+                    return Err(IssueError::BankNotOpen);
                 }
                 let _ = column;
                 let mut earliest = now
-                    .max(b.next_read)
+                    .max(s.next_read[i])
                     .max(self.next_read_ok)
-                    .max(rank.next_read_rank);
-                earliest = earliest.max(self.bus_constraint(cmd.rank(), t.cl));
+                    .max(s.next_read_rank[r]);
+                earliest = earliest.max(self.bus_constraint(r, t.cl));
                 Ok(earliest)
             }
             Command::Write { bank, .. } => {
-                let b = &rank.banks[bank];
-                if !b.is_open() {
+                let i = s.bank_index(r, bank);
+                if !s.is_open(i) {
                     return Err(IssueError::BankNotOpen);
                 }
-                let mut earliest = now.max(b.next_write).max(self.next_write_ok);
-                earliest = earliest.max(self.bus_constraint(cmd.rank(), t.cwl));
+                let mut earliest = now.max(s.next_write[i]).max(self.next_write_ok);
+                earliest = earliest.max(self.bus_constraint(r, t.cwl));
                 Ok(earliest)
             }
-            Command::Refresh { rank: r } => {
-                if rank.is_refreshing(now) {
+            Command::Refresh { .. } => {
+                if s.is_refreshing(r, now) {
                     return Err(IssueError::AlreadyRefreshing);
                 }
-                if !rank.all_banks_idle() {
+                if !s.all_banks_idle(r) {
                     return Err(IssueError::RefreshNeedsIdleBanks);
                 }
-                let _ = r;
                 // All per-bank windows (tRP after PRE, tRC after ACT) must
-                // have elapsed before REF.
-                let bank_gate = rank.banks.iter().map(|b| b.next_act).max().unwrap_or(0);
-                Ok(now.max(bank_gate))
+                // have elapsed before REF: one batched max-pass over the
+                // rank's contiguous next_act slice.
+                Ok(now.max(s.rank_act_gate(r)))
             }
             Command::RefreshBank { bank, .. } => {
-                if rank.is_refreshing(now) {
+                if s.is_refreshing(r, now) {
                     return Err(IssueError::AlreadyRefreshing);
                 }
-                let b = &rank.banks[bank];
-                if b.is_open() {
+                let i = s.bank_index(r, bank);
+                if s.is_open(i) {
                     return Err(IssueError::RefreshNeedsIdleBanks);
                 }
                 // REFpb behaves like an activation for the power windows
                 // (tRRD/tFAW) and must wait out the bank's own tRP/tRC.
-                Ok(rank.earliest_activate(now, t.t_faw).max(b.next_act))
+                Ok(s.earliest_activate(r, now, t.t_faw).max(s.next_act[i]))
             }
         }
     }
 
     /// Earliest cycle the data bus permits a column command whose data
     /// phase starts `cas` cycles after issue, from `rank`.
+    // rop-lint: hot
     fn bus_constraint(&self, rank: usize, cas: Cycle) -> Cycle {
         let mut bus_ready = self.data_bus_free;
         if let Some(last) = self.last_data_rank {
@@ -289,7 +291,7 @@ impl DramDevice {
         bank: usize,
         expected_row: usize,
     ) -> Result<(), IssueError> {
-        match self.ranks[rank].banks[bank].open_row() {
+        match self.state.open_row(self.state.bank_index(rank, bank)) {
             Some(open) if open == expected_row => Ok(()),
             Some(open) => Err(IssueError::RowMismatch { open }),
             None => Err(IssueError::BankNotOpen),
@@ -297,20 +299,22 @@ impl DramDevice {
     }
 
     /// Issues `cmd` at `now`, or explains why it cannot issue.
+    // rop-lint: hot
     pub fn try_issue(&mut self, cmd: &Command, now: Cycle) -> Result<IssueOutcome, IssueError> {
         let earliest = self.earliest_issue(cmd, now)?;
         if earliest > now {
             return Err(IssueError::TooEarly { earliest });
         }
-        let t = self.config.timing.clone();
+        let t = self.config.timing;
         let rank_idx = cmd.rank();
         // Attribute background time under the pre-command state.
-        self.ranks[rank_idx].accrue_background(now);
-        let rank = &mut self.ranks[rank_idx];
+        self.state.accrue_background(rank_idx, now);
+        let s = &mut self.state;
         let outcome = match *cmd {
             Command::Activate { bank, row, .. } => {
-                rank.banks[bank].apply_activate(now, row, t.t_rcd, t.t_ras, t.t_rc);
-                rank.record_activate(now, t.t_rrd, t.t_faw);
+                let i = s.bank_index(rank_idx, bank);
+                s.apply_activate(i, now, row, t.t_rcd, t.t_ras, t.t_rc);
+                s.record_activate(rank_idx, now, t.t_rrd, t.t_faw);
                 self.counts.activates += 1;
                 IssueOutcome {
                     issued_at: now,
@@ -319,7 +323,8 @@ impl DramDevice {
                 }
             }
             Command::Precharge { bank, .. } => {
-                rank.banks[bank].apply_precharge(now, t.t_rp);
+                let i = s.bank_index(rank_idx, bank);
+                s.apply_precharge(i, now, t.t_rp);
                 self.counts.precharges += 1;
                 IssueOutcome {
                     issued_at: now,
@@ -328,8 +333,8 @@ impl DramDevice {
                 }
             }
             Command::Read { bank, .. } => {
-                let data_at =
-                    rank.banks[bank].apply_read(now, t.cl, t.burst_cycles(), t.t_rtp, t.t_ccd);
+                let i = s.bank_index(rank_idx, bank);
+                let data_at = s.apply_read(i, now, t.cl, t.burst_cycles(), t.t_rtp, t.t_ccd);
                 self.counts.reads += 1;
                 self.next_read_ok = self.next_read_ok.max(now + t.t_ccd);
                 // Read-to-write: write data may not collide with read data
@@ -346,12 +351,12 @@ impl DramDevice {
                 }
             }
             Command::Write { bank, .. } => {
-                let data_at =
-                    rank.banks[bank].apply_write(now, t.cwl, t.burst_cycles(), t.t_wr, t.t_ccd);
+                let i = s.bank_index(rank_idx, bank);
+                let data_at = s.apply_write(i, now, t.cwl, t.burst_cycles(), t.t_wr, t.t_ccd);
                 self.counts.writes += 1;
                 self.next_write_ok = self.next_write_ok.max(now + t.t_ccd);
                 // Write-to-read turnaround on this rank.
-                rank.next_read_rank = rank.next_read_rank.max(data_at + t.t_wtr);
+                s.next_read_rank[rank_idx] = s.next_read_rank[rank_idx].max(data_at + t.t_wtr);
                 self.data_bus_free = data_at;
                 self.last_data_rank = Some(rank_idx);
                 IssueOutcome {
@@ -361,7 +366,7 @@ impl DramDevice {
                 }
             }
             Command::Refresh { .. } => {
-                rank.start_refresh(now, t.t_rfc());
+                s.start_refresh(rank_idx, now, t.t_rfc());
                 self.counts.refreshes += 1;
                 IssueOutcome {
                     issued_at: now,
@@ -371,8 +376,9 @@ impl DramDevice {
             }
             Command::RefreshBank { bank, .. } => {
                 let done = now + t.t_rfc_pb;
-                rank.banks[bank].apply_bank_refresh(done);
-                rank.record_activate(now, t.t_rrd, t.t_faw);
+                let i = s.bank_index(rank_idx, bank);
+                s.apply_bank_refresh(i, done);
+                s.record_activate(rank_idx, now, t.t_rrd, t.t_faw);
                 self.counts.refreshes_pb += 1;
                 IssueOutcome {
                     issued_at: now,
@@ -414,22 +420,16 @@ impl DramDevice {
     /// Finalises background accrual up to `now` and returns the energy
     /// breakdown for the whole channel.
     pub fn energy_breakdown(&mut self, now: Cycle) -> EnergyBreakdown {
-        for rank in &mut self.ranks {
-            rank.accrue_background(now);
-        }
-        let mut events = EnergyEvents {
+        self.state.accrue_all(now);
+        let events = EnergyEvents {
             activates: self.counts.activates,
             reads: self.counts.reads,
             writes: self.counts.writes,
             refreshes: self.counts.refreshes,
             refreshes_pb: self.counts.refreshes_pb,
-            cycles_some_active: 0,
-            cycles_all_precharged: 0,
+            cycles_some_active: self.state.total_cycles_some_active(),
+            cycles_all_precharged: self.state.total_cycles_all_precharged(),
         };
-        for rank in &self.ranks {
-            events.cycles_some_active += rank.cycles_some_active;
-            events.cycles_all_precharged += rank.cycles_all_precharged;
-        }
         events.breakdown(&self.config.energy, &self.config.timing)
     }
 }
@@ -447,7 +447,7 @@ mod tests {
     #[test]
     fn open_read_close_sequence() {
         let mut d = device();
-        let t = d.config().timing.clone();
+        let t = d.config().timing;
         let act = Command::Activate {
             rank: 0,
             bank: 0,
@@ -510,7 +510,7 @@ mod tests {
     #[test]
     fn refresh_locks_rank_for_trfc() {
         let mut d = device();
-        let t = d.config().timing.clone();
+        let t = d.config().timing;
         let out = d.issue(&Command::Refresh { rank: 0 }, 10);
         assert_eq!(out.completes_at, 10 + t.t_rfc());
         assert!(d.is_rank_refreshing(0, 10));
@@ -536,7 +536,7 @@ mod tests {
     #[test]
     fn per_bank_refresh_freezes_only_its_bank() {
         let mut d = device();
-        let t = d.config().timing.clone();
+        let t = d.config().timing;
         let out = d.issue(&Command::RefreshBank { rank: 0, bank: 2 }, 10);
         assert_eq!(out.completes_at, 10 + t.t_rfc_pb);
         assert!(d.is_bank_refreshing(0, 2, 10));
@@ -624,7 +624,7 @@ mod tests {
     #[test]
     fn write_to_read_turnaround() {
         let mut d = device();
-        let t = d.config().timing.clone();
+        let t = d.config().timing;
         d.issue(
             &Command::Activate {
                 rank: 0,
@@ -651,7 +651,7 @@ mod tests {
     #[test]
     fn rank_switch_penalty_on_bus() {
         let mut d = device();
-        let t = d.config().timing.clone();
+        let t = d.config().timing;
         d.issue(
             &Command::Activate {
                 rank: 0,
@@ -707,7 +707,7 @@ mod tests {
     #[test]
     fn all_bank_refresh_waits_for_per_bank_refresh() {
         let mut d = device();
-        let t = d.config().timing.clone();
+        let t = d.config().timing;
         d.issue(&Command::RefreshBank { rank: 0, bank: 0 }, 0);
         // REF requires every bank window elapsed, including the REFpb'd one.
         let earliest = d
@@ -762,7 +762,7 @@ mod tests {
     #[test]
     fn counts_and_energy() {
         let mut d = device();
-        let t = d.config().timing.clone();
+        let t = d.config().timing;
         d.issue(
             &Command::Activate {
                 rank: 0,

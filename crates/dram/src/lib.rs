@@ -34,12 +34,14 @@ pub mod config;
 pub mod device;
 pub mod energy;
 pub mod rank;
+pub mod soa;
 pub mod timing;
 
 pub use command::{Command, CommandKind};
 pub use config::{DramConfig, Geometry};
 pub use device::{DramDevice, IssueError, IssueOutcome};
 pub use energy::{EnergyBreakdown, EnergyParams};
+pub use soa::ChannelTiming;
 pub use timing::{RefreshGranularity, TimingParams};
 
 /// Memory-clock cycle count. DDR4-1600 runs the memory clock at 800 MHz,

@@ -1,7 +1,8 @@
-//! Per-rank state: banks, the four-activate window, refresh locking, and
-//! background-energy bookkeeping.
+//! Per-rank operations on the struct-of-arrays timing state: the
+//! four-activate window, refresh locking, and background-energy
+//! bookkeeping ([`crate::soa::ChannelTiming`] columns indexed by rank).
 
-use crate::bank::Bank;
+use crate::soa::ChannelTiming;
 use crate::Cycle;
 
 /// Background power state of a rank, for the energy model.
@@ -15,140 +16,119 @@ pub enum RankPowerState {
     Refreshing,
 }
 
-/// One rank: a lockstep set of banks sharing refresh circuitry.
-#[derive(Debug, Clone)]
-pub struct Rank {
-    /// The banks of this rank.
-    pub banks: Vec<Bank>,
-    /// Issue cycles of recent ACTs, pruned to the tFAW window (at most 4
-    /// relevant entries are kept).
-    act_history: Vec<Cycle>,
-    /// Earliest cycle the next ACT may issue due to tRRD.
-    pub next_act_rrd: Cycle,
-    /// Cycle at which an in-progress refresh completes (0 when idle).
-    refresh_until: Cycle,
-    /// Earliest cycle a READ may issue on this rank (tWTR after writes).
-    pub next_read_rank: Cycle,
-    /// Background-energy accrual: cycles spent with any row open.
-    pub cycles_some_active: Cycle,
-    /// Background-energy accrual: cycles spent all-precharged.
-    pub cycles_all_precharged: Cycle,
-    /// Background-energy accrual: cycles spent refreshing.
-    pub cycles_refreshing: Cycle,
-    /// Last cycle up to which background time has been accrued.
-    accrued_until: Cycle,
-}
-
-impl Rank {
-    /// Creates a rank with `banks` idle banks.
-    pub fn new(banks: usize) -> Self {
-        Rank {
-            banks: (0..banks).map(|_| Bank::new()).collect(),
-            act_history: Vec::with_capacity(8),
-            next_act_rrd: 0,
-            refresh_until: 0,
-            next_read_rank: 0,
-            cycles_some_active: 0,
-            cycles_all_precharged: 0,
-            cycles_refreshing: 0,
-            accrued_until: 0,
-        }
-    }
-
-    /// True while an all-bank refresh holds the rank locked at `now` —
+impl ChannelTiming {
+    /// True while an all-bank refresh holds `rank` locked at `now` —
     /// the paper's *frozen cycles*.
+    // rop-lint: hot
     #[inline]
-    pub fn is_refreshing(&self, now: Cycle) -> bool {
-        now < self.refresh_until
+    pub fn is_refreshing(&self, rank: usize, now: Cycle) -> bool {
+        now < self.refresh_until[rank]
     }
 
-    /// Cycle at which the current refresh (if any) completes.
+    /// Cycle at which `rank`'s current refresh (if any) completes.
     #[inline]
-    pub fn refresh_done_at(&self) -> Cycle {
-        self.refresh_until
+    pub fn refresh_done_at(&self, rank: usize) -> Cycle {
+        self.refresh_until[rank]
     }
 
-    /// Current background power state at `now`.
-    pub fn power_state(&self, now: Cycle) -> RankPowerState {
-        if self.is_refreshing(now) {
+    /// True when every bank of `rank` is precharged (a refresh
+    /// precondition). O(1) via the maintained open-bank count.
+    // rop-lint: hot
+    #[inline]
+    pub fn all_banks_idle(&self, rank: usize) -> bool {
+        self.open_banks[rank] == 0
+    }
+
+    /// Current background power state of `rank` at `now`.
+    pub fn power_state(&self, rank: usize, now: Cycle) -> RankPowerState {
+        if self.is_refreshing(rank, now) {
             RankPowerState::Refreshing
-        } else if self.banks.iter().any(Bank::is_open) {
+        } else if self.open_banks[rank] > 0 {
             RankPowerState::SomeActive
         } else {
             RankPowerState::AllPrecharged
         }
     }
 
-    /// Accrues background time up to `now` under the *current* state.
+    /// Accrues background time on `rank` up to `now` under the
+    /// *current* state.
     ///
     /// Must be called before any state change (ACT/PRE/REF issue or
     /// refresh completion) so each interval is attributed to the state
     /// that actually held during it. The device drives this.
-    pub fn accrue_background(&mut self, now: Cycle) {
-        if now <= self.accrued_until {
+    // rop-lint: hot
+    pub fn accrue_background(&mut self, rank: usize, now: Cycle) {
+        if now <= self.accrued_until[rank] {
             return;
         }
         // If a refresh ended inside the interval, split it.
-        let mut start = self.accrued_until;
-        if start < self.refresh_until && now > self.refresh_until {
-            self.cycles_refreshing += self.refresh_until - start;
-            start = self.refresh_until;
+        let mut start = self.accrued_until[rank];
+        let refresh_until = self.refresh_until[rank];
+        if start < refresh_until && now > refresh_until {
+            self.cycles_refreshing[rank] += refresh_until - start;
+            start = refresh_until;
         }
         let span = now - start;
-        match self.power_state(start) {
-            RankPowerState::Refreshing => self.cycles_refreshing += span,
-            RankPowerState::SomeActive => self.cycles_some_active += span,
-            RankPowerState::AllPrecharged => self.cycles_all_precharged += span,
+        match self.power_state(rank, start) {
+            RankPowerState::Refreshing => self.cycles_refreshing[rank] += span,
+            RankPowerState::SomeActive => self.cycles_some_active[rank] += span,
+            RankPowerState::AllPrecharged => self.cycles_all_precharged[rank] += span,
         }
-        self.accrued_until = now;
+        self.accrued_until[rank] = now;
     }
 
-    /// Records an ACT at `now` for tRRD/tFAW purposes.
-    pub fn record_activate(&mut self, now: Cycle, t_rrd: Cycle, t_faw: Cycle) {
-        self.next_act_rrd = now + t_rrd;
-        self.act_history.push(now);
-        // Keep only ACTs still inside a tFAW window ending after `now`.
-        self.act_history.retain(|&t| t + t_faw > now);
-        // At most the 4 most recent matter for the 4-activate window.
-        if self.act_history.len() > 4 {
-            let excess = self.act_history.len() - 4;
-            self.act_history.drain(..excess);
-        }
-    }
-
-    /// Earliest cycle the next ACT may issue on this rank, considering
-    /// tRRD and the four-activate window (but not per-bank constraints).
-    pub fn earliest_activate(&self, now: Cycle, t_faw: Cycle) -> Cycle {
-        let mut earliest = self.next_act_rrd.max(now);
-        // With 4 ACTs inside the window, the 5th must wait until the
-        // oldest leaves the window.
-        let in_window: Vec<Cycle> = self
-            .act_history
-            .iter()
-            .copied()
-            .filter(|&t| t + t_faw > earliest)
-            .collect();
-        if in_window.len() >= 4 {
-            let oldest = in_window[in_window.len() - 4];
-            earliest = earliest.max(oldest + t_faw);
-        }
-        earliest.max(self.refresh_until)
-    }
-
-    /// Starts an all-bank refresh at `now`, locking the rank until
-    /// `now + t_rfc`.
-    pub fn start_refresh(&mut self, now: Cycle, t_rfc: Cycle) {
-        debug_assert!(!self.is_refreshing(now));
-        debug_assert!(self.banks.iter().all(|b| !b.is_open()));
-        self.refresh_until = now + t_rfc;
-        for bank in &mut self.banks {
-            bank.apply_refresh_lock(self.refresh_until);
+    /// Records an ACT-class command on `rank` at `now` for tRRD/tFAW
+    /// purposes. Only the four most recent ACT times can ever bind the
+    /// four-activate window, so they live in a fixed ring — no growth,
+    /// no pruning pass.
+    // rop-lint: hot
+    pub fn record_activate(&mut self, rank: usize, now: Cycle, t_rrd: Cycle, _t_faw: Cycle) {
+        self.next_act_rrd[rank] = now + t_rrd;
+        let n = self.act_count[rank] as usize;
+        let ring = &mut self.act_ring[rank];
+        if n < 4 {
+            ring[n] = now;
+            self.act_count[rank] = (n + 1) as u8;
+        } else {
+            ring[0] = ring[1];
+            ring[1] = ring[2];
+            ring[2] = ring[3];
+            ring[3] = now;
         }
     }
 
-    /// True when every bank is precharged (a refresh precondition).
-    pub fn all_banks_idle(&self) -> bool {
-        self.banks.iter().all(|b| !b.is_open())
+    /// Earliest cycle the next ACT may issue on `rank`, considering
+    /// tRRD and the four-activate window (but not per-bank
+    /// constraints).
+    ///
+    /// The window binds exactly when the oldest of the last four ACTs
+    /// is still inside tFAW of the candidate cycle: ACT times are
+    /// monotone, so "all four in window" reduces to one comparison
+    /// against `act_ring[rank][0]`.
+    // rop-lint: hot
+    pub fn earliest_activate(&self, rank: usize, now: Cycle, t_faw: Cycle) -> Cycle {
+        let mut earliest = self.next_act_rrd[rank].max(now);
+        if self.act_count[rank] == 4 {
+            let oldest = self.act_ring[rank][0];
+            if oldest + t_faw > earliest {
+                earliest = oldest + t_faw;
+            }
+        }
+        earliest.max(self.refresh_until[rank])
+    }
+
+    /// Starts an all-bank refresh on `rank` at `now`, locking the rank
+    /// until `now + t_rfc`. The per-bank ACT gates are raised in one
+    /// batched pass over the rank's contiguous `next_act` slice.
+    pub fn start_refresh(&mut self, rank: usize, now: Cycle, t_rfc: Cycle) {
+        debug_assert!(!self.is_refreshing(rank, now));
+        debug_assert!(self.all_banks_idle(rank));
+        let until = now + t_rfc;
+        self.refresh_until[rank] = until;
+        let span = self.bank_span(rank);
+        for gate in &mut self.next_act[span] {
+            *gate = (*gate).max(until);
+        }
     }
 }
 
@@ -158,60 +138,76 @@ mod tests {
 
     #[test]
     fn four_activate_window() {
-        let mut r = Rank::new(8);
+        let mut c = ChannelTiming::new(1, 8);
         let t_rrd = 5;
         let t_faw = 24;
         // Issue 4 ACTs as fast as tRRD allows: 0, 5, 10, 15.
         for i in 0..4u64 {
             let now = i * t_rrd;
-            assert!(r.earliest_activate(now, t_faw) <= now);
-            r.record_activate(now, t_rrd, t_faw);
+            assert!(c.earliest_activate(0, now, t_faw) <= now);
+            c.record_activate(0, now, t_rrd, t_faw);
         }
         // The 5th ACT must wait for the first to leave the tFAW window.
-        let earliest = r.earliest_activate(20, t_faw);
+        let earliest = c.earliest_activate(0, 20, t_faw);
         assert_eq!(earliest, 24);
     }
 
     #[test]
+    fn stale_acts_fall_out_of_the_window() {
+        let mut c = ChannelTiming::new(1, 8);
+        let (t_rrd, t_faw) = (5, 24);
+        for now in [0, 5, 10, 15, 100] {
+            c.record_activate(0, now, t_rrd, t_faw);
+        }
+        // Last four ACTs are 5, 10, 15, 100; the oldest left the window
+        // long before cycle 105, so only tRRD binds.
+        assert_eq!(c.earliest_activate(0, 105, t_faw), 105);
+    }
+
+    #[test]
     fn refresh_locks_rank() {
-        let mut r = Rank::new(8);
-        r.start_refresh(100, 280);
-        assert!(r.is_refreshing(100));
-        assert!(r.is_refreshing(379));
-        assert!(!r.is_refreshing(380));
-        assert_eq!(r.refresh_done_at(), 380);
-        assert!(r.earliest_activate(150, 24) >= 380);
+        let mut c = ChannelTiming::new(1, 8);
+        c.start_refresh(0, 100, 280);
+        assert!(c.is_refreshing(0, 100));
+        assert!(c.is_refreshing(0, 379));
+        assert!(!c.is_refreshing(0, 380));
+        assert_eq!(c.refresh_done_at(0), 380);
+        assert!(c.earliest_activate(0, 150, 24) >= 380);
+        // Every bank's ACT gate was raised by the batched pass.
+        for idx in c.bank_span(0) {
+            assert_eq!(c.next_act[idx], 380);
+        }
     }
 
     #[test]
     fn background_accrual_splits_states() {
-        let mut r = Rank::new(2);
+        let mut c = ChannelTiming::new(1, 2);
         // 0..100 all precharged.
-        r.accrue_background(100);
-        assert_eq!(r.cycles_all_precharged, 100);
+        c.accrue_background(0, 100);
+        assert_eq!(c.cycles_all_precharged[0], 100);
         // Open a bank at 100; 100..150 some-active.
-        r.banks[0].apply_activate(100, 7, 11, 28, 39);
-        r.accrue_background(150);
-        assert_eq!(r.cycles_some_active, 50);
+        c.apply_activate(0, 100, 7, 11, 28, 39);
+        c.accrue_background(0, 150);
+        assert_eq!(c.cycles_some_active[0], 50);
         // Close it; 150..200 precharged again.
-        r.banks[0].apply_precharge(150, 11);
-        r.accrue_background(200);
-        assert_eq!(r.cycles_all_precharged, 150);
+        c.apply_precharge(0, 150, 11);
+        c.accrue_background(0, 200);
+        assert_eq!(c.cycles_all_precharged[0], 150);
         // Refresh 200..480; accrue past the end splits into refresh + idle.
-        r.start_refresh(200, 280);
-        r.accrue_background(600);
-        assert_eq!(r.cycles_refreshing, 280);
-        assert_eq!(r.cycles_all_precharged, 150 + (600 - 480));
+        c.start_refresh(0, 200, 280);
+        c.accrue_background(0, 600);
+        assert_eq!(c.cycles_refreshing[0], 280);
+        assert_eq!(c.cycles_all_precharged[0], 150 + (600 - 480));
     }
 
     #[test]
     fn power_state_reporting() {
-        let mut r = Rank::new(2);
-        assert_eq!(r.power_state(0), RankPowerState::AllPrecharged);
-        r.banks[1].apply_activate(0, 3, 11, 28, 39);
-        assert_eq!(r.power_state(5), RankPowerState::SomeActive);
-        r.banks[1].apply_precharge(28, 11);
-        r.start_refresh(40, 280);
-        assert_eq!(r.power_state(41), RankPowerState::Refreshing);
+        let mut c = ChannelTiming::new(1, 2);
+        assert_eq!(c.power_state(0, 0), RankPowerState::AllPrecharged);
+        c.apply_activate(1, 0, 3, 11, 28, 39);
+        assert_eq!(c.power_state(0, 5), RankPowerState::SomeActive);
+        c.apply_precharge(1, 28, 11);
+        c.start_refresh(0, 40, 280);
+        assert_eq!(c.power_state(0, 41), RankPowerState::Refreshing);
     }
 }

@@ -1,0 +1,184 @@
+//! Channel-wide struct-of-arrays timing state.
+//!
+//! Every per-bank and per-rank timing register lives in one flat array
+//! per register class, rank-major (`index = rank * banks_per_rank +
+//! bank`). The earliest-issue checks and refresh gates the controller
+//! hammers every tick become contiguous array reads and branch-light
+//! batched passes (max/min over a rank's slice) instead of pointer
+//! chases through per-bank structs.
+//!
+//! The *operations* on these columns are defined next to the concepts
+//! they model: bank-level register transitions in [`crate::bank`],
+//! rank-level windows (tRRD/tFAW/refresh lock) and background-energy
+//! accrual in [`crate::rank`]. This module owns only the layout and the
+//! batched whole-rank passes.
+
+use crate::Cycle;
+use std::ops::Range;
+
+/// All timing state of one channel, flattened into parallel arrays.
+///
+/// Per-bank columns are indexed by [`Self::bank_index`]; per-rank
+/// columns by the rank index. Invariants maintained by the ops in
+/// `bank.rs`/`rank.rs`:
+///
+/// * `open_row_p1[i]` is `row + 1` when a row is open, 0 when idle;
+/// * `open_banks[r]` always equals the number of banks of rank `r`
+///   with `open_row_p1 != 0` (so idle checks and power-state queries
+///   are O(1), not bank scans);
+/// * `act_ring[r]` holds the issue cycles of the `act_count[r]` most
+///   recent ACT-class commands on rank `r`, oldest first (the only
+///   ones that can bind the four-activate window).
+#[derive(Debug, Clone)]
+pub struct ChannelTiming {
+    ranks: usize,
+    banks_per_rank: usize,
+    // --- per-bank columns (rank-major) ---
+    /// Open row + 1; 0 means the bank is precharged.
+    pub(crate) open_row_p1: Vec<usize>,
+    /// Earliest cycle an ACT may issue (tRC after ACT, tRP after PRE,
+    /// refresh completion).
+    pub(crate) next_act: Vec<Cycle>,
+    /// Earliest cycle a PRE may issue (tRAS, tRTP, write recovery).
+    pub(crate) next_pre: Vec<Cycle>,
+    /// Earliest cycle a READ may issue (tRCD, tCCD).
+    pub(crate) next_read: Vec<Cycle>,
+    /// Earliest cycle a WRITE may issue (tRCD, tCCD).
+    pub(crate) next_write: Vec<Cycle>,
+    /// Cycle of the most recent ACT (for stats).
+    pub(crate) last_act_at: Vec<Cycle>,
+    /// End of the in-flight per-bank refresh (REFpb), 0 if none ever.
+    pub(crate) bank_refresh_until: Vec<Cycle>,
+    // --- per-rank columns ---
+    /// Number of banks with an open row.
+    pub(crate) open_banks: Vec<u32>,
+    /// Issue cycles of the most recent ACTs, oldest first.
+    pub(crate) act_ring: Vec<[Cycle; 4]>,
+    /// How many entries of `act_ring` are populated (saturates at 4).
+    pub(crate) act_count: Vec<u8>,
+    /// Earliest cycle the next ACT may issue due to tRRD.
+    pub(crate) next_act_rrd: Vec<Cycle>,
+    /// Cycle at which an in-progress all-bank refresh completes.
+    pub(crate) refresh_until: Vec<Cycle>,
+    /// Earliest cycle a READ may issue on the rank (tWTR after writes).
+    pub(crate) next_read_rank: Vec<Cycle>,
+    /// Background-energy accrual: cycles with any row open.
+    pub(crate) cycles_some_active: Vec<Cycle>,
+    /// Background-energy accrual: cycles all-precharged.
+    pub(crate) cycles_all_precharged: Vec<Cycle>,
+    /// Background-energy accrual: cycles refreshing.
+    pub(crate) cycles_refreshing: Vec<Cycle>,
+    /// Last cycle up to which background time has been accrued.
+    pub(crate) accrued_until: Vec<Cycle>,
+}
+
+impl ChannelTiming {
+    /// Fresh state for `ranks` ranks of `banks_per_rank` banks each,
+    /// all idle with every constraint satisfied at cycle 0.
+    pub fn new(ranks: usize, banks_per_rank: usize) -> Self {
+        let nb = ranks * banks_per_rank;
+        ChannelTiming {
+            ranks,
+            banks_per_rank,
+            open_row_p1: vec![0; nb],
+            next_act: vec![0; nb],
+            next_pre: vec![0; nb],
+            next_read: vec![0; nb],
+            next_write: vec![0; nb],
+            last_act_at: vec![0; nb],
+            bank_refresh_until: vec![0; nb],
+            open_banks: vec![0; ranks],
+            act_ring: vec![[0; 4]; ranks],
+            act_count: vec![0; ranks],
+            next_act_rrd: vec![0; ranks],
+            refresh_until: vec![0; ranks],
+            next_read_rank: vec![0; ranks],
+            cycles_some_active: vec![0; ranks],
+            cycles_all_precharged: vec![0; ranks],
+            cycles_refreshing: vec![0; ranks],
+            accrued_until: vec![0; ranks],
+        }
+    }
+
+    /// Number of ranks on the channel.
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Banks per rank.
+    #[inline]
+    pub fn banks_per_rank(&self) -> usize {
+        self.banks_per_rank
+    }
+
+    /// Flat index of `(rank, bank)` into the per-bank columns.
+    // rop-lint: hot
+    #[inline]
+    pub fn bank_index(&self, rank: usize, bank: usize) -> usize {
+        rank * self.banks_per_rank + bank
+    }
+
+    /// Index range of `rank`'s banks in the per-bank columns.
+    #[inline]
+    pub(crate) fn bank_span(&self, rank: usize) -> Range<usize> {
+        let base = rank * self.banks_per_rank;
+        base..base + self.banks_per_rank
+    }
+
+    /// Batched pass: the latest `next_act` over `rank`'s banks — the
+    /// gate an all-bank REF must wait out (every tRP/tRC/tRFC window
+    /// elapsed). One contiguous max-scan, no per-bank branching.
+    // rop-lint: hot
+    #[inline]
+    pub fn rank_act_gate(&self, rank: usize) -> Cycle {
+        let mut gate = 0;
+        for &a in &self.next_act[self.bank_span(rank)] {
+            gate = gate.max(a);
+        }
+        gate
+    }
+
+    /// Accrues background time on every rank up to `now`.
+    pub fn accrue_all(&mut self, now: Cycle) {
+        for rank in 0..self.ranks {
+            self.accrue_background(rank, now);
+        }
+    }
+
+    /// Sum of some-active background cycles across ranks.
+    pub fn total_cycles_some_active(&self) -> Cycle {
+        self.cycles_some_active.iter().sum()
+    }
+
+    /// Sum of all-precharged background cycles across ranks.
+    pub fn total_cycles_all_precharged(&self) -> Cycle {
+        self.cycles_all_precharged.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_rank_major() {
+        let c = ChannelTiming::new(2, 8);
+        assert_eq!(c.bank_index(0, 0), 0);
+        assert_eq!(c.bank_index(0, 7), 7);
+        assert_eq!(c.bank_index(1, 0), 8);
+        assert_eq!(c.bank_span(1), 8..16);
+        assert_eq!(c.next_act.len(), 16);
+        assert_eq!(c.refresh_until.len(), 2);
+    }
+
+    #[test]
+    fn act_gate_is_max_over_the_rank_slice() {
+        let mut c = ChannelTiming::new(2, 4);
+        let (a, b) = (c.bank_index(0, 2), c.bank_index(1, 0));
+        c.next_act[a] = 50;
+        c.next_act[b] = 900;
+        assert_eq!(c.rank_act_gate(0), 50);
+        assert_eq!(c.rank_act_gate(1), 900);
+    }
+}

@@ -28,7 +28,7 @@ pub enum RefreshGranularity {
 /// Field names follow JEDEC. Same-bank-group (`_L`) timings are used
 /// uniformly — the model does not track bank groups separately, which is
 /// the conservative choice (it never under-reports latency).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingParams {
     /// ACT to internal read/write delay.
     pub t_rcd: Cycle,

@@ -59,6 +59,7 @@ fn metrics(cycles: u64, ipc_milli: u64) -> RunMetrics {
         hit_cycle_cap: false,
         wall_seconds: 0.25,
         instructions_total: cycles / 2,
+        events: cycles / 3,
         audit: None,
     }
 }

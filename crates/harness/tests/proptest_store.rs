@@ -130,6 +130,7 @@ fn run_metrics() -> impl Strategy<Value = RunMetrics> {
                     hit_cycle_cap: cap,
                     wall_seconds: wall,
                     instructions_total,
+                    events: total_cycles / 2,
                     audit,
                 }
             },

@@ -21,7 +21,13 @@
 //!   cleanup like `let _ = std::fs::remove_file(..)` is deliberately
 //!   *not* flagged — only method-call results are;
 //! * `forbid-unsafe` — every crate root must carry
-//!   `#![forbid(unsafe_code)]`.
+//!   `#![forbid(unsafe_code)]`;
+//! * `hot-alloc` — heap allocation (`Box::new`, `Vec::new`, `vec![..]`,
+//!   `.collect(..)`) inside a function marked with a standalone
+//!   `// rop-lint: hot` comment. Hot-marked functions are the
+//!   engine/controller per-cycle paths that must stay allocation-free
+//!   in steady state (scratch buffers are taken, refilled and put
+//!   back instead).
 //!
 //! Escapes and ratcheting:
 //!
@@ -57,6 +63,7 @@ pub const SRC_RULES: &[&str] = &[
     "hash-order",
     "io-ignored",
     "forbid-unsafe",
+    "hot-alloc",
 ];
 
 /// One source-lint hit.
@@ -333,6 +340,51 @@ fn allow_map(src: &str) -> BTreeMap<usize, Vec<String>> {
     map
 }
 
+/// Token-index ranges `[open_brace, close_brace]` of the bodies of
+/// functions marked hot. A standalone `// rop-lint: hot` comment marks
+/// the next `fn` (attributes and doc comments may sit in between); the
+/// body extent is the brace-matched span starting at the first `{`
+/// after that `fn` keyword. The lexer discards comments, so markers are
+/// recovered from a raw line scan and mapped onto the token stream via
+/// line numbers.
+fn hot_extents(src: &str, toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut extents = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        // Only an exact plain line comment counts — doc comments that
+        // merely *mention* the marker must not arm the rule.
+        let t = raw.trim();
+        let Some(body) = t.strip_prefix("//") else {
+            continue;
+        };
+        if body.starts_with('/') || body.starts_with('!') || body.trim() != "rop-lint: hot" {
+            continue;
+        }
+        let marker_line = idx + 1;
+        let Some(fi) = toks
+            .iter()
+            .position(|t| t.line > marker_line && t.is(TokKind::Ident, "fn"))
+        else {
+            continue;
+        };
+        let Some(open) = (fi..toks.len()).find(|&j| toks[j].is(TokKind::Punct, "{")) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        for (j, tok) in toks.iter().enumerate().skip(open) {
+            if tok.is(TokKind::Punct, "{") {
+                depth += 1;
+            } else if tok.is(TokKind::Punct, "}") {
+                depth -= 1;
+                if depth == 0 {
+                    extents.push((open, j));
+                    break;
+                }
+            }
+        }
+    }
+    extents
+}
+
 /// Line of the first `#[cfg(test)]` attribute, if any — everything at
 /// or after it is treated as test code and skipped.
 fn test_cutoff(src: &str) -> Option<usize> {
@@ -381,6 +433,8 @@ fn scan_file(path: &str, src: &str, crate_name: &str, is_crate_root: bool, out: 
     };
     let toks = lex(src);
     let deterministic = DETERMINISTIC_CRATES.contains(&crate_name);
+    let hot = hot_extents(src, &toks);
+    let in_hot = |i: usize| hot.iter().any(|&(lo, hi)| lo <= i && i <= hi);
 
     // Bindings/fields declared as HashMap/HashSet in this file
     // (`name: HashMap<..>` or `name = HashMap::new()` shapes).
@@ -502,6 +556,39 @@ fn scan_file(path: &str, src: &str, crate_name: &str, is_crate_root: bool, out: 
                     break;
                 }
                 j += 1;
+            }
+        }
+        // Heap allocation inside a `// rop-lint: hot` function.
+        if in_hot(i) {
+            if t.kind == TokKind::Ident
+                && (t.text == "Box" || t.text == "Vec")
+                && toks.get(i + 1).is_some_and(|n| n.is(TokKind::Punct, "::"))
+                && toks.get(i + 2).is_some_and(|n| n.is(TokKind::Ident, "new"))
+            {
+                ctx.emit(
+                    "hot-alloc",
+                    t.line,
+                    format!("`{}::new` in a hot function", t.text),
+                );
+            }
+            if t.is(TokKind::Ident, "vec")
+                && toks.get(i + 1).is_some_and(|n| n.is(TokKind::Punct, "!"))
+            {
+                ctx.emit("hot-alloc", t.line, "`vec![..]` in a hot function".into());
+            }
+            if t.is(TokKind::Punct, ".")
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.is(TokKind::Ident, "collect"))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| n.is(TokKind::Punct, "(") || n.is(TokKind::Punct, "::"))
+            {
+                ctx.emit(
+                    "hot-alloc",
+                    toks[i + 1].line,
+                    "`.collect()` in a hot function".into(),
+                );
             }
         }
         // HashMap/HashSet iteration.
@@ -849,6 +936,53 @@ fn f() {\n\
             "harness"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_flags_only_marked_functions() {
+        // Unmarked functions may allocate freely.
+        let cold = "fn f() -> Vec<u8> { let v = Vec::new(); v }\n";
+        assert!(scan_str(cold, "memctrl").is_empty());
+        // The marker covers the next fn's whole body...
+        let hot = "\
+// rop-lint: hot
+fn f(n: usize) -> Vec<u64> {
+    let mut v = Vec::new();
+    for i in 0..n {
+        v.push(i as u64);
+    }
+    v
+}
+fn cold() -> Vec<u8> { vec![1, 2] }
+";
+        let f = scan_str(hot, "memctrl");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "hot-alloc");
+        assert_eq!(f[0].line, 3);
+        // ...including attributes between marker and fn, turbofish
+        // collect, vec! and Box::new.
+        let all = "\
+// rop-lint: hot
+#[inline]
+fn f(n: usize) -> Vec<u64> {
+    let b = Box::new(n);
+    let v = vec![*b as u64];
+    v.iter().copied().collect::<Vec<u64>>()
+}
+";
+        let rules: Vec<&str> = scan_str(all, "sim").iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["hot-alloc"; 3]);
+    }
+
+    #[test]
+    fn hot_alloc_allow_escape_hatch() {
+        let src = "\
+// rop-lint: hot
+fn f() -> Vec<u8> {
+    Vec::new() // rop-lint: allow(hot-alloc)
+}
+";
+        assert!(scan_str(src, "memctrl").is_empty(), "allow must suppress");
     }
 
     #[test]

@@ -203,6 +203,13 @@ fn known_bad_src_table() -> Vec<(&'static str, &'static str, bool, &'static str)
             "fn f(mut w: std::fs::File) { let _ = w.write_all(b\"evidence\"); }\n",
         ),
         ("forbid-unsafe", "harness", true, "pub fn f() {}\n"),
+        (
+            "hot-alloc",
+            "memctrl",
+            false,
+            "// rop-lint: hot\n\
+             fn f(n: usize) -> Vec<u64> { let mut v = Vec::new(); for i in 0..n { v.push(i as u64); } v }\n",
+        ),
     ]
 }
 

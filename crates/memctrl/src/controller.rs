@@ -113,6 +113,79 @@ struct RopState {
     latency: Cycle,
 }
 
+/// Reusable per-tick scratch buffers. The scheduling loop runs every
+/// simulated command-bus cycle; taking these out of the controller,
+/// filling them, and putting them back keeps the steady-state hot path
+/// allocation-free (capacities are retained across ticks).
+/// One scheduling candidate, fully materialised at candidate-build time
+/// so the scheduler's sort/scan passes run over plain contiguous memory
+/// instead of chasing back into the request queues on every comparison.
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    /// 0 = draining-rank demand, 1 = regular, 2 = ROP prefetch.
+    tier: u8,
+    /// Arrival cycle (FCFS age within a tier).
+    arrival: Cycle,
+    /// Queue holding the request.
+    kind: QueueKind,
+    /// Index within that queue.
+    idx: usize,
+    /// Global bank key: `rank * banks_per_rank + bank`.
+    bank: u32,
+    /// The request's row is open in its bank right now.
+    hit: bool,
+}
+
+#[derive(Debug, Default)]
+struct TickScratch {
+    /// FR-FCFS candidates, in queue order.
+    cands: Vec<Cand>,
+    /// Per-slot "is draining" snapshot.
+    draining: Vec<bool>,
+    /// Per-slot admission gates: (blocked for regular requests,
+    /// blocked even for drain-set/prefetch requests).
+    gates: Vec<(bool, bool)>,
+    /// Row-hit candidates (pass 1).
+    hits: Vec<Cand>,
+    /// Age-ordered candidates for the per-bank pass.
+    ordered: Vec<Cand>,
+    /// Per-bank "already owns a candidate" flags, indexed by the
+    /// flattened bank key; cleared at the start of every per-bank pass.
+    seen_banks: Vec<bool>,
+    /// Refresh slots reported by the manager this tick.
+    slots: Vec<usize>,
+    /// Elastic debt snapshot (trace-only path).
+    debts: Vec<u32>,
+    /// Prefetch lines whose fill landed this tick.
+    filled: Vec<u64>,
+    /// Read ids blocked by a just-issued refresh.
+    blocked: Vec<u64>,
+}
+
+impl TickScratch {
+    /// Scratch pre-sized to the controller's hard occupancy bounds, so
+    /// the per-cycle paths never grow these vectors: candidate lists
+    /// are capped by total queue capacity, per-slot lists by the
+    /// refresh-slot count, and the per-bank dedup list by the bank
+    /// count. (ROP prefetch queues have no configured cap; the
+    /// allowance below covers the paper's deepest configuration, and
+    /// anything beyond it merely grows once.)
+    fn with_bounds(queue_cap: usize, slots: usize, banks: usize) -> Self {
+        TickScratch {
+            cands: Vec::with_capacity(queue_cap),
+            draining: Vec::with_capacity(slots),
+            gates: Vec::with_capacity(slots),
+            hits: Vec::with_capacity(queue_cap),
+            ordered: Vec::with_capacity(queue_cap),
+            seen_banks: vec![false; banks],
+            slots: Vec::with_capacity(slots),
+            debts: Vec::with_capacity(slots),
+            filled: Vec::with_capacity(queue_cap),
+            blocked: Vec::with_capacity(queue_cap),
+        }
+    }
+}
+
 /// The memory controller for one channel.
 #[derive(Debug)]
 pub struct MemController {
@@ -135,6 +208,7 @@ pub struct MemController {
     stats: MemCtrlStats,
     /// Controller-level trace sink (refresh/drain lifecycle events).
     trace: TraceBuffer,
+    scratch: TickScratch,
 }
 
 impl MemController {
@@ -216,6 +290,11 @@ impl MemController {
             next_id: 0,
             stats: MemCtrlStats::default(),
             trace: TraceBuffer::new(),
+            scratch: TickScratch::with_bounds(
+                cfg.read_queue_capacity + cfg.write_queue_capacity + 128,
+                slots,
+                ranks * banks,
+            ),
             cfg,
         }
     }
@@ -296,6 +375,7 @@ impl MemController {
     }
 
     /// The refresh slot a request belongs to.
+    // rop-lint: hot
     #[inline]
     fn addr_slot(&self, addr: &crate::address::DecodedAddr) -> usize {
         if self.cfg.per_bank_refresh {
@@ -408,6 +488,16 @@ impl MemController {
     /// Drains the accumulated read completions.
     pub fn take_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Allocation-free variant of [`Self::take_completions`]: appends
+    /// the accumulated completions to `out` and clears the internal
+    /// buffer *in place*, so both sides keep their capacity across the
+    /// simulation's steady state.
+    // rop-lint: hot
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.extend_from_slice(&self.completions);
+        self.completions.clear();
     }
 
     /// Enqueues a read for `line_addr`. Returns the request id, or `None`
@@ -538,6 +628,7 @@ impl MemController {
 
     /// Advances the controller at `now`. Returns the next cycle at which
     /// another call can possibly make progress.
+    // rop-lint: hot
     pub fn tick(&mut self, now: Cycle) -> Cycle {
         if let Some(rop) = &mut self.rop {
             rop.buffer.set_trace_cycle(now);
@@ -580,12 +671,14 @@ impl MemController {
         earliest_hint.max(now + 1)
     }
 
+    // rop-lint: hot
     fn apply_fills(&mut self, now: Cycle) {
         if self.rop.is_none() || self.pending_fills.is_empty() {
             return;
         }
         let rop = self.rop.as_mut().expect("checked above");
-        let mut filled: Vec<u64> = Vec::new();
+        let mut filled = std::mem::take(&mut self.scratch.filled);
+        filled.clear();
         self.pending_fills.retain(|&(key, at)| {
             if at <= now {
                 rop.buffer.insert(key);
@@ -597,6 +690,7 @@ impl MemController {
         });
         self.stats.prefetch_fills += filled.len() as u64;
         if filled.is_empty() {
+            self.scratch.filled = filled;
             return;
         }
         // Late fills: prefetch data issued just before REF can land after
@@ -630,10 +724,15 @@ impl MemController {
                 i += 1;
             }
         }
+        self.scratch.filled = filled;
     }
 
+    // rop-lint: hot
     fn handle_refresh_completions(&mut self, now: Cycle) {
-        for slot in self.refresh.poll_complete(now) {
+        let mut slots = std::mem::take(&mut self.scratch.slots);
+        slots.clear();
+        self.refresh.poll_complete_into(now, &mut slots);
+        for &slot in &slots {
             let rank = self.slot_rank(slot);
             let scope_bank = self.slot_bank(slot);
             self.trace.emit(|| TraceEvent::RefreshEnd {
@@ -670,8 +769,10 @@ impl MemController {
                 self.update_engine_due(rank);
             }
         }
+        self.scratch.slots = slots;
     }
 
+    // rop-lint: hot
     fn handle_refresh_dues(&mut self, now: Cycle) {
         // `busy` for the Elastic policy: does the slot's scope have
         // pending demand?
@@ -690,26 +791,33 @@ impl MemController {
         };
         // Elastic-policy debt accrues inside `poll_due`; snapshot it so a
         // postponement can be traced (only when the trace is live).
-        let debts_before: Vec<u32> = if self.trace.is_enabled() {
-            (0..self.refresh_slots())
-                .map(|s| self.refresh.debt(s))
-                .collect()
-        } else {
-            Vec::new()
-        };
-        for slot in self.refresh.poll_due(now, busy) {
+        let mut debts_before = std::mem::take(&mut self.scratch.debts);
+        debts_before.clear();
+        if self.trace.is_enabled() {
+            debts_before.extend((0..self.refresh_slots()).map(|s| self.refresh.debt(s)));
+        }
+        let mut due = std::mem::take(&mut self.scratch.slots);
+        due.clear();
+        self.refresh.poll_due_into(now, busy, &mut due);
+        for &slot in &due {
             let rank = self.slot_rank(slot);
             self.trace
                 .emit(|| TraceEvent::DrainStart { cycle: now, rank });
             // Snapshot the drain set: everything queued for this slot's
-            // scope (rank, or single bank in per-bank mode).
-            let mut set = Vec::new();
+            // scope (rank, or single bank in per-bank mode). The slot's
+            // Vec is refilled in place, keeping its capacity.
+            let set = &mut self.drain_sets[slot];
+            set.clear();
             for q in self.read_q.iter().chain(self.write_q.iter()) {
-                if self.addr_slot(&q.req.addr) == slot {
+                let qslot = if per_bank {
+                    q.req.addr.rank * banks + q.req.addr.bank
+                } else {
+                    q.req.addr.rank
+                };
+                if qslot == slot {
                     set.push(q.req.id);
                 }
             }
-            self.drain_sets[slot] = set;
 
             if let Some(rop) = &mut self.rop {
                 // The buffer is claimable when free, already owned by this
@@ -752,6 +860,8 @@ impl MemController {
                 }
             }
         }
+        self.scratch.slots = due;
+        self.scratch.debts = debts_before;
     }
 
     /// Generates the pending prefetch candidates for `rank` and queues
@@ -872,14 +982,15 @@ impl MemController {
                 continue;
             }
             any = true;
-            // Close any open bank in the refresh scope.
+            // Close any open bank in the refresh scope (a single bank in
+            // per-bank mode, the whole rank otherwise).
             let banks = self.cfg.dram.geometry.banks_per_rank;
-            let scope: Vec<usize> = match self.slot_bank(slot) {
-                Some(b) => vec![b],
-                None => (0..banks).collect(),
+            let (scope_lo, scope_hi) = match self.slot_bank(slot) {
+                Some(b) => (b, b + 1),
+                None => (0, banks),
             };
             let mut all_idle = true;
-            for &bank in &scope {
+            for bank in scope_lo..scope_hi {
                 if self.device.open_row(rank, bank).is_some() {
                     all_idle = false;
                     let cmd = Command::Precharge { rank, bank };
@@ -962,13 +1073,16 @@ impl MemController {
     /// refresh in the queue.
     fn sweep_blocked_reads(&mut self, slot: usize, now: Cycle) {
         let rank = self.slot_rank(slot);
-        let blocked: Vec<u64> = self
-            .read_q
-            .iter()
-            .filter(|q| self.addr_slot(&q.req.addr) == slot)
-            .map(|q| q.req.id)
-            .collect();
+        let mut blocked = std::mem::take(&mut self.scratch.blocked);
+        blocked.clear();
+        blocked.extend(
+            self.read_q
+                .iter()
+                .filter(|q| self.addr_slot(&q.req.addr) == slot)
+                .map(|q| q.req.id),
+        );
         if blocked.is_empty() {
+            self.scratch.blocked = blocked;
             return;
         }
         if std::env::var_os("ROP_DEBUG").is_some() {
@@ -995,16 +1109,18 @@ impl MemController {
         self.analysis[slot].note_blocked_at_refresh_start(blocked.len() as u64);
         let Some(rop) = &mut self.rop else {
             self.stats.reads_blocked_by_refresh += blocked.len() as u64;
+            self.scratch.blocked = blocked;
             return;
         };
         rop.engines[rank].note_blocked_queued(blocked.len() as u64);
         if !rop.buffer.is_powered() {
             // Training phase: the buffer is off, nothing can be served.
             self.stats.reads_blocked_by_refresh += blocked.len() as u64;
+            self.scratch.blocked = blocked;
             return;
         }
         let latency = rop.latency;
-        for id in blocked {
+        for &id in &blocked {
             let idx = self
                 .read_q
                 .iter()
@@ -1039,10 +1155,12 @@ impl MemController {
                 self.stats.reads_blocked_by_refresh += 1;
             }
         }
+        self.scratch.blocked = blocked;
     }
 
     /// True when requests in `slot`'s scope must not be issued (scope
     /// frozen, or quiescing for an imminent refresh).
+    // rop-lint: hot
     fn slot_blocked(&self, slot: usize, now: Cycle, in_drain_set: bool) -> bool {
         if self.slot_frozen(slot, now) {
             return true;
@@ -1060,64 +1178,101 @@ impl MemController {
 
     /// FR-FCFS scheduling. `Ok(())` = one command issued; `Err(earliest)`
     /// = nothing ready, next possible issue at `earliest`.
+    ///
+    /// This runs every command-bus cycle, so its working sets live in
+    /// [`TickScratch`] — taken out here, refilled, and put back, which
+    /// keeps the steady-state loop allocation-free.
+    // rop-lint: hot
     fn schedule(&mut self, now: Cycle) -> Result<(), Cycle> {
-        // Candidate = (tier, queue kind, index). Tier 0: draining-rank
-        // demand (must issue before its REF); tier 1: regular traffic;
-        // tier 2: ROP prefetches — strictly opportunistic, they only get
-        // bus slots no demand request can use this cycle (§IV-D's
-        // "minimise interference with demand requests").
-        let mut cands: Vec<(u8, QueueKind, usize)> = Vec::new();
+        let mut s = std::mem::take(&mut self.scratch);
+        let result = self.schedule_with(now, &mut s);
+        self.scratch = s;
+        result
+    }
 
-        let draining: Vec<bool> = (0..self.refresh_slots())
-            .map(|slot| matches!(self.refresh.state(slot), RefreshState::Draining { .. }))
-            .collect();
+    // rop-lint: hot
+    fn schedule_with(&mut self, now: Cycle, s: &mut TickScratch) -> Result<(), Cycle> {
+        // Tier 0: draining-rank demand (must issue before its REF);
+        // tier 1: regular traffic; tier 2: ROP prefetches — strictly
+        // opportunistic, they only get bus slots no demand request can
+        // use this cycle (§IV-D's "minimise interference with demand
+        // requests").
+        //
+        // Candidates are materialised once — tier, arrival, bank key
+        // and row-hit flag — so the three passes below sort and scan
+        // plain arrays without re-deriving keys through the queues on
+        // every comparison. Nothing mutates controller state until a
+        // command actually issues (at which point we return), so the
+        // snapshot stays valid for the whole call.
+        s.cands.clear();
+        s.draining.clear();
+        s.gates.clear();
+        for slot in 0..self.refresh_slots() {
+            s.draining.push(matches!(
+                self.refresh.state(slot),
+                RefreshState::Draining { .. }
+            ));
+            s.gates.push((
+                self.slot_blocked(slot, now, false),
+                self.slot_blocked(slot, now, true),
+            ));
+        }
+        let banks = self.cfg.dram.geometry.banks_per_rank;
 
         for (i, q) in self.prefetch_q.iter().enumerate() {
-            if !self.slot_blocked(self.addr_slot(&q.req.addr), now, true) {
-                cands.push((2, QueueKind::Prefetch, i));
+            let slot = self.addr_slot(&q.req.addr);
+            if !s.gates[slot].1 {
+                s.cands
+                    .push(self.materialize(2, QueueKind::Prefetch, i, q, banks));
             }
         }
         let serve_writes = self.write_drain || self.read_q.is_empty();
         for (i, q) in self.read_q.iter().enumerate() {
             let slot = self.addr_slot(&q.req.addr);
             let in_set = self.drain_sets[slot].contains(&q.req.id);
-            if self.slot_blocked(slot, now, in_set) {
+            if if in_set {
+                s.gates[slot].1
+            } else {
+                s.gates[slot].0
+            } {
                 continue;
             }
-            let tier = if draining[slot] && in_set { 0 } else { 1 };
-            cands.push((tier, QueueKind::Read, i));
+            let tier = if s.draining[slot] && in_set { 0 } else { 1 };
+            s.cands
+                .push(self.materialize(tier, QueueKind::Read, i, q, banks));
         }
         for (i, q) in self.write_q.iter().enumerate() {
             let slot = self.addr_slot(&q.req.addr);
             let in_set = self.drain_sets[slot].contains(&q.req.id);
-            if self.slot_blocked(slot, now, in_set) {
+            if if in_set {
+                s.gates[slot].1
+            } else {
+                s.gates[slot].0
+            } {
                 continue;
             }
-            let tier = if draining[slot] && in_set {
+            let tier = if s.draining[slot] && in_set {
                 0
             } else if serve_writes {
                 1
             } else {
                 continue;
             };
-            cands.push((tier, QueueKind::Write, i));
+            s.cands
+                .push(self.materialize(tier, QueueKind::Write, i, q, banks));
         }
 
-        if cands.is_empty() {
+        if s.cands.is_empty() {
             return Err(Cycle::MAX);
         }
 
         let mut earliest = Cycle::MAX;
 
         // Pass 0: starvation guard — serve the oldest over-age request.
-        let oldest = cands
-            .iter()
-            .min_by_key(|&&(tier, kind, i)| (tier, self.queued(kind, i).req.arrival))
-            .copied();
-        if let Some((_, kind, i)) = oldest {
-            let req = self.queued(kind, i).req;
-            if req.age(now) > self.cfg.age_cap {
-                match self.issue_for(kind, i, now) {
+        let oldest = s.cands.iter().min_by_key(|c| (c.tier, c.arrival)).copied();
+        if let Some(c) = oldest {
+            if self.queued(c.kind, c.idx).req.age(now) > self.cfg.age_cap {
+                match self.issue_for(c.kind, c.idx, now) {
                     Ok(()) => return Ok(()),
                     Err(e) => earliest = earliest.min(e),
                 }
@@ -1125,38 +1280,34 @@ impl MemController {
         }
 
         // Pass 1: ready row-hit column commands, tier then age order.
-        let mut hits: Vec<(u8, Cycle, QueueKind, usize)> = Vec::new();
-        for &(tier, kind, i) in &cands {
-            let req = self.queued(kind, i).req;
-            if self.device.open_row(req.addr.rank, req.addr.bank) == Some(req.addr.row) {
-                hits.push((tier, req.arrival, kind, i));
-            }
+        s.hits.clear();
+        for c in s.cands.iter().filter(|c| c.hit) {
+            s.hits.push(*c);
         }
-        hits.sort_unstable_by_key(|&(tier, arrival, _, _)| (tier, arrival));
-        for (_, _, kind, i) in hits {
-            match self.issue_for(kind, i, now) {
+        s.hits.sort_unstable_by_key(|c| (c.tier, c.arrival));
+        for i in 0..s.hits.len() {
+            let c = s.hits[i];
+            match self.issue_for(c.kind, c.idx, now) {
                 Ok(()) => return Ok(()),
                 Err(e) => earliest = earliest.min(e),
             }
         }
 
         // Pass 2: oldest request per bank drives PRE/ACT (or its column
-        // command once the row opens).
-        let mut by_bank: Vec<(u8, Cycle, QueueKind, usize)> = Vec::new();
-        let mut seen_banks: Vec<(usize, usize)> = Vec::new();
-        let mut ordered = cands.clone();
-        ordered.sort_unstable_by_key(|&(tier, kind, i)| (tier, self.queued(kind, i).req.arrival));
-        for (tier, kind, i) in ordered {
-            let req = self.queued(kind, i).req;
-            let key = (req.addr.rank, req.addr.bank);
-            if seen_banks.contains(&key) {
+        // command once the row opens). Bank keys were frozen into the
+        // candidates up front, so the dedup flags are independent of
+        // anything a failed issue attempt could touch and the issue
+        // loop folds into the dedup scan.
+        s.ordered.clear();
+        s.ordered.extend_from_slice(&s.cands);
+        s.ordered.sort_unstable_by_key(|c| (c.tier, c.arrival));
+        s.seen_banks.fill(false);
+        for i in 0..s.ordered.len() {
+            let c = s.ordered[i];
+            if std::mem::replace(&mut s.seen_banks[c.bank as usize], true) {
                 continue;
             }
-            seen_banks.push(key);
-            by_bank.push((tier, req.arrival, kind, i));
-        }
-        for (_, _, kind, i) in by_bank {
-            match self.issue_for(kind, i, now) {
+            match self.issue_for(c.kind, c.idx, now) {
                 Ok(()) => return Ok(()),
                 Err(e) => earliest = earliest.min(e),
             }
@@ -1165,6 +1316,23 @@ impl MemController {
         Err(earliest)
     }
 
+    /// Builds the materialised scheduling snapshot for one queued
+    /// request (see [`Cand`]).
+    // rop-lint: hot
+    #[inline]
+    fn materialize(&self, tier: u8, kind: QueueKind, idx: usize, q: &Queued, banks: usize) -> Cand {
+        let a = &q.req.addr;
+        Cand {
+            tier,
+            arrival: q.req.arrival,
+            kind,
+            idx,
+            bank: (a.rank * banks + a.bank) as u32,
+            hit: self.device.open_row(a.rank, a.bank) == Some(a.row),
+        }
+    }
+
+    // rop-lint: hot
     fn queued(&self, kind: QueueKind, i: usize) -> &Queued {
         match kind {
             QueueKind::Read => &self.read_q[i],
@@ -1176,6 +1344,7 @@ impl MemController {
     /// Issues the next command required by request `(kind, i)`. `Ok(())`
     /// when a command was issued (column commands also retire the
     /// request); `Err(earliest)` when timing forbids issuing now.
+    // rop-lint: hot
     fn issue_for(&mut self, kind: QueueKind, i: usize, now: Cycle) -> Result<(), Cycle> {
         let req = self.queued(kind, i).req;
         let (rank, bank, row, col) = (req.addr.rank, req.addr.bank, req.addr.row, req.addr.col);
@@ -1248,6 +1417,7 @@ impl MemController {
         }
     }
 
+    // rop-lint: hot
     fn mark_acted(&mut self, kind: QueueKind, i: usize) {
         match kind {
             QueueKind::Read => self.read_q[i].acted = true,
@@ -1258,6 +1428,7 @@ impl MemController {
 
     /// Removes a request whose column command issued, delivering its
     /// effect (completion, fill, or write retirement).
+    // rop-lint: hot
     fn retire(&mut self, kind: QueueKind, i: usize, data_at: Cycle, now: Cycle) {
         let q = match kind {
             QueueKind::Read => self.read_q.remove(i),

@@ -141,10 +141,23 @@ impl RefreshManager {
     /// `busy(rank)` reports whether the rank currently has pending demand
     /// requests; the Elastic policy uses it to decide whether to postpone.
     pub fn poll_due(&mut self, now: Cycle, busy: impl Fn(usize) -> bool) -> Vec<usize> {
-        if !self.enabled {
-            return Vec::new();
-        }
         let mut newly_due = Vec::new();
+        self.poll_due_into(now, busy, &mut newly_due);
+        newly_due
+    }
+
+    /// Allocation-free variant of [`Self::poll_due`]: appends newly-due
+    /// ranks to `out` (which the caller clears and reuses across ticks).
+    // rop-lint: hot
+    pub fn poll_due_into(
+        &mut self,
+        now: Cycle,
+        busy: impl Fn(usize) -> bool,
+        out: &mut Vec<usize>,
+    ) {
+        if !self.enabled {
+            return;
+        }
         for rank in 0..self.state.len() {
             match self.policy {
                 RefreshPolicy::Standard => {
@@ -152,7 +165,7 @@ impl RefreshManager {
                         self.state[rank] = RefreshState::Draining {
                             due: self.next_due[rank],
                         };
-                        newly_due.push(rank);
+                        out.push(rank);
                     }
                 }
                 RefreshPolicy::Elastic { max_debt } => {
@@ -167,12 +180,11 @@ impl RefreshManager {
                         && (self.debt[rank] >= max_debt || !busy(rank))
                     {
                         self.state[rank] = RefreshState::Draining { due: now };
-                        newly_due.push(rank);
+                        out.push(rank);
                     }
                 }
             }
         }
-        newly_due
     }
 
     /// True when the drain deadline for `rank` has passed and the refresh
@@ -218,15 +230,22 @@ impl RefreshManager {
     /// Idle and returns the ranks that just thawed.
     pub fn poll_complete(&mut self, now: Cycle) -> Vec<usize> {
         let mut done = Vec::new();
+        self.poll_complete_into(now, &mut done);
+        done
+    }
+
+    /// Allocation-free variant of [`Self::poll_complete`]: appends the
+    /// thawed ranks to `out`.
+    // rop-lint: hot
+    pub fn poll_complete_into(&mut self, now: Cycle, out: &mut Vec<usize>) {
         for rank in 0..self.state.len() {
             if let RefreshState::Refreshing { until } = self.state[rank] {
                 if now >= until {
                     self.state[rank] = RefreshState::Idle;
-                    done.push(rank);
+                    out.push(rank);
                 }
             }
         }
-        done
     }
 
     /// The earliest future cycle at which this manager needs attention

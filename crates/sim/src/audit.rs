@@ -63,7 +63,7 @@ impl AuditorConfig {
     /// Derives the audit parameters from a controller configuration.
     pub fn from_ctrl(cfg: &MemCtrlConfig) -> Self {
         AuditorConfig {
-            timing: cfg.dram.timing.clone(),
+            timing: cfg.dram.timing,
             ranks: cfg.dram.geometry.ranks,
             banks_per_rank: cfg.dram.geometry.banks_per_rank,
             per_bank: cfg.per_bank_refresh,
@@ -327,7 +327,7 @@ impl Auditor {
             );
             return;
         }
-        let t = self.cfg.timing.clone();
+        let t = self.cfg.timing;
         // A refresh command *initiates* the freeze it belongs to, so the
         // frozen-scope check applies to every other command kind.
         if !matches!(kind, CmdKind::Refresh | CmdKind::RefreshBank) && self.frozen(rank, bank) {

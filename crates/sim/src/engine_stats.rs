@@ -1,16 +1,22 @@
 //! Process-wide engine throughput accounting.
 //!
-//! Every finished [`crate::system::System`] run adds its simulated cycle
-//! and instruction counts here. Drivers that fan runs out across threads
-//! (the `repro` binary's figure sweeps) can then report aggregate
-//! simulated cycles/sec and instructions/sec against their own wall
-//! clock, making engine speedups measurable run-over-run without
-//! threading per-run timing through every experiment result type.
+//! Every finished [`crate::system::System`] run adds its simulated cycle,
+//! instruction, and engine-event counts here. Drivers that fan runs out
+//! across threads (the `repro` binary's figure sweeps) can then report
+//! aggregate simulated cycles/sec, instructions/sec, and events/sec
+//! against their own wall clock, making engine speedups measurable
+//! run-over-run without threading per-run timing through every
+//! experiment result type.
+//!
+//! Cycles/sec flatters an event-driven engine (fast-forward makes the
+//! cycle count grow without bound at near-zero cost); events/sec counts
+//! actual engine iterations and is the honest throughput metric.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static CYCLES: AtomicU64 = AtomicU64::new(0);
 static INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+static EVENTS: AtomicU64 = AtomicU64::new(0);
 
 /// Totals simulated by this process so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,12 +25,17 @@ pub struct EngineTotals {
     pub cycles: u64,
     /// Retired instructions, summed over all cores of all finished runs.
     pub instructions: u64,
+    /// Engine loop iterations (events processed), summed over all
+    /// finished runs. For the per-cycle reference loop this equals the
+    /// cycle count; for the event-driven engine it is much smaller.
+    pub events: u64,
 }
 
 /// Adds one finished run to the process totals.
-pub(crate) fn record(cycles: u64, instructions: u64) {
+pub(crate) fn record(cycles: u64, instructions: u64, events: u64) {
     CYCLES.fetch_add(cycles, Ordering::Relaxed);
     INSTRUCTIONS.fetch_add(instructions, Ordering::Relaxed);
+    EVENTS.fetch_add(events, Ordering::Relaxed);
 }
 
 /// Snapshot of the process totals.
@@ -32,6 +43,7 @@ pub fn totals() -> EngineTotals {
     EngineTotals {
         cycles: CYCLES.load(Ordering::Relaxed),
         instructions: INSTRUCTIONS.load(Ordering::Relaxed),
+        events: EVENTS.load(Ordering::Relaxed),
     }
 }
 
@@ -42,9 +54,10 @@ mod tests {
     #[test]
     fn totals_accumulate_monotonically() {
         let before = totals();
-        record(100, 40);
+        record(100, 40, 25);
         let after = totals();
         assert!(after.cycles >= before.cycles + 100);
         assert!(after.instructions >= before.instructions + 40);
+        assert!(after.events >= before.events + 25);
     }
 }

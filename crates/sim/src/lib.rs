@@ -22,6 +22,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod runner;
 pub mod system;
+pub mod wheel;
 
 pub use audit::{AuditSummary, Auditor, AuditorConfig, Violation};
 pub use config::{SystemConfig, SystemKind};

@@ -67,11 +67,18 @@ pub struct RunMetrics {
     /// True when the run hit its safety cycle cap before all cores
     /// finished their instruction quota.
     pub hit_cycle_cap: bool,
-    /// Wall-clock seconds spent inside the simulation loop.
+    /// Wall-clock seconds spent inside the simulation loop (measured
+    /// with the monotonic clock; never fed back into simulated state).
     pub wall_seconds: f64,
     /// Instructions retired summed over all cores (each capped at its
     /// fixed-work target), for throughput reporting.
     pub instructions_total: u64,
+    /// Engine loop iterations executed (events processed). The
+    /// per-cycle reference loop runs one event per cycle; the
+    /// event-driven engine runs far fewer. Events per wall-clock
+    /// second is the honest engine-throughput metric — cycles/sec
+    /// inflates with fast-forward span lengths.
+    pub events: u64,
     /// Invariant-audit outcome, when the run was audited (`None` for
     /// ordinary runs; audited runs that *fail* panic instead, so a
     /// present summary always reports zero violations).
@@ -104,6 +111,16 @@ impl RunMetrics {
             return 0.0;
         }
         self.instructions_total as f64 / self.wall_seconds
+    }
+
+    /// Engine events (loop iterations) per wall-clock second — the
+    /// honest throughput figure for an event-driven engine (0 when
+    /// timing was not captured).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / self.wall_seconds
     }
 
     /// Weighted speedup against per-benchmark alone-IPCs:
@@ -255,7 +272,8 @@ impl RunMetrics {
             .push(
                 "instructions_total",
                 Json::Num(self.instructions_total as f64),
-            );
+            )
+            .push("events", Json::Num(self.events as f64));
         if let Some(a) = self.audit {
             j.push("audit_events", Json::Num(a.events as f64))
                 .push("audit_violations", Json::Num(a.violations as f64));
@@ -310,6 +328,7 @@ impl RunMetrics {
                 .unwrap_or(false),
             wall_seconds: get_f64(j, "wall_seconds"),
             instructions_total: get_u64(j, "instructions_total"),
+            events: get_u64(j, "events"),
             audit: j
                 .get("audit_events")
                 .and_then(Json::as_u64)
@@ -353,6 +372,7 @@ mod tests {
             avg_read_latency: 0.0,
             hit_cycle_cap: false,
             wall_seconds: 0.0,
+            events: 0,
             audit: None,
         }
     }

@@ -310,6 +310,7 @@ impl SweepJob {
             hit_cycle_cap: false,
             wall_seconds: 0.0,
             instructions_total: 0,
+            events: 0,
             audit: None,
         }
     }

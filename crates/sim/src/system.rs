@@ -6,6 +6,9 @@
 //!   advances `now` straight to the earliest next event (core memory op,
 //!   controller hint, or in-flight read completion), batch-replaying the
 //!   skipped cycles on each core in O(1) via [`Core::fast_forward`].
+//!   In-flight completions live in a hierarchical timing wheel
+//!   ([`crate::wheel`]) that preserves the `(done_at, id)` delivery
+//!   order of the binary heap it replaced.
 //! * [`System::run_until_reference`] — a pure per-cycle loop with no
 //!   fast-forwarding at all. It exists as the semantic oracle: the
 //!   differential tests assert both loops produce identical metrics.
@@ -13,8 +16,6 @@
 //! See DESIGN.md ("Engine") for the event contract and the invariants
 //! that make the batched loop cycle-exact.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use rop_cache::{Cache, TryAccess};
@@ -25,29 +26,8 @@ use rop_trace::SyntheticWorkload;
 use crate::audit::{Auditor, AuditorConfig};
 use crate::config::SystemConfig;
 use crate::metrics::{CoreMetrics, RunMetrics};
+use crate::wheel::TimingWheel;
 use crate::Cycle;
-
-/// Min-heap ordering for in-flight completions: earliest `done_at`
-/// first, then id for determinism.
-#[derive(Debug)]
-struct Inflight(Completion);
-
-impl PartialEq for Inflight {
-    fn eq(&self, other: &Self) -> bool {
-        (self.0.done_at, self.0.id) == (other.0.done_at, other.0.id)
-    }
-}
-impl Eq for Inflight {}
-impl PartialOrd for Inflight {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Inflight {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.0.done_at, self.0.id).cmp(&(other.0.done_at, other.0.id))
-    }
-}
 
 /// A complete simulated machine: cores → shared LLC → controller → DRAM.
 pub struct System {
@@ -55,9 +35,11 @@ pub struct System {
     cores: Vec<Core<SyntheticWorkload>>,
     llc: Cache,
     ctrl: MemController,
-    /// Read completions waiting for their data-arrival cycle, earliest
-    /// first.
-    inflight: BinaryHeap<Reverse<Inflight>>,
+    /// Read completions waiting for their data-arrival cycle, popped in
+    /// `(done_at, id)` order (see [`crate::wheel`]).
+    inflight: TimingWheel,
+    /// Reused batch buffer for completions due this cycle.
+    due: Vec<Completion>,
     now: Cycle,
     /// Cycle at which each core crossed its instruction quota.
     finish: Vec<Option<Cycle>>,
@@ -65,6 +47,8 @@ pub struct System {
     line_shift: Option<u32>,
     /// Wall-clock seconds spent inside the run loop.
     wall_seconds: f64,
+    /// Engine loop iterations executed (events processed).
+    events: u64,
     /// Online invariant checker consuming the event trace, when audit
     /// mode is enabled.
     auditor: Option<Auditor>,
@@ -108,12 +92,14 @@ impl System {
             finish: vec![None; cfg.benchmarks.len()],
             cores,
             ctrl,
-            inflight: BinaryHeap::new(),
+            inflight: TimingWheel::new(),
+            due: Vec::new(),
             now: 0,
             line_shift: llc_line
                 .is_power_of_two()
                 .then(|| llc_line.trailing_zeros()),
             wall_seconds: 0.0,
+            events: 0,
             auditor: None,
             cancel: None,
             cfg,
@@ -199,21 +185,20 @@ impl System {
         let line_shift = self.line_shift;
         while self.finish.iter().any(Option::is_none) && self.now < max_cycles {
             let now = self.now;
+            self.events += 1;
             if let Some(token) = &self.cancel {
                 token.beat(now);
                 token.checkpoint(); // panics when a watchdog cancelled us
             }
 
-            // Deliver read data that has arrived.
-            while let Some(Reverse(head)) = self.inflight.peek() {
-                if head.0.done_at > now {
-                    break;
-                }
-                let Some(Reverse(Inflight(c))) = self.inflight.pop() else {
-                    unreachable!("peeked entry vanished");
-                };
+            // Deliver read data that has arrived, in `(done_at, id)`
+            // order exactly as the old completion heap did.
+            self.inflight.pop_due(now, &mut self.due);
+            for i in 0..self.due.len() {
+                let c = self.due[i];
                 self.cores[c.core].complete_read(c.id);
             }
+            self.due.clear();
 
             // Tick every core for exactly this cycle.
             let Self {
@@ -235,9 +220,11 @@ impl System {
             if let Some(auditor) = &mut self.auditor {
                 self.ctrl.drain_trace(auditor);
             }
-            for c in self.ctrl.take_completions() {
-                self.inflight.push(Reverse(Inflight(c)));
+            self.ctrl.drain_completions_into(&mut self.due);
+            for i in 0..self.due.len() {
+                self.inflight.push(self.due[i]);
             }
+            self.due.clear();
 
             // Once every core has crossed its quota the run is over; do
             // not fast-forward (and tally stalls for) cycles the
@@ -250,8 +237,8 @@ impl System {
             // Advance straight to the earliest next event: the controller
             // hint, the next read completion, or the next core memory op.
             let mut next = hint;
-            if let Some(Reverse(head)) = self.inflight.peek() {
-                next = next.min(head.0.done_at);
+            if let Some(done_at) = self.inflight.peek_earliest() {
+                next = next.min(done_at);
             }
             for (i, core) in self.cores.iter().enumerate() {
                 next = next.min(core.next_event(now));
@@ -342,7 +329,7 @@ impl System {
             .iter()
             .map(|c| c.stats().instructions.min(target))
             .sum();
-        crate::engine_stats::record(total_cycles, instructions_total);
+        crate::engine_stats::record(total_cycles, instructions_total, self.events);
         RunMetrics {
             system: self.cfg.kind.label(),
             cores,
@@ -366,6 +353,7 @@ impl System {
             hit_cycle_cap,
             wall_seconds: self.wall_seconds,
             instructions_total,
+            events: self.events,
             audit: self.auditor.as_ref().map(|a| a.summary()),
         }
     }
@@ -576,6 +564,64 @@ mod tests {
         );
     }
 
+    /// Differential check with a tweaked controller configuration —
+    /// the hook for stressing timing corners (refresh pressure, tFAW
+    /// saturation) that the stock DDR4 profile rarely exercises.
+    fn assert_loops_agree_with(
+        kind: SystemKind,
+        b: Benchmark,
+        target: u64,
+        cap: Cycle,
+        tweak: impl Fn(&mut rop_memctrl::MemCtrlConfig),
+    ) {
+        let mut cfg = SystemConfig::single_core(b, kind, 42);
+        let mut ctrl = kind.memctrl_config(cfg.ranks, cfg.seed);
+        tweak(&mut ctrl);
+        cfg.ctrl_override = Some(ctrl);
+        let mut event = System::new(cfg.clone());
+        let me = event.run_until(target, cap);
+        let mut reference = System::new(cfg);
+        let mr = reference.run_until_reference(target, cap);
+
+        assert_eq!(me.total_cycles, mr.total_cycles, "{kind:?}/{b:?}");
+        assert_eq!(me.refreshes, mr.refreshes, "{kind:?}/{b:?}");
+        assert_eq!(me.hit_cycle_cap, mr.hit_cycle_cap, "{kind:?}/{b:?}");
+        assert_eq!(me.sram_lookups, mr.sram_lookups, "{kind:?}/{b:?}");
+        assert_eq!(me.prefetches, mr.prefetches, "{kind:?}/{b:?}");
+        assert_eq!(me.energy.total_nj(), mr.energy.total_nj(), "{kind:?}/{b:?}");
+        for (ce, cr) in me.cores.iter().zip(&mr.cores) {
+            assert_eq!(ce.finish_cycle, cr.finish_cycle, "{kind:?}/{b:?}");
+            assert_eq!(ce.ipc, cr.ipc, "{kind:?}/{b:?}");
+            assert_eq!(ce.stall_cycles, cr.stall_cycles, "{kind:?}/{b:?}");
+        }
+    }
+
+    #[test]
+    fn event_loop_is_cycle_exact_refresh_heavy() {
+        // tREFI/8 (still > tRFC, so the config stays legal): REF
+        // traffic dominates and every drain/freeze/thaw transition in
+        // the wheel-driven engine must land on the same cycle as the
+        // per-cycle oracle.
+        for kind in [SystemKind::Baseline, SystemKind::Rop { buffer: 64 }] {
+            assert_loops_agree_with(kind, Benchmark::Libquantum, 120_000, 20_000_000, |ctrl| {
+                ctrl.dram.timing.t_refi_base /= 8
+            });
+        }
+    }
+
+    #[test]
+    fn event_loop_is_cycle_exact_tfaw_saturated() {
+        // A pathologically wide four-activate window (tFAW 24 -> 120)
+        // makes the rolling-ACT constraint bind on essentially every
+        // activate, exercising the SoA ACT-ring bookkeeping and the
+        // fast-forward hints it feeds.
+        for kind in [SystemKind::Baseline, SystemKind::Rop { buffer: 64 }] {
+            assert_loops_agree_with(kind, Benchmark::Libquantum, 120_000, 40_000_000, |ctrl| {
+                ctrl.dram.timing.t_faw = 120
+            });
+        }
+    }
+
     #[test]
     fn event_loop_is_cycle_exact_multicore() {
         let mix = rop_trace::WORKLOAD_MIXES[5];
@@ -605,6 +651,33 @@ mod tests {
         assert!(m.wall_seconds > 0.0);
         assert!(m.cycles_per_sec() > 0.0);
         assert!(m.instructions_per_sec() > 0.0);
+        assert!(m.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn event_engine_processes_fewer_events_than_cycles() {
+        // The honest throughput metric: the event engine visits a strict
+        // subset of cycles, while the reference loop visits every one.
+        let mut event = System::new(SystemConfig::single_core(
+            Benchmark::Gcc,
+            SystemKind::Baseline,
+            42,
+        ));
+        let me = event.run_until(120_000, 20_000_000);
+        assert!(me.events > 0);
+        assert!(
+            me.events < me.total_cycles,
+            "gcc is memory-light; the engine must fast-forward ({} events, {} cycles)",
+            me.events,
+            me.total_cycles
+        );
+        let mut reference = System::new(SystemConfig::single_core(
+            Benchmark::Gcc,
+            SystemKind::Baseline,
+            42,
+        ));
+        let mr = reference.run_until_reference(120_000, 20_000_000);
+        assert!(mr.events >= mr.total_cycles.saturating_sub(1));
     }
 
     fn quick_audited(kind: SystemKind, b: Benchmark) -> RunMetrics {
