@@ -17,6 +17,7 @@
 //!   single                          fig7+fig8+fig9 (one sweep)
 //!   multi                           fig10+fig11 (one sweep)
 //!   llc                             fig12+fig13+fig14 (one sweep)
+//!   mechanisms                      figM1..M4 refresh-mechanism head-to-head
 //!   all                             everything above
 //! ```
 //!
@@ -42,8 +43,8 @@ use rop_sim_system::experiments::driver::plan_jobs;
 use rop_sim_system::experiments::sensitivity::LLC_SIZES_MIB;
 use rop_sim_system::experiments::{
     ablate_drain_with, ablate_table_with, ablate_throttle_with, ablate_window_with, run_analysis,
-    run_fgr_sweep, run_llc_sweep_with, run_per_bank_study, run_policy_comparison,
-    run_singlecore_with,
+    run_fgr_sweep, run_llc_sweep_with, run_mechanisms_with, run_per_bank_study,
+    run_policy_comparison, run_singlecore_with, MECHANISM_BENCHMARKS,
 };
 use rop_sim_system::runner::{AuditingExecutor, LocalExecutor, RunSpec, SweepExecutor};
 use rop_stats::TableBuilder;
@@ -53,7 +54,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment> [--instr N] [--seed S] [--store PATH] [--audit] [--no-lint]\n\
          experiments: fig1 fig2 fig3 fig4 table1 fig7 fig8 fig9 fig10 fig11\n\
-         fig12 fig13 fig14 table2 table3 analysis single multi llc\n\
+         fig12 fig13 fig14 table2 table3 analysis single multi llc mechanisms\n\
          policies fgr per-bank\n\
          ablate-window ablate-throttle ablate-drain ablate-table all"
     );
@@ -103,6 +104,7 @@ fn lintable_experiment(cmd: &str) -> Option<&'static str> {
         "fig7" | "fig8" | "fig9" | "single" => Some("single"),
         "fig10" | "fig11" | "multi" => Some("multi"),
         "fig12" | "fig13" | "fig14" | "llc" => Some("llc"),
+        "mechanisms" => Some("mechanisms"),
         "ablate-window" => Some("ablate-window"),
         "ablate-throttle" => Some("ablate-throttle"),
         "ablate-drain" => Some("ablate-drain"),
@@ -280,6 +282,13 @@ fn main() {
                 }
             }
         }
+        "mechanisms" => {
+            let res = run_mechanisms_with(&MECHANISM_BENCHMARKS, spec, exec);
+            println!("{}", res.render_ipc());
+            println!("{}", res.render_blocked());
+            println!("{}", res.render_energy());
+            println!("{}", res.render_refresh_counts());
+        }
         "table2" => println!("{}", render_table2()),
         "table3" => println!("{}", render_table3()),
         "policies" => println!("{}", run_policy_comparison(spec).render()),
@@ -314,6 +323,11 @@ fn main() {
             println!("{}", res.render_fig12());
             println!("{}", res.render_fig13());
             println!("{}", res.render_fig14());
+            let res = run_mechanisms_with(&MECHANISM_BENCHMARKS, spec, exec);
+            println!("{}", res.render_ipc());
+            println!("{}", res.render_blocked());
+            println!("{}", res.render_energy());
+            println!("{}", res.render_refresh_counts());
             println!("{}", ablate_window_with(spec, exec).render());
             println!("{}", ablate_throttle_with(spec, exec).render());
             println!("{}", ablate_drain_with(spec, exec).render());

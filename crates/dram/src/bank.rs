@@ -133,6 +133,17 @@ impl ChannelTiming {
         debug_assert!(!self.is_open(idx));
         self.next_act[idx] = self.next_act[idx].max(done);
         self.bank_refresh_until[idx] = self.bank_refresh_until[idx].max(done);
+        self.bank_refresh_subarray_p1[idx] = 0;
+    }
+
+    /// Applies a subarray-scoped refresh (SARP) to bank `idx` ending at
+    /// `done`: only `subarray` is locked; ACTs targeting the bank's
+    /// other subarrays remain admissible, so the bank-wide `next_act`
+    /// gate is *not* raised — the device's admission check consults
+    /// [`Self::frozen_subarray`] per target row instead.
+    pub fn apply_subarray_refresh(&mut self, idx: usize, done: Cycle, subarray: usize) {
+        self.bank_refresh_until[idx] = self.bank_refresh_until[idx].max(done);
+        self.bank_refresh_subarray_p1[idx] = subarray + 1;
     }
 
     /// True while a per-bank refresh holds bank `idx` at `now`.
@@ -146,6 +157,19 @@ impl ChannelTiming {
     #[inline]
     pub fn bank_refresh_done_at(&self, idx: usize) -> Cycle {
         self.bank_refresh_until[idx]
+    }
+
+    /// The subarray locked by bank `idx`'s in-flight refresh at `now`:
+    /// `Some(sa)` for a SARP-scoped refresh, `None` when the refresh is
+    /// bank-wide or no refresh is in flight.
+    // rop-lint: hot
+    #[inline]
+    pub fn frozen_subarray(&self, idx: usize, now: Cycle) -> Option<usize> {
+        if now < self.bank_refresh_until[idx] {
+            self.bank_refresh_subarray_p1[idx].checked_sub(1)
+        } else {
+            None
+        }
     }
 }
 
@@ -210,6 +234,23 @@ mod tests {
         assert!(!c.is_bank_refreshing(0, 500));
         // The sibling bank's column is untouched.
         assert_eq!(c.next_act[1], 0);
+    }
+
+    #[test]
+    fn subarray_refresh_scopes_the_freeze() {
+        let mut c = ChannelTiming::new(1, 2);
+        c.apply_subarray_refresh(0, 500, 3);
+        // The bank counts as refreshing, but ACT admission is left to
+        // the per-row subarray check: next_act is untouched.
+        assert!(c.is_bank_refreshing(0, 499));
+        assert_eq!(c.frozen_subarray(0, 499), Some(3));
+        assert_eq!(c.next_act[0], 0);
+        // Scope clears when the window ends.
+        assert_eq!(c.frozen_subarray(0, 500), None);
+        // A bank-wide REFpb resets the scope marker.
+        c.apply_bank_refresh(0, 900);
+        assert_eq!(c.frozen_subarray(0, 600), None);
+        assert_eq!(c.next_act[0], 900);
     }
 
     #[test]

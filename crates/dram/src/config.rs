@@ -16,6 +16,11 @@ pub struct Geometry {
     pub banks_per_rank: usize,
     /// Rows per bank.
     pub rows_per_bank: usize,
+    /// Subarrays per bank (contiguous row blocks sharing local sense
+    /// amplifiers). Only SARP-style mechanisms distinguish them: a
+    /// subarray-scoped refresh freezes one subarray while accesses to
+    /// the bank's other subarrays proceed.
+    pub subarrays_per_bank: usize,
     /// Cache lines (columns of one line width) per row.
     pub lines_per_row: usize,
     /// Cache-line size in bytes.
@@ -29,6 +34,7 @@ impl Geometry {
             ranks: 1,
             banks_per_rank: 8,
             rows_per_bank: 1 << 15,
+            subarrays_per_bank: 8,
             lines_per_row: 128,
             line_bytes: 64,
         }
@@ -52,6 +58,20 @@ impl Geometry {
         self.total_lines() * self.line_bytes
     }
 
+    /// Rows in each subarray (rows are split into contiguous blocks).
+    #[inline]
+    pub fn rows_per_subarray(&self) -> usize {
+        self.rows_per_bank / self.subarrays_per_bank
+    }
+
+    /// Subarray containing `row` (high-order row bits select the
+    /// subarray: subarrays are contiguous row blocks).
+    // rop-lint: hot
+    #[inline]
+    pub fn subarray_of_row(&self, row: usize) -> usize {
+        row / self.rows_per_subarray()
+    }
+
     /// Validates the geometry (all dimensions non-zero, powers of two where
     /// the address mapping requires it).
     pub fn validate(&self) -> Result<(), String> {
@@ -67,8 +87,15 @@ impl Geometry {
         }
         pow2(self.banks_per_rank, "banks_per_rank")?;
         pow2(self.rows_per_bank, "rows_per_bank")?;
+        pow2(self.subarrays_per_bank, "subarrays_per_bank")?;
         pow2(self.lines_per_row, "lines_per_row")?;
         pow2(self.line_bytes, "line_bytes")?;
+        if self.subarrays_per_bank > self.rows_per_bank {
+            return Err(format!(
+                "subarrays_per_bank ({}) cannot exceed rows_per_bank ({})",
+                self.subarrays_per_bank, self.rows_per_bank
+            ));
+        }
         Ok(())
     }
 }
@@ -149,6 +176,26 @@ mod tests {
             ..Geometry::ddr4_1rank()
         };
         assert!(no_ranks.validate().is_err());
+        let odd_subarrays = Geometry {
+            subarrays_per_bank: 3,
+            ..Geometry::ddr4_1rank()
+        };
+        assert!(odd_subarrays.validate().is_err());
+        let too_many = Geometry {
+            subarrays_per_bank: 1 << 16,
+            ..Geometry::ddr4_1rank()
+        };
+        assert!(too_many.validate().is_err());
+    }
+
+    #[test]
+    fn subarray_mapping_uses_high_row_bits() {
+        let g = Geometry::ddr4_1rank();
+        assert_eq!(g.rows_per_subarray(), (1 << 15) / 8);
+        assert_eq!(g.subarray_of_row(0), 0);
+        assert_eq!(g.subarray_of_row(g.rows_per_subarray() - 1), 0);
+        assert_eq!(g.subarray_of_row(g.rows_per_subarray()), 1);
+        assert_eq!(g.subarray_of_row(g.rows_per_bank - 1), 7);
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub struct CommandCounts {
     pub refreshes: u64,
     /// Per-bank REFpb commands issued.
     pub refreshes_pb: u64,
+    /// Subarray-scoped refreshes issued (SARP).
+    pub refreshes_sa: u64,
+    /// Partial all-bank refreshes issued (RAIDR bin rounds).
+    pub refreshes_partial: u64,
+    /// Total cycles spent in partial all-bank refreshes.
+    pub refresh_partial_cycles: u64,
 }
 
 /// Cycle-level model of the DRAM behind one channel.
@@ -172,6 +178,23 @@ impl DramDevice {
             .bank_refresh_done_at(self.state.bank_index(rank, bank))
     }
 
+    /// The subarray locked by `(rank, bank)`'s in-flight refresh at
+    /// `now`: `Some(sa)` only for SARP-scoped refreshes. `None` means
+    /// either no refresh or a bank-wide freeze (check
+    /// [`Self::is_bank_refreshing`] to distinguish).
+    // rop-lint: hot
+    pub fn frozen_subarray(&self, rank: usize, bank: usize, now: Cycle) -> Option<usize> {
+        self.state
+            .frozen_subarray(self.state.bank_index(rank, bank), now)
+    }
+
+    /// Subarray containing `row` under the configured geometry.
+    // rop-lint: hot
+    #[inline]
+    pub fn subarray_of_row(&self, row: usize) -> usize {
+        self.config.geometry.subarray_of_row(row)
+    }
+
     fn check_index(&self, cmd: &Command) -> Result<(), IssueError> {
         let g = &self.config.geometry;
         if cmd.rank() >= g.ranks {
@@ -205,12 +228,21 @@ impl DramDevice {
         let s = &self.state;
         let r = cmd.rank();
         match *cmd {
-            Command::Activate { bank, .. } => {
+            Command::Activate { bank, row, .. } => {
                 let i = s.bank_index(r, bank);
                 if s.is_open(i) {
                     return Err(IssueError::BankNotIdle);
                 }
-                Ok(s.earliest_activate(r, now, t.t_faw).max(s.next_act[i]))
+                let earliest = s.earliest_activate(r, now, t.t_faw).max(s.next_act[i]);
+                // A SARP-scoped refresh leaves the bank-wide ACT gate
+                // down; only rows of the frozen subarray must wait for
+                // the refresh window to end.
+                match s.frozen_subarray(i, earliest) {
+                    Some(sa) if self.config.geometry.subarray_of_row(row) == sa => {
+                        Ok(s.bank_refresh_done_at(i))
+                    }
+                    _ => Ok(earliest),
+                }
             }
             Command::Precharge { bank, .. } => {
                 let i = s.bank_index(r, bank);
@@ -392,8 +424,122 @@ impl DramDevice {
             kind: trace_kind(cmd),
             rank: rank_idx,
             bank: cmd.bank(),
+            row: match *cmd {
+                Command::Activate { row, .. } => Some(row),
+                _ => None,
+            },
         });
         Ok(outcome)
+    }
+
+    /// Earliest cycle a SARP subarray-scoped refresh could issue on
+    /// `(rank, bank, subarray)`, or a structural error.
+    ///
+    /// The refresh needs the rank not all-bank refreshing, the bank not
+    /// already refreshing, no open row *in the target subarray* (rows
+    /// open in sibling subarrays are fine — local sense amplifiers),
+    /// and the rank's ACT-class windows (tRRD/tFAW): internally the
+    /// refresh activates rows of the target subarray.
+    pub fn earliest_subarray_refresh(
+        &self,
+        rank: usize,
+        bank: usize,
+        subarray: usize,
+        now: Cycle,
+    ) -> Result<Cycle, IssueError> {
+        let g = &self.config.geometry;
+        if rank >= g.ranks || bank >= g.banks_per_rank || subarray >= g.subarrays_per_bank {
+            return Err(IssueError::BadIndex);
+        }
+        let s = &self.state;
+        if s.is_refreshing(rank, now) {
+            return Err(IssueError::AlreadyRefreshing);
+        }
+        let i = s.bank_index(rank, bank);
+        if s.is_bank_refreshing(i, now) {
+            return Err(IssueError::AlreadyRefreshing);
+        }
+        if let Some(open) = s.open_row(i) {
+            if g.subarray_of_row(open) == subarray {
+                return Err(IssueError::RefreshNeedsIdleBanks);
+            }
+        }
+        // Like REFpb, a subarray refresh occupies an activate slot for
+        // the power windows (tRRD/tFAW) and must wait out the bank's own
+        // tRP/tRC — only the *freeze* is subarray-scoped.
+        Ok(s.earliest_activate(rank, now, self.config.timing.t_faw)
+            .max(s.next_act[i]))
+    }
+
+    /// Issues a SARP subarray-scoped refresh at `now`: locks only
+    /// `subarray` of `(rank, bank)` for `tRFCsa`; accesses to the
+    /// bank's other subarrays keep flowing.
+    pub fn try_issue_subarray_refresh(
+        &mut self,
+        rank: usize,
+        bank: usize,
+        subarray: usize,
+        now: Cycle,
+    ) -> Result<IssueOutcome, IssueError> {
+        let earliest = self.earliest_subarray_refresh(rank, bank, subarray, now)?;
+        if earliest > now {
+            return Err(IssueError::TooEarly { earliest });
+        }
+        let t = self.config.timing;
+        self.state.accrue_background(rank, now);
+        let done = now + t.t_rfc_sa;
+        let i = self.state.bank_index(rank, bank);
+        self.state.apply_subarray_refresh(i, done, subarray);
+        self.state.record_activate(rank, now, t.t_rrd, t.t_faw);
+        self.counts.refreshes_sa += 1;
+        self.trace.emit(|| TraceEvent::CmdIssued {
+            cycle: now,
+            kind: CmdKind::RefreshSubarray,
+            rank,
+            bank: Some(bank),
+            row: Some(subarray * self.config.geometry.rows_per_subarray()),
+        });
+        Ok(IssueOutcome {
+            issued_at: now,
+            data_at: None,
+            completes_at: done,
+        })
+    }
+
+    /// Issues a *partial* all-bank refresh at `now` locking `rank` for
+    /// `duration` cycles instead of the full `tRFC` (RAIDR rounds that
+    /// only recharge a retention bin's rows). Admission rules are
+    /// identical to [`Command::Refresh`].
+    ///
+    /// # Panics
+    /// Debug-asserts `1 <= duration <= tRFC`.
+    pub fn try_issue_refresh_scaled(
+        &mut self,
+        rank: usize,
+        now: Cycle,
+        duration: Cycle,
+    ) -> Result<IssueOutcome, IssueError> {
+        debug_assert!(duration >= 1 && duration <= self.config.timing.t_rfc());
+        let earliest = self.earliest_issue(&Command::Refresh { rank }, now)?;
+        if earliest > now {
+            return Err(IssueError::TooEarly { earliest });
+        }
+        self.state.accrue_background(rank, now);
+        self.state.start_refresh(rank, now, duration);
+        self.counts.refreshes_partial += 1;
+        self.counts.refresh_partial_cycles += duration;
+        self.trace.emit(|| TraceEvent::CmdIssued {
+            cycle: now,
+            kind: CmdKind::Refresh,
+            rank,
+            bank: None,
+            row: None,
+        });
+        Ok(IssueOutcome {
+            issued_at: now,
+            data_at: None,
+            completes_at: now + duration,
+        })
     }
 
     /// Issues `cmd` at `now`, panicking on failure. For tests and callers
@@ -427,6 +573,8 @@ impl DramDevice {
             writes: self.counts.writes,
             refreshes: self.counts.refreshes,
             refreshes_pb: self.counts.refreshes_pb,
+            refreshes_sa: self.counts.refreshes_sa,
+            refresh_partial_cycles: self.counts.refresh_partial_cycles,
             cycles_some_active: self.state.total_cycles_some_active(),
             cycles_all_precharged: self.state.total_cycles_all_precharged(),
         };
@@ -557,6 +705,77 @@ mod tests {
         assert_eq!(d.earliest_issue(&act3, 20).unwrap(), 20);
         assert_eq!(d.counts().refreshes_pb, 1);
         assert_eq!(d.count_of(CommandKind::RefreshBank), 1);
+    }
+
+    #[test]
+    fn subarray_refresh_admits_other_subarrays() {
+        let mut d = device();
+        let t = d.config().timing;
+        let g = d.config().geometry;
+        let out = d.try_issue_subarray_refresh(0, 2, 0, 10).unwrap();
+        assert_eq!(out.completes_at, 10 + t.t_rfc_sa);
+        assert!(d.is_bank_refreshing(0, 2, 10));
+        assert_eq!(d.frozen_subarray(0, 2, 10), Some(0));
+        // ACT to a row of the frozen subarray must wait out the window...
+        let frozen_row = Command::Activate {
+            rank: 0,
+            bank: 2,
+            row: 0,
+        };
+        assert_eq!(d.earliest_issue(&frozen_row, 20).unwrap(), 10 + t.t_rfc_sa);
+        // ...but a row of a sibling subarray of the SAME bank activates
+        // immediately (the point of SARP).
+        let other_row = Command::Activate {
+            rank: 0,
+            bank: 2,
+            row: g.rows_per_subarray(),
+        };
+        assert_eq!(d.earliest_issue(&other_row, 20).unwrap(), 20);
+        assert_eq!(d.counts().refreshes_sa, 1);
+    }
+
+    #[test]
+    fn subarray_refresh_needs_target_subarray_idle() {
+        let mut d = device();
+        let g = d.config().geometry;
+        // Open a row in subarray 1 of bank 0.
+        d.issue(
+            &Command::Activate {
+                rank: 0,
+                bank: 0,
+                row: g.rows_per_subarray(),
+            },
+            0,
+        );
+        // Refreshing subarray 1 is rejected while its row is open...
+        assert_eq!(
+            d.try_issue_subarray_refresh(0, 0, 1, 50),
+            Err(IssueError::RefreshNeedsIdleBanks)
+        );
+        // ...but subarray 0 can refresh under the open row next door.
+        assert!(d.try_issue_subarray_refresh(0, 0, 0, 50).is_ok());
+        // Double subarray refresh on the same bank is rejected.
+        assert_eq!(
+            d.try_issue_subarray_refresh(0, 0, 3, 51),
+            Err(IssueError::AlreadyRefreshing)
+        );
+    }
+
+    #[test]
+    fn scaled_refresh_locks_for_its_duration_only() {
+        let mut d = device();
+        let out = d.try_issue_refresh_scaled(0, 10, 40).unwrap();
+        assert_eq!(out.completes_at, 50);
+        assert!(d.is_rank_refreshing(0, 49));
+        assert!(!d.is_rank_refreshing(0, 50));
+        let c = d.counts();
+        assert_eq!(c.refreshes, 0);
+        assert_eq!(c.refreshes_partial, 1);
+        assert_eq!(c.refresh_partial_cycles, 40);
+        // Energy is charged pro rata, not per full REF quantum.
+        let e = d.energy_breakdown(1000);
+        let full = d.config().energy.refresh_energy_nj(&d.config().timing);
+        assert!(e.refresh_nj > 0.0 && e.refresh_nj < full / 2.0);
     }
 
     #[test]

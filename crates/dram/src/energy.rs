@@ -102,6 +102,12 @@ impl EnergyParams {
     pub fn refresh_pb_energy_nj(&self, t: &TimingParams) -> f64 {
         self.energy_nj(self.idd5b_ma / 8.0, t.t_rfc_pb as f64)
     }
+
+    /// Energy of one subarray-scoped refresh (SARP), in nJ: a REFpb's
+    /// current profile flowing only for the shorter `tRFCsa` window.
+    pub fn refresh_sa_energy_nj(&self, t: &TimingParams) -> f64 {
+        self.energy_nj(self.idd5b_ma / 8.0, t.t_rfc_sa as f64)
+    }
 }
 
 impl Default for EnergyParams {
@@ -168,6 +174,12 @@ pub struct EnergyEvents {
     pub refreshes: u64,
     /// Number of per-bank REFpb commands issued.
     pub refreshes_pb: u64,
+    /// Number of subarray-scoped refreshes issued (SARP).
+    pub refreshes_sa: u64,
+    /// Total cycles spent in *partial* all-bank refreshes (RAIDR rounds
+    /// that only recharge a retention bin's rows); charged per cycle at
+    /// the refresh-burst current instead of per full REF quantum.
+    pub refresh_partial_cycles: Cycle,
     /// Cycles with at least one row open (per rank, summed).
     pub cycles_some_active: Cycle,
     /// Cycles all-precharged (per rank, summed).
@@ -182,7 +194,9 @@ impl EnergyEvents {
             read_nj: self.reads as f64 * p.read_energy_nj(t),
             write_nj: self.writes as f64 * p.write_energy_nj(t),
             refresh_nj: self.refreshes as f64 * p.refresh_energy_nj(t)
-                + self.refreshes_pb as f64 * p.refresh_pb_energy_nj(t),
+                + self.refreshes_pb as f64 * p.refresh_pb_energy_nj(t)
+                + self.refreshes_sa as f64 * p.refresh_sa_energy_nj(t)
+                + p.energy_nj(p.idd5b_ma, self.refresh_partial_cycles as f64),
             background_nj: p.energy_nj(p.idd3n_ma, self.cycles_some_active as f64)
                 + p.energy_nj(p.idd2n_ma, self.cycles_all_precharged as f64),
             sram_nj: 0.0,
@@ -205,6 +219,32 @@ mod tests {
         assert!(p.read_energy_nj(&t) > 0.0);
         assert!(p.write_energy_nj(&t) > 0.0);
         assert!(p.refresh_energy_nj(&t) > 0.0);
+        assert!(p.refresh_sa_energy_nj(&t) > 0.0);
+        // Narrower refresh scopes cost strictly less.
+        assert!(p.refresh_sa_energy_nj(&t) < p.refresh_pb_energy_nj(&t));
+        assert!(p.refresh_pb_energy_nj(&t) < p.refresh_energy_nj(&t));
+    }
+
+    #[test]
+    fn partial_refresh_cycles_charge_pro_rata() {
+        let (p, t) = setup();
+        let full = EnergyEvents {
+            refreshes: 1,
+            ..Default::default()
+        };
+        let partial = EnergyEvents {
+            refresh_partial_cycles: t.t_rfc(),
+            ..Default::default()
+        };
+        // A partial refresh spanning a full tRFC equals one REF quantum.
+        let a = full.breakdown(&p, &t).refresh_nj;
+        let b = partial.breakdown(&p, &t).refresh_nj;
+        assert!((a - b).abs() < 1e-9);
+        let quarter = EnergyEvents {
+            refresh_partial_cycles: t.t_rfc() / 4,
+            ..Default::default()
+        };
+        assert!(quarter.breakdown(&p, &t).refresh_nj < a / 3.9);
     }
 
     #[test]
@@ -223,6 +263,8 @@ mod tests {
             writes: 50,
             refreshes: 2,
             refreshes_pb: 4,
+            refreshes_sa: 3,
+            refresh_partial_cycles: 70,
             cycles_some_active: 1000,
             cycles_all_precharged: 5000,
         };

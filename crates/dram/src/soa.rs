@@ -49,6 +49,10 @@ pub struct ChannelTiming {
     pub(crate) last_act_at: Vec<Cycle>,
     /// End of the in-flight per-bank refresh (REFpb), 0 if none ever.
     pub(crate) bank_refresh_until: Vec<Cycle>,
+    /// Subarray locked by the in-flight per-bank refresh, plus one; 0
+    /// means the refresh (if any) is bank-wide. Only meaningful while
+    /// `now < bank_refresh_until[i]` (SARP-scoped refreshes).
+    pub(crate) bank_refresh_subarray_p1: Vec<usize>,
     // --- per-rank columns ---
     /// Number of banks with an open row.
     pub(crate) open_banks: Vec<u32>,
@@ -87,6 +91,7 @@ impl ChannelTiming {
             next_write: vec![0; nb],
             last_act_at: vec![0; nb],
             bank_refresh_until: vec![0; nb],
+            bank_refresh_subarray_p1: vec![0; nb],
             open_banks: vec![0; ranks],
             act_ring: vec![[0; 4]; ranks],
             act_count: vec![0; ranks],

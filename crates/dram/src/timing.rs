@@ -69,6 +69,10 @@ pub struct TimingParams {
     /// Per-bank refresh (REFpb) duration — the §VII future-work mode:
     /// one bank refreshes while the rest of the rank keeps serving.
     pub t_rfc_pb: Cycle,
+    /// Subarray-scoped refresh duration (SARP): while a per-bank refresh
+    /// is charging one subarray, accesses to the bank's other subarrays
+    /// proceed; only this window locks the target subarray's rows.
+    pub t_rfc_sa: Cycle,
     /// Active refresh granularity.
     pub refresh_mode: RefreshGranularity,
 }
@@ -98,6 +102,7 @@ impl TimingParams {
             t_rfc2: 208,       // 260 ns
             t_rfc4: 128,       // 160 ns
             t_rfc_pb: 112,     // 140 ns (LPDDR4-class REFpb for 8 Gb)
+            t_rfc_sa: 90,      // 112.5 ns (REFpb minus the shared-I/O overlap)
             refresh_mode: RefreshGranularity::X1,
         }
     }
@@ -184,6 +189,12 @@ impl TimingParams {
         if self.t_rfc_pb >= self.t_rfc1 {
             return Err("per-bank refresh must be shorter than all-bank".into());
         }
+        if self.t_rfc_sa == 0 || self.t_rfc_sa > self.t_rfc_pb {
+            return Err(format!(
+                "subarray refresh window tRFCsa ({}) must be in 1..=tRFCpb ({})",
+                self.t_rfc_sa, self.t_rfc_pb
+            ));
+        }
         if self.t_rfc() >= self.t_refi() {
             return Err("tRFC must be smaller than tREFI (duty cycle < 1)".into());
         }
@@ -239,6 +250,20 @@ mod tests {
         assert_eq!(t.burst_cycles(), 4);
         assert_eq!(t.read_latency(), 15);
         assert_eq!(t.write_latency(), 13);
+    }
+
+    #[test]
+    fn validate_rejects_bad_trfcsa() {
+        let t = TimingParams {
+            t_rfc_sa: 200, // > tRFCpb
+            ..TimingParams::ddr4_1600_8gb()
+        };
+        assert!(t.validate().is_err());
+        let t = TimingParams {
+            t_rfc_sa: 0,
+            ..TimingParams::ddr4_1600_8gb()
+        };
+        assert!(t.validate().is_err());
     }
 
     #[test]

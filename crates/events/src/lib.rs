@@ -36,6 +36,10 @@ pub enum CmdKind {
     Refresh,
     /// Per-bank refresh (REFpb; locks one bank for tRFCpb).
     RefreshBank,
+    /// Subarray-scoped refresh (SARP; locks one subarray for tRFCsa —
+    /// `row` carries the subarray's first row so observers can recover
+    /// the scope).
+    RefreshSubarray,
 }
 
 /// One structured event in the memory-system trace.
@@ -58,6 +62,9 @@ pub enum TraceEvent {
         rank: usize,
         /// Target bank (`None` for all-bank refresh).
         bank: Option<usize>,
+        /// Target row for ACT (the auditor needs it to judge subarray
+        /// admission under SARP); `None` for non-ACT commands.
+        row: Option<usize>,
     },
     /// A refresh began on `rank` (`bank` set for REFpb scope).
     RefreshStart {
@@ -67,6 +74,9 @@ pub enum TraceEvent {
         rank: usize,
         /// Refreshing bank for per-bank refresh, `None` for all-bank.
         bank: Option<usize>,
+        /// Refreshing subarray for SARP-scoped refresh, `None` when the
+        /// freeze covers the whole bank/rank.
+        subarray: Option<usize>,
     },
     /// The controller observed a refresh completing on `rank`.
     RefreshEnd {
@@ -173,6 +183,22 @@ pub enum TraceEvent {
         /// Number of blocked reads counted.
         count: u64,
     },
+    /// A RAIDR retention round completed on `rank`: the refresh
+    /// mechanism recharged the 64 ms bin and, depending on the round
+    /// index, the slower bins too. The auditor uses the stream of these
+    /// events to prove every bin is covered within its retention period.
+    RetentionRound {
+        /// Cycle the round's refresh (or skip decision) was taken.
+        cycle: Cycle,
+        /// Rank the round covers.
+        rank: usize,
+        /// Monotonic round index (one per tREFI slot period).
+        round: u64,
+        /// True when the 128 ms bin was recharged this round.
+        covers_128: bool,
+        /// True when the 256 ms bin (all remaining rows) was recharged.
+        covers_256: bool,
+    },
 }
 
 impl TraceEvent {
@@ -192,7 +218,8 @@ impl TraceEvent {
             | TraceEvent::ProfilerWindowOpen { cycle, .. }
             | TraceEvent::ProfilerWindowClose { cycle, .. }
             | TraceEvent::DemandObserved { cycle, .. }
-            | TraceEvent::BlockedQueued { cycle, .. } => cycle,
+            | TraceEvent::BlockedQueued { cycle, .. }
+            | TraceEvent::RetentionRound { cycle, .. } => cycle,
         }
     }
 }
@@ -295,6 +322,7 @@ mod tests {
             cycle: 9,
             rank: 0,
             bank: None,
+            subarray: None,
         });
         assert_eq!(buf.len(), 2);
         let mut out = Vec::new();

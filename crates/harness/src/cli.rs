@@ -305,11 +305,23 @@ fn cmd_diff(path_a: &str, path_b: &str) -> Result<i32, String> {
             continue;
         }
         if let (Some(ma), Some(mb)) = (&ra.metrics, &rb.metrics) {
+            if ma.mechanism != mb.mechanism {
+                println!(
+                    "  {id} {}: mechanism {} vs {}",
+                    ra.label, ma.mechanism, mb.mechanism
+                );
+                differs = true;
+            }
             let fields = [
                 ("ipc", ma.ipc(), mb.ipc()),
                 ("cycles", ma.total_cycles as f64, mb.total_cycles as f64),
                 ("energy_mj", ma.energy_mj(), mb.energy_mj()),
                 ("refreshes", ma.refreshes as f64, mb.refreshes as f64),
+                (
+                    "refresh_blocked_cycles",
+                    ma.refresh_blocked_cycles as f64,
+                    mb.refresh_blocked_cycles as f64,
+                ),
             ];
             for (field, va, vb) in fields {
                 if (va - vb).abs() > 1e-12 {
@@ -339,16 +351,18 @@ fn cmd_export(opt: &Options) -> Result<i32, String> {
     let mut ids: Vec<&&str> = latest.keys().collect();
     ids.sort();
     println!(
-        "job,label,status,attempts,ipc,energy_mj,refreshes,sram_hit_rate,total_cycles,\
-         wall_seconds,audit_events,audit_violations"
+        "job,label,status,attempts,mechanism,ipc,energy_mj,refreshes,refresh_blocked_cycles,\
+         sram_hit_rate,total_cycles,wall_seconds,audit_events,audit_violations"
     );
     for id in ids {
         let rec = latest[*id];
-        let (ipc, energy, refreshes, sram, cycles, wall) = match &rec.metrics {
+        let (mechanism, ipc, energy, refreshes, blocked, sram, cycles, wall) = match &rec.metrics {
             Some(m) => (
+                csv_escape(&m.mechanism),
                 format!("{:?}", m.ipc()),
                 format!("{:?}", m.energy_mj()),
                 m.refreshes.to_string(),
+                m.refresh_blocked_cycles.to_string(),
                 format!("{:?}", m.sram_hit_rate),
                 m.total_cycles.to_string(),
                 format!("{:?}", m.wall_seconds),
@@ -362,7 +376,7 @@ fn cmd_export(opt: &Options) -> Result<i32, String> {
             None => Default::default(),
         };
         println!(
-            "{},{},{},{},{ipc},{energy},{refreshes},{sram},{cycles},{wall},\
+            "{},{},{},{},{mechanism},{ipc},{energy},{refreshes},{blocked},{sram},{cycles},{wall},\
              {audit_events},{audit_violations}",
             rec.job,
             csv_escape(&rec.label),

@@ -50,6 +50,10 @@ fn metrics(cycles: u64, ipc_milli: u64) -> RunMetrics {
         total_cycles: cycles,
         energy: EnergyBreakdown::default(),
         refreshes: cycles / 64,
+        mechanism: "allbank".into(),
+        refresh_blocked_cycles: cycles / 8,
+        refreshes_skipped: 0,
+        refreshes_pulled_in: 0,
         sram_hit_rate: 0.5,
         sram_lookups: 10,
         prefetches: 4,

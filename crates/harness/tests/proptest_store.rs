@@ -121,6 +121,10 @@ fn run_metrics() -> impl Strategy<Value = RunMetrics> {
                         sram_nj: e[5],
                     },
                     refreshes,
+                    mechanism: "allbank".into(),
+                    refresh_blocked_cycles: refreshes / 2,
+                    refreshes_skipped: 0,
+                    refreshes_pulled_in: 0,
                     sram_hit_rate: wall,
                     sram_lookups,
                     prefetches,

@@ -15,7 +15,7 @@
 //! per-point work happens. Rules the hull cannot decide fall back to
 //! point-wise evaluation, which is always decisive.
 
-use rop_memctrl::MemCtrlConfig;
+use rop_memctrl::{MechanismKind, MemCtrlConfig};
 use rop_sim_system::runner::SweepJob;
 
 use crate::interval::{Iv, Tri};
@@ -37,12 +37,14 @@ pub struct Facts {
     pub t_rfc2: Iv,
     pub t_rfc4: Iv,
     pub t_rfc_pb: Iv,
+    pub t_rfc_sa: Iv,
     // Geometry.
     pub ranks: Iv,
     pub banks_per_rank: Iv,
     pub rows_per_bank: Iv,
     pub lines_per_row: Iv,
     pub line_bytes: Iv,
+    pub subarrays: Iv,
     // Controller.
     pub read_queue: Iv,
     pub write_queue: Iv,
@@ -50,6 +52,14 @@ pub struct Facts {
     pub drain_low: Iv,
     pub postpone: Iv,
     pub grace: Iv,
+    /// 0/1 indicator: 1 when the refresh mechanism and the controller's
+    /// refresh granularity agree (DARP/SARP over REFpb, RAIDR over
+    /// all-bank REF). Encoded at fact-construction time so a uniform
+    /// legal grid still proves the rule on the hull alone.
+    pub mech_gran: Iv,
+    /// RAIDR's fastest bin period; `None` for every other mechanism
+    /// (the bin rule is vacuous there, mirroring the ROP block).
+    pub raidr_bin: Option<Iv>,
     // ROP engine (absent on baseline systems).
     pub rop: Option<RopFacts>,
 }
@@ -89,11 +99,25 @@ impl Facts {
             t_rfc2: p(t.t_rfc2),
             t_rfc4: p(t.t_rfc4),
             t_rfc_pb: p(t.t_rfc_pb),
+            t_rfc_sa: p(t.t_rfc_sa),
             ranks: pu(g.ranks),
             banks_per_rank: pu(g.banks_per_rank),
             rows_per_bank: pu(g.rows_per_bank),
             lines_per_row: pu(g.lines_per_row),
             line_bytes: pu(g.line_bytes),
+            subarrays: pu(g.subarrays_per_bank),
+            mech_gran: {
+                let ok = match cfg.mechanism {
+                    MechanismKind::AllBank => true,
+                    MechanismKind::Darp | MechanismKind::Sarp => cfg.per_bank_refresh,
+                    MechanismKind::Raidr { .. } => !cfg.per_bank_refresh,
+                };
+                Iv::point(if ok { 1.0 } else { 0.0 })
+            },
+            raidr_bin: match cfg.mechanism {
+                MechanismKind::Raidr { bin_period, .. } => Some(p(bin_period)),
+                _ => None,
+            },
             read_queue: pu(cfg.read_queue_capacity),
             write_queue: pu(cfg.write_queue_capacity),
             drain_high: pu(cfg.write_drain_high),
@@ -134,18 +158,26 @@ impl Facts {
             t_rfc2,
             t_rfc4,
             t_rfc_pb,
+            t_rfc_sa,
             ranks,
             banks_per_rank,
             rows_per_bank,
             lines_per_row,
             line_bytes,
+            subarrays,
             read_queue,
             write_queue,
             drain_high,
             drain_low,
             postpone,
-            grace
+            grace,
+            mech_gran
         );
+        self.raidr_bin = match (self.raidr_bin, other.raidr_bin) {
+            (Some(a), Some(b)) => Some(a.hull(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        };
         self.rop = match (self.rop, &other.rop) {
             (Some(mut a), Some(b)) => {
                 macro_rules! hr {
@@ -232,6 +264,11 @@ pub const RULES: &[Rule] = &[
         check: |f| f.t_rfc_pb.lt(f.t_rfc1),
     },
     Rule {
+        id: "tim-refsa",
+        summary: "subarray refresh (tRFCsa) must be positive and shorter than per-bank tRFCpb (completing the tRFCsa < tRFCpb < tRFC chain)",
+        check: |f| f.t_rfc_sa.gt(Iv::point(0.0)).and(f.t_rfc_sa.lt(f.t_rfc_pb)),
+    },
+    Rule {
         id: "tim-duty",
         summary: "tRFC must be smaller than tREFI (refresh duty cycle < 1, or the rank never serves)",
         check: |f| f.t_rfc.lt(f.t_refi),
@@ -270,6 +307,35 @@ pub const RULES: &[Rule] = &[
                 .and(pow2(f.line_bytes))
                 .and(f.ranks.ge(Iv::point(1.0)))
         },
+    },
+    Rule {
+        id: "geo-subarrays",
+        summary: "subarrays per bank must be a power of two no larger than the rows per bank",
+        check: |f| pow2(f.subarrays).and(f.subarrays.le(f.rows_per_bank)),
+    },
+    Rule {
+        id: "mc-raidr-bins",
+        summary: "RAIDR bin period must be a positive multiple of tREFI (retention rounds align to refresh slots)",
+        check: |f| match f.raidr_bin {
+            None => Tri::True,
+            Some(bin) => match (bin.as_point(), f.t_refi.as_point()) {
+                (Some(b), Some(refi)) if refi > 0.0 => {
+                    // Both are integer cycle counts carried as f64, so the
+                    // lattice test is exact. rop-lint: allow(float-eq)
+                    if b > 0.0 && b % refi == 0.0 {
+                        Tri::True
+                    } else {
+                        Tri::False
+                    }
+                }
+                _ => Tri::Unknown,
+            },
+        },
+    },
+    Rule {
+        id: "mc-mech-gran",
+        summary: "refresh mechanism and granularity must agree (DARP/SARP require REFpb, RAIDR requires all-bank REF)",
+        check: |f| f.mech_gran.ge(Iv::point(1.0)),
     },
     Rule {
         id: "rop-window",

@@ -7,7 +7,7 @@ use rop_dram::DramConfig;
 use rop_lint::config::{lint_config, lint_jobs, RULES};
 use rop_lint::fsm::{build_rop_fsm, check_fsm, EdgeKind};
 use rop_lint::srclint::{scan_source, SRC_RULES};
-use rop_memctrl::MemCtrlConfig;
+use rop_memctrl::{MechanismKind, MemCtrlConfig};
 use rop_sim_system::experiments::driver::{plan_jobs, EXPERIMENTS};
 use rop_sim_system::runner::RunSpec;
 
@@ -35,6 +35,8 @@ fn known_bad_table() -> Vec<(&'static str, MemCtrlConfig)> {
     push("tim-fgr-mono", &|c| c.dram.timing.t_rfc2 = 300);
     // tRFCpb(300) >= tRFC1(280).
     push("tim-refpb", &|c| c.dram.timing.t_rfc_pb = 300);
+    // tRFCsa(150) >= tRFCpb(112) while staying under tRFC1.
+    push("tim-refsa", &|c| c.dram.timing.t_rfc_sa = 150);
     // tRFC1(7000) > tREFI(6240) while everything else stays legal.
     push("tim-duty", &|c| c.dram.timing.t_rfc1 = 7000);
     // Postpone budget beyond JEDEC's 8 x tREFI.
@@ -52,6 +54,19 @@ fn known_bad_table() -> Vec<(&'static str, MemCtrlConfig)> {
     });
     // A non-power-of-two row count breaks shift/mask address decode.
     push("geo-pow2", &|c| c.dram.geometry.rows_per_bank = 1000);
+    // Three subarrays per bank break the contiguous-block row decode.
+    push("geo-subarrays", &|c| {
+        c.dram.geometry.subarrays_per_bank = 3;
+    });
+    // A RAIDR bin period off the tREFI lattice never lands on a slot.
+    push("mc-raidr-bins", &|c| {
+        c.mechanism = MechanismKind::Raidr {
+            seed: 1,
+            bin_period: c.dram.timing.t_refi() + 1,
+        };
+    });
+    // DARP over all-bank REF has no per-bank refreshes to reorder.
+    push("mc-mech-gran", &|c| c.mechanism = MechanismKind::Darp);
     // Observational window stretched to a full tREFI.
     push("rop-window", &|c| {
         if let Some(r) = c.rop.as_mut() {

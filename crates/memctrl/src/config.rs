@@ -6,6 +6,51 @@ use crate::Cycle;
 use rop_core::RopConfig;
 use rop_dram::DramConfig;
 
+/// Which refresh *mechanism* drives the controller's Refresh Manager —
+/// the seam along which the paper's baseline and the related-work
+/// rivals (DARP, SARP, RAIDR) are compared head to head.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MechanismKind {
+    /// Auto-refresh exactly as before this seam existed: one REF per
+    /// rank per tREFI (or one REFpb per bank when
+    /// [`MemCtrlConfig::per_bank_refresh`] is set), drain-then-refresh,
+    /// in slot order. Bit-exact with the pre-seam controller.
+    AllBank,
+    /// DARP (Chang et al., HPCA'14): per-bank refresh issued *out of
+    /// order* — an upcoming REFpb is pulled into the present when its
+    /// bank has no queued demand, and pull-in is widened during write
+    /// drains so refreshes hide behind write bursts.
+    Darp,
+    /// SARP (Chang et al., HPCA'14): subarray-level parallelism — each
+    /// per-bank refresh locks only one subarray (for `tRFCsa`), rotating
+    /// round-robin; accesses to the bank's other subarrays keep flowing.
+    Sarp,
+    /// RAIDR (Liu et al., ISCA'12): retention-aware refresh binning.
+    /// Rows are binned 64/128/256 ms by seeded Bloom filters; each
+    /// tREFI round refreshes only the rows whose bin falls due, as a
+    /// pro-rata-shortened REF, and rounds with no due bin are skipped.
+    Raidr {
+        /// Seed for the per-rank weak-row draw and Bloom hashing.
+        seed: u64,
+        /// Period of the fastest (64 ms-class) bin, in memory cycles.
+        /// Must be a positive multiple of tREFI; the 128/256 ms-class
+        /// bins refresh at 2× and 4× this period.
+        bin_period: Cycle,
+    },
+}
+
+impl MechanismKind {
+    /// Short stable label for figures, exports and the sweep grid.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MechanismKind::AllBank => "allbank",
+            MechanismKind::Darp => "darp",
+            MechanismKind::Sarp => "sarp",
+            MechanismKind::Raidr { .. } => "raidr",
+        }
+    }
+}
+
 /// Memory-controller configuration (paper Table III: 64/64-entry
 /// read/write queues, FR-FCFS, writes scheduled in batches).
 #[derive(Debug, Clone)]
@@ -42,6 +87,10 @@ pub struct MemCtrlConfig {
     /// bank refreshes independently every tREFI for `tRFCpb`, freezing
     /// only itself — the paper's §VII future-work memory model.
     pub per_bank_refresh: bool,
+    /// The refresh mechanism driving the Refresh Manager (see
+    /// [`MechanismKind`]). `AllBank` reproduces the pre-seam controller
+    /// bit-exactly.
+    pub mechanism: MechanismKind,
     /// ROP configuration; `None` disables ROP entirely (baseline system).
     pub rop: Option<RopConfig>,
 }
@@ -61,6 +110,7 @@ impl MemCtrlConfig {
             prefetch_grace: 560,
             refresh_policy: RefreshPolicy::Standard,
             per_bank_refresh: false,
+            mechanism: MechanismKind::AllBank,
             rop: None,
         }
     }
@@ -83,6 +133,33 @@ impl MemCtrlConfig {
         rop.observational_window = t_rfc_pb;
         rop.refresh_period = t_rfc_pb;
         cfg
+    }
+
+    /// DARP (out-of-order per-bank refresh) on top of REFpb.
+    pub fn darp(dram: DramConfig) -> Self {
+        MemCtrlConfig {
+            mechanism: MechanismKind::Darp,
+            ..Self::per_bank(dram)
+        }
+    }
+
+    /// SARP (subarray-scoped refresh) on top of REFpb.
+    pub fn sarp(dram: DramConfig) -> Self {
+        MemCtrlConfig {
+            mechanism: MechanismKind::Sarp,
+            ..Self::per_bank(dram)
+        }
+    }
+
+    /// RAIDR (retention-aware binned refresh) over all-bank REF. The
+    /// default bin period compresses the paper's 64 ms bin to two tREFI
+    /// so bin rotation is observable at simulation timescales.
+    pub fn raidr(dram: DramConfig, seed: u64) -> Self {
+        let bin_period = 2 * dram.timing.t_refi();
+        MemCtrlConfig {
+            mechanism: MechanismKind::Raidr { seed, bin_period },
+            ..Self::baseline(dram)
+        }
     }
 
     /// Baseline controller with Elastic Refresh (Stuecheli et al.), the
@@ -139,6 +216,36 @@ impl MemCtrlConfig {
         if self.write_drain_low >= self.write_drain_high {
             return Err("write_drain_low must be below write_drain_high".into());
         }
+        match self.mechanism {
+            MechanismKind::AllBank => {}
+            MechanismKind::Darp => {
+                if !self.per_bank_refresh {
+                    return Err("DARP requires per-bank refresh (REFpb)".into());
+                }
+            }
+            MechanismKind::Sarp => {
+                if !self.per_bank_refresh {
+                    return Err("SARP requires per-bank refresh (REFpb)".into());
+                }
+                if self.dram.geometry.subarrays_per_bank < 2 {
+                    return Err("SARP needs at least 2 subarrays per bank".into());
+                }
+                if self.dram.timing.t_rfc_sa == 0 {
+                    return Err("SARP needs tRFCsa > 0".into());
+                }
+            }
+            MechanismKind::Raidr { bin_period, .. } => {
+                if self.per_bank_refresh {
+                    return Err("RAIDR runs over all-bank REF, not REFpb".into());
+                }
+                let t_refi = self.dram.timing.t_refi();
+                if bin_period == 0 || bin_period % t_refi != 0 {
+                    return Err(format!(
+                        "RAIDR bin period {bin_period} must be a positive multiple of tREFI ({t_refi})"
+                    ));
+                }
+            }
+        }
         if let Some(rop) = &self.rop {
             rop.validate()?;
         }
@@ -171,6 +278,58 @@ mod tests {
         assert_eq!(rop.banks_per_rank, 8);
         assert_eq!(rop.buffer_capacity, 32);
         assert_eq!(rop.lines_per_bank, (1u64 << 15) * 128);
+    }
+
+    #[test]
+    fn mechanism_presets_valid() {
+        MemCtrlConfig::darp(DramConfig::baseline(1))
+            .validate()
+            .unwrap();
+        MemCtrlConfig::sarp(DramConfig::baseline(2))
+            .validate()
+            .unwrap();
+        MemCtrlConfig::raidr(DramConfig::baseline(1), 7)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn mechanism_granularity_is_enforced() {
+        // DARP/SARP demand REFpb.
+        let mut c = MemCtrlConfig::darp(DramConfig::baseline(1));
+        c.per_bank_refresh = false;
+        assert!(c.validate().is_err());
+        let mut c = MemCtrlConfig::sarp(DramConfig::baseline(1));
+        c.per_bank_refresh = false;
+        assert!(c.validate().is_err());
+        // RAIDR demands all-bank REF.
+        let mut c = MemCtrlConfig::raidr(DramConfig::baseline(1), 1);
+        c.per_bank_refresh = true;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sarp_needs_subarrays_and_trfcsa() {
+        let mut c = MemCtrlConfig::sarp(DramConfig::baseline(1));
+        c.dram.geometry.subarrays_per_bank = 1;
+        assert!(c.validate().is_err());
+        let mut c = MemCtrlConfig::sarp(DramConfig::baseline(1));
+        c.dram.timing.t_rfc_sa = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn raidr_bin_period_must_divide_trefi() {
+        let mut c = MemCtrlConfig::raidr(DramConfig::baseline(1), 1);
+        if let MechanismKind::Raidr { bin_period, .. } = &mut c.mechanism {
+            *bin_period += 1;
+        }
+        assert!(c.validate().is_err());
+        let mut c = MemCtrlConfig::raidr(DramConfig::baseline(1), 1);
+        if let MechanismKind::Raidr { bin_period, .. } = &mut c.mechanism {
+            *bin_period = 0;
+        }
+        assert!(c.validate().is_err());
     }
 
     #[test]

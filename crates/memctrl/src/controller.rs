@@ -28,6 +28,7 @@ use rop_stats::RatioCounter;
 use crate::address::AddressMapping;
 use crate::analysis::RefreshAnalysis;
 use crate::config::MemCtrlConfig;
+use crate::mechanism::{Mechanism, RefreshMechanism, RoundShape};
 use crate::refresh::{RefreshManager, RefreshState};
 use crate::request::MemRequest;
 use crate::Cycle;
@@ -70,6 +71,11 @@ pub struct MemCtrlStats {
     pub prefetch_fills: u64,
     /// Reads that arrived during a refresh and missed the SRAM buffer.
     pub reads_blocked_by_refresh: u64,
+    /// Cycles read requests spent blocked behind an in-flight refresh,
+    /// summed over reads still queued when their scope's refresh
+    /// completed (per read: completion − max(refresh start, arrival)).
+    /// The head-to-head mechanism figures' central metric.
+    pub refresh_blocked_cycles: u64,
     /// Total SRAM lookups performed for reads arriving during refreshes.
     pub sram_lookups: u64,
     /// SRAM lookup hits.
@@ -154,6 +160,11 @@ struct TickScratch {
     seen_banks: Vec<bool>,
     /// Refresh slots reported by the manager this tick.
     slots: Vec<usize>,
+    /// Per-slot SARP scope: the subarray a slot's refresh round locks
+    /// (None outside SARP, or when the slot is neither draining nor
+    /// frozen). Requests to other subarrays are exempt from the slot's
+    /// gates.
+    sa_scope: Vec<Option<usize>>,
     /// Elastic debt snapshot (trace-only path).
     debts: Vec<u32>,
     /// Prefetch lines whose fill landed this tick.
@@ -179,6 +190,7 @@ impl TickScratch {
             ordered: Vec::with_capacity(queue_cap),
             seen_banks: vec![false; banks],
             slots: Vec::with_capacity(slots),
+            sa_scope: Vec::with_capacity(slots),
             debts: Vec::with_capacity(slots),
             filled: Vec::with_capacity(queue_cap),
             blocked: Vec::with_capacity(queue_cap),
@@ -193,6 +205,15 @@ pub struct MemController {
     device: DramDevice,
     mapping: AddressMapping,
     refresh: RefreshManager,
+    /// The refresh mechanism layered over the manager (AllBank, DARP,
+    /// SARP or RAIDR). Kept as a separate field so the tick loop can
+    /// borrow mechanism and manager disjointly.
+    mech: Mechanism,
+    /// Per-slot issue cycle of the in-flight refresh (`Cycle::MAX` when
+    /// none, or when the round was skipped) — blocked-cycle accounting.
+    refresh_started_at: Vec<Cycle>,
+    /// Per-slot subarray scope of the in-flight refresh (SARP only).
+    refresh_scope_sa: Vec<Option<usize>>,
     read_q: Vec<Queued>,
     write_q: Vec<Queued>,
     prefetch_q: Vec<Queued>,
@@ -274,12 +295,16 @@ impl MemController {
                 latency: rc.sram_latency,
             }
         });
+        let mech = Mechanism::from_config(&cfg);
         MemController {
             analysis: (0..slots).map(|_| RefreshAnalysis::new(t_rfc)).collect(),
             drain_sets: vec![Vec::new(); slots],
             device,
             mapping,
             refresh,
+            mech,
+            refresh_started_at: vec![Cycle::MAX; slots],
+            refresh_scope_sa: vec![None; slots],
             read_q: Vec::with_capacity(cfg.read_queue_capacity),
             write_q: Vec::with_capacity(cfg.write_queue_capacity),
             prefetch_q: Vec::new(),
@@ -385,6 +410,24 @@ impl MemController {
         }
     }
 
+    /// True while `slot`'s refresh blocks this *particular* request at
+    /// `now`. Identical to [`Self::slot_frozen`] except under SARP,
+    /// where a subarray-scoped refresh only blocks requests whose row
+    /// lives in the frozen subarray.
+    // rop-lint: hot
+    #[inline]
+    fn request_frozen(&self, slot: usize, addr: &crate::address::DecodedAddr, now: Cycle) -> bool {
+        if !self.slot_frozen(slot, now) {
+            return false;
+        }
+        match self.device.frozen_subarray(addr.rank, addr.bank, now) {
+            // Subarray-scoped freeze: only the matching subarray blocks.
+            Some(sa) => self.cfg.dram.geometry.subarray_of_row(addr.row) == sa,
+            // Bank- or rank-wide freeze blocks everything in scope.
+            None => true,
+        }
+    }
+
     /// True while `slot`'s refresh holds its scope frozen at `now`.
     #[inline]
     fn slot_frozen(&self, slot: usize, now: Cycle) -> bool {
@@ -426,6 +469,21 @@ impl MemController {
         } else {
             self.refresh.issued(rank)
         }
+    }
+
+    /// The refresh mechanism in force (AllBank, DARP, SARP or RAIDR).
+    pub fn mechanism(&self) -> &Mechanism {
+        &self.mech
+    }
+
+    /// Refresh rounds skipped outright (RAIDR: no retention bin due).
+    pub fn refreshes_skipped(&self) -> u64 {
+        self.mech.refreshes_skipped()
+    }
+
+    /// Refreshes pulled in ahead of their due time (DARP).
+    pub fn refreshes_pulled_in(&self) -> u64 {
+        self.mech.refreshes_pulled_in()
     }
 
     /// ROP phase of `rank`'s engine, if ROP is enabled.
@@ -507,7 +565,7 @@ impl MemController {
     pub fn enqueue_read(&mut self, line_addr: u64, core: usize, now: Cycle) -> Option<u64> {
         let addr = self.mapping.decode(line_addr);
         let slot = self.addr_slot(&addr);
-        let refreshing = self.slot_frozen(slot, now);
+        let refreshing = self.request_frozen(slot, &addr, now);
         if let Some(rop) = &mut self.rop {
             rop.buffer.set_trace_cycle(now);
         }
@@ -620,6 +678,7 @@ impl MemController {
     ) {
         let slot = self.addr_slot(&addr);
         self.analysis[slot].note_arrival(now, is_read);
+        self.mech.on_bank_activity(slot, now);
         if let Some(rop) = &mut self.rop {
             let line_in_bank = addr.line_in_bank(self.cfg.dram.geometry.lines_per_row);
             rop.engines[rank].note_access(bank, line_in_bank, is_read, now);
@@ -662,7 +721,7 @@ impl MemController {
         }
 
         // Nothing issued: compute the fast-forward hint.
-        if let Some(e) = self.refresh.next_event(now) {
+        if let Some(e) = self.mech.next_event(&self.refresh, now) {
             earliest_hint = earliest_hint.min(e);
         }
         if let Some(&(_, at)) = self.pending_fills.iter().min_by_key(|&&(_, at)| at) {
@@ -702,7 +761,7 @@ impl MemController {
         while i < self.read_q.len() {
             let req = self.read_q[i].req;
             let slot = self.addr_slot(&req.addr);
-            if self.slot_frozen(slot, now) && filled.contains(&req.line_addr) {
+            if self.request_frozen(slot, &req.addr, now) && filled.contains(&req.line_addr) {
                 let rop = self.rop.as_mut().expect("rop enabled");
                 rop.refresh_lookups[slot] += 1;
                 rop.refresh_hits[slot] += 1;
@@ -735,11 +794,38 @@ impl MemController {
         for &slot in &slots {
             let rank = self.slot_rank(slot);
             let scope_bank = self.slot_bank(slot);
-            self.trace.emit(|| TraceEvent::RefreshEnd {
-                cycle: now,
-                rank,
-                bank: scope_bank,
-            });
+            // A skipped RAIDR round never started (sentinel stays at
+            // `Cycle::MAX`): no RefreshEnd, nothing was blocked.
+            let started = self.refresh_started_at[slot];
+            let scope_sa = self.refresh_scope_sa[slot];
+            self.refresh_started_at[slot] = Cycle::MAX;
+            self.refresh_scope_sa[slot] = None;
+            if started != Cycle::MAX {
+                self.trace.emit(|| TraceEvent::RefreshEnd {
+                    cycle: now,
+                    rank,
+                    bank: scope_bank,
+                });
+            }
+            // Blocked-cycle accounting: reads still queued for the
+            // thawed scope were stalled from max(refresh start,
+            // arrival) until now. Purely observational — identical
+            // scheduling either way.
+            if started != Cycle::MAX {
+                let mut blocked = 0u64;
+                for q in &self.read_q {
+                    if self.addr_slot(&q.req.addr) != slot {
+                        continue;
+                    }
+                    if let Some(sa) = scope_sa {
+                        if self.cfg.dram.geometry.subarray_of_row(q.req.addr.row) != sa {
+                            continue;
+                        }
+                    }
+                    blocked += now - started.max(q.req.arrival);
+                }
+                self.stats.refresh_blocked_cycles += blocked;
+            }
             if let Some(rop) = &mut self.rop {
                 let hits = rop.refresh_hits[slot];
                 let lookups = rop.refresh_lookups[slot];
@@ -798,14 +884,36 @@ impl MemController {
         }
         let mut due = std::mem::take(&mut self.scratch.slots);
         due.clear();
-        self.refresh.poll_due_into(now, busy, &mut due);
+        self.mech
+            .poll_due(&mut self.refresh, now, &busy, self.write_drain, &mut due);
         for &slot in &due {
             let rank = self.slot_rank(slot);
+            let shape = self.mech.round_shape(&self.refresh, slot);
+            // RAIDR rounds with no retention bin due never touch the
+            // bus: the slot cycles immediately (no drain, no freeze).
+            if let RoundShape::Skip { round } = shape {
+                self.mech.on_refresh_skipped(&mut self.refresh, slot, now);
+                self.trace.emit(|| TraceEvent::RetentionRound {
+                    cycle: now,
+                    rank,
+                    round,
+                    covers_128: false,
+                    covers_256: false,
+                });
+                continue;
+            }
             self.trace
                 .emit(|| TraceEvent::DrainStart { cycle: now, rank });
             // Snapshot the drain set: everything queued for this slot's
-            // scope (rank, or single bank in per-bank mode). The slot's
+            // scope (rank, or single bank in per-bank mode; under SARP
+            // only the refreshing subarray needs to drain — the rest of
+            // the bank keeps flowing through the refresh). The slot's
             // Vec is refilled in place, keeping its capacity.
+            let sa_filter = match shape {
+                RoundShape::Subarray { subarray } => Some(subarray),
+                _ => None,
+            };
+            let geom = self.cfg.dram.geometry;
             let set = &mut self.drain_sets[slot];
             set.clear();
             for q in self.read_q.iter().chain(self.write_q.iter()) {
@@ -814,7 +922,9 @@ impl MemController {
                 } else {
                     q.req.addr.rank
                 };
-                if qslot == slot {
+                if qslot == slot
+                    && sa_filter.is_none_or(|sa| geom.subarray_of_row(q.req.addr.row) == sa)
+                {
                     set.push(q.req.id);
                 }
             }
@@ -982,8 +1092,16 @@ impl MemController {
                 continue;
             }
             any = true;
+            // What this round puts on the bus is the mechanism's call.
+            let shape = self.mech.round_shape(&self.refresh, slot);
+            let sa_target = match shape {
+                RoundShape::Subarray { subarray } => Some(subarray),
+                _ => None,
+            };
             // Close any open bank in the refresh scope (a single bank in
-            // per-bank mode, the whole rank otherwise).
+            // per-bank mode, the whole rank otherwise). Under SARP only
+            // a row open in the *target* subarray needs closing; rows in
+            // sibling subarrays stay open through the refresh.
             let banks = self.cfg.dram.geometry.banks_per_rank;
             let (scope_lo, scope_hi) = match self.slot_bank(slot) {
                 Some(b) => (b, b + 1),
@@ -991,7 +1109,10 @@ impl MemController {
             };
             let mut all_idle = true;
             for bank in scope_lo..scope_hi {
-                if self.device.open_row(rank, bank).is_some() {
+                if let Some(row) = self.device.open_row(rank, bank) {
+                    if sa_target.is_some_and(|sa| self.device.subarray_of_row(row) != sa) {
+                        continue;
+                    }
                     all_idle = false;
                     let cmd = Command::Precharge { rank, bank };
                     match self.device.earliest_issue(&cmd, now) {
@@ -1005,57 +1126,115 @@ impl MemController {
                 }
             }
             if all_idle {
-                let cmd = match self.slot_bank(slot) {
-                    Some(bank) => Command::RefreshBank { rank, bank },
-                    None => Command::Refresh { rank },
-                };
-                match self.device.earliest_issue(&cmd, now) {
-                    Ok(e) if e <= now => {
-                        let outcome = self.device.issue(&cmd, now);
-                        self.refresh.refresh_issued(slot, now, outcome.completes_at);
-                        self.analysis[slot].refresh_started(now);
-                        let scope_bank = self.slot_bank(slot);
-                        self.trace
-                            .emit(|| TraceEvent::DrainEnd { cycle: now, rank });
-                        self.trace.emit(|| TraceEvent::RefreshStart {
-                            cycle: now,
-                            rank,
-                            bank: scope_bank,
-                        });
-                        if let Some(rop) = &mut self.rop {
-                            rop.refresh_hits[slot] = 0;
-                            rop.refresh_lookups[slot] = 0;
-                            rop.prefetch_pending[slot] = false;
-                            rop.engines[rank].refresh_started_scoped(now, scope_bank);
-                            // Prefetches for this slot that have not issued
-                            // can no longer help; drop them.
-                            let before = self.prefetch_q.len();
-                            let per_bank = self.cfg.per_bank_refresh;
-                            let banks = self.cfg.dram.geometry.banks_per_rank;
-                            self.prefetch_q.retain(|q| {
-                                let qslot = if per_bank {
-                                    q.req.addr.rank * banks + q.req.addr.bank
-                                } else {
-                                    q.req.addr.rank
-                                };
-                                qslot != slot
+                let issued = match shape {
+                    RoundShape::Standard => {
+                        let cmd = match self.slot_bank(slot) {
+                            Some(bank) => Command::RefreshBank { rank, bank },
+                            None => Command::Refresh { rank },
+                        };
+                        match self.device.earliest_issue(&cmd, now) {
+                            Ok(e) if e <= now => Some(self.device.issue(&cmd, now)),
+                            Ok(e) => {
+                                earliest = earliest.min(e);
+                                None
+                            }
+                            Err(_) => None,
+                        }
+                    }
+                    RoundShape::Subarray { subarray } => {
+                        let bank = self.slot_bank(slot).expect("SARP refresh is per-bank");
+                        match self
+                            .device
+                            .earliest_subarray_refresh(rank, bank, subarray, now)
+                        {
+                            Ok(e) if e <= now => Some(
+                                self.device
+                                    .try_issue_subarray_refresh(rank, bank, subarray, now)
+                                    .expect("legal at its earliest-issue cycle"),
+                            ),
+                            Ok(e) => {
+                                earliest = earliest.min(e);
+                                None
+                            }
+                            Err(_) => None,
+                        }
+                    }
+                    RoundShape::Scaled {
+                        duration,
+                        round,
+                        covers_128,
+                        covers_256,
+                    } => match self.device.earliest_issue(&Command::Refresh { rank }, now) {
+                        Ok(e) if e <= now => {
+                            let o = self
+                                .device
+                                .try_issue_refresh_scaled(rank, now, duration)
+                                .expect("legal at its earliest-issue cycle");
+                            self.trace.emit(|| TraceEvent::RetentionRound {
+                                cycle: now,
+                                rank,
+                                round,
+                                covers_128,
+                                covers_256,
                             });
-                            self.stats.prefetches_dropped +=
-                                (before - self.prefetch_q.len()) as u64;
-                            if std::env::var_os("ROP_DEBUG").is_some() {
-                                eprintln!(
+                            Some(o)
+                        }
+                        Ok(e) => {
+                            earliest = earliest.min(e);
+                            None
+                        }
+                        Err(_) => None,
+                    },
+                    // Skips resolve at due time, never reach Draining.
+                    RoundShape::Skip { .. } => {
+                        unreachable!("skipped round entered drain") // rop-lint: allow(no-panic)
+                    }
+                };
+                if let Some(outcome) = issued {
+                    self.mech
+                        .on_refresh_issued(&mut self.refresh, slot, now, outcome.completes_at);
+                    self.refresh_started_at[slot] = now;
+                    self.refresh_scope_sa[slot] = sa_target;
+                    self.analysis[slot].refresh_started(now);
+                    let scope_bank = self.slot_bank(slot);
+                    self.trace
+                        .emit(|| TraceEvent::DrainEnd { cycle: now, rank });
+                    self.trace.emit(|| TraceEvent::RefreshStart {
+                        cycle: now,
+                        rank,
+                        bank: scope_bank,
+                        subarray: sa_target,
+                    });
+                    if let Some(rop) = &mut self.rop {
+                        rop.refresh_hits[slot] = 0;
+                        rop.refresh_lookups[slot] = 0;
+                        rop.prefetch_pending[slot] = false;
+                        rop.engines[rank].refresh_started_scoped(now, scope_bank);
+                        // Prefetches for this slot that have not issued
+                        // can no longer help; drop them.
+                        let before = self.prefetch_q.len();
+                        let per_bank = self.cfg.per_bank_refresh;
+                        let banks = self.cfg.dram.geometry.banks_per_rank;
+                        self.prefetch_q.retain(|q| {
+                            let qslot = if per_bank {
+                                q.req.addr.rank * banks + q.req.addr.bank
+                            } else {
+                                q.req.addr.rank
+                            };
+                            qslot != slot
+                        });
+                        self.stats.prefetches_dropped += (before - self.prefetch_q.len()) as u64;
+                        if std::env::var_os("ROP_DEBUG").is_some() {
+                            eprintln!(
                                     "[rop] t={now} slot={slot} REF: buffer={} pending_fills={} dropped={}",
                                     rop.buffer.len(),
                                     self.pending_fills.len(),
                                     before - self.prefetch_q.len()
                                 );
-                            }
                         }
-                        self.sweep_blocked_reads(slot, now);
-                        return Some(Ok(()));
                     }
-                    Ok(e) => earliest = earliest.min(e),
-                    Err(_) => {}
+                    self.sweep_blocked_reads(slot, now);
+                    return Some(Ok(()));
                 }
             }
         }
@@ -1073,12 +1252,19 @@ impl MemController {
     /// refresh in the queue.
     fn sweep_blocked_reads(&mut self, slot: usize, now: Cycle) {
         let rank = self.slot_rank(slot);
+        // Under SARP only reads aimed at the refreshing subarray are
+        // blocked; siblings keep flowing and are not swept.
+        let scope_sa = self.refresh_scope_sa[slot];
+        let geom = self.cfg.dram.geometry;
         let mut blocked = std::mem::take(&mut self.scratch.blocked);
         blocked.clear();
         blocked.extend(
             self.read_q
                 .iter()
-                .filter(|q| self.addr_slot(&q.req.addr) == slot)
+                .filter(|q| {
+                    self.addr_slot(&q.req.addr) == slot
+                        && scope_sa.is_none_or(|sa| geom.subarray_of_row(q.req.addr.row) == sa)
+                })
                 .map(|q| q.req.id),
         );
         if blocked.is_empty() {
@@ -1176,6 +1362,28 @@ impl MemController {
         }
     }
 
+    /// Subarray scope of `slot`'s current freeze/quiesce, when the
+    /// mechanism refreshes at subarray granularity. Requests to rows
+    /// *outside* the returned subarray are exempt from the slot's
+    /// admission gates (SARP's whole point: siblings stay accessible).
+    // rop-lint: hot
+    fn slot_sa_scope(&self, slot: usize, now: Cycle) -> Option<usize> {
+        if !matches!(self.mech, Mechanism::Sarp(_)) {
+            return None;
+        }
+        let rank = self.slot_rank(slot);
+        let bank = self.slot_bank(slot)?;
+        if self.slot_frozen(slot, now) {
+            return self.device.frozen_subarray(rank, bank, now);
+        }
+        if matches!(self.refresh.state(slot), RefreshState::Draining { .. }) {
+            if let RoundShape::Subarray { subarray } = self.mech.round_shape(&self.refresh, slot) {
+                return Some(subarray);
+            }
+        }
+        None
+    }
+
     /// FR-FCFS scheduling. `Ok(())` = one command issued; `Err(earliest)`
     /// = nothing ready, next possible issue at `earliest`.
     ///
@@ -1207,6 +1415,7 @@ impl MemController {
         s.cands.clear();
         s.draining.clear();
         s.gates.clear();
+        s.sa_scope.clear();
         for slot in 0..self.refresh_slots() {
             s.draining.push(matches!(
                 self.refresh.state(slot),
@@ -1216,12 +1425,19 @@ impl MemController {
                 self.slot_blocked(slot, now, false),
                 self.slot_blocked(slot, now, true),
             ));
+            s.sa_scope.push(self.slot_sa_scope(slot, now));
         }
-        let banks = self.cfg.dram.geometry.banks_per_rank;
+        let geom = self.cfg.dram.geometry;
+        let banks = geom.banks_per_rank;
+        // A gate is waived for requests outside the slot's frozen
+        // subarray (SARP); `None` scope waives nothing.
+        let sa_exempt = |scope: Option<usize>, row: usize| {
+            scope.is_some_and(|sa| geom.subarray_of_row(row) != sa)
+        };
 
         for (i, q) in self.prefetch_q.iter().enumerate() {
             let slot = self.addr_slot(&q.req.addr);
-            if !s.gates[slot].1 {
+            if !s.gates[slot].1 || sa_exempt(s.sa_scope[slot], q.req.addr.row) {
                 s.cands
                     .push(self.materialize(2, QueueKind::Prefetch, i, q, banks));
             }
@@ -1230,11 +1446,12 @@ impl MemController {
         for (i, q) in self.read_q.iter().enumerate() {
             let slot = self.addr_slot(&q.req.addr);
             let in_set = self.drain_sets[slot].contains(&q.req.id);
-            if if in_set {
+            let gated = if in_set {
                 s.gates[slot].1
             } else {
                 s.gates[slot].0
-            } {
+            };
+            if gated && !sa_exempt(s.sa_scope[slot], q.req.addr.row) {
                 continue;
             }
             let tier = if s.draining[slot] && in_set { 0 } else { 1 };
@@ -1244,11 +1461,12 @@ impl MemController {
         for (i, q) in self.write_q.iter().enumerate() {
             let slot = self.addr_slot(&q.req.addr);
             let in_set = self.drain_sets[slot].contains(&q.req.id);
-            if if in_set {
+            let gated = if in_set {
                 s.gates[slot].1
             } else {
                 s.gates[slot].0
-            } {
+            };
+            if gated && !sa_exempt(s.sa_scope[slot], q.req.addr.row) {
                 continue;
             }
             let tier = if s.draining[slot] && in_set {

@@ -29,13 +29,15 @@ pub mod address;
 pub mod analysis;
 pub mod config;
 pub mod controller;
+pub mod mechanism;
 pub mod refresh;
 pub mod request;
 
 pub use address::{AddressMapping, DecodedAddr, MappingScheme};
 pub use analysis::{RefreshAnalysis, RefreshAnalysisReport};
-pub use config::MemCtrlConfig;
+pub use config::{MechanismKind, MemCtrlConfig};
 pub use controller::{Completion, MemController, MemCtrlStats};
+pub use mechanism::{Mechanism, RefreshMechanism, RefreshScope, RetentionBins, RoundShape};
 pub use refresh::{RefreshManager, RefreshPolicy, RefreshState};
 pub use request::MemRequest;
 

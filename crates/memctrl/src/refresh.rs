@@ -187,6 +187,27 @@ impl RefreshManager {
         }
     }
 
+    /// Pulls `slot`'s next refresh forward: transitions Idle → Draining
+    /// *now*, keeping the nominal due time, so [`Self::refresh_issued`]
+    /// still advances the schedule in exact `tREFI` steps and the
+    /// long-run refresh rate is unchanged. Used by the DARP mechanism to
+    /// start refreshes early on idle banks (and during write drains).
+    /// Returns `false` without transitioning unless the slot is Idle,
+    /// refresh is enabled, and the policy is Standard (Elastic has its
+    /// own postpone/catch-up machinery).
+    pub fn pull_in(&mut self, slot: usize) -> bool {
+        if !self.enabled || !matches!(self.policy, RefreshPolicy::Standard) {
+            return false;
+        }
+        if self.state[slot] != RefreshState::Idle {
+            return false;
+        }
+        self.state[slot] = RefreshState::Draining {
+            due: self.next_due[slot],
+        };
+        true
+    }
+
     /// True when the drain deadline for `rank` has passed and the refresh
     /// must be forced regardless of remaining drain-set requests.
     pub fn drain_deadline_passed(&self, rank: usize, now: Cycle) -> bool {
@@ -270,7 +291,9 @@ impl RefreshManager {
                     consider(self.next_due[rank]);
                 }
                 RefreshState::Draining { due } => consider(due + self.max_postpone),
-                RefreshState::Refreshing { until } => consider(until),
+                // `until.max(now + 1)`: a zero-length round (RAIDR skip)
+                // completes at the next tick, which still needs a hint.
+                RefreshState::Refreshing { until } => consider(until.max(now + 1)),
             }
         }
         next
@@ -435,6 +458,36 @@ mod tests {
             m.debt(0)
         );
         assert!(m.debt(0) <= 8);
+    }
+
+    #[test]
+    fn pull_in_keeps_the_nominal_schedule() {
+        let mut m = RefreshManager::new(1, T_REFI, 2 * T_REFI, true);
+        // Pull the first refresh 1000 cycles early.
+        assert!(m.pull_in(0));
+        assert!(matches!(m.state(0), RefreshState::Draining { .. }));
+        // Idempotent while draining.
+        assert!(!m.pull_in(0));
+        let issue_at = T_REFI - 1000;
+        m.refresh_issued(0, issue_at, issue_at + T_RFC);
+        m.poll_complete(issue_at + T_RFC);
+        // The schedule advanced from the *due* time, not the early issue.
+        assert_eq!(m.next_due(0), 2 * T_REFI);
+        assert_eq!(m.issued(0), 1);
+    }
+
+    #[test]
+    fn pull_in_refuses_elastic_and_disabled() {
+        let mut m = RefreshManager::with_policy(
+            1,
+            T_REFI,
+            2 * T_REFI,
+            true,
+            RefreshPolicy::Elastic { max_debt: 2 },
+        );
+        assert!(!m.pull_in(0));
+        let mut m = RefreshManager::new(1, T_REFI, 2 * T_REFI, false);
+        assert!(!m.pull_in(0));
     }
 
     #[test]

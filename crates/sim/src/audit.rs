@@ -32,7 +32,7 @@ use std::fmt;
 
 use rop_dram::TimingParams;
 use rop_events::{CmdKind, Cycle, EventSink, TraceEvent};
-use rop_memctrl::{MemCtrlConfig, RefreshPolicy};
+use rop_memctrl::{MechanismKind, MemCtrlConfig, RefreshPolicy};
 
 /// How many trailing events a violation report keeps.
 const TAIL_CAPACITY: usize = 64;
@@ -57,6 +57,11 @@ pub struct AuditorConfig {
     pub elastic_max_debt: Option<u32>,
     /// ROP observational window (cycles), when ROP is enabled.
     pub observational_window: Option<Cycle>,
+    /// Rows per subarray (for SARP: maps an ACT's row to its subarray).
+    pub rows_per_subarray: usize,
+    /// RAIDR's shortest retention-bin period, when that mechanism runs;
+    /// drives the bin-deadline coverage check.
+    pub raidr_bin_period: Option<Cycle>,
 }
 
 impl AuditorConfig {
@@ -73,6 +78,11 @@ impl AuditorConfig {
                 RefreshPolicy::Standard => None,
             },
             observational_window: cfg.rop.as_ref().map(|r| r.observational_window),
+            rows_per_subarray: cfg.dram.geometry.rows_per_subarray(),
+            raidr_bin_period: match cfg.mechanism {
+                MechanismKind::Raidr { bin_period, .. } => Some(bin_period),
+                _ => None,
+            },
         }
     }
 
@@ -140,7 +150,9 @@ pub struct AuditSummary {
 /// Shadow state of one DRAM bank.
 #[derive(Debug, Clone, Copy, Default)]
 struct ShadowBank {
-    open: bool,
+    /// Row currently open in the bank, if any (REFsa needs the row to
+    /// decide whether the open page conflicts with the target subarray).
+    open: Option<usize>,
     /// Cycle of the last ACT, if any.
     last_act: Option<Cycle>,
     /// Cycle of the last PRE, if any.
@@ -156,8 +168,19 @@ struct ShadowRank {
     act_history: VecDeque<Cycle>,
     /// All-bank refresh in flight: the start cycle.
     frozen_since: Option<Cycle>,
+    /// The in-flight all-bank refresh is a RAIDR scaled round (variable
+    /// duration, so the tRFC lower bound does not apply).
+    frozen_scaled: bool,
     /// Per-bank refresh in flight per bank: the start cycle.
     bank_frozen_since: Vec<Option<Cycle>>,
+    /// Subarray scope of the per-bank refresh in flight (`None` =
+    /// whole-bank REFpb; `Some` = SARP, siblings stay accessible).
+    bank_frozen_sa: Vec<Option<usize>>,
+    /// RAIDR: pending RetentionRound for this cycle (coverage flags);
+    /// consumed by the RefreshStart that follows at the same cycle.
+    pending_retention: Option<(Cycle, bool, bool)>,
+    /// RAIDR: cycle of the last refresh covering the 64/128/256 ms bins.
+    last_cover: [Option<Cycle>; 3],
     /// Standard-policy drain in progress: the start cycle.
     drain_since: Option<Cycle>,
     /// Profiler window replication.
@@ -203,6 +226,7 @@ impl Auditor {
             ranks: (0..ranks)
                 .map(|_| ShadowRank {
                     bank_frozen_since: vec![None; banks],
+                    bank_frozen_sa: vec![None; banks],
                     ..ShadowRank::default()
                 })
                 .collect(),
@@ -305,20 +329,39 @@ impl Auditor {
         }
     }
 
-    /// True when `rank`/`bank` sits inside a frozen refresh scope.
-    fn frozen(&self, rank: usize, bank: Option<usize>) -> bool {
+    /// True when the command conflicts with a frozen refresh scope. A
+    /// whole-rank or whole-bank freeze admits nothing; a SARP freeze
+    /// (subarray-scoped) admits everything except an ACT whose row maps
+    /// into the refreshing subarray — sibling subarrays stay accessible,
+    /// and column commands can only land on rows opened legally.
+    fn freeze_conflict(&self, rank: usize, bank: Option<usize>, row: Option<usize>) -> bool {
         let r = &self.ranks[rank];
         if r.frozen_since.is_some() {
             return true;
         }
         match bank {
-            Some(b) => r.bank_frozen_since[b].is_some(),
+            Some(b) => {
+                if r.bank_frozen_since[b].is_none() {
+                    return false;
+                }
+                match r.bank_frozen_sa[b] {
+                    None => true,
+                    Some(sa) => row.is_some_and(|row| row / self.cfg.rows_per_subarray == sa),
+                }
+            }
             // Rank-wide commands (REF) conflict with any frozen bank.
             None => r.bank_frozen_since.iter().any(Option::is_some),
         }
     }
 
-    fn on_command(&mut self, cycle: Cycle, kind: CmdKind, rank: usize, bank: Option<usize>) {
+    fn on_command(
+        &mut self,
+        cycle: Cycle,
+        kind: CmdKind,
+        rank: usize,
+        bank: Option<usize>,
+        row: Option<usize>,
+    ) {
         if rank >= self.cfg.ranks || bank.is_some_and(|b| b >= self.cfg.banks_per_rank) {
             self.violate(
                 "trace.malformed",
@@ -330,7 +373,11 @@ impl Auditor {
         let t = self.cfg.timing;
         // A refresh command *initiates* the freeze it belongs to, so the
         // frozen-scope check applies to every other command kind.
-        if !matches!(kind, CmdKind::Refresh | CmdKind::RefreshBank) && self.frozen(rank, bank) {
+        if !matches!(
+            kind,
+            CmdKind::Refresh | CmdKind::RefreshBank | CmdKind::RefreshSubarray
+        ) && self.freeze_conflict(rank, bank, row)
+        {
             self.violate(
                 "timing.tRFC",
                 cycle,
@@ -341,7 +388,7 @@ impl Auditor {
             CmdKind::Activate => {
                 let b = bank.expect("ACT carries a bank");
                 let sb = *self.bank(rank, b);
-                if sb.open {
+                if sb.open.is_some() {
                     self.violate(
                         "timing.structure",
                         cycle,
@@ -372,13 +419,13 @@ impl Auditor {
                 }
                 self.check_rank_activate("ACT", rank, cycle);
                 let sb = self.bank_mut(rank, b);
-                sb.open = true;
+                sb.open = Some(row.unwrap_or(0));
                 sb.last_act = Some(cycle);
             }
             CmdKind::Precharge => {
                 let b = bank.expect("PRE carries a bank");
                 let sb = *self.bank(rank, b);
-                if sb.open {
+                if sb.open.is_some() {
                     if let Some(act) = sb.last_act {
                         if cycle < act + t.t_ras {
                             self.violate(
@@ -390,13 +437,13 @@ impl Auditor {
                     }
                 }
                 let sb = self.bank_mut(rank, b);
-                sb.open = false;
+                sb.open = None;
                 sb.last_pre = Some(cycle);
             }
             CmdKind::Read | CmdKind::Write => {
                 let b = bank.expect("column command carries a bank");
                 let sb = *self.bank(rank, b);
-                if !sb.open {
+                if sb.open.is_none() {
                     self.violate(
                         "timing.structure",
                         cycle,
@@ -439,7 +486,7 @@ impl Auditor {
             CmdKind::Refresh => {
                 for b in 0..self.cfg.banks_per_rank {
                     let sb = *self.bank(rank, b);
-                    if sb.open {
+                    if sb.open.is_some() {
                         self.violate(
                             "timing.structure",
                             cycle,
@@ -460,7 +507,7 @@ impl Auditor {
             CmdKind::RefreshBank => {
                 let b = bank.expect("REFpb carries a bank");
                 let sb = *self.bank(rank, b);
-                if sb.open {
+                if sb.open.is_some() {
                     self.violate(
                         "timing.structure",
                         cycle,
@@ -484,10 +531,84 @@ impl Auditor {
                 // (the device records it in the activate history).
                 self.check_rank_activate("REFpb", rank, cycle);
             }
+            CmdKind::RefreshSubarray => {
+                let b = bank.expect("REFsa carries a bank");
+                let sa = row.map(|r| r / self.cfg.rows_per_subarray);
+                let sb = *self.bank(rank, b);
+                // Sibling subarrays stay open under SARP; only a page
+                // inside the refreshing subarray conflicts.
+                if sb.open.is_some_and(|open| {
+                    sa.is_some_and(|sa| open / self.cfg.rows_per_subarray == sa)
+                }) {
+                    self.violate(
+                        "timing.structure",
+                        cycle,
+                        format!(
+                            "REFsa on rank {rank} bank {b} with a row open in the target subarray"
+                        ),
+                    );
+                }
+                if let Some(pre) = sb.last_pre {
+                    if cycle < pre + t.t_rp {
+                        self.violate(
+                            "timing.tRP",
+                            cycle,
+                            format!(
+                                "REFsa on rank {rank} bank {b} only {} cycles after PRE (tRP {})",
+                                cycle - pre,
+                                t.t_rp
+                            ),
+                        );
+                    }
+                }
+                // Like REFpb, REFsa consumes an activate slot in the
+                // rank's power windows.
+                self.check_rank_activate("REFsa", rank, cycle);
+            }
         }
     }
 
-    fn on_refresh_start(&mut self, cycle: Cycle, rank: usize, bank: Option<usize>) {
+    /// RAIDR bin-deadline coverage: every actual refresh covers the
+    /// 64 ms bin; rounds flagged `covers_128`/`covers_256` (and full
+    /// REFs, which carry no RetentionRound) cover the longer bins. The
+    /// gap between consecutive covers of a bin must stay within its
+    /// period plus the drain/quiesce slack every refresh is allowed.
+    fn note_bin_coverage(&mut self, cycle: Cycle, rank: usize, covers_128: bool, covers_256: bool) {
+        let Some(bin) = self.cfg.raidr_bin_period else {
+            return;
+        };
+        let slack =
+            self.cfg.max_refresh_postpone + self.cfg.quiesce_slack() + self.cfg.timing.t_refi();
+        let covered = [true, covers_128, covers_256];
+        for (i, &c) in covered.iter().enumerate() {
+            if !c {
+                continue;
+            }
+            let deadline = bin * (1 << i) + slack;
+            if let Some(prev) = self.ranks[rank].last_cover[i] {
+                if cycle.saturating_sub(prev) > deadline {
+                    self.violate(
+                        "raidr.bin-deadline",
+                        cycle,
+                        format!(
+                            "rank {rank} {} ms-bin rows went {} cycles without refresh (deadline {deadline})",
+                            64 << i,
+                            cycle - prev
+                        ),
+                    );
+                }
+            }
+            self.ranks[rank].last_cover[i] = Some(cycle);
+        }
+    }
+
+    fn on_refresh_start(
+        &mut self,
+        cycle: Cycle,
+        rank: usize,
+        bank: Option<usize>,
+        subarray: Option<usize>,
+    ) {
         if rank >= self.cfg.ranks {
             return;
         }
@@ -510,9 +631,23 @@ impl Auditor {
         match bank {
             Some(b) if b < self.cfg.banks_per_rank => {
                 self.ranks[rank].bank_frozen_since[b] = Some(cycle);
+                self.ranks[rank].bank_frozen_sa[b] = subarray;
             }
             Some(_) => {}
-            None => self.ranks[rank].frozen_since = Some(cycle),
+            None => {
+                // A RetentionRound stamped this cycle marks the refresh
+                // as a RAIDR scaled round (variable duration, partial
+                // bin coverage); a plain REF on a RAIDR rank is a full
+                // round and covers every bin.
+                let pending = self.ranks[rank].pending_retention.take();
+                let (scaled, covers_128, covers_256) = match pending {
+                    Some((c, c128, c256)) if c == cycle => (true, c128, c256),
+                    _ => (false, true, true),
+                };
+                self.ranks[rank].frozen_since = Some(cycle);
+                self.ranks[rank].frozen_scaled = scaled;
+                self.note_bin_coverage(cycle, rank, covers_128, covers_256);
+            }
         }
     }
 
@@ -521,17 +656,27 @@ impl Auditor {
             return;
         }
         let (started, t_rfc, scope) = match bank {
-            Some(b) if b < self.cfg.banks_per_rank => (
-                self.ranks[rank].bank_frozen_since[b].take(),
-                self.cfg.timing.t_rfc_pb,
-                "REFpb",
-            ),
+            Some(b) if b < self.cfg.banks_per_rank => {
+                let started = self.ranks[rank].bank_frozen_since[b].take();
+                // A subarray-scoped refresh (SARP) runs tRFCsa, not the
+                // full per-bank tRFCpb.
+                match self.ranks[rank].bank_frozen_sa[b].take() {
+                    Some(_) => (started, self.cfg.timing.t_rfc_sa, "REFsa"),
+                    None => (started, self.cfg.timing.t_rfc_pb, "REFpb"),
+                }
+            }
             Some(_) => (None, 0, "REFpb"),
-            None => (
-                self.ranks[rank].frozen_since.take(),
-                self.cfg.timing.t_rfc(),
-                "REF",
-            ),
+            None => {
+                let started = self.ranks[rank].frozen_since.take();
+                if std::mem::take(&mut self.ranks[rank].frozen_scaled) {
+                    // RAIDR scaled round: the duration is pro-rated to
+                    // the weak-row fraction, so only a lower bound of
+                    // one cycle applies.
+                    (started, 1, "REF(scaled)")
+                } else {
+                    (started, self.cfg.timing.t_rfc(), "REF")
+                }
+            }
         };
         match started {
             Some(start) => {
@@ -638,10 +783,14 @@ impl Auditor {
                 kind,
                 rank,
                 bank,
-            } => self.on_command(cycle, kind, rank, bank),
-            TraceEvent::RefreshStart { cycle, rank, bank } => {
-                self.on_refresh_start(cycle, rank, bank)
-            }
+                row,
+            } => self.on_command(cycle, kind, rank, bank, row),
+            TraceEvent::RefreshStart {
+                cycle,
+                rank,
+                bank,
+                subarray,
+            } => self.on_refresh_start(cycle, rank, bank, subarray),
             TraceEvent::RefreshEnd { cycle, rank, bank } => self.on_refresh_end(cycle, rank, bank),
             TraceEvent::RefreshPostponed { cycle, rank, debt } => {
                 if let Some(max_debt) = self.cfg.elastic_max_debt {
@@ -701,6 +850,20 @@ impl Auditor {
                 bank,
                 is_read,
             } => self.on_demand(cycle, rank, bank, is_read),
+            TraceEvent::RetentionRound {
+                cycle,
+                rank,
+                round: _,
+                covers_128,
+                covers_256,
+            } => {
+                if rank < self.cfg.ranks {
+                    // Stash for the RefreshStart this cycle. A skipped
+                    // round has no RefreshStart and covers nothing, so
+                    // an unconsumed stash is simply overwritten.
+                    self.ranks[rank].pending_retention = Some((cycle, covers_128, covers_256));
+                }
+            }
             TraceEvent::BlockedQueued { cycle, rank, count } => {
                 let _ = cycle;
                 if self.cfg.observational_window.is_some()
@@ -740,11 +903,16 @@ mod tests {
     }
 
     fn act(cycle: Cycle, bank: usize) -> TraceEvent {
+        act_row(cycle, bank, 0)
+    }
+
+    fn act_row(cycle: Cycle, bank: usize, row: usize) -> TraceEvent {
         TraceEvent::CmdIssued {
             cycle,
             kind: CmdKind::Activate,
             rank: 0,
             bank: Some(bank),
+            row: Some(row),
         }
     }
 
@@ -754,6 +922,7 @@ mod tests {
             kind: CmdKind::Read,
             rank: 0,
             bank: Some(bank),
+            row: None,
         }
     }
 
@@ -763,6 +932,16 @@ mod tests {
             kind: CmdKind::Precharge,
             rank: 0,
             bank: Some(bank),
+            row: None,
+        }
+    }
+
+    fn ref_start(cycle: Cycle, bank: Option<usize>, subarray: Option<usize>) -> TraceEvent {
+        TraceEvent::RefreshStart {
+            cycle,
+            rank: 0,
+            bank,
+            subarray,
         }
     }
 
@@ -832,17 +1011,8 @@ mod tests {
     #[test]
     fn command_to_frozen_rank_is_a_violation() {
         let mut a = auditor();
-        a.record(TraceEvent::RefreshStart {
-            cycle: 100,
-            rank: 0,
-            bank: None,
-        });
-        a.record(TraceEvent::CmdIssued {
-            cycle: 150,
-            kind: CmdKind::Activate,
-            rank: 0,
-            bank: Some(0),
-        });
+        a.record(ref_start(100, None, None));
+        a.record(act(150, 0));
         let kinds: Vec<_> = a.violations().iter().map(|v| v.invariant).collect();
         assert!(kinds.contains(&"timing.tRFC"), "{kinds:?}");
     }
@@ -850,11 +1020,7 @@ mod tests {
     #[test]
     fn short_refresh_is_a_violation() {
         let mut a = auditor();
-        a.record(TraceEvent::RefreshStart {
-            cycle: 100,
-            rank: 0,
-            bank: None,
-        });
+        a.record(ref_start(100, None, None));
         a.record(TraceEvent::RefreshEnd {
             cycle: 200, // tRFC is 280
             rank: 0,
@@ -863,11 +1029,7 @@ mod tests {
         assert_eq!(a.violations()[0].invariant, "timing.tRFC");
         // A full-length refresh passes.
         let mut a = auditor();
-        a.record(TraceEvent::RefreshStart {
-            cycle: 100,
-            rank: 0,
-            bank: None,
-        });
+        a.record(ref_start(100, None, None));
         a.record(TraceEvent::RefreshEnd {
             cycle: 380,
             rank: 0,
@@ -881,20 +1043,12 @@ mod tests {
         let mut a = auditor();
         let bound = a.cfg.max_refresh_postpone + a.cfg.quiesce_slack();
         a.record(TraceEvent::DrainStart { cycle: 0, rank: 0 });
-        a.record(TraceEvent::RefreshStart {
-            cycle: bound + 1,
-            rank: 0,
-            bank: None,
-        });
+        a.record(ref_start(bound + 1, None, None));
         assert_eq!(a.violations()[0].invariant, "refresh.postpone-bound");
         // Inside the bound is fine.
         let mut a = auditor();
         a.record(TraceEvent::DrainStart { cycle: 0, rank: 0 });
-        a.record(TraceEvent::RefreshStart {
-            cycle: bound,
-            rank: 0,
-            bank: None,
-        });
+        a.record(ref_start(bound, None, None));
         assert_eq!(a.summary().violations, 0);
     }
 
@@ -956,6 +1110,118 @@ mod tests {
             a: 9,
         });
         assert_eq!(a.violations()[0].invariant, "profiler.A");
+    }
+
+    fn sarp_auditor() -> Auditor {
+        Auditor::new(AuditorConfig::from_ctrl(&MemCtrlConfig::sarp(
+            DramConfig::baseline(1),
+        )))
+    }
+
+    #[test]
+    fn sarp_freeze_admits_only_sibling_subarrays() {
+        let mut a = sarp_auditor();
+        let rps = a.cfg.rows_per_subarray;
+        // Bank 0 refreshes subarray 0; an ACT into subarray 1 is legal.
+        a.record(ref_start(100, Some(0), Some(0)));
+        a.record(act_row(110, 0, rps));
+        assert_eq!(a.summary().violations, 0, "{}", a.report());
+        // An ACT into the refreshing subarray is not.
+        let mut a = sarp_auditor();
+        a.record(ref_start(100, Some(0), Some(0)));
+        a.record(act_row(110, 0, rps - 1));
+        let kinds: Vec<_> = a.violations().iter().map(|v| v.invariant).collect();
+        assert!(kinds.contains(&"timing.tRFC"), "{kinds:?}");
+    }
+
+    #[test]
+    fn whole_bank_freeze_still_admits_nothing() {
+        let mut a = auditor();
+        a.record(ref_start(100, Some(0), None));
+        a.record(act_row(110, 0, 0));
+        let kinds: Vec<_> = a.violations().iter().map(|v| v.invariant).collect();
+        assert!(kinds.contains(&"timing.tRFC"), "{kinds:?}");
+    }
+
+    #[test]
+    fn sarp_refresh_end_checks_trfcsa() {
+        let mut a = sarp_auditor();
+        let t_rfc_sa = a.cfg.timing.t_rfc_sa;
+        a.record(ref_start(100, Some(0), Some(0)));
+        a.record(TraceEvent::RefreshEnd {
+            cycle: 100 + t_rfc_sa,
+            rank: 0,
+            bank: Some(0),
+        });
+        assert_eq!(a.summary().violations, 0, "{}", a.report());
+        let mut a = sarp_auditor();
+        a.record(ref_start(100, Some(0), Some(0)));
+        a.record(TraceEvent::RefreshEnd {
+            cycle: 100 + t_rfc_sa - 1,
+            rank: 0,
+            bank: Some(0),
+        });
+        assert_eq!(a.violations()[0].invariant, "timing.tRFC");
+    }
+
+    fn raidr_auditor() -> Auditor {
+        Auditor::new(AuditorConfig::from_ctrl(&MemCtrlConfig::raidr(
+            DramConfig::baseline(1),
+            7,
+        )))
+    }
+
+    #[test]
+    fn raidr_scaled_round_may_end_early() {
+        let mut a = raidr_auditor();
+        a.record(TraceEvent::RetentionRound {
+            cycle: 100,
+            rank: 0,
+            round: 2,
+            covers_128: false,
+            covers_256: false,
+        });
+        a.record(ref_start(100, None, None));
+        a.record(TraceEvent::RefreshEnd {
+            cycle: 140, // far below tRFC: fine, the round was scaled
+            rank: 0,
+            bank: None,
+        });
+        assert_eq!(a.summary().violations, 0, "{}", a.report());
+    }
+
+    #[test]
+    fn raidr_bin_deadline_enforced() {
+        let mut a = raidr_auditor();
+        let bin = a.cfg.raidr_bin_period.expect("raidr config");
+        let slack = a.cfg.max_refresh_postpone + a.cfg.quiesce_slack() + a.cfg.timing.t_refi();
+        let t_rfc = a.cfg.timing.t_rfc();
+        // Two full refreshes a legal distance apart.
+        a.record(ref_start(0, None, None));
+        a.record(TraceEvent::RefreshEnd {
+            cycle: t_rfc,
+            rank: 0,
+            bank: None,
+        });
+        a.record(ref_start(bin, None, None));
+        a.record(TraceEvent::RefreshEnd {
+            cycle: bin + t_rfc,
+            rank: 0,
+            bank: None,
+        });
+        assert_eq!(a.summary().violations, 0, "{}", a.report());
+        // The next cover of the 64 ms bin arrives too late.
+        let late = bin + bin + slack + 1;
+        a.record(TraceEvent::RetentionRound {
+            cycle: late,
+            rank: 0,
+            round: 2,
+            covers_128: false,
+            covers_256: false,
+        });
+        a.record(ref_start(late, None, None));
+        let kinds: Vec<_> = a.violations().iter().map(|v| v.invariant).collect();
+        assert!(kinds.contains(&"raidr.bin-deadline"), "{kinds:?}");
     }
 
     #[test]

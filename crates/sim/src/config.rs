@@ -35,6 +35,17 @@ pub enum SystemKind {
         /// SRAM buffer capacity in cache lines.
         buffer: usize,
     },
+    /// DARP (Chang et al., HPCA'14): per-bank refresh with out-of-order
+    /// idle-bank selection — refreshes are pulled into idle windows and
+    /// write-drain phases instead of waiting for their nominal due.
+    Darp,
+    /// SARP (Chang et al., HPCA'14): subarray-level parallelism — only
+    /// the refreshing subarray of a bank freezes; siblings keep serving.
+    Sarp,
+    /// RAIDR (Liu et al., ISCA'12): retention-aware binning — rows that
+    /// retain longer than 64 ms are refreshed at 128/256 ms rates, so
+    /// most rounds shrink or skip entirely.
+    Raidr,
 }
 
 impl SystemKind {
@@ -48,6 +59,9 @@ impl SystemKind {
             SystemKind::ElasticRefresh => "Elastic".to_string(),
             SystemKind::PerBankRefresh => "REFpb".to_string(),
             SystemKind::RopPerBank { buffer } => format!("ROP-pb-{buffer}"),
+            SystemKind::Darp => "DARP".to_string(),
+            SystemKind::Sarp => "SARP".to_string(),
+            SystemKind::Raidr => "RAIDR".to_string(),
         }
     }
 
@@ -66,8 +80,20 @@ impl SystemKind {
             SystemKind::RopPerBank { buffer } => {
                 MemCtrlConfig::rop_per_bank(DramConfig::baseline(ranks), buffer, seed)
             }
+            SystemKind::Darp => MemCtrlConfig::darp(DramConfig::baseline(ranks)),
+            SystemKind::Sarp => MemCtrlConfig::sarp(DramConfig::baseline(ranks)),
+            SystemKind::Raidr => MemCtrlConfig::raidr(DramConfig::baseline(ranks), seed),
         }
     }
+
+    /// The refresh-mechanism roster compared head-to-head (AllBank is
+    /// the conventional baseline the others are measured against).
+    pub const MECHANISMS: [SystemKind; 4] = [
+        SystemKind::Baseline,
+        SystemKind::Darp,
+        SystemKind::Sarp,
+        SystemKind::Raidr,
+    ];
 }
 
 /// Everything needed to instantiate a [`crate::System`].
@@ -166,6 +192,21 @@ mod tests {
                 .memctrl_config(1, 0)
                 .dram
                 .refresh_enabled
+        );
+    }
+
+    #[test]
+    fn mechanism_roster_builds_valid_configs() {
+        for kind in SystemKind::MECHANISMS {
+            let cfg = kind.memctrl_config(1, 7);
+            cfg.validate().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+        assert_eq!(SystemKind::Darp.label(), "DARP");
+        assert_eq!(SystemKind::Sarp.label(), "SARP");
+        assert_eq!(SystemKind::Raidr.label(), "RAIDR");
+        assert_eq!(
+            SystemKind::Raidr.memctrl_config(1, 3).mechanism.label(),
+            "raidr"
         );
     }
 

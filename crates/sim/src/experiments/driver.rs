@@ -13,15 +13,17 @@ use rop_trace::{ALL_BENCHMARKS, WORKLOAD_MIXES};
 
 use crate::experiments::{
     ablate_drain_with, ablate_table_with, ablate_throttle_with, ablate_window_with,
-    run_llc_sweep_with, run_singlecore_with, AblationResult,
+    run_llc_sweep_with, run_mechanisms_with, run_singlecore_with, AblationResult,
+    MECHANISM_BENCHMARKS,
 };
 use crate::runner::{RunSpec, SweepExecutor, SweepJob};
 
 /// Experiment names `run`/`resume`/`status` accept.
-pub const EXPERIMENTS: [&str; 8] = [
+pub const EXPERIMENTS: [&str; 9] = [
     "single",
     "multi",
     "llc",
+    "mechanisms",
     "ablate-window",
     "ablate-throttle",
     "ablate-drain",
@@ -102,6 +104,15 @@ fn drive_experiment(
             out.push(res.render_fig14());
         }
     };
+    let mechanisms = |out: &mut Vec<String>| {
+        let res = run_mechanisms_with(&MECHANISM_BENCHMARKS, spec, exec);
+        if render {
+            out.push(res.render_ipc());
+            out.push(res.render_blocked());
+            out.push(res.render_energy());
+            out.push(res.render_refresh_counts());
+        }
+    };
     let ablation = |out: &mut Vec<String>, res: AblationResult| {
         if render {
             out.push(res.render());
@@ -111,6 +122,7 @@ fn drive_experiment(
         "single" => single(&mut out),
         "multi" => multi(&mut out),
         "llc" => llc(&mut out),
+        "mechanisms" => mechanisms(&mut out),
         "ablate-window" => ablation(&mut out, ablate_window_with(spec, exec)),
         "ablate-throttle" => ablation(&mut out, ablate_throttle_with(spec, exec)),
         "ablate-drain" => ablation(&mut out, ablate_drain_with(spec, exec)),
@@ -119,6 +131,7 @@ fn drive_experiment(
             single(&mut out);
             multi(&mut out);
             llc(&mut out);
+            mechanisms(&mut out);
             ablation(&mut out, ablate_window_with(spec, exec));
             ablation(&mut out, ablate_throttle_with(spec, exec));
             ablation(&mut out, ablate_drain_with(spec, exec));

@@ -11,6 +11,7 @@ pub mod ablations;
 pub mod analysis_figs;
 pub mod driver;
 pub mod extensions;
+pub mod mechanisms;
 pub mod multicore;
 pub mod sensitivity;
 pub mod singlecore;
@@ -26,6 +27,9 @@ pub use driver::{
 pub use extensions::{
     run_fgr_sweep, run_per_bank_study, run_policy_comparison, FgrSweep, PerBankStudy,
     PolicyComparison,
+};
+pub use mechanisms::{
+    run_mechanisms, run_mechanisms_on, run_mechanisms_with, MechanismsResult, MECHANISM_BENCHMARKS,
 };
 pub use multicore::{run_multicore, run_multicore_on, AloneIpcs, MulticoreResult};
 pub use sensitivity::{run_llc_sweep, run_llc_sweep_with, LlcSweepResult};

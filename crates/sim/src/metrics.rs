@@ -51,6 +51,16 @@ pub struct RunMetrics {
     pub energy: EnergyBreakdown,
     /// Refreshes issued, summed over ranks.
     pub refreshes: u64,
+    /// Refresh-mechanism label (`allbank`/`darp`/`sarp`/`raidr`).
+    pub mechanism: String,
+    /// Read-stall cycles attributable to refresh freezes: for every read
+    /// queued across a refresh, the cycles from max(refresh start,
+    /// arrival) to the thaw.
+    pub refresh_blocked_cycles: u64,
+    /// RAIDR: retention rounds skipped outright.
+    pub refreshes_skipped: u64,
+    /// DARP: refreshes pulled in ahead of their nominal due.
+    pub refreshes_pulled_in: u64,
     /// SRAM buffer hit rate over reads arriving during refreshes
     /// (0 for systems without ROP, or when no such reads occurred).
     pub sram_hit_rate: f64,
@@ -253,6 +263,19 @@ impl RunMetrics {
             .push("total_cycles", Json::Num(self.total_cycles as f64))
             .push("energy", energy_to_json(&self.energy))
             .push("refreshes", Json::Num(self.refreshes as f64))
+            .push("mechanism", Json::Str(self.mechanism.clone()))
+            .push(
+                "refresh_blocked_cycles",
+                Json::Num(self.refresh_blocked_cycles as f64),
+            )
+            .push(
+                "refreshes_skipped",
+                Json::Num(self.refreshes_skipped as f64),
+            )
+            .push(
+                "refreshes_pulled_in",
+                Json::Num(self.refreshes_pulled_in as f64),
+            )
             .push("sram_hit_rate", Json::Num(self.sram_hit_rate))
             .push("sram_lookups", Json::Num(self.sram_lookups as f64))
             .push("prefetches", Json::Num(self.prefetches as f64))
@@ -316,6 +339,10 @@ impl RunMetrics {
             total_cycles: get_u64(j, "total_cycles"),
             energy: energy_from_json(j.get("energy").unwrap_or(&Json::Null)),
             refreshes: get_u64(j, "refreshes"),
+            mechanism: get_str(j, "mechanism"),
+            refresh_blocked_cycles: get_u64(j, "refresh_blocked_cycles"),
+            refreshes_skipped: get_u64(j, "refreshes_skipped"),
+            refreshes_pulled_in: get_u64(j, "refreshes_pulled_in"),
             sram_hit_rate: get_f64(j, "sram_hit_rate"),
             sram_lookups: get_u64(j, "sram_lookups"),
             prefetches: get_u64(j, "prefetches"),
@@ -364,6 +391,10 @@ mod tests {
             total_cycles: 100,
             energy: EnergyBreakdown::default(),
             refreshes: 0,
+            mechanism: "allbank".into(),
+            refresh_blocked_cycles: 0,
+            refreshes_skipped: 0,
+            refreshes_pulled_in: 0,
             sram_hit_rate: 0.0,
             sram_lookups: 0,
             prefetches: 0,
@@ -416,6 +447,10 @@ mod tests {
             sram_nj: 0.0,
         };
         m.refreshes = 4242;
+        m.mechanism = "sarp".into();
+        m.refresh_blocked_cycles = 31_337;
+        m.refreshes_skipped = 11;
+        m.refreshes_pulled_in = 23;
         m.sram_hit_rate = 0.6180339887498949;
         m.sram_lookups = 17;
         m.prefetches = 99;
@@ -472,6 +507,10 @@ mod tests {
         assert_eq!(back.total_cycles, m.total_cycles);
         assert_eq!(back.energy.read_nj.to_bits(), m.energy.read_nj.to_bits());
         assert_eq!(back.sram_hit_rate.to_bits(), m.sram_hit_rate.to_bits());
+        assert_eq!(back.mechanism, "sarp");
+        assert_eq!(back.refresh_blocked_cycles, 31_337);
+        assert_eq!(back.refreshes_skipped, 11);
+        assert_eq!(back.refreshes_pulled_in, 23);
         assert_eq!(back.analysis.len(), 1);
         assert_eq!(back.analysis[0][2].window_multiplier, 4);
         assert_eq!(back.analysis[0][1].max_blocked, 9);

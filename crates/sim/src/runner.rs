@@ -301,6 +301,16 @@ impl SweepJob {
             total_cycles: 0,
             energy: Default::default(),
             refreshes: 0,
+            mechanism: self
+                .config
+                .kind
+                .memctrl_config(self.config.ranks, self.config.seed)
+                .mechanism
+                .label()
+                .to_string(),
+            refresh_blocked_cycles: 0,
+            refreshes_skipped: 0,
+            refreshes_pulled_in: 0,
             sram_hit_rate: 0.0,
             sram_lookups: 0,
             prefetches: 0,

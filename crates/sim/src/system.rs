@@ -336,6 +336,10 @@ impl System {
             total_cycles,
             energy,
             refreshes,
+            mechanism: self.ctrl.mechanism().label().to_string(),
+            refresh_blocked_cycles: stats.refresh_blocked_cycles,
+            refreshes_skipped: self.ctrl.refreshes_skipped(),
+            refreshes_pulled_in: self.ctrl.refreshes_pulled_in(),
             sram_hit_rate: if stats.sram_lookups == 0 {
                 0.0
             } else {
@@ -623,6 +627,103 @@ mod tests {
     }
 
     #[test]
+    fn event_loop_is_cycle_exact_per_mechanism() {
+        // Every refresh mechanism must agree with the per-cycle oracle:
+        // DARP's pull-in eligibility, SARP's subarray freezes and
+        // RAIDR's skipped rounds all have their own wake-up hints, and
+        // a late hint shows up here as a diverging cycle count.
+        for kind in [SystemKind::Darp, SystemKind::Sarp, SystemKind::Raidr] {
+            assert_loops_agree(kind, Benchmark::Libquantum, 120_000, 20_000_000);
+            assert_loops_agree(kind, Benchmark::Gcc, 120_000, 20_000_000);
+        }
+    }
+
+    #[test]
+    fn allbank_mechanism_is_bitexact_with_the_pre_seam_controller() {
+        // The seam's AllBank delegation must not change a single cycle
+        // relative to the refresh-heavy and tFAW-saturated differential
+        // corners the pre-seam controller was pinned on.
+        for b in [Benchmark::Libquantum, Benchmark::Lbm] {
+            assert_loops_agree(SystemKind::Baseline, b, 120_000, 20_000_000);
+        }
+        assert_loops_agree_with(
+            SystemKind::Baseline,
+            Benchmark::Libquantum,
+            120_000,
+            20_000_000,
+            |ctrl| ctrl.dram.timing.t_refi_base /= 8,
+        );
+    }
+
+    #[test]
+    fn mechanisms_are_deterministic() {
+        // Same seed, same mechanism: byte-identical metrics payloads
+        // (the property the figure files inherit).
+        for kind in [SystemKind::Darp, SystemKind::Sarp, SystemKind::Raidr] {
+            let mut a = quick(kind, Benchmark::Libquantum);
+            let mut b = quick(kind, Benchmark::Libquantum);
+            // Wall-clock timing is the one legitimately nondeterministic
+            // field; blank it before comparing.
+            a.wall_seconds = 0.0;
+            b.wall_seconds = 0.0;
+            assert_eq!(a.to_json().render(), b.to_json().render(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn mechanisms_report_their_signature_counters() {
+        let base = quick(SystemKind::Baseline, Benchmark::Libquantum);
+        assert_eq!(base.mechanism, "allbank");
+        assert_eq!(base.refreshes_skipped, 0);
+        assert_eq!(base.refreshes_pulled_in, 0);
+        assert!(base.refresh_blocked_cycles > 0, "libquantum must block");
+
+        let raidr = quick(SystemKind::Raidr, Benchmark::Libquantum);
+        assert_eq!(raidr.mechanism, "raidr");
+        assert!(raidr.refreshes_skipped > 0, "half the rounds should skip");
+
+        let darp = quick(SystemKind::Darp, Benchmark::Gcc);
+        assert_eq!(darp.mechanism, "darp");
+        assert!(
+            darp.refreshes_pulled_in > 0,
+            "gcc leaves idle windows to pull refreshes into"
+        );
+
+        let sarp = quick(SystemKind::Sarp, Benchmark::Libquantum);
+        assert_eq!(sarp.mechanism, "sarp");
+        assert!(sarp.refreshes > 0);
+    }
+
+    #[test]
+    fn darp_and_sarp_shrink_refresh_blocking_under_pressure() {
+        // Refresh-heavy shape (tREFI/8): the rivals' whole pitch is
+        // fewer demand-visible freeze cycles than all-bank refresh.
+        let heavy = |kind: SystemKind| {
+            let mut cfg = SystemConfig::single_core(Benchmark::Libquantum, kind, 42);
+            let mut ctrl = kind.memctrl_config(cfg.ranks, cfg.seed);
+            ctrl.dram.timing.t_refi_base /= 8;
+            cfg.ctrl_override = Some(ctrl);
+            let mut sys = System::new(cfg);
+            sys.run_until(200_000, 40_000_000)
+        };
+        let base = heavy(SystemKind::Baseline);
+        let darp = heavy(SystemKind::Darp);
+        let sarp = heavy(SystemKind::Sarp);
+        assert!(
+            darp.refresh_blocked_cycles < base.refresh_blocked_cycles,
+            "DARP {} vs AllBank {}",
+            darp.refresh_blocked_cycles,
+            base.refresh_blocked_cycles
+        );
+        assert!(
+            sarp.refresh_blocked_cycles < base.refresh_blocked_cycles,
+            "SARP {} vs AllBank {}",
+            sarp.refresh_blocked_cycles,
+            base.refresh_blocked_cycles
+        );
+    }
+
+    #[test]
     fn event_loop_is_cycle_exact_multicore() {
         let mix = rop_trace::WORKLOAD_MIXES[5];
         let mut event = System::new(SystemConfig::multi_core(
@@ -695,6 +796,9 @@ mod tests {
             SystemKind::ElasticRefresh,
             SystemKind::PerBankRefresh,
             SystemKind::Rop { buffer: 64 },
+            SystemKind::Darp,
+            SystemKind::Sarp,
+            SystemKind::Raidr,
         ] {
             let m = quick_audited(kind, Benchmark::Libquantum);
             let audit = m.audit.expect("audited run must carry a summary");
