@@ -18,6 +18,7 @@
 //!   multi                           fig10+fig11 (one sweep)
 //!   llc                             fig12+fig13+fig14 (one sweep)
 //!   mechanisms                      figM1..M4 refresh-mechanism head-to-head
+//!   tail-latency                    figT1..T3 open-loop tail latency vs load
 //!   all                             everything above
 //! ```
 //!
@@ -44,7 +45,7 @@ use rop_sim_system::experiments::sensitivity::LLC_SIZES_MIB;
 use rop_sim_system::experiments::{
     ablate_drain_with, ablate_table_with, ablate_throttle_with, ablate_window_with, run_analysis,
     run_fgr_sweep, run_llc_sweep_with, run_mechanisms_with, run_per_bank_study,
-    run_policy_comparison, run_singlecore_with, MECHANISM_BENCHMARKS,
+    run_policy_comparison, run_singlecore_with, run_tail_latency_with, MECHANISM_BENCHMARKS,
 };
 use rop_sim_system::runner::{AuditingExecutor, LocalExecutor, RunSpec, SweepExecutor};
 use rop_stats::TableBuilder;
@@ -55,7 +56,7 @@ fn usage() -> ! {
         "usage: repro <experiment> [--instr N] [--seed S] [--store PATH] [--audit] [--no-lint]\n\
          experiments: fig1 fig2 fig3 fig4 table1 fig7 fig8 fig9 fig10 fig11\n\
          fig12 fig13 fig14 table2 table3 analysis single multi llc mechanisms\n\
-         policies fgr per-bank\n\
+         tail-latency policies fgr per-bank\n\
          ablate-window ablate-throttle ablate-drain ablate-table all"
     );
     std::process::exit(2);
@@ -105,6 +106,7 @@ fn lintable_experiment(cmd: &str) -> Option<&'static str> {
         "fig10" | "fig11" | "multi" => Some("multi"),
         "fig12" | "fig13" | "fig14" | "llc" => Some("llc"),
         "mechanisms" => Some("mechanisms"),
+        "tail-latency" => Some("tail-latency"),
         "ablate-window" => Some("ablate-window"),
         "ablate-throttle" => Some("ablate-throttle"),
         "ablate-drain" => Some("ablate-drain"),
@@ -289,6 +291,12 @@ fn main() {
             println!("{}", res.render_energy());
             println!("{}", res.render_refresh_counts());
         }
+        "tail-latency" => {
+            let res = run_tail_latency_with(spec, exec);
+            println!("{}", res.render_tail());
+            println!("{}", res.render_refresh_tail());
+            println!("{}", res.render_saturation());
+        }
         "table2" => println!("{}", render_table2()),
         "table3" => println!("{}", render_table3()),
         "policies" => println!("{}", run_policy_comparison(spec).render()),
@@ -328,6 +336,10 @@ fn main() {
             println!("{}", res.render_blocked());
             println!("{}", res.render_energy());
             println!("{}", res.render_refresh_counts());
+            let res = run_tail_latency_with(spec, exec);
+            println!("{}", res.render_tail());
+            println!("{}", res.render_refresh_tail());
+            println!("{}", res.render_saturation());
             println!("{}", ablate_window_with(spec, exec).render());
             println!("{}", ablate_throttle_with(spec, exec).render());
             println!("{}", ablate_drain_with(spec, exec).render());

@@ -8,8 +8,9 @@
 //! rop-sweep diff   <store-a> <store-b>    compare two stores
 //! rop-sweep export [flags]                store as CSV on stdout
 //!
-//! experiments: single multi llc ablate-window ablate-throttle
-//!              ablate-drain ablate-table all
+//! experiments: single multi llc mechanisms tail-latency
+//!              ablate-window ablate-throttle ablate-drain
+//!              ablate-table all
 //! flags: --store PATH (default sweep.jsonl) --instr N --seed S
 //!        --max-cycles N --workers N --retries N --quiet --audit
 //! ```
@@ -37,8 +38,8 @@ pub use rop_sim_system::experiments::driver::{
 
 const USAGE: &str = "usage: rop-sweep <command> [experiment] [flags]\n\
   commands:    run resume status diff export\n\
-  experiments: single multi llc ablate-window ablate-throttle\n\
-               ablate-drain ablate-table all\n\
+  experiments: single multi llc mechanisms tail-latency\n\
+               ablate-window ablate-throttle ablate-drain ablate-table all\n\
   flags:       --store PATH --instr N --seed S --max-cycles N\n\
                --workers N --retries N (total attempts) --quiet --audit\n\
                --no-lint (skip the static config pre-check)";
@@ -329,6 +330,22 @@ fn cmd_diff(path_a: &str, path_b: &str) -> Result<i32, String> {
                     differs = true;
                 }
             }
+            // Open-loop tail percentiles, when both sides carry them.
+            if let (Some(oa), Some(ob)) = (&ma.open_loop, &mb.open_loop) {
+                let tails = [
+                    ("p99", oa.read_latency.p99(), ob.read_latency.p99()),
+                    ("p999", oa.read_latency.p999(), ob.read_latency.p999()),
+                ];
+                for (field, va, vb) in tails {
+                    if va != vb {
+                        println!("  {id} {}: {field} {va} vs {vb}", ra.label);
+                        differs = true;
+                    }
+                }
+            } else if ma.open_loop.is_some() != mb.open_loop.is_some() {
+                println!("  {id} {}: open_loop presence differs", ra.label);
+                differs = true;
+            }
         }
     }
     if !differs {
@@ -352,7 +369,8 @@ fn cmd_export(opt: &Options) -> Result<i32, String> {
     ids.sort();
     println!(
         "job,label,status,attempts,mechanism,ipc,energy_mj,refreshes,refresh_blocked_cycles,\
-         sram_hit_rate,total_cycles,wall_seconds,audit_events,audit_violations"
+         sram_hit_rate,total_cycles,wall_seconds,audit_events,audit_violations,\
+         read_p50,read_p99,read_p999"
     );
     for id in ids {
         let rec = latest[*id];
@@ -375,9 +393,19 @@ fn cmd_export(opt: &Options) -> Result<i32, String> {
             Some(a) => (a.events.to_string(), a.violations.to_string()),
             None => Default::default(),
         };
+        // Tail columns stay empty for closed-loop runs, like the audit
+        // columns: "0 cycles" must never mean "not an open-loop job".
+        let (p50, p99, p999) = match rec.metrics.as_ref().and_then(|m| m.open_loop.as_ref()) {
+            Some(ol) => (
+                ol.read_latency.p50().to_string(),
+                ol.read_latency.p99().to_string(),
+                ol.read_latency.p999().to_string(),
+            ),
+            None => Default::default(),
+        };
         println!(
             "{},{},{},{},{mechanism},{ipc},{energy},{refreshes},{blocked},{sram},{cycles},{wall},\
-             {audit_events},{audit_violations}",
+             {audit_events},{audit_violations},{p50},{p99},{p999}",
             rec.job,
             csv_escape(&rec.label),
             match rec.status {
@@ -612,6 +640,71 @@ mod tests {
             1
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn diff_flags_open_loop_tail_differences_and_export_succeeds() {
+        use crate::store::{unix_now, Record, Store};
+        use rop_sim_system::metrics::{LatencyHistogram, OpenLoopMetrics};
+        use rop_sim_system::RunMetrics;
+        use rop_stats::Json;
+
+        // A minimal ok record whose metrics carry an open-loop block
+        // with the given tail shape.
+        let record = |tail: u64| -> Record {
+            let skeleton = r#"{"system":"Baseline","cores":[],"total_cycles":10,
+                "energy":{"act_pre_nj":0,"read_nj":0,"write_nj":0,"refresh_nj":0,
+                "background_nj":0,"sram_nj":0},"refreshes":1,"sram_hit_rate":0,
+                "sram_lookups":0,"prefetches":0,"analysis":[],"row_hit_rate":0,
+                "avg_read_latency":0,"hit_cycle_cap":false}"#;
+            let mut m = RunMetrics::from_json(&Json::parse(skeleton).unwrap()).unwrap();
+            let mut hist = LatencyHistogram::new();
+            for _ in 0..99 {
+                hist.record(20);
+            }
+            hist.record(tail);
+            m.open_loop = Some(OpenLoopMetrics {
+                process: "poisson".into(),
+                offered_rpkc: 60.0,
+                achieved_rpkc: 45.0,
+                reads_injected: 100,
+                writes_injected: 0,
+                backlog_peak: 3,
+                backlog_final: 0,
+                saturated: false,
+                read_latency: hist,
+                refresh_blocked_latency: LatencyHistogram::new(),
+            });
+            Record {
+                job: "feedbeeffeedbeef".into(),
+                label: "tail/poisson/60/Baseline".into(),
+                status: Status::Ok,
+                attempts: 1,
+                panic_msg: None,
+                ts: unix_now(),
+                metrics: Some(m),
+            }
+        };
+        let tmp = |tag: &str| {
+            let mut p = std::env::temp_dir();
+            p.push(format!("rop-cli-tail-{}-{tag}.jsonl", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            p
+        };
+        let (pa, pb, pc) = (tmp("a"), tmp("b"), tmp("c"));
+        Store::open(&pa).append(&record(20)).unwrap();
+        Store::open(&pb).append(&record(5_000)).unwrap();
+        Store::open(&pc).append(&record(20)).unwrap();
+        let s = |p: &std::path::Path| p.to_string_lossy().to_string();
+        // Same closed-loop fields, different p999: diff must flag it.
+        assert_eq!(main(&argv(&["diff", &s(&pa), &s(&pb)])), 1);
+        // Identical tails: stores agree.
+        assert_eq!(main(&argv(&["diff", &s(&pa), &s(&pc)])), 0);
+        // Export over a store with open-loop records succeeds.
+        assert_eq!(main(&argv(&["export", "--store", &s(&pa)])), 0);
+        for p in [pa, pb, pc] {
+            let _ = std::fs::remove_file(&p);
+        }
     }
 
     #[test]

@@ -278,8 +278,11 @@ mod tests {
     }
 
     fn ok_record(job: &str, ipc: f64) -> Record {
+        // A complete v1 metrics record: the decoder is strict, so every
+        // required field must be present (legacy pre-v1 fields like
+        // `mechanism` may be omitted and take their documented defaults).
         let metrics_json = Json::parse(&format!(
-            r#"{{"system":"Baseline","cores":[{{"benchmark":"lbm","instructions":100,"finish_cycle":50,"ipc":{ipc},"llc_hits":1,"read_misses":2,"stall_cycles":3}}],"total_cycles":50}}"#
+            r#"{{"system":"Baseline","cores":[{{"benchmark":"lbm","instructions":100,"finish_cycle":50,"ipc":{ipc},"llc_hits":1,"read_misses":2,"stall_cycles":3}}],"total_cycles":50,"energy":{{"act_pre_nj":0,"read_nj":0,"write_nj":0,"refresh_nj":0,"background_nj":0,"sram_nj":0}},"refreshes":0,"sram_hit_rate":0,"sram_lookups":0,"prefetches":0,"analysis":[],"row_hit_rate":0,"avg_read_latency":0,"hit_cycle_cap":false}}"#
         ))
         .unwrap();
         Record {

@@ -65,6 +65,7 @@ fn metrics(cycles: u64, ipc_milli: u64) -> RunMetrics {
         instructions_total: cycles / 2,
         events: cycles / 3,
         audit: None,
+        open_loop: None,
     }
 }
 

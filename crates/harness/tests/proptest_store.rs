@@ -136,6 +136,7 @@ fn run_metrics() -> impl Strategy<Value = RunMetrics> {
                     instructions_total,
                     events: total_cycles / 2,
                     audit,
+                    open_loop: None,
                 }
             },
         )

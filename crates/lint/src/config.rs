@@ -62,6 +62,24 @@ pub struct Facts {
     pub raidr_bin: Option<Iv>,
     // ROP engine (absent on baseline systems).
     pub rop: Option<RopFacts>,
+    /// Open-loop injector spec (absent on closed-loop jobs — every
+    /// `mc-openloop-*` rule is vacuous then). Only [`Facts::from_job`]
+    /// populates this: the spec lives on the system config, not the
+    /// controller config.
+    pub open_loop: Option<OpenLoopFacts>,
+}
+
+/// Interval view of the open-loop traffic knobs.
+#[derive(Debug, Clone)]
+pub struct OpenLoopFacts {
+    /// Offered load in requests per kilo-cycle, summed over tenants.
+    pub offered_rpkc: Iv,
+    /// Traffic sources (each pinned to a rank partition).
+    pub tenants: Iv,
+    /// Observation window in cycles.
+    pub duration: Iv,
+    /// Store fraction of the offered traffic.
+    pub write_fraction: Iv,
 }
 
 /// Interval view of the ROP engine knobs.
@@ -135,7 +153,21 @@ impl Facts {
                 lines_per_bank: p(r.lines_per_bank),
                 sram_latency: p(r.sram_latency),
             }),
+            open_loop: None,
         }
+    }
+
+    /// Point facts for one sweep job: the resolved controller config
+    /// plus the job-level open-loop spec, when present.
+    pub fn from_job(job: &SweepJob) -> Facts {
+        let mut facts = Facts::from_config(&resolve_ctrl(job));
+        facts.open_loop = job.config.open_loop.as_ref().map(|ol| OpenLoopFacts {
+            offered_rpkc: Iv::point(ol.offered_rpkc),
+            tenants: Iv::point(ol.tenants as f64),
+            duration: Iv::point(ol.duration as f64),
+            write_fraction: Iv::point(ol.write_fraction),
+        });
+        facts
     }
 
     /// Field-wise hull of two fact sets. A `None` ROP block is vacuous
@@ -200,6 +232,18 @@ impl Facts {
             (None, Some(b)) => Some(b.clone()),
             (None, None) => None,
         };
+        self.open_loop = match (self.open_loop, &other.open_loop) {
+            (Some(mut a), Some(b)) => {
+                a.offered_rpkc = a.offered_rpkc.hull(b.offered_rpkc);
+                a.tenants = a.tenants.hull(b.tenants);
+                a.duration = a.duration.hull(b.duration);
+                a.write_fraction = a.write_fraction.hull(b.write_fraction);
+                Some(a)
+            }
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b.clone()),
+            (None, None) => None,
+        };
         self
     }
 }
@@ -217,6 +261,15 @@ fn pow2(iv: Iv) -> Tri {
 fn rop_rule(f: &Facts, pred: impl Fn(&RopFacts) -> Tri) -> Tri {
     match &f.rop {
         Some(r) => pred(r),
+        None => Tri::True,
+    }
+}
+
+/// Applies a predicate to the open-loop block; closed-loop jobs (no
+/// block) are vacuously legal.
+fn ol_rule(f: &Facts, pred: impl Fn(&OpenLoopFacts) -> Tri) -> Tri {
+    match &f.open_loop {
+        Some(o) => pred(o),
         None => Tri::True,
     }
 }
@@ -379,6 +432,39 @@ pub const RULES: &[Rule] = &[
         },
     },
     Rule {
+        id: "mc-openloop-load",
+        summary: "offered open-loop load must stay under the data-bus service ceiling (offered x burst <= 1000 cycles per kilo-cycle)",
+        check: |f| {
+            let burst = f.burst;
+            ol_rule(f, |o| {
+                (o.offered_rpkc * burst).le(Iv::point(1000.0))
+            })
+        },
+    },
+    Rule {
+        id: "mc-openloop-tenants",
+        summary: "open-loop tenants must number at least one and at most the rank count (one rank partition each)",
+        check: |f| {
+            let ranks = f.ranks;
+            ol_rule(f, |o| {
+                o.tenants.ge(Iv::point(1.0)).and(o.tenants.le(ranks))
+            })
+        },
+    },
+    Rule {
+        id: "mc-openloop-duration",
+        summary: "open-loop observation window must span at least two tREFI (tail quantiles need refresh activity in frame)",
+        check: |f| {
+            let refi = f.t_refi;
+            ol_rule(f, |o| o.duration.ge(refi.scale(2.0)))
+        },
+    },
+    Rule {
+        id: "mc-openloop-write",
+        summary: "open-loop write fraction must be a probability in [0, 1]",
+        check: |f| ol_rule(f, |o| o.write_fraction.within(0.0, 1.0)),
+    },
+    Rule {
         id: "rop-banks-match",
         summary: "ROP prediction table must cover exactly the DRAM banks per rank",
         check: |f| {
@@ -463,10 +549,17 @@ impl GridReport {
 /// interval hull (one rule pass for the whole grid), falling back to
 /// per-point checks only for the rules the hull cannot decide.
 pub fn lint_grid<'a>(configs: impl IntoIterator<Item = (String, &'a MemCtrlConfig)>) -> GridReport {
-    let labeled: Vec<(String, Facts)> = configs
-        .into_iter()
-        .map(|(l, c)| (l, Facts::from_config(c)))
-        .collect();
+    lint_facts(
+        configs
+            .into_iter()
+            .map(|(l, c)| (l, Facts::from_config(c)))
+            .collect(),
+    )
+}
+
+/// The grid-first rule pass over pre-built facts (shared by the
+/// config-level [`lint_grid`] and the job-level [`lint_jobs`]).
+fn lint_facts(labeled: Vec<(String, Facts)>) -> GridReport {
     let points = labeled.len();
     let Some(hull) = labeled
         .iter()
@@ -528,11 +621,11 @@ pub fn resolve_ctrl(job: &SweepJob) -> MemCtrlConfig {
 /// shape checks (`SystemConfig::validate`) plus the full rule catalog
 /// over each job's resolved controller config, grid-first.
 pub fn lint_jobs(jobs: &[SweepJob]) -> GridReport {
-    let ctrls: Vec<(String, MemCtrlConfig)> = jobs
-        .iter()
-        .map(|j| (j.label.clone(), resolve_ctrl(j)))
-        .collect();
-    let mut report = lint_grid(ctrls.iter().map(|(l, c)| (l.clone(), c)));
+    let mut report = lint_facts(
+        jobs.iter()
+            .map(|j| (j.label.clone(), Facts::from_job(j)))
+            .collect(),
+    );
     // Shape errors (core/rank mismatches, empty benchmark lists) are not
     // interval rules; check them per job and report under a pseudo-rule.
     for job in jobs {

@@ -9,7 +9,10 @@ use rop_lint::fsm::{build_rop_fsm, check_fsm, EdgeKind};
 use rop_lint::srclint::{scan_source, SRC_RULES};
 use rop_memctrl::{MechanismKind, MemCtrlConfig};
 use rop_sim_system::experiments::driver::{plan_jobs, EXPERIMENTS};
-use rop_sim_system::runner::RunSpec;
+use rop_sim_system::experiments::tail_latency::tail_config;
+use rop_sim_system::runner::{RunSpec, SweepJob};
+use rop_sim_system::SystemKind;
+use rop_trace::ArrivalProcess;
 
 /// A legal ROP configuration to mutate from.
 fn good() -> MemCtrlConfig {
@@ -107,17 +110,101 @@ fn known_bad_table() -> Vec<(&'static str, MemCtrlConfig)> {
     table
 }
 
+/// One entry per job-level rule: (rule id, a sweep job violating
+/// exactly that rule). The `mc-openloop-*` rules read the open-loop
+/// spec on the *system* config, which `lint_config` never sees — they
+/// are exercised through `lint_jobs` instead.
+fn known_bad_job_table() -> Vec<(&'static str, SweepJob)> {
+    let base = || {
+        // A legal open-loop cell from the shipped tail-latency grid.
+        tail_config(
+            SystemKind::Baseline,
+            ArrivalProcess::Poisson,
+            60.0,
+            100_000,
+            1,
+        )
+    };
+    let job = |rule: &'static str, mutate: &dyn Fn(&mut rop_sim_system::OpenLoopSpec)| {
+        let mut cfg = base();
+        mutate(cfg.open_loop.as_mut().expect("open-loop cell"));
+        (
+            rule,
+            SweepJob::custom(
+                format!("known-bad/{rule}"),
+                cfg,
+                RunSpec {
+                    instructions: 1000,
+                    max_cycles: 1000,
+                    seed: 1,
+                },
+            ),
+        )
+    };
+    vec![
+        // 400 rpkc x 4-cycle bursts = 1600 > the 1000-cycle bus budget.
+        job("mc-openloop-load", &|ol| ol.offered_rpkc = 400.0),
+        // 8 tenants cannot each own one of 4 ranks.
+        job("mc-openloop-tenants", &|ol| ol.tenants = 8),
+        // A window shorter than two tREFI (12480) sees no refresh tail.
+        job("mc-openloop-duration", &|ol| ol.duration = 10_000),
+        // A write fraction above 1 is not a probability.
+        job("mc-openloop-write", &|ol| ol.write_fraction = 1.5),
+    ]
+}
+
 #[test]
 fn every_rule_has_a_known_bad_entry() {
     let table = known_bad_table();
+    let job_table = known_bad_job_table();
     for rule in RULES {
+        // Config-level and job-level tables jointly cover the catalog.
         assert!(
-            table.iter().any(|(id, _)| *id == rule.id),
+            table.iter().any(|(id, _)| *id == rule.id)
+                || job_table.iter().any(|(id, _)| *id == rule.id),
             "rule {} has no known-bad entry",
             rule.id
         );
     }
-    assert_eq!(table.len(), RULES.len());
+    assert_eq!(table.len() + job_table.len(), RULES.len());
+}
+
+#[test]
+fn each_known_bad_job_violates_exactly_its_rule() {
+    for (rule, job) in known_bad_job_table() {
+        let report = lint_jobs(std::slice::from_ref(&job));
+        assert_eq!(
+            report.violations.len(),
+            1,
+            "job for {rule} produced {:?}",
+            report.violations
+        );
+        let (label, vs) = &report.violations[0];
+        assert_eq!(label, &job.label);
+        let rules: Vec<&str> = vs.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec![rule], "job for {rule} violated {rules:?}");
+    }
+}
+
+#[test]
+fn the_job_mutation_base_is_clean() {
+    let cfg = tail_config(
+        SystemKind::Baseline,
+        ArrivalProcess::Poisson,
+        60.0,
+        100_000,
+        1,
+    );
+    let job = SweepJob::custom(
+        "known-bad/base",
+        cfg,
+        RunSpec {
+            instructions: 1000,
+            max_cycles: 1000,
+            seed: 1,
+        },
+    );
+    assert!(lint_jobs(std::slice::from_ref(&job)).clean());
 }
 
 #[test]

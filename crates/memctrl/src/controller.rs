@@ -230,6 +230,16 @@ pub struct MemController {
     /// Controller-level trace sink (refresh/drain lifecycle events).
     trace: TraceBuffer,
     scratch: TickScratch,
+    // Cold fields stay behind `stats`/`scratch`: inserting them
+    // mid-struct shifts the hot tick fields across cache lines and
+    // costs ~25% end-to-end throughput (perf_gate catches this).
+    /// Opt-in (open-loop tail accounting): record the id of every read
+    /// that overlaps a refresh freeze. Off by default so closed-loop
+    /// runs never grow `blocked_ids`.
+    track_blocked: bool,
+    /// Ids of reads observed blocked by refresh since the last drain
+    /// (may contain duplicates; consumers dedup).
+    blocked_ids: Vec<u64>,
 }
 
 impl MemController {
@@ -298,7 +308,12 @@ impl MemController {
         let mech = Mechanism::from_config(&cfg);
         MemController {
             analysis: (0..slots).map(|_| RefreshAnalysis::new(t_rfc)).collect(),
-            drain_sets: vec![Vec::new(); slots],
+            // Pre-sized to the hard bound (a drain set holds at most
+            // every queued request) so the snapshot loop in
+            // `handle_refresh_dues` never grows it mid-run.
+            drain_sets: (0..slots)
+                .map(|_| Vec::with_capacity(cfg.read_queue_capacity + cfg.write_queue_capacity))
+                .collect(),
             device,
             mapping,
             refresh,
@@ -313,6 +328,8 @@ impl MemController {
             rop,
             write_drain: false,
             next_id: 0,
+            track_blocked: false,
+            blocked_ids: Vec::new(),
             stats: MemCtrlStats::default(),
             trace: TraceBuffer::new(),
             scratch: TickScratch::with_bounds(
@@ -373,6 +390,26 @@ impl MemController {
     /// Controller statistics so far.
     pub fn stats(&self) -> &MemCtrlStats {
         &self.stats
+    }
+
+    /// Turns refresh-blocked read-id tracking on or off. Purely
+    /// observational: scheduling is identical either way. The open-loop
+    /// injector uses the drained ids to attribute tail latency to
+    /// refresh; closed-loop runs leave this off so the id buffer never
+    /// grows.
+    pub fn set_track_refresh_blocked(&mut self, enabled: bool) {
+        self.track_blocked = enabled;
+        if !enabled {
+            self.blocked_ids.clear();
+        }
+    }
+
+    /// Appends the ids of reads observed blocked by refresh since the
+    /// last drain and clears the internal buffer. Ids may repeat (a
+    /// read can arrive during one freeze and still be queued at the
+    /// next thaw); consumers dedup.
+    pub fn drain_refresh_blocked_into(&mut self, out: &mut Vec<u64>) {
+        out.append(&mut self.blocked_ids);
     }
 
     /// Number of refresh slots: ranks (all-bank mode) or rank×bank pairs
@@ -615,10 +652,13 @@ impl MemController {
             self.stats.read_queue_full += 1;
             return None;
         }
+        let id = self.alloc_id();
         if refreshing {
             self.stats.reads_blocked_by_refresh += 1;
+            if self.track_blocked {
+                self.blocked_ids.push(id);
+            }
         }
-        let id = self.alloc_id();
         self.note_arrival(addr.rank, addr.bank, addr, true, now);
         self.read_q.push(Queued {
             req: MemRequest {
@@ -813,6 +853,7 @@ impl MemController {
             // scheduling either way.
             if started != Cycle::MAX {
                 let mut blocked = 0u64;
+                let mut ids = std::mem::take(&mut self.blocked_ids);
                 for q in &self.read_q {
                     if self.addr_slot(&q.req.addr) != slot {
                         continue;
@@ -823,7 +864,11 @@ impl MemController {
                         }
                     }
                     blocked += now - started.max(q.req.arrival);
+                    if self.track_blocked {
+                        ids.push(q.req.id);
+                    }
                 }
+                self.blocked_ids = ids;
                 self.stats.refresh_blocked_cycles += blocked;
             }
             if let Some(rop) = &mut self.rop {
@@ -1295,6 +1340,9 @@ impl MemController {
         self.analysis[slot].note_blocked_at_refresh_start(blocked.len() as u64);
         let Some(rop) = &mut self.rop else {
             self.stats.reads_blocked_by_refresh += blocked.len() as u64;
+            if self.track_blocked {
+                self.blocked_ids.extend_from_slice(&blocked);
+            }
             self.scratch.blocked = blocked;
             return;
         };
@@ -1302,6 +1350,9 @@ impl MemController {
         if !rop.buffer.is_powered() {
             // Training phase: the buffer is off, nothing can be served.
             self.stats.reads_blocked_by_refresh += blocked.len() as u64;
+            if self.track_blocked {
+                self.blocked_ids.extend_from_slice(&blocked);
+            }
             self.scratch.blocked = blocked;
             return;
         }
@@ -1339,6 +1390,9 @@ impl MemController {
                 self.stats.sum_read_latency += (now + latency) - req.arrival;
             } else {
                 self.stats.reads_blocked_by_refresh += 1;
+                if self.track_blocked {
+                    self.blocked_ids.push(id);
+                }
             }
         }
         self.scratch.blocked = blocked;
@@ -1804,6 +1858,39 @@ mod tests {
         assert!(done >= c.device.refresh_done_at(0) || c.stats().reads_completed == 1);
         let comps = c.take_completions();
         assert!(comps[0].done_at > c.device.refresh_done_at(0));
+    }
+
+    /// Opt-in blocked-id tracking records the id of a read arriving
+    /// during a freeze, is drained exactly once, and stays empty (and
+    /// allocation-free) when the flag is off.
+    #[test]
+    fn refresh_blocked_ids_are_tracked_on_opt_in() {
+        let mut c = baseline_1rank();
+        c.set_track_refresh_blocked(true);
+        let mut now = 0;
+        while c.refreshes_issued(0) == 0 {
+            now = c.tick(now);
+        }
+        assert!(c.device.is_rank_refreshing(0, now));
+        let id = c.enqueue_read(777, 0, now).unwrap();
+        let mut ids = Vec::new();
+        c.drain_refresh_blocked_into(&mut ids);
+        assert!(ids.contains(&id), "blocked id {id} missing from {ids:?}");
+        ids.clear();
+        c.drain_refresh_blocked_into(&mut ids);
+        assert!(ids.is_empty(), "drain must clear the buffer");
+
+        // Default-off: same scenario records nothing.
+        let mut c = baseline_1rank();
+        let mut now = 0;
+        while c.refreshes_issued(0) == 0 {
+            now = c.tick(now);
+        }
+        c.enqueue_read(777, 0, now).unwrap();
+        assert_eq!(c.stats().reads_blocked_by_refresh, 1);
+        let mut ids = Vec::new();
+        c.drain_refresh_blocked_into(&mut ids);
+        assert!(ids.is_empty());
     }
 
     #[test]

@@ -4,7 +4,9 @@ use rop_cache::CacheConfig;
 use rop_cpu::CoreConfig;
 use rop_dram::DramConfig;
 use rop_memctrl::MemCtrlConfig;
-use rop_trace::Benchmark;
+use rop_trace::{AddressPattern, ArrivalProcess, Benchmark};
+
+use crate::Cycle;
 
 /// The memory systems compared throughout the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +98,54 @@ impl SystemKind {
     ];
 }
 
+/// Open-loop (datacenter traffic) mode: arrivals on a wall-clock
+/// schedule instead of trace-driven cores. Present on a
+/// [`SystemConfig`] when the job runs the open-loop injector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopSpec {
+    /// Stochastic clock generating the arrival schedule.
+    pub process: ArrivalProcess,
+    /// Offered load in requests per kilo-cycle, *summed over tenants*
+    /// (each tenant injects `offered_rpkc / tenants`).
+    pub offered_rpkc: f64,
+    /// Independent traffic sources, each pinned to its own rank via the
+    /// rank-partitioned mapping (must not exceed the rank count).
+    pub tenants: usize,
+    /// Address pattern each tenant walks inside its footprint.
+    pub pattern: AddressPattern,
+    /// Per-tenant footprint in cache lines.
+    pub region_lines: u64,
+    /// Fraction of arrivals that are stores.
+    pub write_fraction: f64,
+    /// Simulated duration in memory cycles (the run is time-bounded,
+    /// not work-bounded: tail quantiles need a fixed observation
+    /// window).
+    pub duration: Cycle,
+}
+
+impl OpenLoopSpec {
+    /// Validates parameter sanity (process parameters, load, shape).
+    pub fn validate(&self) -> Result<(), String> {
+        self.process.validate()?;
+        if !self.offered_rpkc.is_finite() || self.offered_rpkc <= 0.0 {
+            return Err("open-loop offered_rpkc must be finite and positive".into());
+        }
+        if self.tenants == 0 {
+            return Err("open-loop tenants must be non-zero".into());
+        }
+        if self.region_lines == 0 {
+            return Err("open-loop region_lines must be non-zero".into());
+        }
+        if !(0.0..=1.0).contains(&self.write_fraction) {
+            return Err("open-loop write_fraction must be in [0,1]".into());
+        }
+        if self.duration == 0 {
+            return Err("open-loop duration must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
 /// Everything needed to instantiate a [`crate::System`].
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -116,6 +166,10 @@ pub struct SystemConfig {
     /// to tweak individual knobs (window length, throttle mode, drain
     /// budget) while keeping everything else identical.
     pub ctrl_override: Option<MemCtrlConfig>,
+    /// When set, the job runs the open-loop injector instead of the
+    /// closed-loop core pipeline: `benchmarks` only sizes labels, and
+    /// the arrival schedule below drives the memory system directly.
+    pub open_loop: Option<OpenLoopSpec>,
 }
 
 impl SystemConfig {
@@ -129,6 +183,7 @@ impl SystemConfig {
             ranks: 1,
             seed,
             ctrl_override: None,
+            open_loop: None,
         }
     }
 
@@ -142,6 +197,7 @@ impl SystemConfig {
             ranks: 4,
             seed,
             ctrl_override: None,
+            open_loop: None,
         }
     }
 

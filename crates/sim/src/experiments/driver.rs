@@ -13,17 +13,18 @@ use rop_trace::{ALL_BENCHMARKS, WORKLOAD_MIXES};
 
 use crate::experiments::{
     ablate_drain_with, ablate_table_with, ablate_throttle_with, ablate_window_with,
-    run_llc_sweep_with, run_mechanisms_with, run_singlecore_with, AblationResult,
-    MECHANISM_BENCHMARKS,
+    run_llc_sweep_with, run_mechanisms_with, run_singlecore_with, run_tail_latency_with,
+    AblationResult, MECHANISM_BENCHMARKS,
 };
 use crate::runner::{RunSpec, SweepExecutor, SweepJob};
 
 /// Experiment names `run`/`resume`/`status` accept.
-pub const EXPERIMENTS: [&str; 9] = [
+pub const EXPERIMENTS: [&str; 10] = [
     "single",
     "multi",
     "llc",
     "mechanisms",
+    "tail-latency",
     "ablate-window",
     "ablate-throttle",
     "ablate-drain",
@@ -113,6 +114,14 @@ fn drive_experiment(
             out.push(res.render_refresh_counts());
         }
     };
+    let tail = |out: &mut Vec<String>| {
+        let res = run_tail_latency_with(spec, exec);
+        if render {
+            out.push(res.render_tail());
+            out.push(res.render_refresh_tail());
+            out.push(res.render_saturation());
+        }
+    };
     let ablation = |out: &mut Vec<String>, res: AblationResult| {
         if render {
             out.push(res.render());
@@ -123,6 +132,7 @@ fn drive_experiment(
         "multi" => multi(&mut out),
         "llc" => llc(&mut out),
         "mechanisms" => mechanisms(&mut out),
+        "tail-latency" => tail(&mut out),
         "ablate-window" => ablation(&mut out, ablate_window_with(spec, exec)),
         "ablate-throttle" => ablation(&mut out, ablate_throttle_with(spec, exec)),
         "ablate-drain" => ablation(&mut out, ablate_drain_with(spec, exec)),
@@ -132,6 +142,7 @@ fn drive_experiment(
             multi(&mut out);
             llc(&mut out);
             mechanisms(&mut out);
+            tail(&mut out);
             ablation(&mut out, ablate_window_with(spec, exec));
             ablation(&mut out, ablate_throttle_with(spec, exec));
             ablation(&mut out, ablate_drain_with(spec, exec));

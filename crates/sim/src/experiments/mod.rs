@@ -15,6 +15,7 @@ pub mod mechanisms;
 pub mod multicore;
 pub mod sensitivity;
 pub mod singlecore;
+pub mod tail_latency;
 
 pub use ablations::{
     ablate_drain, ablate_drain_with, ablate_table, ablate_table_with, ablate_throttle,
@@ -34,3 +35,7 @@ pub use mechanisms::{
 pub use multicore::{run_multicore, run_multicore_on, AloneIpcs, MulticoreResult};
 pub use sensitivity::{run_llc_sweep, run_llc_sweep_with, LlcSweepResult};
 pub use singlecore::{run_singlecore, run_singlecore_on, run_singlecore_with, SinglecoreResult};
+pub use tail_latency::{
+    run_tail_latency, run_tail_latency_with, tail_latency_jobs, TailLatencyResult,
+    OFFERED_LOADS_RPKC,
+};

@@ -39,6 +39,7 @@ impl AloneIpcs {
                     ranks: 4,
                     seed: spec.seed,
                     ctrl_override: None,
+                    open_loop: None,
                 };
                 SweepJob::custom(format!("alone/llc{llc_mib}/{}", b.name()), cfg, spec)
             })

@@ -20,13 +20,15 @@ pub mod config;
 pub mod engine_stats;
 pub mod experiments;
 pub mod metrics;
+pub mod openloop;
 pub mod runner;
 pub mod system;
 pub mod wheel;
 
 pub use audit::{AuditSummary, Auditor, AuditorConfig, Violation};
-pub use config::{SystemConfig, SystemKind};
-pub use metrics::{CoreMetrics, RunMetrics};
+pub use config::{OpenLoopSpec, SystemConfig, SystemKind};
+pub use metrics::{CoreMetrics, LatencyHistogram, OpenLoopMetrics, RunMetrics};
+pub use openloop::OpenLoopSystem;
 pub use runner::{
     parallel_map, run_multi, run_single, AuditingExecutor, LocalExecutor, RunSpec, SweepExecutor,
     SweepJob,

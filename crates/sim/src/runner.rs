@@ -269,6 +269,16 @@ impl SweepJob {
                 // the pool can record a labeled failure.
                 panic!("invalid config: {e}"); // rop-lint: allow(no-panic)
             }
+            if self.config.open_loop.is_some() {
+                // Open-loop jobs run the datacenter-traffic injector
+                // instead of the trace-driven core pipeline.
+                let mut sys = crate::OpenLoopSystem::new(self.config.clone());
+                sys.set_cancel_token(token.clone());
+                if self.audit {
+                    sys.enable_audit();
+                }
+                return sys.run();
+            }
             let mut sys = System::new(self.config.clone());
             sys.set_cancel_token(token.clone());
             if self.audit {
@@ -284,20 +294,25 @@ impl SweepJob {
     pub fn placeholder_metrics(&self) -> RunMetrics {
         RunMetrics {
             system: self.config.kind.label(),
-            cores: self
-                .config
-                .benchmarks
-                .iter()
-                .map(|b| crate::metrics::CoreMetrics {
-                    benchmark: b.name().to_string(),
-                    instructions: 0,
-                    finish_cycle: 0,
-                    ipc: 0.0,
-                    llc_hits: 0,
-                    read_misses: 0,
-                    stall_cycles: 0,
-                })
-                .collect(),
+            // Open-loop runs have no trace-driven cores; mirror that
+            // shape so planners render the right columns.
+            cores: if self.config.open_loop.is_some() {
+                Vec::new()
+            } else {
+                self.config
+                    .benchmarks
+                    .iter()
+                    .map(|b| crate::metrics::CoreMetrics {
+                        benchmark: b.name().to_string(),
+                        instructions: 0,
+                        finish_cycle: 0,
+                        ipc: 0.0,
+                        llc_hits: 0,
+                        read_misses: 0,
+                        stall_cycles: 0,
+                    })
+                    .collect()
+            },
             total_cycles: 0,
             energy: Default::default(),
             refreshes: 0,
@@ -322,6 +337,22 @@ impl SweepJob {
             instructions_total: 0,
             events: 0,
             audit: None,
+            open_loop: self
+                .config
+                .open_loop
+                .as_ref()
+                .map(|ol| crate::metrics::OpenLoopMetrics {
+                    process: ol.process.label().to_string(),
+                    offered_rpkc: ol.offered_rpkc,
+                    achieved_rpkc: 0.0,
+                    reads_injected: 0,
+                    writes_injected: 0,
+                    backlog_peak: 0,
+                    backlog_final: 0,
+                    saturated: false,
+                    read_latency: Default::default(),
+                    refresh_blocked_latency: Default::default(),
+                }),
         }
     }
 }
@@ -360,6 +391,13 @@ impl SweepExecutor for LocalExecutor {
             |j| {
                 if let Err(e) = j.config.validate() {
                     panic!("invalid config: {e}"); // rop-lint: allow(no-panic)
+                }
+                if j.config.open_loop.is_some() {
+                    let mut sys = crate::OpenLoopSystem::new(j.config.clone());
+                    if j.audit {
+                        sys.enable_audit();
+                    }
+                    return sys.run();
                 }
                 let mut sys = System::new(j.config.clone());
                 if j.audit {
@@ -583,6 +621,46 @@ mod tests {
         let m = job.placeholder_metrics();
         assert_eq!(m.cores.len(), 4);
         assert_eq!(m.total_cycles, 0);
+        assert!(m.open_loop.is_none());
+    }
+
+    #[test]
+    fn executors_dispatch_open_loop_jobs_to_the_injector() {
+        let spec = RunSpec {
+            instructions: 30_000,
+            max_cycles: 1_000_000,
+            seed: 5,
+        };
+        let job = SweepJob::custom(
+            "tail/test",
+            crate::experiments::tail_latency::tail_config(
+                SystemKind::Baseline,
+                rop_trace::ArrivalProcess::Poisson,
+                80.0,
+                30_000,
+                spec.seed,
+            ),
+            spec,
+        );
+        // Placeholder mirrors the open-loop shape (no cores, tail block).
+        let ph = job.placeholder_metrics();
+        assert!(ph.cores.is_empty());
+        assert_eq!(ph.open_loop.as_ref().unwrap().process, "poisson");
+        // Both executor paths route to the injector and agree exactly.
+        let via_exec = LocalExecutor.execute(vec![job.clone()]).pop().unwrap();
+        let direct = job.run();
+        let ol = via_exec.open_loop.as_ref().expect("open-loop metrics");
+        assert!(ol.read_latency.count() > 0);
+        assert_eq!(
+            ol.read_latency,
+            direct.open_loop.as_ref().unwrap().read_latency
+        );
+        // An audited open-loop job runs clean end to end.
+        let audited = LocalExecutor
+            .execute(vec![job.with_audit(true)])
+            .pop()
+            .unwrap();
+        assert_eq!(audited.audit.unwrap().violations, 0);
     }
 
     #[test]

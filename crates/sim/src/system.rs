@@ -359,6 +359,7 @@ impl System {
             instructions_total,
             events: self.events,
             audit: self.auditor.as_ref().map(|a| a.summary()),
+            open_loop: None,
         }
     }
 }

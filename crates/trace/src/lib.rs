@@ -22,12 +22,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arrival;
 pub mod pattern;
 pub mod record;
 pub mod replay;
+pub mod sampler;
 pub mod spec2006;
 pub mod synthetic;
 
+pub use arrival::{Arrival, ArrivalGen, ArrivalProcess, DIURNAL_MULTIPLIERS};
 pub use pattern::AddressPattern;
 pub use record::TraceRecord;
 pub use replay::{capture, load_trace, write_trace, ReplayWorkload, TraceError};

@@ -107,14 +107,11 @@ impl SyntheticWorkload {
         self.params.base_addr = base;
     }
 
-    /// Exponentially distributed gap with the given mean (>= 0).
+    /// Exponentially distributed gap with the given mean (>= 0),
+    /// rounded to nearest by the shared sampler (the old floor
+    /// truncation biased every gap ~0.5 below the configured mean).
     fn sample_gap(&mut self, mean: u32) -> u32 {
-        if mean == 0 {
-            return 0;
-        }
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        let g = -(mean as f64) * u.ln();
-        g.min(u32::MAX as f64 / 2.0) as u32
+        crate::sampler::exp_gap(&mut self.rng, mean as f64).min(u32::MAX as u64 / 2) as u32
     }
 }
 
@@ -241,6 +238,32 @@ mod tests {
         // Mostly small in-burst gaps, with a meaningful tail of idle gaps.
         assert!(small > big * 5);
         assert!(big > 100);
+    }
+
+    /// Regression (ISSUE 8): `sample_gap` used to floor-truncate the
+    /// exponential sample, biasing every gap ~0.5 cycles below the
+    /// configured mean — at `burst_gap_mean = 4` a 12% error. With the
+    /// burst and idle means equal, every emitted gap is a plain
+    /// exponential draw, so the realized mean must track the configured
+    /// mean; the old floor bias fails this tolerance.
+    #[test]
+    fn realized_gap_mean_is_unbiased() {
+        for mean in [4u32, 10, 50] {
+            let mut p = params();
+            p.burst_gap_mean = mean;
+            p.idle_gap_mean = mean;
+            let mut w = SyntheticWorkload::new(p, 13);
+            const N: u64 = 200_000;
+            let sum: u64 = (0..N)
+                .map(|_| w.next_record().gap_instructions as u64)
+                .sum();
+            let realized = sum as f64 / N as f64;
+            let tol = 0.1 + mean as f64 * 0.01;
+            assert!(
+                (realized - mean as f64).abs() < tol,
+                "mean {mean}: realized {realized} off by more than {tol}"
+            );
+        }
     }
 
     #[test]
