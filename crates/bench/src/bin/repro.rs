@@ -141,6 +141,21 @@ fn lint_gate(cmd: &str, spec: RunSpec) {
         eprint!("{}", report.render());
         std::process::exit(1);
     }
+    // Model-check every refresh mechanism this run will build.
+    match rop_lint::mech::gate_jobs(&jobs) {
+        Ok(reports) => {
+            let labels: Vec<&str> = reports.iter().map(|r| r.kind.label()).collect();
+            eprintln!(
+                "# lint: refresh mechanism(s) {} model-checked",
+                labels.join(" ")
+            );
+        }
+        Err(failures) => {
+            eprintln!("# lint: mechanism model check rejected this run (use --no-lint to bypass):");
+            eprint!("{failures}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn render_table2() -> String {

@@ -66,10 +66,10 @@ impl ChannelTiming {
         self.open_row_p1[idx] = row + 1;
         self.open_banks[rank] += 1;
         self.last_act_at[idx] = now;
-        self.next_read[idx] = now + t_rcd;
-        self.next_write[idx] = now + t_rcd;
-        self.next_pre[idx] = now + t_ras;
-        self.next_act[idx] = now + t_rc;
+        self.next_read[idx] = now.saturating_add(t_rcd);
+        self.next_write[idx] = now.saturating_add(t_rcd);
+        self.next_pre[idx] = now.saturating_add(t_ras);
+        self.next_act[idx] = now.saturating_add(t_rc);
     }
 
     /// Applies a PRE to bank `idx` issued at `now`.
@@ -80,7 +80,7 @@ impl ChannelTiming {
         let rank = idx / self.banks_per_rank();
         self.open_row_p1[idx] = 0;
         self.open_banks[rank] -= 1;
-        self.next_act[idx] = self.next_act[idx].max(now + t_rp);
+        self.next_act[idx] = self.next_act[idx].max(now.saturating_add(t_rp));
     }
 
     /// Applies a READ to bank `idx` issued at `now`; returns the cycle
@@ -98,11 +98,11 @@ impl ChannelTiming {
         debug_assert!(self.is_open(idx));
         debug_assert!(now >= self.next_read[idx]);
         // Read-to-precharge.
-        self.next_pre[idx] = self.next_pre[idx].max(now + t_rtp);
+        self.next_pre[idx] = self.next_pre[idx].max(now.saturating_add(t_rtp));
         // Back-to-back column commands on the same bank.
-        self.next_read[idx] = self.next_read[idx].max(now + t_ccd);
-        self.next_write[idx] = self.next_write[idx].max(now + t_ccd);
-        now + cl + burst
+        self.next_read[idx] = self.next_read[idx].max(now.saturating_add(t_ccd));
+        self.next_write[idx] = self.next_write[idx].max(now.saturating_add(t_ccd));
+        now.saturating_add(cl).saturating_add(burst)
     }
 
     /// Applies a WRITE to bank `idx` issued at `now`; returns the cycle
@@ -119,11 +119,11 @@ impl ChannelTiming {
     ) -> Cycle {
         debug_assert!(self.is_open(idx));
         debug_assert!(now >= self.next_write[idx]);
-        let data_done = now + cwl + burst;
+        let data_done = now.saturating_add(cwl).saturating_add(burst);
         // Write recovery: PRE only after tWR past the last data beat.
-        self.next_pre[idx] = self.next_pre[idx].max(data_done + t_wr);
-        self.next_read[idx] = self.next_read[idx].max(now + t_ccd);
-        self.next_write[idx] = self.next_write[idx].max(now + t_ccd);
+        self.next_pre[idx] = self.next_pre[idx].max(data_done.saturating_add(t_wr));
+        self.next_read[idx] = self.next_read[idx].max(now.saturating_add(t_ccd));
+        self.next_write[idx] = self.next_write[idx].max(now.saturating_add(t_ccd));
         data_done
     }
 

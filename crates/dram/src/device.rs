@@ -351,7 +351,7 @@ impl DramDevice {
                 IssueOutcome {
                     issued_at: now,
                     data_at: None,
-                    completes_at: now + t.t_rcd,
+                    completes_at: now.saturating_add(t.t_rcd),
                 }
             }
             Command::Precharge { bank, .. } => {
@@ -361,19 +361,19 @@ impl DramDevice {
                 IssueOutcome {
                     issued_at: now,
                     data_at: None,
-                    completes_at: now + t.t_rp,
+                    completes_at: now.saturating_add(t.t_rp),
                 }
             }
             Command::Read { bank, .. } => {
                 let i = s.bank_index(rank_idx, bank);
                 let data_at = s.apply_read(i, now, t.cl, t.burst_cycles(), t.t_rtp, t.t_ccd);
                 self.counts.reads += 1;
-                self.next_read_ok = self.next_read_ok.max(now + t.t_ccd);
+                self.next_read_ok = self.next_read_ok.max(now.saturating_add(t.t_ccd));
                 // Read-to-write: write data may not collide with read data
                 // on the bus; conservative gap.
-                self.next_write_ok = self
-                    .next_write_ok
-                    .max((now + t.cl + t.burst_cycles() + t.t_rtrs).saturating_sub(t.cwl));
+                self.next_write_ok = self.next_write_ok.max(
+                    (now.saturating_add(t.cl + t.burst_cycles() + t.t_rtrs)).saturating_sub(t.cwl),
+                );
                 self.data_bus_free = data_at;
                 self.last_data_rank = Some(rank_idx);
                 IssueOutcome {
@@ -386,7 +386,7 @@ impl DramDevice {
                 let i = s.bank_index(rank_idx, bank);
                 let data_at = s.apply_write(i, now, t.cwl, t.burst_cycles(), t.t_wr, t.t_ccd);
                 self.counts.writes += 1;
-                self.next_write_ok = self.next_write_ok.max(now + t.t_ccd);
+                self.next_write_ok = self.next_write_ok.max(now.saturating_add(t.t_ccd));
                 // Write-to-read turnaround on this rank.
                 s.next_read_rank[rank_idx] = s.next_read_rank[rank_idx].max(data_at + t.t_wtr);
                 self.data_bus_free = data_at;
@@ -403,11 +403,11 @@ impl DramDevice {
                 IssueOutcome {
                     issued_at: now,
                     data_at: None,
-                    completes_at: now + t.t_rfc(),
+                    completes_at: now.saturating_add(t.t_rfc()),
                 }
             }
             Command::RefreshBank { bank, .. } => {
-                let done = now + t.t_rfc_pb;
+                let done = now.saturating_add(t.t_rfc_pb);
                 let i = s.bank_index(rank_idx, bank);
                 s.apply_bank_refresh(i, done);
                 s.record_activate(rank_idx, now, t.t_rrd, t.t_faw);

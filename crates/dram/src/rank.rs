@@ -83,7 +83,7 @@ impl ChannelTiming {
     /// no pruning pass.
     // rop-lint: hot
     pub fn record_activate(&mut self, rank: usize, now: Cycle, t_rrd: Cycle, _t_faw: Cycle) {
-        self.next_act_rrd[rank] = now + t_rrd;
+        self.next_act_rrd[rank] = now.saturating_add(t_rrd);
         let n = self.act_count[rank] as usize;
         let ring = &mut self.act_ring[rank];
         if n < 4 {

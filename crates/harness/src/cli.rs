@@ -28,7 +28,7 @@ use rop_sim_system::runner::{AuditingExecutor, RunSpec, SweepExecutor};
 
 use crate::executor::StoreExecutor;
 use crate::pool::PoolConfig;
-use crate::store::{Status, Store};
+use crate::store::{Status, Store, StoreContents};
 
 // The experiment-name → job-set mapping lives in `rop-sim-system`
 // (`experiments::driver`), shared with `repro` and `rop-lint`.
@@ -142,12 +142,26 @@ fn lint_gate(experiment: &str, spec: RunSpec) -> Result<(), String> {
             report.points,
             if report.symbolic { " (symbolic)" } else { "" }
         );
-        Ok(())
     } else {
-        Err(format!(
+        return Err(format!(
             "static config lint rejected the sweep (rerun with --no-lint to bypass):\n{}",
             report.render()
-        ))
+        ));
+    }
+    // Model-check every refresh mechanism the sweep will build before a
+    // single controller is constructed out of it.
+    match rop_lint::mech::gate_jobs(&jobs) {
+        Ok(reports) => {
+            let labels: Vec<&str> = reports.iter().map(|r| r.kind.label()).collect();
+            eprintln!(
+                "# lint: refresh mechanism(s) {} model-checked",
+                labels.join(" ")
+            );
+            Ok(())
+        }
+        Err(failures) => Err(format!(
+            "mechanism model check rejected the sweep (rerun with --no-lint to bypass):\n{failures}"
+        )),
     }
 }
 
@@ -362,12 +376,17 @@ fn csv_escape(s: &str) -> String {
     }
 }
 
-fn cmd_export(opt: &Options) -> Result<i32, String> {
-    let contents = Store::open(&opt.store).load()?;
+/// Renders the latest record per job as the `rop-sweep export` CSV.
+/// Public so the mechanism round-trip tests can assert on the exact
+/// bytes the sweep pipeline hands downstream tooling.
+pub fn export_csv(contents: &StoreContents) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
     let latest = contents.latest();
     let mut ids: Vec<&&str> = latest.keys().collect();
     ids.sort();
-    println!(
+    let _ = writeln!(
+        out,
         "job,label,status,attempts,mechanism,ipc,energy_mj,refreshes,refresh_blocked_cycles,\
          sram_hit_rate,total_cycles,wall_seconds,audit_events,audit_violations,\
          read_p50,read_p99,read_p999"
@@ -403,7 +422,8 @@ fn cmd_export(opt: &Options) -> Result<i32, String> {
             ),
             None => Default::default(),
         };
-        println!(
+        let _ = writeln!(
+            out,
             "{},{},{},{},{mechanism},{ipc},{energy},{refreshes},{blocked},{sram},{cycles},{wall},\
              {audit_events},{audit_violations},{p50},{p99},{p999}",
             rec.job,
@@ -415,6 +435,12 @@ fn cmd_export(opt: &Options) -> Result<i32, String> {
             rec.attempts,
         );
     }
+    out
+}
+
+fn cmd_export(opt: &Options) -> Result<i32, String> {
+    let contents = Store::open(&opt.store).load()?;
+    print!("{}", export_csv(&contents));
     Ok(0)
 }
 

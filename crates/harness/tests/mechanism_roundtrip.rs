@@ -1,0 +1,123 @@
+//! `MechanismKind` round-trip acceptance: the refresh mechanism chosen
+//! at config time must arrive unchanged in the metrics a run reports,
+//! in the JSONL store, and in the `rop-sweep export` CSV — the zoo
+//! figures and the verify-mech gate are both keyed on that column.
+
+use rop_harness::cli::export_csv;
+use rop_harness::{job_id, Record, Status, Store};
+use rop_memctrl::MechanismKind;
+use rop_sim_system::experiments::driver::plan_jobs;
+use rop_sim_system::runner::{LocalExecutor, RunSpec, SweepExecutor, SweepJob};
+
+fn tiny_spec() -> RunSpec {
+    RunSpec {
+        instructions: 2_000,
+        max_cycles: 2_000_000,
+        seed: 7,
+    }
+}
+
+/// The mechanism a job will actually build: the controller override if
+/// the cell carries one, the kind-derived controller otherwise.
+fn resolved_mechanism(job: &SweepJob) -> MechanismKind {
+    job.config
+        .ctrl_override
+        .clone()
+        .unwrap_or_else(|| {
+            job.config
+                .kind
+                .memctrl_config(job.config.ranks, job.config.seed)
+        })
+        .mechanism
+}
+
+#[test]
+fn the_mechanisms_experiment_plans_the_full_zoo() {
+    let jobs = plan_jobs("mechanisms", tiny_spec()).expect("plan");
+    let mut labels: Vec<&str> = jobs.iter().map(|j| resolved_mechanism(j).label()).collect();
+    labels.sort();
+    labels.dedup();
+    assert_eq!(labels, ["allbank", "darp", "raidr", "sarp"]);
+    // Every job's display label names its system, so a grid cell can
+    // be traced back from the store without re-deriving configs.
+    for j in &jobs {
+        assert!(
+            j.label.contains(&j.config.kind.label()),
+            "job label {} does not name its system",
+            j.label
+        );
+    }
+}
+
+#[test]
+fn mechanism_labels_survive_run_store_and_export() {
+    let jobs = plan_jobs("mechanisms", tiny_spec()).expect("plan");
+    // The first four cells are the stock shape on one benchmark, one
+    // per roster mechanism.
+    let four: Vec<SweepJob> = jobs.into_iter().take(4).collect();
+    let expected: Vec<&'static str> = four.iter().map(|j| resolved_mechanism(j).label()).collect();
+    assert_eq!(expected.len(), 4);
+
+    // Config → run: the live controller reports the configured
+    // mechanism in its metrics.
+    let metrics = LocalExecutor.execute(four.clone());
+    for (j, m) in four.iter().zip(&metrics) {
+        assert_eq!(
+            m.mechanism,
+            resolved_mechanism(j).label(),
+            "job {} ran a different mechanism than configured",
+            j.label
+        );
+    }
+
+    // Run → store: the JSONL round-trip keeps the column intact.
+    let mut path = std::env::temp_dir();
+    path.push(format!("rop-mech-roundtrip-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let store = Store::open(&path);
+    for (j, m) in four.iter().zip(&metrics) {
+        store
+            .append(&Record {
+                job: job_id(j),
+                label: j.label.clone(),
+                status: Status::Ok,
+                attempts: 1,
+                panic_msg: None,
+                ts: 0,
+                metrics: Some(m.clone()),
+            })
+            .expect("append");
+    }
+    let contents = store.load().expect("load");
+    assert_eq!(contents.records.len(), 4);
+    assert_eq!(contents.corrupt_lines, 0);
+    for (j, want) in four.iter().zip(&expected) {
+        let id = job_id(j);
+        let rec = contents
+            .records
+            .iter()
+            .find(|r| r.job == id)
+            .expect("record for job");
+        let m = rec.metrics.as_ref().expect("ok record has metrics");
+        assert_eq!(&m.mechanism, want, "store lost the mechanism for {id}");
+    }
+
+    // Store → export: the CSV mechanism column matches per job row.
+    let csv = export_csv(&contents);
+    let header = csv.lines().next().expect("header");
+    let mech_col = header
+        .split(',')
+        .position(|c| c == "mechanism")
+        .expect("mechanism column in export header");
+    for (j, want) in four.iter().zip(&expected) {
+        let id = job_id(j);
+        let row = csv
+            .lines()
+            .find(|l| l.starts_with(&id))
+            .unwrap_or_else(|| panic!("no export row for {id}"));
+        let got = row.split(',').nth(mech_col).expect("mechanism cell");
+        assert_eq!(&got, want, "export lost the mechanism for {id}");
+    }
+
+    let _ = std::fs::remove_file(&path);
+}

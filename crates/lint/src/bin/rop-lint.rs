@@ -5,6 +5,8 @@
 //! rop-lint fsm                            model-check the throttle/profiler FSM
 //! rop-lint src [--root DIR] [--baseline FILE] [--update-baseline]
 //!                                         determinism/robustness source lint
+//! rop-lint verify-mech [mech...] [--mutate NAME] [--depth N] [--trace-dir DIR]
+//!                                         model-check the refresh-mechanism zoo
 //! rop-lint rules                          list the config rule catalog
 //! ```
 //!
@@ -15,6 +17,7 @@ use std::path::PathBuf;
 use rop_core::RopConfig;
 use rop_lint::config::{lint_jobs, RULES};
 use rop_lint::fsm::{build_rop_fsm, check_fsm};
+use rop_lint::mech::{check_mechanism, MechCheckConfig, MechKind, Mutation};
 use rop_lint::srclint::{compare, parse_baseline, render_baseline, scan_workspace, to_baseline};
 use rop_sim_system::experiments::driver::{plan_jobs, EXPERIMENTS};
 use rop_sim_system::runner::RunSpec;
@@ -24,6 +27,9 @@ const USAGE: &str = "usage: rop-lint <command> [args]\n\
   fsm                            model-check the throttle/profiler FSM\n\
   src [--root DIR] [--baseline FILE] [--update-baseline]\n\
                                  determinism/robustness source lint\n\
+  verify-mech [mech...] [--mutate NAME] [--depth N] [--trace-dir DIR]\n\
+                                 exhaustively model-check the refresh zoo\n\
+                                 (mechs: allbank darp sarp raidr; default all)\n\
   rules                          list the config rule catalog";
 
 fn cmd_check_config(args: &[String]) -> Result<i32, String> {
@@ -141,13 +147,110 @@ fn cmd_src(args: &[String]) -> Result<i32, String> {
              (ratchet down with --update-baseline)"
         );
     }
+    for (rule, path, accepted) in &report.stale {
+        println!(
+            "src: STALE [{rule}] {path}: baseline allows {accepted} but no finding remains \
+             (remove the entry with --update-baseline)"
+        );
+    }
     if report.ok() {
         println!("src: ok — {} finding(s), none above baseline", report.total);
         Ok(0)
     } else {
-        println!("src: FAIL — findings above baseline");
+        println!("src: FAIL — findings above baseline or stale baseline entries");
         Ok(1)
     }
+}
+
+fn cmd_verify_mech(args: &[String]) -> Result<i32, String> {
+    let mut kinds: Vec<MechKind> = Vec::new();
+    let mut mutation: Option<Mutation> = None;
+    let mut depth: Option<usize> = None;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mutate" => {
+                i += 1;
+                let name = args.get(i).ok_or("--mutate needs a value")?;
+                mutation = Some(Mutation::parse(name).ok_or_else(|| {
+                    format!(
+                        "unknown mutation '{name}' (expected one of: {})",
+                        Mutation::ALL.map(Mutation::label).join(" ")
+                    )
+                })?);
+            }
+            "--depth" => {
+                i += 1;
+                let v = args.get(i).ok_or("--depth needs a value")?;
+                depth = Some(v.parse().map_err(|e| format!("--depth {v}: {e}"))?);
+            }
+            "--trace-dir" => {
+                i += 1;
+                trace_dir = Some(PathBuf::from(
+                    args.get(i).ok_or("--trace-dir needs a value")?,
+                ));
+            }
+            name => {
+                kinds.push(MechKind::parse(name).ok_or_else(|| {
+                    format!(
+                        "unknown mechanism '{name}' (expected one of: {})",
+                        MechKind::ALL.map(MechKind::label).join(" ")
+                    )
+                })?);
+            }
+        }
+        i += 1;
+    }
+
+    let mut configs: Vec<MechCheckConfig> = match mutation {
+        Some(m) => {
+            if !kinds.is_empty() && kinds != [m.target()] {
+                return Err(format!(
+                    "--mutate {} targets {}; don't pass other mechanisms with it",
+                    m.label(),
+                    m.target().label()
+                ));
+            }
+            vec![MechCheckConfig::mutated(m)]
+        }
+        None if kinds.is_empty() => MechKind::ALL.map(MechCheckConfig::gate).to_vec(),
+        None => kinds.into_iter().map(MechCheckConfig::gate).collect(),
+    };
+    if let Some(d) = depth {
+        for cfg in &mut configs {
+            cfg.max_steps = d;
+        }
+    }
+
+    let mut bad = false;
+    for cfg in &configs {
+        let report = check_mechanism(cfg);
+        print!("{}", report.render());
+        if !report.ok() {
+            bad = true;
+            if let (Some(dir), Some(replay)) = (&trace_dir, &report.replay) {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+                let name = match cfg.mutation {
+                    Some(m) => format!("{}+{}", cfg.kind.label(), m.label()),
+                    None => cfg.kind.label().to_string(),
+                };
+                let path = dir.join(format!("counterexample-{name}.txt"));
+                let mut text = String::new();
+                if let Some(v) = &report.violation {
+                    text.push_str(&format!("{v}\nchoices: {:?}\n\ntrace:\n", v.path));
+                }
+                for e in &replay.events {
+                    text.push_str(&format!("{e:?}\n"));
+                }
+                text.push_str("\nauditor replay:\n");
+                text.push_str(&replay.report);
+                std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+                println!("  counterexample written to {}", path.display());
+            }
+        }
+    }
+    Ok(if bad { 1 } else { 0 })
 }
 
 fn cmd_rules() {
@@ -162,6 +265,7 @@ fn main() {
         Some("check-config") => cmd_check_config(&args[1..]),
         Some("fsm") => Ok(cmd_fsm()),
         Some("src") => cmd_src(&args[1..]),
+        Some("verify-mech") => cmd_verify_mech(&args[1..]),
         Some("rules") => {
             cmd_rules();
             Ok(0)

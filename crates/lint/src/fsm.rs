@@ -26,6 +26,8 @@
 use rop_core::config::ThrottleMode;
 use rop_core::RopConfig;
 
+use crate::explore::{backward_closure, reachable_states};
+
 /// The engine phase (mirrors `rop_core::RopPhase`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
@@ -338,37 +340,20 @@ impl Fsm {
         self.edges.retain(|e| e.kind != kind);
     }
 
+    /// The declared edges as bare `(from, to)` pairs for the shared
+    /// exploration primitives.
+    fn edge_pairs(&self) -> Vec<(State, State)> {
+        self.edges.iter().map(|e| (e.from, e.to)).collect()
+    }
+
     fn reachable(&self) -> Vec<State> {
-        let mut seen = vec![self.init];
-        let mut frontier = vec![self.init];
-        while let Some(s) = frontier.pop() {
-            for e in self.edges.iter().filter(|e| e.from == s) {
-                if !seen.contains(&e.to) {
-                    seen.push(e.to);
-                    frontier.push(e.to);
-                }
-            }
-        }
-        seen.sort();
-        seen
+        reachable_states(self.init, &self.edge_pairs())
     }
 
     /// States from which `pred` is reachable (including states already
     /// satisfying it) — a backward closure over the edge set.
     fn can_reach(&self, pred: impl Fn(&State) -> bool) -> Vec<State> {
-        let mut set: Vec<State> = self.states.iter().copied().filter(|s| pred(s)).collect();
-        loop {
-            let mut grew = false;
-            for e in &self.edges {
-                if set.contains(&e.to) && !set.contains(&e.from) {
-                    set.push(e.from);
-                    grew = true;
-                }
-            }
-            if !grew {
-                break set;
-            }
-        }
+        backward_closure(&self.states, &self.edge_pairs(), pred)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Static analysis for the ROP reproduction.
 //!
-//! Three passes, all runnable before a single simulated cycle:
+//! Four passes, all runnable before a single simulated cycle:
 //!
 //! 1. [`config`] — a declarative constraint checker over resolved
 //!    memory-controller configurations (DRAM timing + geometry + ROP
@@ -16,17 +16,26 @@
 //!    robustness lint over the workspace's library sources, with an
 //!    inline `// rop-lint: allow(<rule>)` escape hatch and a
 //!    checked-in, ratcheting baseline.
+//! 4. [`mech`] — a bounded exhaustive model checker that drives the
+//!    *real* refresh-mechanism zoo (AllBank/DARP/SARP/RAIDR) through
+//!    an abstract memory system under an adversarial demand oracle,
+//!    proving the JEDEC postpone budget, retention recurrence, tRFC
+//!    scoping and refresh liveness over every interleaving — and
+//!    replaying any counterexample through the dynamic `Auditor`.
 //!
-//! The `rop-lint` binary exposes all three as `check-config`, `fsm`
-//! and `src` subcommands.
+//! The `rop-lint` binary exposes these as `check-config`, `fsm`,
+//! `src` and `verify-mech` subcommands.
 
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod explore;
 pub mod fsm;
 pub mod interval;
+pub mod mech;
 pub mod srclint;
 
 pub use config::{lint_config, lint_grid, lint_jobs, GridReport, Violation};
 pub use fsm::{build_rop_fsm, check_fsm, Fsm, FsmReport};
+pub use mech::{check_mechanism, MechCheckConfig, MechKind, MechReport, MechUnderTest, Mutation};
 pub use srclint::{compare, scan_workspace, Finding, SrcReport};

@@ -27,15 +27,23 @@
 //!   `// rop-lint: hot` comment. Hot-marked functions are the
 //!   engine/controller per-cycle paths that must stay allocation-free
 //!   in steady state (scratch buffers are taken, refilled and put
-//!   back instead).
+//!   back instead);
+//! * `cycle-cast` — in deterministic crates, a narrowing `as` cast on a
+//!   cycle-flavored value (`now as u32` silently truncates once a run
+//!   passes 2³² cycles), or an unchecked `+`/`*` on one inside a
+//!   hot-marked function (overflow wraps silently in release builds;
+//!   timing paths must use `saturating_*`/`checked_*` or carry an
+//!   explicit allow).
 //!
 //! Escapes and ratcheting:
 //!
 //! * an inline `// rop-lint: allow(<rule>)` comment suppresses the rule
 //!   on its own line, or on the next line when the comment stands alone;
 //! * a checked-in baseline file records accepted debt as
-//!   `(rule, path, count)` triples; the gate fails only on findings
-//!   *above* the baseline count, so debt can shrink but never grow.
+//!   `(rule, path, count)` triples; the gate fails on findings *above*
+//!   the baseline count, so debt can shrink but never grow — and on
+//!   *stale* entries matching no current finding at all, so paid-off
+//!   debt cannot linger as a silent re-admission ticket.
 //!
 //! Scope: `src/` trees of workspace crates, excluding `bin/`, `tests/`,
 //! `benches/`, `examples/`, `vendor/`, `target/`, and everything at or
@@ -64,6 +72,7 @@ pub const SRC_RULES: &[&str] = &[
     "io-ignored",
     "forbid-unsafe",
     "hot-alloc",
+    "cycle-cast",
 ];
 
 /// One source-lint hit.
@@ -450,6 +459,22 @@ fn scan_file(path: &str, src: &str, crate_name: &str, is_crate_root: bool, out: 
         }
     }
 
+    /// Integer/float types an `as` cast can truncate a `Cycle` (u64)
+    /// into. `u64`/`i128`/`u128`/`f64` keep every 40-something-bit
+    /// cycle count exact; `usize` stays legal because the supported
+    /// targets are 64-bit and index casts are pervasive.
+    const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+    // Identifiers treated as carrying a `Cycle` value: the naming
+    // convention the timing paths actually use. Exact names cover the
+    // ubiquitous locals; the substring covers `cycle_count`,
+    // `max_cycles`, `hit_cycle_cap`, …
+    let cycleish = |t: &Tok| {
+        t.kind == TokKind::Ident
+            && (matches!(t.text.as_str(), "now" | "due" | "until" | "deadline")
+                || t.text.contains("cycle"))
+    };
+
     const ITER_METHODS: &[&str] = &[
         "iter",
         "iter_mut",
@@ -588,6 +613,36 @@ fn scan_file(path: &str, src: &str, crate_name: &str, is_crate_root: bool, out: 
                     "hot-alloc",
                     toks[i + 1].line,
                     "`.collect()` in a hot function".into(),
+                );
+            }
+        }
+        // Cycle narrowing casts (file-wide) and unchecked cycle
+        // arithmetic (hot functions), in deterministic crates only.
+        if deterministic && cycleish(t) {
+            if toks.get(i + 1).is_some_and(|n| n.is(TokKind::Ident, "as"))
+                && toks.get(i + 2).is_some_and(|n| {
+                    n.kind == TokKind::Ident && NARROW_TYPES.contains(&n.text.as_str())
+                })
+            {
+                ctx.emit(
+                    "cycle-cast",
+                    t.line,
+                    format!("`{} as {}` narrows a cycle value", t.text, toks[i + 2].text),
+                );
+            }
+            if in_hot(i)
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Punct && (n.text == "+" || n.text == "*"))
+            {
+                ctx.emit(
+                    "cycle-cast",
+                    t.line,
+                    format!(
+                        "unchecked `{}` on cycle value `{}` in a hot function",
+                        toks[i + 1].text,
+                        t.text
+                    ),
                 );
             }
         }
@@ -771,21 +826,28 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
 }
 
 /// Gate verdict: findings above baseline fail; shrunk entries are
-/// surfaced so the baseline can be ratcheted down.
+/// surfaced so the baseline can be ratcheted down; entries matching no
+/// current finding at all are *stale* and fail too — dead debt records
+/// would silently re-admit a rule/path pair the moment someone
+/// reintroduces the pattern.
 #[derive(Debug, Clone)]
 pub struct SrcReport {
     /// Findings in excess of the baseline, grouped per (rule, path).
     pub regressions: Vec<(String, String, usize, usize)>, // rule, path, baseline, current
-    /// Entries where debt shrank (baseline should be regenerated).
+    /// Entries where debt shrank but remains (baseline should be
+    /// regenerated).
     pub improvements: Vec<(String, String, usize, usize)>,
+    /// Baseline entries with zero current findings: (rule, path,
+    /// accepted).
+    pub stale: Vec<(String, String, usize)>,
     /// Total current findings.
     pub total: usize,
 }
 
 impl SrcReport {
-    /// True when nothing exceeds the baseline.
+    /// True when nothing exceeds the baseline and no entry is stale.
     pub fn ok(&self) -> bool {
-        self.regressions.is_empty()
+        self.regressions.is_empty() && self.stale.is_empty()
     }
 }
 
@@ -794,6 +856,7 @@ pub fn compare(findings: &[Finding], baseline: &Baseline) -> SrcReport {
     let current = to_baseline(findings);
     let mut regressions = Vec::new();
     let mut improvements = Vec::new();
+    let mut stale = Vec::new();
     for ((rule, path), &count) in &current {
         let accepted = baseline
             .get(&(rule.clone(), path.clone()))
@@ -808,13 +871,16 @@ pub fn compare(findings: &[Finding], baseline: &Baseline) -> SrcReport {
             .get(&(rule.clone(), path.clone()))
             .copied()
             .unwrap_or(0);
-        if count < accepted {
+        if count == 0 {
+            stale.push((rule.clone(), path.clone(), accepted));
+        } else if count < accepted {
             improvements.push((rule.clone(), path.clone(), accepted, count));
         }
     }
     SrcReport {
         regressions,
         improvements,
+        stale,
         total: findings.len(),
     }
 }
@@ -1023,6 +1089,99 @@ fn f() -> Vec<u8> {
         let r = compare(better, &base);
         assert!(r.ok());
         assert_eq!(r.improvements.len(), 1);
+        assert!(r.stale.is_empty());
+    }
+
+    #[test]
+    fn stale_baseline_entries_fail_the_gate() {
+        let findings = vec![Finding {
+            rule: "no-unwrap",
+            path: "a.rs".into(),
+            line: 3,
+            what: String::new(),
+        }];
+        let base = to_baseline(&findings);
+        // The debt was paid off entirely: its entry is now stale, and a
+        // stale entry is a hard failure, not an improvement.
+        let r = compare(&[], &base);
+        assert!(!r.ok());
+        assert_eq!(
+            r.stale,
+            vec![("no-unwrap".to_string(), "a.rs".to_string(), 1)]
+        );
+        assert!(r.improvements.is_empty());
+        // A different (rule, path) with live findings leaves the dead
+        // entry just as stale.
+        let other = vec![Finding {
+            rule: "no-panic",
+            path: "b.rs".into(),
+            line: 1,
+            what: String::new(),
+        }];
+        let r = compare(&other, &base);
+        assert!(!r.ok());
+        assert_eq!(r.stale.len(), 1);
+        // NB: `other` itself regresses against this baseline too.
+        assert_eq!(r.regressions.len(), 1);
+    }
+
+    #[test]
+    fn cycle_cast_narrowing_flagged_in_deterministic_crates() {
+        let src = "fn f(now: Cycle) -> u32 { now as u32 }\n";
+        let f = scan_str(src, "memctrl");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "cycle-cast");
+        // Outside deterministic crates the pattern is legal.
+        assert!(scan_str(src, "harness").is_empty());
+        // Widening and same-width casts are fine.
+        assert!(scan_str("fn f(now: Cycle) -> u64 { now as u64 }\n", "memctrl").is_empty());
+        assert!(scan_str("fn f(now: Cycle) -> f64 { now as f64 }\n", "memctrl").is_empty());
+        // Cycle-flavored names are matched by convention, not by type.
+        let f = scan_str(
+            "fn f(busy_cycles: u64) -> u16 { busy_cycles as u16 }\n",
+            "dram",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        // Non-cycle identifiers narrow freely (address/index math).
+        assert!(scan_str("fn f(row: usize) -> u16 { row as u16 }\n", "dram").is_empty());
+    }
+
+    #[test]
+    fn cycle_cast_arithmetic_only_in_hot_functions() {
+        // Unchecked cycle `+` in a hot function is flagged...
+        let hot = "\
+// rop-lint: hot
+fn f(now: Cycle, t_rfc: Cycle) -> Cycle { now + t_rfc }
+";
+        let f = scan_str(hot, "memctrl");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "cycle-cast");
+        // ...and so is `*` and compound assignment.
+        let mul = "\
+// rop-lint: hot
+fn f(cycles: Cycle) -> Cycle { cycles * 2 }
+";
+        assert_eq!(scan_str(mul, "dram").len(), 1);
+        // Cold functions may add cycles freely (setup paths).
+        assert!(scan_str(
+            "fn f(now: Cycle, t: Cycle) -> Cycle { now + t }\n",
+            "memctrl"
+        )
+        .is_empty());
+        // `saturating_add` is the prescribed fix and passes.
+        let fixed = "\
+// rop-lint: hot
+fn f(now: Cycle, t_rfc: Cycle) -> Cycle { now.saturating_add(t_rfc) }
+";
+        assert!(scan_str(fixed, "memctrl").is_empty());
+        // The allow escape works like every other rule.
+        let allowed = "\
+// rop-lint: hot
+fn f(now: Cycle, t: Cycle) -> Cycle {
+    now + t // rop-lint: allow(cycle-cast)
+}
+";
+        assert!(scan_str(allowed, "memctrl").is_empty());
     }
 
     #[test]

@@ -312,6 +312,12 @@ fn known_bad_src_table() -> Vec<(&'static str, &'static str, bool, &'static str)
             "// rop-lint: hot\n\
              fn f(n: usize) -> Vec<u64> { let mut v = Vec::new(); for i in 0..n { v.push(i as u64); } v }\n",
         ),
+        (
+            "cycle-cast",
+            "memctrl",
+            false,
+            "fn f(now: Cycle) -> u32 { now as u32 }\n",
+        ),
     ]
 }
 

@@ -751,12 +751,12 @@ impl MemController {
         let mut earliest_hint = Cycle::MAX;
         if let Some(hint) = self.try_refresh_prep(now) {
             match hint {
-                Ok(()) => return now + 1, // command issued
+                Ok(()) => return now.saturating_add(1), // command issued
                 Err(e) => earliest_hint = earliest_hint.min(e),
             }
         }
         match self.schedule(now) {
-            Ok(()) => return now + 1,
+            Ok(()) => return now.saturating_add(1),
             Err(e) => earliest_hint = earliest_hint.min(e),
         }
 
@@ -765,9 +765,9 @@ impl MemController {
             earliest_hint = earliest_hint.min(e);
         }
         if let Some(&(_, at)) = self.pending_fills.iter().min_by_key(|&&(_, at)| at) {
-            earliest_hint = earliest_hint.min(at.max(now + 1));
+            earliest_hint = earliest_hint.min(at.max(now.saturating_add(1)));
         }
-        earliest_hint.max(now + 1)
+        earliest_hint.max(now.saturating_add(1))
     }
 
     // rop-lint: hot
@@ -813,12 +813,12 @@ impl MemController {
                 self.completions.push(Completion {
                     id: req.id,
                     core: req.core,
-                    done_at: now + latency,
+                    done_at: now.saturating_add(latency),
                     from_sram: true,
                 });
                 self.stats.reads_completed += 1;
                 self.stats.reads_from_sram += 1;
-                self.stats.sum_read_latency += (now + latency) - req.arrival;
+                self.stats.sum_read_latency += now.saturating_add(latency) - req.arrival;
             } else {
                 i += 1;
             }
@@ -869,6 +869,8 @@ impl MemController {
                     }
                 }
                 self.blocked_ids = ids;
+                // A u64 counter of blocked cycles cannot overflow in any
+                // reachable run length. // rop-lint: allow(cycle-cast)
                 self.stats.refresh_blocked_cycles += blocked;
             }
             if let Some(rop) = &mut self.rop {
@@ -1382,12 +1384,12 @@ impl MemController {
                 self.completions.push(Completion {
                     id: req.id,
                     core: req.core,
-                    done_at: now + latency,
+                    done_at: now.saturating_add(latency),
                     from_sram: true,
                 });
                 self.stats.reads_completed += 1;
                 self.stats.reads_from_sram += 1;
-                self.stats.sum_read_latency += (now + latency) - req.arrival;
+                self.stats.sum_read_latency += now.saturating_add(latency) - req.arrival;
             } else {
                 self.stats.reads_blocked_by_refresh += 1;
                 if self.track_blocked {

@@ -136,13 +136,26 @@ pub trait RefreshMechanism {
     fn refreshes_pulled_in(&self) -> u64 {
         0
     }
+
+    /// One word of *behaviour-relevant* mechanism state for `slot` at
+    /// `now` — the `MechState` snapshot hook the model checker hashes
+    /// into its visited-state fingerprints. The contract: two
+    /// mechanism instances whose every slot word (and manager state)
+    /// agree must behave identically from here on, and the word must
+    /// range over a *finite* set when time deltas are bounded —
+    /// monotonic counters go in only after reduction (modulo a period,
+    /// or saturated at the horizon beyond which they stop mattering).
+    fn mech_state(&self, base: &RefreshManager, now: Cycle, slot: usize) -> u64 {
+        let _ = (base, now, slot);
+        0
+    }
 }
 
 /// The pre-seam behaviour: slots drain when due and issue standard
 /// REF/REFpb commands, in slot order. Every hook is a verbatim
 /// delegation to the [`RefreshManager`], which is what makes the
 /// differential oracle's bit-exactness claim meaningful.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AllBank {
     scope: RefreshScope,
 }
@@ -191,7 +204,7 @@ impl RefreshMechanism for AllBank {
 /// demand-quiet for a window and no sibling slot of the rank is mid
 /// refresh; the pull-in lookahead widens during write drains, so
 /// refreshes hide behind write bursts instead of colliding with reads.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Darp {
     banks_per_rank: usize,
     /// Pull-in lookahead: a slot due within this many cycles is a
@@ -318,13 +331,21 @@ impl RefreshMechanism for Darp {
     fn refreshes_pulled_in(&self) -> u64 {
         self.pulled_in
     }
+
+    fn mech_state(&self, _base: &RefreshManager, now: Cycle, slot: usize) -> u64 {
+        // Only the *age* of the last demand arrival matters, and only
+        // up to the idle window: any older and the pull-in gate is
+        // equally open. Saturating keeps the word finite as time runs.
+        now.saturating_sub(self.last_activity[slot])
+            .min(self.idle_window)
+    }
 }
 
 /// SARP: subarray-level refresh parallelism (Chang et al., HPCA'14).
 /// Each per-bank refresh round locks a single subarray (for `tRFCsa`),
 /// rotating round-robin across the bank's subarrays; reads and writes
 /// to the bank's *other* subarrays keep flowing through the refresh.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Sarp {
     subarrays: usize,
 }
@@ -369,6 +390,12 @@ impl RefreshMechanism for Sarp {
     ) {
         base.refresh_issued(slot, now, until);
     }
+
+    fn mech_state(&self, base: &RefreshManager, _now: Cycle, slot: usize) -> u64 {
+        // The rotation position is all that distinguishes two SARP
+        // states with equal manager state.
+        base.issued(slot) % self.subarrays as u64
+    }
 }
 
 /// RAIDR: retention-aware refresh binning (Liu et al., ISCA'12). Rows
@@ -378,7 +405,7 @@ impl RefreshMechanism for Sarp {
 /// REF for the small fast bins, and nothing at all on rounds where no
 /// bin is due. Bloom false positives show up as extra refreshed rows,
 /// exactly as in the paper's hardware.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Raidr {
     bins: Vec<RetentionBins>,
     round: Vec<u64>,
@@ -481,6 +508,13 @@ impl RefreshMechanism for Raidr {
 
     fn refreshes_skipped(&self) -> u64 {
         self.skipped
+    }
+
+    fn mech_state(&self, _base: &RefreshManager, _now: Cycle, slot: usize) -> u64 {
+        // Round shape is periodic in 4×stride (the 256 ms-bin cadence);
+        // reducing the monotonic round counter modulo that period keeps
+        // the reachable fingerprint set finite.
+        self.round[slot] % (4 * self.stride)
     }
 }
 
@@ -610,7 +644,7 @@ fn bloom_query(bits: &[u64; BLOOM_WORDS], seed: u64, row: usize) -> bool {
 
 /// Enum-dispatched mechanism: one variant per rival, no boxing on the
 /// controller's per-tick path.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Mechanism {
     /// Pre-seam auto-refresh (the paper's baseline and ROP systems).
     AllBank(AllBank),
@@ -733,6 +767,10 @@ impl RefreshMechanism for Mechanism {
 
     fn refreshes_pulled_in(&self) -> u64 {
         dispatch!(self, m => m.refreshes_pulled_in())
+    }
+
+    fn mech_state(&self, base: &RefreshManager, now: Cycle, slot: usize) -> u64 {
+        dispatch!(self, m => m.mech_state(base, now, slot))
     }
 }
 
@@ -909,6 +947,43 @@ mod tests {
         // The filters cover everything drawn (no false negatives), and
         // the fast bins stay small.
         assert!(a.frac_le_128() < 0.05);
+    }
+
+    #[test]
+    fn mech_state_words_are_finite_and_behavioural() {
+        // DARP: only the activity *age* matters, saturated at the idle
+        // window — far-past activity fingerprints identically.
+        let base = manager(2);
+        let mut darp = Darp::new(2, 2, T_REFI);
+        darp.on_bank_activity(0, 100);
+        assert_eq!(darp.mech_state(&base, 100, 0), 0);
+        assert_eq!(darp.mech_state(&base, 130, 0), 30);
+        assert_eq!(
+            darp.mech_state(&base, 10_000, 0),
+            darp.mech_state(&base, 1_000_000, 0)
+        );
+        // SARP: the word is the rotation position.
+        let mut base = manager(1);
+        let sarp = Sarp::new(4);
+        assert_eq!(sarp.mech_state(&base, 0, 0), 0);
+        base.poll_due(T_REFI, |_| false);
+        base.refresh_issued(0, T_REFI, T_REFI + 90);
+        assert_eq!(sarp.mech_state(&base, T_REFI, 0), 1);
+        // RAIDR: rounds reduce modulo the 256 ms cadence (4×stride).
+        let mut base = manager(1);
+        let mut raidr = Raidr::new(1, 42, 2 * T_REFI, T_REFI, T_RFC, 1 << 12);
+        assert_eq!(raidr.mech_state(&base, 0, 0), 0);
+        for i in 0..8u64 {
+            let now = (i + 1) * T_REFI;
+            base.poll_due(now, |_| false);
+            match raidr.round_shape(&base, 0) {
+                RoundShape::Skip { .. } => raidr.on_refresh_skipped(&mut base, 0, now),
+                _ => raidr.on_refresh_issued(&mut base, 0, now, now + 1),
+            }
+            base.poll_complete(now + T_RFC);
+        }
+        // stride 2 → period 8: after 8 rounds the word wraps to 0.
+        assert_eq!(raidr.mech_state(&base, 9 * T_REFI, 0), 0);
     }
 
     #[test]

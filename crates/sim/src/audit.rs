@@ -59,6 +59,10 @@ pub struct AuditorConfig {
     pub observational_window: Option<Cycle>,
     /// Rows per subarray (for SARP: maps an ACT's row to its subarray).
     pub rows_per_subarray: usize,
+    /// Subarrays per bank (for SARP: a REFsa naming a subarray outside
+    /// this range targets rows that do not exist, i.e. refreshes
+    /// nothing while the mechanism believes it made progress).
+    pub subarrays_per_bank: usize,
     /// RAIDR's shortest retention-bin period, when that mechanism runs;
     /// drives the bin-deadline coverage check.
     pub raidr_bin_period: Option<Cycle>,
@@ -79,6 +83,7 @@ impl AuditorConfig {
             },
             observational_window: cfg.rop.as_ref().map(|r| r.observational_window),
             rows_per_subarray: cfg.dram.geometry.rows_per_subarray(),
+            subarrays_per_bank: cfg.dram.geometry.subarrays_per_bank,
             raidr_bin_period: match cfg.mechanism {
                 MechanismKind::Raidr { bin_period, .. } => Some(bin_period),
                 _ => None,
@@ -630,6 +635,15 @@ impl Auditor {
         self.ranks[rank].drain_since = None;
         match bank {
             Some(b) if b < self.cfg.banks_per_rank => {
+                if let Some(sa) = subarray {
+                    if sa >= self.cfg.subarrays_per_bank {
+                        self.violate(
+                            "refresh.subarray-scope",
+                            cycle,
+                            format!("REFsa on rank {rank} bank {b} targets subarray {sa}, but banks have only {} subarrays — the round refreshes no real rows", self.cfg.subarrays_per_bank),
+                        );
+                    }
+                }
                 self.ranks[rank].bank_frozen_since[b] = Some(cycle);
                 self.ranks[rank].bank_frozen_sa[b] = subarray;
             }
@@ -1132,6 +1146,19 @@ mod tests {
         a.record(act_row(110, 0, rps - 1));
         let kinds: Vec<_> = a.violations().iter().map(|v| v.invariant).collect();
         assert!(kinds.contains(&"timing.tRFC"), "{kinds:?}");
+    }
+
+    #[test]
+    fn out_of_range_subarray_is_flagged() {
+        let mut a = sarp_auditor();
+        let sas = a.cfg.subarrays_per_bank;
+        // The last real subarray is fine; one past the end is a scope
+        // violation (the round refreshes rows that do not exist).
+        a.record(ref_start(100, Some(0), Some(sas - 1)));
+        assert_eq!(a.summary().violations, 0, "{}", a.report());
+        a.record(ref_start(500, Some(1), Some(sas)));
+        let kinds: Vec<_> = a.violations().iter().map(|v| v.invariant).collect();
+        assert!(kinds.contains(&"refresh.subarray-scope"), "{kinds:?}");
     }
 
     #[test]
