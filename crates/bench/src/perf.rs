@@ -433,13 +433,15 @@ mod tests {
 
     #[test]
     fn measure_handicap_inflates_wall_time() {
-        // Use the cheapest shape to keep the test quick.
+        // Use the cheapest shape, but keep the run long enough that
+        // real work dominates the wall clock: sub-millisecond runs see
+        // 4x scheduler noise on a loaded box, which would flip the
+        // comparison below. Three repeats each so measure()'s
+        // min-of-repeats also discards cold-start outliers.
         let mut shape = shapes().remove(0);
-        shape.spec.instructions = 20_000;
-        let plain = measure(&shape, 1, 0.0);
-        // A 4x handicap: far beyond any plausible run-to-run wall-clock
-        // noise on a tiny workload, so the comparison cannot flip.
-        let slow = measure(&shape, 1, 300.0);
+        shape.spec.instructions = 200_000;
+        let plain = measure(&shape, 3, 0.0);
+        let slow = measure(&shape, 3, 300.0);
         assert_eq!(plain.events, slow.events);
         assert!(slow.wall_seconds > 0.0);
         // The handicap divides straight into the rate.

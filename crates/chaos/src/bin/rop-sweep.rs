@@ -2,12 +2,17 @@
 //!
 //! The core commands (`run`, `resume`, `status`, `diff`, `export`) live
 //! in [`rop_harness::cli`]; this binary extends them with the `chaos`
-//! crash-consistency oracle from [`rop_chaos::cli`].
+//! crash-consistency oracle, the cross-process `chaos-dist` oracle, and
+//! the hidden `_dist-worker` child it spawns, all from [`rop_chaos`].
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     std::process::exit(rop_harness::cli::main_with(
         &args,
-        &[rop_chaos::cli::extension()],
+        &[
+            rop_chaos::cli::extension(),
+            rop_chaos::cli::dist_extension(),
+            rop_chaos::worker::extension(),
+        ],
     ));
 }

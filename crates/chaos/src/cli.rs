@@ -1,4 +1,4 @@
-//! The `rop-sweep chaos` subcommand.
+//! The `rop-sweep chaos` and `rop-sweep chaos-dist` subcommands.
 //!
 //! ```text
 //! rop-sweep chaos [flags]     crash-consistency oracle over a sweep
@@ -10,6 +10,17 @@
 //!        --store PATH               chaos store (artifact on failure)
 //!        --stall-ms N (default 300) watchdog stall window
 //!        --keep                     keep stores + plan even on success
+//!
+//! rop-sweep chaos-dist [flags]  cross-process oracle with real kills
+//! flags: --seed S --faults K --experiment E --instr N --max-cycles N
+//!        --procs N (default 3)      worker processes per round
+//!        --threads N (default 1)    pool width inside each worker
+//!        --stale N --poll-ms N      worker lease tuning
+//!        --store PATH               shared store (artifacts on failure)
+//!        --worker-exe PATH          rop-sweep binary to spawn (default:
+//!                                   this executable)
+//!        --mutate no-fencing        teeth check: MUST make the oracle fail
+//!        --keep                     keep artifacts even on success
 //! ```
 //!
 //! Exit code 0 means the oracle verdict was "byte-identical"; 1 means
@@ -21,6 +32,7 @@ use std::time::Duration;
 
 use rop_harness::cli::Extension;
 
+use crate::dist::{clean_dist_artifacts, run_dist_oracle, DistChaosOptions};
 use crate::oracle::{clean_artifacts, run_oracle, ChaosOptions};
 
 const CHAOS_USAGE: &str = "  chaos flags: --seed S --faults K --experiment E --instr N\n\
@@ -142,6 +154,147 @@ fn run_command(args: &[String]) -> Result<i32, String> {
     }
 }
 
+const DIST_USAGE: &str = "  chaos-dist flags: --seed S --faults K --experiment E --instr N\n\
+     --max-cycles N --procs N --threads N --stale N --poll-ms N\n\
+     --store PATH --worker-exe PATH --mutate no-fencing --keep";
+
+/// The `chaos-dist` subcommand registration.
+pub fn dist_extension() -> Extension {
+    Extension {
+        name: "chaos-dist",
+        usage: DIST_USAGE,
+        run: run_dist_command,
+    }
+}
+
+struct DistParsed {
+    opt: DistChaosOptions,
+    keep: bool,
+}
+
+fn parse_dist(args: &[String]) -> Result<DistParsed, String> {
+    let mut opt = DistChaosOptions::new();
+    opt.spec = rop_sim_system::runner::RunSpec::from_env();
+    let mut keep = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: &mut usize| -> Result<&str, String> {
+            *i += 1;
+            args.get(*i)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let num = |flag: &str, s: &str| -> Result<u64, String> {
+            s.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("{flag}: '{s}' is not a number"))
+        };
+        match flag {
+            "--seed" => opt.seed = num(flag, value(&mut i)?)?,
+            "--faults" => {
+                let k = num(flag, value(&mut i)?)?;
+                if k == 0 || k > 32 {
+                    return Err(format!("{flag} must be in 1..=32 (got {k})"));
+                }
+                opt.faults = k as usize;
+            }
+            "--experiment" => opt.experiment = value(&mut i)?.to_string(),
+            "--instr" => opt.spec.instructions = num(flag, value(&mut i)?)?.max(1),
+            "--max-cycles" => opt.spec.max_cycles = num(flag, value(&mut i)?)?.max(1),
+            "--procs" => {
+                let p = num(flag, value(&mut i)?)?;
+                if p < 2 {
+                    return Err(format!("{flag} must be at least 2 (got {p})"));
+                }
+                opt.procs = p as usize;
+            }
+            "--threads" => opt.threads = num(flag, value(&mut i)?)?.max(1) as usize,
+            "--stale" => opt.stale_rounds = num(flag, value(&mut i)?)?.max(1) as u32,
+            "--poll-ms" => opt.poll_ms = num(flag, value(&mut i)?)?.max(1),
+            "--store" => opt.store = PathBuf::from(value(&mut i)?),
+            "--worker-exe" => opt.worker_exe = PathBuf::from(value(&mut i)?),
+            "--mutate" => {
+                let m = value(&mut i)?;
+                if m != "no-fencing" {
+                    return Err(format!(
+                        "{flag}: unknown mutant '{m}' (expected no-fencing)"
+                    ));
+                }
+                opt.mutate = Some(m.to_string());
+            }
+            "--keep" => keep = true,
+            other => return Err(format!("unknown chaos-dist flag {other}\n{DIST_USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(DistParsed { opt, keep })
+}
+
+fn run_dist_command(args: &[String]) -> Result<i32, String> {
+    let DistParsed { opt, keep } = parse_dist(args)?;
+    eprintln!(
+        "# rop-sweep chaos-dist — seed {}, {} faults, experiment {}, {} instructions/job, \
+         {} worker processes{}",
+        opt.seed,
+        opt.faults,
+        opt.experiment,
+        opt.spec.instructions,
+        opt.procs,
+        opt.mutate
+            .as_deref()
+            .map(|m| format!(", mutant {m}"))
+            .unwrap_or_default()
+    );
+
+    // The plan file is written up front so a wedged or killed oracle
+    // still leaves the schedule behind for replay.
+    let plan_path = opt.store.with_extension("plan.txt");
+    let plan = crate::plan::DistPlan::generate(opt.seed, opt.faults, opt.procs);
+    std::fs::write(&plan_path, plan.render())
+        .map_err(|e| format!("cannot write {}: {e}", plan_path.display()))?;
+    eprint!("{}", plan.render());
+
+    let report = match run_dist_oracle(&opt) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!(
+                "# dist oracle aborted: artifacts kept at {}",
+                opt.store.display()
+            );
+            return Err(e);
+        }
+    };
+
+    for event in &report.fired {
+        eprintln!("#   {event}");
+    }
+    eprintln!(
+        "# {} round(s), {} respawn(s), {} orphan lease(s)",
+        report.rounds, report.respawns, report.orphan_leases
+    );
+    if report.identical {
+        println!(
+            "dist chaos oracle PASS: seed {}, {} faults over {} processes — figures \
+             byte-identical to fault-free run",
+            opt.seed, opt.faults, opt.procs
+        );
+        if !keep {
+            clean_dist_artifacts(&opt);
+            let _ = std::fs::remove_file(&plan_path);
+        }
+        Ok(0)
+    } else {
+        println!(
+            "dist chaos oracle FAIL: figures diverged — artifacts kept at {} \
+             (+.ref.jsonl, .leases.jsonl, .chaos.log), plan at {}",
+            opt.store.display(),
+            plan_path.display()
+        );
+        Ok(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +343,56 @@ mod tests {
         assert!(parse(&argv(&["--workers", "0"])).is_err());
         assert!(parse(&argv(&["--seed"])).is_err());
         assert!(parse(&argv(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_dist_accepts_all_flags() {
+        let p = parse_dist(&argv(&[
+            "--seed",
+            "7",
+            "--faults",
+            "8",
+            "--experiment",
+            "single",
+            "--instr",
+            "1500",
+            "--max-cycles",
+            "88",
+            "--procs",
+            "4",
+            "--threads",
+            "2",
+            "--stale",
+            "5",
+            "--poll-ms",
+            "30",
+            "--store",
+            "/tmp/d.jsonl",
+            "--worker-exe",
+            "/tmp/rop-sweep",
+            "--mutate",
+            "no-fencing",
+            "--keep",
+        ]))
+        .unwrap();
+        assert_eq!((p.opt.seed, p.opt.faults), (7, 8));
+        assert_eq!(p.opt.experiment, "single");
+        assert_eq!(p.opt.spec.instructions, 1500);
+        assert_eq!(p.opt.spec.max_cycles, 88);
+        assert_eq!((p.opt.procs, p.opt.threads), (4, 2));
+        assert_eq!((p.opt.stale_rounds, p.opt.poll_ms), (5, 30));
+        assert_eq!(p.opt.store, PathBuf::from("/tmp/d.jsonl"));
+        assert_eq!(p.opt.worker_exe, PathBuf::from("/tmp/rop-sweep"));
+        assert_eq!(p.opt.mutate.as_deref(), Some("no-fencing"));
+        assert!(p.keep);
+    }
+
+    #[test]
+    fn parse_dist_rejects_garbage() {
+        assert!(parse_dist(&argv(&["--procs", "1"])).is_err());
+        assert!(parse_dist(&argv(&["--faults", "0"])).is_err());
+        assert!(parse_dist(&argv(&["--mutate", "bogus"])).is_err());
+        assert!(parse_dist(&argv(&["--bogus"])).is_err());
     }
 
     #[test]

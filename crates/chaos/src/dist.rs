@@ -1,0 +1,390 @@
+//! The cross-process crash-consistency oracle for distributed sweeps.
+//!
+//! Where [`crate::oracle`] simulates crashes *inside* one process (a
+//! fault aborts the round), this oracle spawns **real child
+//! processes** — `rop-sweep _dist-worker` — and lets the seeded
+//! [`DistPlan`] kill them with `abort()` at exact lease-protocol
+//! points. The protocol:
+//!
+//! 1. **Reference** — run the experiment fault-free, in-process, into
+//!    its own store; keep the rendered figures.
+//! 2. **Worker rounds** — spawn one worker per plan slot against a
+//!    shared store. Workers fire their faults (logging each to the
+//!    chaos log *before* acting, so a killed worker cannot lose the
+//!    record). A worker that dies is respawned **within the round**
+//!    with the updated `--fired` set, so the remaining schedule keeps
+//!    draining while its peers steal the dead worker's leases. A round
+//!    ends when every slot has exited cleanly — which a worker only
+//!    does once every planned job has an `ok` record.
+//! 3. **Drain check** — every scheduled fault must have fired;
+//!    otherwise the oracle refuses to give a verdict (a schedule that
+//!    never ran proves nothing).
+//! 4. **Verify + compare** — a fresh in-process executor loads the
+//!    battle-scarred store (quarantining any torn lines), re-renders,
+//!    and the figures must be byte-identical to the reference.
+//!
+//! The `no-fencing` mutant disables lease-epoch fencing and switches
+//! every reader to file-order resolution; the worker-disconnect
+//! zombie's poisoned late commit then lands and wins, the figures
+//! diverge, and the oracle fails — proving the fence is what stands
+//! between a dead worker's ghost and the published figures.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::Duration;
+
+use rop_harness::{resolve_leases, LeaseLog, PoolConfig, Store, StoreExecutor};
+use rop_sim_system::experiments::driver::{plan_jobs, render_experiment};
+use rop_sim_system::runner::RunSpec;
+
+use crate::plan::DistPlan;
+use crate::worker::chaos_log_path;
+
+/// Everything a distributed chaos run needs.
+#[derive(Debug, Clone)]
+pub struct DistChaosOptions {
+    /// Schedule seed — `(seed, faults, procs)` fully determines the
+    /// plan.
+    pub seed: u64,
+    /// Number of faults to inject across all workers.
+    pub faults: usize,
+    /// Experiment name (see `rop-sweep --help`).
+    pub experiment: String,
+    /// Work quota per job.
+    pub spec: RunSpec,
+    /// Worker processes to spawn per round.
+    pub procs: usize,
+    /// Pool threads inside each worker.
+    pub threads: usize,
+    /// Worker staleness threshold (consecutive unchanged observations
+    /// before a peer lease may be stolen).
+    pub stale_rounds: u32,
+    /// Worker lease poll interval in milliseconds.
+    pub poll_ms: u64,
+    /// Path of the shared chaos store; the reference store, lease log
+    /// and chaos log all live beside it.
+    pub store: PathBuf,
+    /// The `rop-sweep` binary to spawn workers from.
+    pub worker_exe: PathBuf,
+    /// `Some("no-fencing")` runs the teeth-check mutant.
+    pub mutate: Option<String>,
+}
+
+impl DistChaosOptions {
+    /// Defaults: seed 1, 8 faults, `single` under [`RunSpec::quick`],
+    /// 3 worker processes of 1 thread each, store in the system temp
+    /// dir, workers spawned from the current executable.
+    pub fn new() -> DistChaosOptions {
+        let mut store = std::env::temp_dir();
+        store.push(format!("rop-dist-chaos-{}.jsonl", std::process::id()));
+        DistChaosOptions {
+            seed: 1,
+            faults: 8,
+            experiment: "single".to_string(),
+            spec: RunSpec::quick(),
+            procs: 3,
+            threads: 1,
+            stale_rounds: 3,
+            poll_ms: 50,
+            store,
+            worker_exe: std::env::current_exe().unwrap_or_else(|_| PathBuf::from("rop-sweep")),
+            mutate: None,
+        }
+    }
+}
+
+impl Default for DistChaosOptions {
+    fn default() -> Self {
+        DistChaosOptions::new()
+    }
+}
+
+/// What a distributed chaos run produced.
+#[derive(Debug, Clone)]
+pub struct DistOracleReport {
+    /// The schedule that ran.
+    pub plan: DistPlan,
+    /// Worker rounds used (1 = the first fleet drained everything).
+    pub rounds: usize,
+    /// Child processes that died and were respawned.
+    pub respawns: usize,
+    /// Chronological `fired ...` lines from the chaos log.
+    pub fired: Vec<String>,
+    /// Live (unfinished, unreleased) leases left in the log at the end
+    /// — nonzero means a claim chain never resolved.
+    pub orphan_leases: usize,
+    /// The headline verdict: verify figures byte-identical to the
+    /// fault-free reference.
+    pub identical: bool,
+    /// Figures from the fault-free reference run.
+    pub reference_figures: Vec<String>,
+    /// Figures from the final verify pass over the shared store.
+    pub final_figures: Vec<String>,
+}
+
+/// Indices of faults already fired, parsed from the chaos log. The log
+/// may not exist yet (no fault has fired) — that is an empty set, not
+/// an error.
+fn fired_indices(chaos_log: &Path) -> BTreeSet<usize> {
+    let Ok(text) = std::fs::read_to_string(chaos_log) else {
+        return BTreeSet::new();
+    };
+    let mut set = BTreeSet::new();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("fired") {
+            continue;
+        }
+        if let Some(i) = parts.next().and_then(|s| s.parse::<usize>().ok()) {
+            set.insert(i);
+        }
+    }
+    set
+}
+
+/// Chronological `fired ...` lines for the report.
+fn fired_lines(chaos_log: &Path) -> Vec<String> {
+    std::fs::read_to_string(chaos_log)
+        .map(|t| {
+            t.lines()
+                .filter(|l| l.starts_with("fired "))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn spawn_worker(
+    opt: &DistChaosOptions,
+    slot: usize,
+    fired: &BTreeSet<usize>,
+) -> Result<Child, String> {
+    let csv: Vec<String> = fired.iter().map(usize::to_string).collect();
+    let mut cmd = Command::new(&opt.worker_exe);
+    cmd.arg("_dist-worker")
+        .arg("--store")
+        .arg(&opt.store)
+        .args(["--experiment", &opt.experiment])
+        .args(["--instr", &opt.spec.instructions.to_string()])
+        .args(["--max-cycles", &opt.spec.max_cycles.to_string()])
+        .args(["--run-seed", &opt.spec.seed.to_string()])
+        .args(["--chaos-seed", &opt.seed.to_string()])
+        .args(["--faults", &opt.faults.to_string()])
+        .args(["--procs", &opt.procs.to_string()])
+        .args(["--slot", &slot.to_string()])
+        .args(["--threads", &opt.threads.to_string()])
+        .args(["--stale", &opt.stale_rounds.to_string()])
+        .args(["--poll-ms", &opt.poll_ms.to_string()]);
+    if !csv.is_empty() {
+        cmd.args(["--fired", &csv.join(",")]);
+    }
+    if let Some(m) = &opt.mutate {
+        cmd.args(["--mutate", m]);
+    }
+    cmd.spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", opt.worker_exe.display()))
+}
+
+/// Runs one fleet of workers to completion, respawning crashed
+/// children (with the freshly re-read fired set) until every slot has
+/// exited cleanly. Returns the number of respawns.
+fn run_round(
+    opt: &DistChaosOptions,
+    chaos_log: &Path,
+    respawn_budget: &mut usize,
+) -> Result<usize, String> {
+    let fired = fired_indices(chaos_log);
+    let mut children: Vec<(usize, Child)> = Vec::new();
+    for slot in 0..opt.procs {
+        children.push((slot, spawn_worker(opt, slot, &fired)?));
+    }
+    let mut respawns = 0usize;
+    while !children.is_empty() {
+        std::thread::sleep(Duration::from_millis(20));
+        let mut still = Vec::new();
+        for (slot, mut child) in children {
+            match child.try_wait() {
+                Ok(Some(status)) if status.success() => {}
+                Ok(Some(_crashed)) => {
+                    // The child died (an injected abort, with its
+                    // `fired` line already durable). Respawn the same
+                    // slot so its remaining faults still get a chance
+                    // to fire; the budget bounds pathological loops.
+                    if *respawn_budget == 0 {
+                        return Err(format!(
+                            "worker slot {slot} keeps dying beyond the respawn budget \
+                             — a crash not caused by the fault schedule"
+                        ));
+                    }
+                    *respawn_budget -= 1;
+                    respawns += 1;
+                    let fired = fired_indices(chaos_log);
+                    still.push((slot, spawn_worker(opt, slot, &fired)?));
+                }
+                Ok(None) => still.push((slot, child)),
+                Err(e) => return Err(format!("waiting on worker slot {slot}: {e}")),
+            }
+        }
+        children = still;
+    }
+    Ok(respawns)
+}
+
+/// Runs the full distributed oracle protocol. `Err` means the oracle
+/// could not reach a verdict (bad experiment, reference failure,
+/// undrained schedule, runaway crashes); a reached verdict — even
+/// "figures differ" — comes back as a [`DistOracleReport`].
+pub fn run_dist_oracle(opt: &DistChaosOptions) -> Result<DistOracleReport, String> {
+    let jobs = plan_jobs(&opt.experiment, opt.spec)?;
+    if jobs.len() < 2 * opt.faults {
+        return Err(format!(
+            "experiment '{}' has {} job(s) but the distributed schedule wants at least {} \
+             so every worker sees enough protocol events; lower --faults",
+            opt.experiment,
+            jobs.len(),
+            2 * opt.faults
+        ));
+    }
+    if opt.procs < 2 {
+        return Err("the distributed oracle needs --procs >= 2 (steals require a peer)".into());
+    }
+
+    clean_dist_artifacts(opt);
+    let chaos_log = chaos_log_path(&opt.store);
+
+    // 1. Fault-free in-process reference.
+    let ref_path = opt.store.with_extension("ref.jsonl");
+    let ref_pool = PoolConfig {
+        workers: opt.threads.max(1),
+        max_attempts: 2,
+        ..PoolConfig::default()
+    };
+    let ref_exec = StoreExecutor::new(Store::open(&ref_path)).with_pool(ref_pool.clone());
+    let reference_figures = render_experiment(&opt.experiment, opt.spec, &ref_exec)?;
+    if !ref_exec.failures().is_empty() {
+        return Err(format!(
+            "reference run failed {} job(s); the oracle needs a clean baseline",
+            ref_exec.failures().len()
+        ));
+    }
+
+    // 2. Worker rounds under the seeded plan.
+    let plan = DistPlan::generate(opt.seed, opt.faults, opt.procs);
+    let max_rounds = opt.faults + 4;
+    // Every injected crash is one respawn; anything beyond schedule
+    // size plus slack is a real bug crashing workers.
+    let mut respawn_budget = opt.faults + opt.procs + 2;
+    let mut rounds = 0usize;
+    let mut respawns = 0usize;
+    for round in 1..=max_rounds {
+        rounds = round;
+        respawns += run_round(opt, &chaos_log, &mut respawn_budget)?;
+        if fired_indices(&chaos_log).len() >= opt.faults {
+            break;
+        }
+    }
+
+    // 3. The whole schedule must have fired, or the run proves nothing.
+    let fired = fired_indices(&chaos_log);
+    if fired.len() < opt.faults {
+        let unfired: Vec<String> = plan
+            .faults
+            .iter()
+            .filter(|f| !fired.contains(&f.index))
+            .map(|f| format!("{} at slot {} {}", f.kind.name(), f.slot, f.site))
+            .collect();
+        return Err(format!(
+            "fault schedule did not drain after {rounds} round(s); never fired: {}",
+            unfired.join(", ")
+        ));
+    }
+
+    // Orphan telemetry: a healthy run leaves no live lease behind.
+    let lease_contents = LeaseLog::beside(&opt.store).load()?;
+    let orphan_leases = resolve_leases(&lease_contents.records)
+        .jobs
+        .values()
+        .filter(|l| l.live())
+        .count();
+
+    // 4. Verify + compare: a fresh in-process pass over the shared
+    // store (quarantining torn lines, re-running whatever it must),
+    // under the same resolution policy the workers used.
+    let mut verify_exec = StoreExecutor::new(Store::open(&opt.store)).with_pool(ref_pool);
+    if opt.mutate.is_some() {
+        verify_exec = verify_exec.with_unfenced_resolution();
+    }
+    let final_figures = render_experiment(&opt.experiment, opt.spec, &verify_exec)?;
+    if !verify_exec.failures().is_empty() {
+        return Err(format!(
+            "verify pass failed {} job(s)",
+            verify_exec.failures().len()
+        ));
+    }
+
+    Ok(DistOracleReport {
+        plan,
+        rounds,
+        respawns,
+        fired: fired_lines(&chaos_log),
+        orphan_leases,
+        identical: final_figures == reference_figures,
+        reference_figures,
+        final_figures,
+    })
+}
+
+/// Removes every on-disk artifact of a distributed run: shared store,
+/// reference store, lease log, claim lock and chaos log. Call before a
+/// run and after a success; keep everything for forensics on failure.
+pub fn clean_dist_artifacts(opt: &DistChaosOptions) {
+    let _ = std::fs::remove_file(&opt.store);
+    let _ = std::fs::remove_file(opt.store.with_extension("ref.jsonl"));
+    let _ = std::fs::remove_file(rop_harness::lease_log_path(&opt.store));
+    let _ = std::fs::remove_file(rop_harness::lease_lock_path(&opt.store));
+    let _ = std::fs::remove_file(chaos_log_path(&opt.store));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fired_parsing_survives_noise_and_absence() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rop-dist-fired-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        assert!(fired_indices(&p).is_empty(), "missing log = empty set");
+        std::fs::write(
+            &p,
+            "fired 3 lease-stall slot=0 site=beat#2\n\
+             garbage line\n\
+             fired 0 worker-disconnect slot=0 site=commit#1\n\
+             fired notanumber x\n\
+             fired 3 lease-stall slot=0 site=beat#2\n",
+        )
+        .unwrap();
+        let set = fired_indices(&p);
+        assert_eq!(set.into_iter().collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(
+            fired_lines(&p).len(),
+            4,
+            "raw forensic lines keep duplicates and malformed entries"
+        );
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn oracle_rejects_degenerate_configurations() {
+        let mut opt = DistChaosOptions::new();
+        opt.experiment = "ablate-drain".to_string();
+        let err = run_dist_oracle(&opt).unwrap_err();
+        assert!(err.contains("lower --faults"), "{err}");
+
+        let mut opt = DistChaosOptions::new();
+        opt.procs = 1;
+        let err = run_dist_oracle(&opt).unwrap_err();
+        assert!(err.contains("--procs >= 2"), "{err}");
+    }
+}

@@ -30,9 +30,10 @@ impl FaultyIo {
 }
 
 /// Appends raw bytes without a trailing newline and without going
-/// through [`RealIo`] — the torn/short-write primitives need to leave
+/// through [`RealIo`] — the torn/short-write primitives (and the
+/// distributed worker's torn-lease-claim fault) need to leave
 /// deliberately incomplete data behind.
-fn append_raw(path: &Path, bytes: &[u8]) -> Result<(), String> {
+pub(crate) fn append_raw(path: &Path, bytes: &[u8]) -> Result<(), String> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).map_err(|e| format!("create {parent:?}: {e}"))?;

@@ -17,8 +17,17 @@
 //! * [`oracle`] — the crash-consistency oracle: run a sweep, kill and
 //!   corrupt it at every planned site, resume after each crash, and
 //!   assert the final figures are byte-identical to a fault-free run;
-//! * [`cli`] — the `rop-sweep chaos` subcommand (this crate also ships
-//!   the `rop-sweep` binary itself, extending [`rop_harness::cli`]).
+//! * [`worker`] — the hidden `_dist-worker` subcommand: a real child
+//!   process joining a shared sweep through the lease protocol, with
+//!   [`plan::DistPlan`] faults wired into its
+//!   [`rop_harness::LeaseHooks`];
+//! * [`dist`] — the **cross-process** oracle: spawn N workers, kill
+//!   them with seeded aborts at exact lease-protocol points, respawn,
+//!   and assert the shared store still renders byte-identical figures
+//!   (and that the `no-fencing` mutant makes it fail);
+//! * [`cli`] — the `rop-sweep chaos` / `chaos-dist` subcommands (this
+//!   crate also ships the `rop-sweep` binary itself, extending
+//!   [`rop_harness::cli`]).
 //!
 //! Every fault fires exactly once: sites are global monotone counters
 //! that keep counting across crash/resume rounds, so a schedule cannot
@@ -28,12 +37,17 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod dist;
 pub mod io;
 pub mod oracle;
 pub mod plan;
 pub mod watchdog;
+pub mod worker;
 
+pub use dist::{clean_dist_artifacts, run_dist_oracle, DistChaosOptions, DistOracleReport};
 pub use io::FaultyIo;
 pub use oracle::{run_oracle, ChaosOptions, OracleReport};
-pub use plan::{ArmedPlan, FaultKind, FaultPlan, Site};
+pub use plan::{
+    ArmedPlan, DistFault, DistFaultKind, DistPlan, DistSite, FaultKind, FaultPlan, Site,
+};
 pub use watchdog::{ChaosSupervisor, Watchdog, WatchdogConfig};

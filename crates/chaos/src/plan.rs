@@ -260,6 +260,238 @@ impl ArmedPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Distributed (multi-process) fault vocabulary.
+// ---------------------------------------------------------------------------
+
+/// Where in the **lease protocol** a distributed fault fires. Sites
+/// index each worker *incarnation's* process-local sequence counters
+/// (`LeaseManager` hands them to its hooks), so a respawned worker
+/// restarts at claim #0 — which is why the parent threads the set of
+/// already-fired faults through to respawns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DistSite {
+    /// The nth claim decision this incarnation makes (fires at the
+    /// first *eligible* decision at or after n — eligibility depends
+    /// on the kind, e.g. split-brain needs a live peer lease).
+    Claim(u64),
+    /// The nth lease heartbeat this incarnation sends.
+    Beat(u64),
+    /// The nth result commit this incarnation attempts.
+    Commit(u64),
+    /// Worker start-up, before any lease traffic.
+    Startup,
+}
+
+impl std::fmt::Display for DistSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistSite::Claim(n) => write!(f, "claim#{n}"),
+            DistSite::Beat(n) => write!(f, "beat#{n}"),
+            DistSite::Commit(n) => write!(f, "commit#{n}"),
+            DistSite::Startup => write!(f, "startup"),
+        }
+    }
+}
+
+/// What goes wrong with a distributed worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistFaultKind {
+    /// The worker vanishes at a commit point: it stops heartbeating,
+    /// waits until a peer has stolen the job and committed, then comes
+    /// back as a zombie and tries to land a *poisoned* result. Epoch
+    /// fencing must refuse the late commit; with fencing disabled (the
+    /// `no-fencing` mutant) the poison lands and the figures diverge.
+    WorkerDisconnect,
+    /// The worker claims a job **at the live holder's epoch** — the
+    /// double-claim the advisory lock normally prevents. Resolution
+    /// must converge on one deterministic winner.
+    SplitBrainClaim,
+    /// The process aborts between the claim decision and the claim
+    /// record hitting the lease log.
+    CrashAfterClaim,
+    /// Heartbeats for one running job stop cold; the lease must go
+    /// stale by observation count and be stolen.
+    LeaseStall,
+    /// The process aborts in `before_commit`: the work is lost, the
+    /// lease stays live, and a peer must steal and re-run the job.
+    CrashBeforeCommit,
+    /// Half a claim line reaches the lease log (the worker's real claim
+    /// fuses into the torn bytes and is quarantined on load).
+    TornLeaseClaim,
+    /// The claim record lands twice; resolution must be idempotent.
+    DuplicateClaim,
+    /// The process aborts the moment it arms its plan, before any
+    /// lease traffic at all.
+    CrashOnStartup,
+}
+
+/// Every distributed fault kind, in schedule-filling order. The first
+/// four are the headline quartet every schedule of ≥ 4 faults carries.
+pub const ALL_DIST_KINDS: [DistFaultKind; 8] = [
+    DistFaultKind::WorkerDisconnect,
+    DistFaultKind::SplitBrainClaim,
+    DistFaultKind::CrashAfterClaim,
+    DistFaultKind::LeaseStall,
+    DistFaultKind::CrashBeforeCommit,
+    DistFaultKind::TornLeaseClaim,
+    DistFaultKind::DuplicateClaim,
+    DistFaultKind::CrashOnStartup,
+];
+
+impl DistFaultKind {
+    /// Stable identifier used in plan renderings and the chaos log.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistFaultKind::WorkerDisconnect => "worker-disconnect",
+            DistFaultKind::SplitBrainClaim => "split-brain-claim",
+            DistFaultKind::CrashAfterClaim => "crash-after-claim",
+            DistFaultKind::LeaseStall => "lease-stall",
+            DistFaultKind::CrashBeforeCommit => "crash-before-commit",
+            DistFaultKind::TornLeaseClaim => "torn-lease-claim",
+            DistFaultKind::DuplicateClaim => "duplicate-claim",
+            DistFaultKind::CrashOnStartup => "crash-on-startup",
+        }
+    }
+
+    /// Which sequence counter this kind's site indexes (None =
+    /// startup, no counter).
+    fn site_category(self) -> Option<u8> {
+        match self {
+            DistFaultKind::SplitBrainClaim
+            | DistFaultKind::CrashAfterClaim
+            | DistFaultKind::TornLeaseClaim
+            | DistFaultKind::DuplicateClaim => Some(0), // claim
+            DistFaultKind::LeaseStall => Some(1), // beat
+            DistFaultKind::WorkerDisconnect | DistFaultKind::CrashBeforeCommit => Some(2), // commit
+            DistFaultKind::CrashOnStartup => None,
+        }
+    }
+}
+
+/// One scheduled distributed fault, pinned to a worker slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistFault {
+    /// Position in the schedule — the id the chaos log and `--fired`
+    /// sets use.
+    pub index: usize,
+    /// Which worker slot arms it (`spawn index % procs`).
+    pub slot: usize,
+    /// Where it fires.
+    pub site: DistSite,
+    /// What fires.
+    pub kind: DistFaultKind,
+}
+
+/// A deterministic distributed fault schedule: a pure function of
+/// `(seed, count, procs)`.
+#[derive(Debug, Clone)]
+pub struct DistPlan {
+    /// The seed the schedule was derived from.
+    pub seed: u64,
+    /// Worker process count the slots were laid out for.
+    pub procs: usize,
+    /// The schedule, in index order.
+    pub faults: Vec<DistFault>,
+}
+
+impl DistPlan {
+    /// Derives a `count`-fault, `procs`-slot schedule from `seed`.
+    ///
+    /// The first four kinds are always the headline quartet — worker
+    /// disconnect, split-brain claim, crash-after-claim, lease stall —
+    /// and the rest are drawn pseudo-randomly from [`ALL_DIST_KINDS`].
+    /// Fault `i` lands on slot `i % procs`; sites are distinct per
+    /// `(slot, counter)` and drawn from small windows (claims 0..4,
+    /// beats 0..6, commits 0..3) so every fault fires within a worker
+    /// incarnation's first few protocol events.
+    pub fn generate(seed: u64, count: usize, procs: usize) -> DistPlan {
+        let procs = procs.max(1);
+        let mut rng = seed ^ 0x0d15_7a5c_ed0b_0017; // decouple from other streams
+        let mut kinds: Vec<DistFaultKind> =
+            ALL_DIST_KINDS.iter().copied().take(count.min(4)).collect();
+        while kinds.len() < count {
+            let pick = (splitmix64(&mut rng) % ALL_DIST_KINDS.len() as u64) as usize;
+            kinds.push(ALL_DIST_KINDS[pick]);
+        }
+        let mut used: BTreeMap<(usize, u8), Vec<u64>> = BTreeMap::new();
+        let faults = kinds
+            .into_iter()
+            .enumerate()
+            .map(|(index, kind)| {
+                let slot = index % procs;
+                let site = match kind.site_category() {
+                    None => DistSite::Startup,
+                    Some(cat) => {
+                        let window = match cat {
+                            0 => 4u64, // claim
+                            1 => 6,    // beat
+                            _ => 3,    // commit
+                        };
+                        let taken = used.entry((slot, cat)).or_default();
+                        let n = loop {
+                            let s = splitmix64(&mut rng) % window;
+                            // A saturated window (more faults than
+                            // sites) falls back to reuse — fine, since
+                            // "at or after" firing drains duplicates
+                            // across incarnations.
+                            if !taken.contains(&s) || taken.len() as u64 >= window {
+                                break s;
+                            }
+                        };
+                        taken.push(n);
+                        match cat {
+                            0 => DistSite::Claim(n),
+                            1 => DistSite::Beat(n),
+                            _ => DistSite::Commit(n),
+                        }
+                    }
+                };
+                DistFault {
+                    index,
+                    slot,
+                    site,
+                    kind,
+                }
+            })
+            .collect();
+        DistPlan {
+            seed,
+            procs,
+            faults,
+        }
+    }
+
+    /// The faults a given worker slot arms.
+    pub fn for_slot(&self, slot: usize) -> Vec<DistFault> {
+        self.faults
+            .iter()
+            .copied()
+            .filter(|f| f.slot == slot)
+            .collect()
+    }
+
+    /// Human-readable schedule (one fault per line) for artifacts.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# rop-chaos distributed fault plan — seed {}, {} fault(s), {} worker slot(s)\n",
+            self.seed,
+            self.faults.len(),
+            self.procs
+        );
+        for f in &self.faults {
+            out.push_str(&format!(
+                "{}\tslot {}\t{}\t{}\n",
+                f.index,
+                f.slot,
+                f.site,
+                f.kind.name()
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +585,60 @@ mod tests {
         assert_eq!(text.lines().count(), 9, "header + 8 faults");
         assert!(text.contains("torn-write"), "{text}");
         assert!(text.contains("hung-job"), "{text}");
+    }
+
+    #[test]
+    fn dist_plans_are_deterministic_and_cover_the_quartet() {
+        let a = DistPlan::generate(7, 8, 3);
+        let b = DistPlan::generate(7, 8, 3);
+        assert_eq!(a.faults, b.faults);
+        assert_ne!(a.faults, DistPlan::generate(8, 8, 3).faults);
+        for seed in 0..20 {
+            let plan = DistPlan::generate(seed, 8, 3);
+            assert_eq!(plan.faults.len(), 8);
+            for required in [
+                DistFaultKind::WorkerDisconnect,
+                DistFaultKind::SplitBrainClaim,
+                DistFaultKind::CrashAfterClaim,
+                DistFaultKind::LeaseStall,
+            ] {
+                assert!(
+                    plan.faults.iter().any(|f| f.kind == required),
+                    "seed {seed}: missing {}",
+                    required.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dist_slots_round_robin_and_sites_stay_in_window() {
+        for seed in 0..20 {
+            let plan = DistPlan::generate(seed, 8, 3);
+            for f in &plan.faults {
+                assert_eq!(f.slot, f.index % 3);
+                match f.site {
+                    DistSite::Claim(n) => assert!(n < 4, "seed {seed}: claim site {n}"),
+                    DistSite::Beat(n) => assert!(n < 6, "seed {seed}: beat site {n}"),
+                    DistSite::Commit(n) => assert!(n < 3, "seed {seed}: commit site {n}"),
+                    DistSite::Startup => assert_eq!(f.kind, DistFaultKind::CrashOnStartup),
+                }
+            }
+            // Every slot arms something: no worker is fault-free by
+            // construction with 8 faults over 3 slots.
+            for slot in 0..3 {
+                assert!(!plan.for_slot(slot).is_empty(), "seed {seed}: slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn dist_render_lists_every_fault_with_slot_and_site() {
+        let plan = DistPlan::generate(3, 8, 3);
+        let text = plan.render();
+        assert_eq!(text.lines().count(), 9, "header + 8 faults");
+        assert!(text.contains("worker-disconnect"), "{text}");
+        assert!(text.contains("split-brain-claim"), "{text}");
+        assert!(text.contains("slot "), "{text}");
     }
 }

@@ -1,0 +1,82 @@
+//! Cross-process crash-consistency acceptance tests: the distributed
+//! chaos oracle must converge to the fault-free reference bytes under
+//! the full seeded fault schedule, and the `no-fencing` mutant must
+//! make it fail.
+//!
+//! Each test spawns real `rop-sweep _dist-worker` child processes via
+//! the binary Cargo built for this crate, so the whole stack is
+//! exercised exactly as `rop-sweep chaos-dist` runs it: advisory
+//! locks, lease log appends, epoch fencing, steals, respawns.
+
+use std::path::PathBuf;
+
+use rop_chaos::{clean_dist_artifacts, run_dist_oracle, DistChaosOptions};
+
+fn options(seed: u64, tag: &str) -> DistChaosOptions {
+    let mut opt = DistChaosOptions::new();
+    opt.seed = seed;
+    opt.spec.instructions = 1500;
+    let mut store = std::env::temp_dir();
+    store.push(format!(
+        "rop-dist-accept-{}-{}-{}.jsonl",
+        std::process::id(),
+        tag,
+        seed
+    ));
+    opt.store = store;
+    opt.worker_exe = PathBuf::from(env!("CARGO_BIN_EXE_rop-sweep"));
+    opt
+}
+
+fn assert_converges(seed: u64) {
+    let opt = options(seed, "ok");
+    let report = run_dist_oracle(&opt).unwrap_or_else(|e| {
+        panic!("oracle errored on seed {seed}: {e}");
+    });
+    assert!(
+        report.identical,
+        "seed {seed}: figures diverged from the fault-free reference",
+    );
+    assert_eq!(
+        report.fired.len(),
+        opt.faults,
+        "seed {seed}: fault shortfall"
+    );
+    for kind in ["worker-disconnect", "split-brain-claim"] {
+        assert!(
+            report.fired.iter().any(|l| l.contains(kind)),
+            "seed {seed}: schedule never exercised {kind}: {:?}",
+            report.fired,
+        );
+    }
+    clean_dist_artifacts(&opt);
+}
+
+#[test]
+fn seed_1_converges_to_reference_bytes() {
+    assert_converges(1);
+}
+
+#[test]
+fn seed_2_converges_to_reference_bytes() {
+    assert_converges(2);
+}
+
+#[test]
+fn seed_3_converges_to_reference_bytes() {
+    assert_converges(3);
+}
+
+#[test]
+fn no_fencing_mutant_breaks_convergence() {
+    let mut opt = options(1, "mut");
+    opt.mutate = Some("no-fencing".to_string());
+    let report = run_dist_oracle(&opt).unwrap_or_else(|e| {
+        panic!("mutant oracle must reach a verdict, got error: {e}");
+    });
+    assert!(
+        !report.identical,
+        "disabling lease fencing left the figures identical — the oracle has no teeth",
+    );
+    clean_dist_artifacts(&opt);
+}

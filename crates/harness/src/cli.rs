@@ -19,16 +19,25 @@
 //! means one attempt and no retry. `--audit` attaches the trace-backed
 //! invariant auditor to every executed job; a violation fails the job
 //! with a labeled report, recorded in the store like any other failure.
+//!
+//! `--join PATH` turns the run into one worker of a shared sweep: any
+//! number of `rop-sweep run <exp> --join PATH` processes (on one host
+//! or many, over a shared filesystem) claim jobs through a lease log
+//! beside the store, heartbeat them while running, steal leases from
+//! dead peers, and commit behind an epoch fence — see the [`crate::lease`]
+//! module. `--worker-id` names this worker (default `w<pid>`).
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use rop_lint::config::lint_jobs;
 use rop_sim_system::runner::{AuditingExecutor, RunSpec, SweepExecutor};
 
 use crate::executor::StoreExecutor;
+use crate::lease::{LeaseConfig, LeaseKind, LeaseLog, LeaseManager};
 use crate::pool::PoolConfig;
-use crate::store::{Status, Store, StoreContents};
+use crate::store::{unix_now, Status, Store, StoreContents};
 
 // The experiment-name → job-set mapping lives in `rop-sim-system`
 // (`experiments::driver`), shared with `repro` and `rop-lint`.
@@ -42,7 +51,10 @@ const USAGE: &str = "usage: rop-sweep <command> [experiment] [flags]\n\
                ablate-window ablate-throttle ablate-drain ablate-table all\n\
   flags:       --store PATH --instr N --seed S --max-cycles N\n\
                --workers N --retries N (total attempts) --quiet --audit\n\
-               --no-lint (skip the static config pre-check)";
+               --no-lint (skip the static config pre-check)\n\
+  distributed: --join PATH (claim jobs from a shared store via leases)\n\
+               --worker-id S (default w<pid>) --lease-stale N\n\
+               --lease-poll-ms N --lease-expire-secs N (status display)";
 
 /// Parsed command-line options shared by all subcommands.
 #[derive(Debug, Clone)]
@@ -61,6 +73,19 @@ pub struct Options {
     pub audit: bool,
     /// Skip the static config lint before dispatching jobs.
     pub no_lint: bool,
+    /// Join a shared sweep: claim jobs through the lease log beside
+    /// the store instead of partitioning alone.
+    pub join: bool,
+    /// Worker identity for `--join` (None = `w<pid>`).
+    pub worker_id: Option<String>,
+    /// Observation rounds before a peer's silent lease counts as
+    /// expired and stealable.
+    pub lease_stale: u32,
+    /// Pacing sleep (ms) between lease observation rounds.
+    pub lease_poll_ms: u64,
+    /// `status` display heuristic only: a live lease whose last record
+    /// is older than this many seconds is reported as orphaned.
+    pub lease_expire_secs: u64,
 }
 
 impl Options {
@@ -74,6 +99,11 @@ impl Options {
             quiet: false,
             audit: false,
             no_lint: false,
+            join: false,
+            worker_id: None,
+            lease_stale: 3,
+            lease_poll_ms: 50,
+            lease_expire_secs: 60,
         };
         let mut i = 0;
         while i < args.len() {
@@ -106,11 +136,41 @@ impl Options {
                 "--quiet" => opt.quiet = true,
                 "--audit" => opt.audit = true,
                 "--no-lint" => opt.no_lint = true,
+                "--join" => {
+                    opt.store = PathBuf::from(value(&mut i)?);
+                    opt.join = true;
+                }
+                "--worker-id" => opt.worker_id = Some(value(&mut i)?.to_string()),
+                "--lease-stale" => {
+                    opt.lease_stale = parse_positive(flag, value(&mut i)?)? as u32;
+                }
+                "--lease-poll-ms" => {
+                    opt.lease_poll_ms = parse_positive(flag, value(&mut i)?)?;
+                }
+                "--lease-expire-secs" => {
+                    opt.lease_expire_secs = parse_positive(flag, value(&mut i)?)?;
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 1;
         }
         Ok(opt)
+    }
+
+    /// The lease configuration `--join` implies (`None` when running
+    /// single-process).
+    pub fn lease_config(&self) -> Option<LeaseConfig> {
+        if !self.join {
+            return None;
+        }
+        let worker = self
+            .worker_id
+            .clone()
+            .unwrap_or_else(|| format!("w{}", std::process::id()));
+        let mut cfg = LeaseConfig::new(worker);
+        cfg.stale_rounds = self.lease_stale;
+        cfg.poll = Duration::from_millis(self.lease_poll_ms);
+        Some(cfg)
     }
 }
 
@@ -172,6 +232,9 @@ fn cmd_run(experiment: &str, opt: &Options) -> Result<i32, String> {
     let mut pool = PoolConfig {
         max_attempts: opt.retries,
         report_interval: (!opt.quiet).then(|| Duration::from_secs(2)),
+        // Seed the retry jitter from the sweep seed so a replay of the
+        // same sweep sleeps the same backoff sequence.
+        backoff_seed: opt.spec.seed,
         ..PoolConfig::default()
     };
     if let Some(w) = opt.workers {
@@ -186,6 +249,17 @@ fn cmd_run(experiment: &str, opt: &Options) -> Result<i32, String> {
         if opt.audit { ", auditing on" } else { "" }
     );
     let mut exec = StoreExecutor::new(Store::open(&opt.store)).with_pool(pool);
+    if let Some(cfg) = opt.lease_config() {
+        eprintln!(
+            "# joined as worker {} — lease log {}, stale after {} silent rounds",
+            cfg.worker,
+            crate::lease::lease_log_path(&opt.store).display(),
+            cfg.stale_rounds
+        );
+        let mgr =
+            LeaseManager::new(&opt.store, cfg).map_err(|e| format!("invalid lease config: {e}"))?;
+        exec = exec.with_lease(Arc::new(mgr));
+    }
     if !opt.quiet {
         exec = exec.with_progress();
     }
@@ -222,6 +296,12 @@ fn cmd_run(experiment: &str, opt: &Options) -> Result<i32, String> {
         "# executed: {} (failed: {}, not run: {})",
         stats.executed, stats.failed, stats.not_run
     );
+    if opt.join {
+        println!(
+            "# distributed: {} by peers, {} leases stolen, {} commits fenced",
+            stats.peer_ok, stats.stolen, stats.fenced
+        );
+    }
     Ok(if failures.is_empty() { 0 } else { 1 })
 }
 
@@ -278,7 +358,65 @@ fn cmd_status(experiment: &str, opt: &Options) -> Result<i32, String> {
     for label in failed_labels {
         println!("  failed: {label}");
     }
-    Ok(if failed > 0 || store_failed > 0 { 1 } else { 0 })
+
+    // Per-worker lease telemetry, present whenever `--join` workers
+    // have ever driven this store. An *orphaned* lease — live in the
+    // log, job still unfinished, worker silent past the display
+    // threshold — flips the exit code: a sweep someone believes is
+    // running has in fact lost workers. The wall-clock age here is a
+    // reporting heuristic for humans; running workers decide expiry by
+    // observation counters alone (see `crate::lease`).
+    let lease = LeaseLog::beside(&opt.store).load()?;
+    let mut orphaned = 0usize;
+    if !lease.records.is_empty() {
+        let view = crate::lease::resolve_leases(&lease.records);
+        // (held live leases, committed jobs, last-record ts) per worker.
+        let mut rows: std::collections::BTreeMap<&str, (usize, usize, u64)> =
+            std::collections::BTreeMap::new();
+        for r in &lease.records {
+            let row = rows.entry(r.worker.as_str()).or_default();
+            row.2 = row.2.max(r.ts);
+            if r.kind == LeaseKind::Done {
+                row.1 += 1;
+            }
+        }
+        let now = unix_now();
+        for (job, l) in &view.jobs {
+            if !l.live() {
+                continue;
+            }
+            let silent_secs = rows
+                .get(l.worker.as_str())
+                .map(|row| now.saturating_sub(row.2))
+                .unwrap_or(u64::MAX);
+            if let Some(row) = rows.get_mut(l.worker.as_str()) {
+                row.0 += 1;
+            }
+            let job_ok = latest
+                .get(job.as_str())
+                .is_some_and(|r| r.status == Status::Ok);
+            if !job_ok && silent_secs > opt.lease_expire_secs {
+                orphaned += 1;
+            }
+        }
+        println!("workers:");
+        println!("  {:<20} {:>5} {:>5}  last heard", "worker", "held", "done");
+        for (worker, (held, done, last_ts)) in &rows {
+            println!(
+                "  {worker:<20} {held:>5} {done:>5}  {}s ago",
+                now.saturating_sub(*last_ts)
+            );
+        }
+        println!("orphaned expired leases: {orphaned}");
+        if lease.corrupt_lines > 0 {
+            println!("corrupt lease lines quarantined: {}", lease.corrupt_lines);
+        }
+    }
+    Ok(if failed > 0 || store_failed > 0 || orphaned > 0 {
+        1
+    } else {
+        0
+    })
 }
 
 fn cmd_diff(path_a: &str, path_b: &str) -> Result<i32, String> {
@@ -659,6 +797,8 @@ mod tests {
                 panic_msg: Some("boom".into()),
                 ts: unix_now(),
                 metrics: None,
+                epoch: 0,
+                worker: String::new(),
             })
             .unwrap();
         assert_eq!(
@@ -709,6 +849,8 @@ mod tests {
                 panic_msg: None,
                 ts: unix_now(),
                 metrics: Some(m),
+                epoch: 0,
+                worker: String::new(),
             }
         };
         let tmp = |tag: &str| {

@@ -8,15 +8,17 @@
 //! form* — so a figure assembled through it is, by construction, a
 //! figure read from the store.
 
+use std::collections::{BTreeMap, HashSet};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use rop_sim_system::metrics::RunMetrics;
 use rop_sim_system::runner::{SweepExecutor, SweepJob};
 use rop_stats::Json;
 
+use crate::lease::{CommitOutcome, HeartbeatGuard, LeaseManager};
 use crate::pool::{run_jobs, JobOutcome, PoolConfig};
 use crate::progress::Progress;
-use crate::store::{unix_now, Record, Status, Store};
+use crate::store::{unix_now, Record, Status, Store, StoreContents};
 
 // The dry-run planner and job-id scheme moved to `rop-sim-system`
 // (`experiments::driver`) so the static linter can enumerate job sets
@@ -36,6 +38,14 @@ pub struct ExecStats {
     pub failed: usize,
     /// Jobs left unclaimed because the pool was stopped early.
     pub not_run: usize,
+    /// Leases stolen from expired peers (distributed mode only).
+    pub stolen: usize,
+    /// Commits refused because our lease was stolen mid-run
+    /// (distributed mode only).
+    pub fenced: usize,
+    /// Jobs a peer worker completed while we ran (distributed mode
+    /// only).
+    pub peer_ok: usize,
 }
 
 /// One permanently-failed job, for end-of-run reporting.
@@ -63,6 +73,12 @@ pub struct StoreExecutor {
     /// Callers must check [`StoreExecutor::failures`] before trusting a
     /// figure.
     progress_enabled: bool,
+    /// When set, `execute` runs the distributed lease-claiming drain
+    /// loop instead of the single-process partition.
+    lease: Option<Arc<LeaseManager>>,
+    /// Resolve the store by pure file order instead of lease epochs —
+    /// only the chaos oracle's `no-fencing` mutant sets this.
+    unfenced: bool,
 }
 
 impl StoreExecutor {
@@ -74,6 +90,8 @@ impl StoreExecutor {
             stats: Mutex::new(ExecStats::default()),
             failures: Mutex::new(Vec::new()),
             progress_enabled: false,
+            lease: None,
+            unfenced: false,
         }
     }
 
@@ -87,6 +105,23 @@ impl StoreExecutor {
     /// Enables the live stderr progress line.
     pub fn with_progress(mut self) -> Self {
         self.progress_enabled = true;
+        self
+    }
+
+    /// Joins a shared sweep: jobs are claimed through `mgr`'s lease
+    /// log, heartbeated while running, and committed behind an epoch
+    /// fence, so any number of processes can drain one store together.
+    pub fn with_lease(mut self, mgr: Arc<LeaseManager>) -> Self {
+        self.lease = Some(mgr);
+        self
+    }
+
+    /// Switches store resolution to pure file-order newest-wins (no
+    /// epoch fencing). **Chaos-mutant only**: this re-creates the
+    /// split-brain hazard the lease epochs exist to close, and exists
+    /// so the oracle can prove that hazard is real.
+    pub fn with_unfenced_resolution(mut self) -> Self {
+        self.unfenced = true;
         self
     }
 
@@ -109,17 +144,318 @@ impl StoreExecutor {
             .unwrap_or_else(PoisonError::into_inner)
             .clone()
     }
+
+    /// Winning record per job under this executor's resolution policy.
+    fn resolved<'a>(&self, contents: &'a StoreContents) -> BTreeMap<&'a str, &'a Record> {
+        if self.unfenced {
+            contents.latest_unfenced()
+        } else {
+            contents.latest()
+        }
+    }
+
+    /// The distributed drain loop: claim a capped batch of missing
+    /// jobs through the lease log, run them with heartbeats attached,
+    /// commit behind the epoch fence, and repeat until every planned
+    /// job has an `ok` record (possibly written by a peer) or only
+    /// permanently-failed work remains.
+    fn execute_leased(&self, mgr: &Arc<LeaseManager>, jobs: Vec<SweepJob>) -> Vec<RunMetrics> {
+        let ids: Vec<String> = jobs.iter().map(job_id).collect();
+        let mut by_id: BTreeMap<&str, usize> = BTreeMap::new();
+        for (i, id) in ids.iter().enumerate() {
+            by_id.entry(id.as_str()).or_insert(i);
+        }
+
+        let contents = self
+            .store
+            .load()
+            .unwrap_or_else(|e| panic!("cannot load store: {e}")); // rop-lint: allow(no-panic)
+        let latest0 = self.resolved(&contents);
+        let cache_hits = ids
+            .iter()
+            .filter(|id| {
+                latest0
+                    .get(id.as_str())
+                    .is_some_and(|r| r.status == Status::Ok)
+            })
+            .count();
+        let mut known_ok: HashSet<String> = latest0
+            .iter()
+            .filter(|(_, r)| r.status == Status::Ok)
+            .map(|(id, _)| id.to_string())
+            .collect();
+        let missing0 = by_id.keys().filter(|id| !known_ok.contains(**id)).count();
+        drop(latest0);
+        drop(contents);
+
+        let progress = Arc::new(Progress::new(
+            missing0,
+            cache_hits,
+            self.pool.workers.max(1),
+        ));
+        let pool_cfg = PoolConfig {
+            report_interval: if self.progress_enabled {
+                self.pool.report_interval
+            } else {
+                None
+            },
+            ..self.pool.clone()
+        };
+
+        // Ids whose previously-failed record this invocation already
+        // retried (one retry per invocation, matching single-process
+        // resume semantics), and ids whose commit this worker wrote.
+        let mut retried: HashSet<String> = HashSet::new();
+        let mut my_committed: HashSet<String> = HashSet::new();
+        let mut executed = 0usize;
+        let mut my_failed = 0usize;
+        let mut peer_ok = 0usize;
+
+        for round in 0.. {
+            if round >= mgr.config().max_rounds {
+                // A livelock here is a coordination bug, not a job
+                // failure; aborting loudly beats spinning forever.
+                panic!("lease drain exceeded max_rounds"); // rop-lint: allow(no-panic)
+            }
+            let contents = self
+                .store
+                .load()
+                .unwrap_or_else(|e| panic!("cannot load store: {e}")); // rop-lint: allow(no-panic)
+            let latest = self.resolved(&contents);
+            let mut missing: Vec<String> = Vec::new();
+            for &id in by_id.keys() {
+                let ok = latest.get(id).is_some_and(|r| r.status == Status::Ok);
+                if ok {
+                    if known_ok.insert(id.to_string()) && !my_committed.contains(id) {
+                        peer_ok += 1;
+                        progress.peer_completes();
+                    }
+                } else {
+                    missing.push(id.to_string());
+                }
+            }
+            if missing.is_empty() {
+                break;
+            }
+            let view = mgr
+                .observe()
+                .unwrap_or_else(|e| panic!("cannot load lease log: {e}")); // rop-lint: allow(no-panic)
+
+            // Claim a bounded batch. Claimable and stealable jobs fill
+            // the window first — a peer's live lease deep in the grid
+            // must not wait for the drain frontier to reach it before a
+            // steal can happen, and must not crowd real work out of the
+            // bounded batch. A capped tail of peer-held jobs rides
+            // along behind them: `claim_batch` skips those (so the
+            // batch this worker actually runs stays `cap`-sized), but
+            // they keep flowing past the claim hooks and the staleness
+            // machinery instead of hiding until the frontier reaches
+            // them. Jobs whose failed record we already retried this
+            // invocation are excluded outright.
+            let cap = self.pool.workers.max(1) * 2;
+            let eligible = missing
+                .iter()
+                .filter(|id| !(latest.contains_key(id.as_str()) && retried.contains(*id)));
+            let (free, held): (Vec<&String>, Vec<&String>) =
+                eligible.partition(|id| !mgr.blocked_by_peer(&view, id));
+            let candidates: Vec<String> = free
+                .into_iter()
+                .take(cap)
+                .chain(held.into_iter().take(cap))
+                .cloned()
+                .collect();
+            let claims = if candidates.is_empty() {
+                Vec::new()
+            } else {
+                mgr.claim_batch(&candidates)
+                    .unwrap_or_else(|e| panic!("lease claim failed: {e}")) // rop-lint: allow(no-panic)
+            };
+            if claims.is_empty() {
+                // Nothing claimable. If a live peer still holds any
+                // missing job, wait for it; otherwise only permanently
+                // failed work remains and the drain is over. The check
+                // MUST use a fresh view, not the one the candidates
+                // were chosen from: a peer may have claimed our whole
+                // candidate window between that load and our
+                // `claim_batch` (which is why it came back empty), and
+                // the stale view would show no live lease — reading it
+                // here would end our drain while work is still in
+                // flight.
+                let fresh = mgr
+                    .view()
+                    .unwrap_or_else(|e| panic!("cannot load lease log: {e}")); // rop-lint: allow(no-panic)
+                let waiting = missing.iter().any(|id| {
+                    fresh
+                        .jobs
+                        .get(id)
+                        .is_some_and(|l| l.live() && l.worker != mgr.config().worker)
+                });
+                if !waiting {
+                    break;
+                }
+                std::thread::sleep(mgr.config().poll);
+                continue;
+            }
+            for (job, _) in &claims {
+                if latest.contains_key(job.as_str()) {
+                    retried.insert(job.clone());
+                }
+            }
+            drop(latest);
+            drop(contents);
+
+            let epochs: BTreeMap<String, u64> = claims.iter().cloned().collect();
+            let run_ixs: Vec<usize> = claims.iter().map(|(job, _)| by_id[job.as_str()]).collect();
+            let mgr2 = mgr.clone();
+            let ids_ref = &ids;
+            let jobs_ref = &jobs;
+            let outcomes = run_jobs(
+                &run_ixs,
+                |&i| jobs_ref[i].label.clone(),
+                |&i, token| {
+                    // The guard beats our lease with the simulation's
+                    // committed-instruction progress until the job
+                    // returns (or panics — the guard drops either way).
+                    let _beat = HeartbeatGuard::spawn(
+                        mgr2.clone(),
+                        ids_ref[i].clone(),
+                        epochs[ids_ref[i].as_str()],
+                        token.clone(),
+                    );
+                    jobs_ref[i].run_with(token.clone())
+                },
+                &pool_cfg,
+                Some(progress.clone()),
+            );
+
+            for (&i, outcome) in run_ixs.iter().zip(outcomes) {
+                let id = ids[i].clone();
+                let epoch = epochs[id.as_str()];
+                match outcome {
+                    JobOutcome::Ok { value, attempts } => {
+                        executed += 1;
+                        let rec = Record {
+                            job: id.clone(),
+                            label: jobs[i].label.clone(),
+                            status: Status::Ok,
+                            attempts,
+                            panic_msg: None,
+                            ts: unix_now(),
+                            metrics: Some(value),
+                            epoch: 0,
+                            worker: String::new(),
+                        };
+                        match mgr.commit(&self.store, rec, epoch) {
+                            Ok(CommitOutcome::Committed) => {
+                                my_committed.insert(id.clone());
+                                known_ok.insert(id);
+                            }
+                            // Our lease was stolen mid-run; the
+                            // stealing worker's record stands.
+                            Ok(CommitOutcome::Fenced { .. }) => {}
+                            Err(e) => panic!("store append failed: {e}"), // rop-lint: allow(no-panic)
+                        }
+                    }
+                    JobOutcome::Failed {
+                        panic_msg,
+                        attempts,
+                    } => {
+                        executed += 1;
+                        let rec = Record {
+                            job: id.clone(),
+                            label: jobs[i].label.clone(),
+                            status: Status::Failed,
+                            attempts,
+                            panic_msg: Some(panic_msg),
+                            ts: unix_now(),
+                            metrics: None,
+                            epoch: 0,
+                            worker: String::new(),
+                        };
+                        match mgr.commit(&self.store, rec, epoch) {
+                            Ok(CommitOutcome::Committed) => {
+                                my_failed += 1;
+                                my_committed.insert(id);
+                            }
+                            Ok(CommitOutcome::Fenced { .. }) => {}
+                            Err(e) => panic!("store append failed: {e}"), // rop-lint: allow(no-panic)
+                        }
+                    }
+                    JobOutcome::NotRun => {
+                        // Give the claim back so peers need not wait
+                        // out the staleness window.
+                        let _ = mgr.release(&id, epoch);
+                    }
+                }
+            }
+        }
+
+        // Assemble results (and the failure report) from the final
+        // store state: in a shared sweep the authoritative outcome of
+        // a job may well have been written by a peer.
+        let contents = self
+            .store
+            .load()
+            .unwrap_or_else(|e| panic!("cannot load store: {e}")); // rop-lint: allow(no-panic)
+        let latest = self.resolved(&contents);
+        let mut failed_ids: Vec<&str> = Vec::new();
+        let mut not_run = 0usize;
+        for &id in by_id.keys() {
+            match latest.get(id) {
+                Some(r) if r.status == Status::Failed => failed_ids.push(id),
+                None => not_run += 1,
+                _ => {}
+            }
+        }
+        {
+            let mut failures = self.failures.lock().unwrap_or_else(PoisonError::into_inner);
+            for id in failed_ids {
+                let r = latest[id];
+                failures.push(Failure {
+                    job: id.to_string(),
+                    label: r.label.clone(),
+                    panic_msg: r.panic_msg.clone().unwrap_or_default(),
+                    attempts: r.attempts,
+                });
+            }
+        }
+        {
+            let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+            stats.planned += jobs.len();
+            stats.cache_hits += cache_hits;
+            stats.executed += executed;
+            stats.failed += my_failed;
+            stats.not_run += not_run;
+            stats.stolen += mgr.stolen_count() as usize;
+            stats.fenced += mgr.fenced_count() as usize;
+            stats.peer_ok += peer_ok;
+        }
+
+        ids.iter()
+            .enumerate()
+            .map(|(i, id)| {
+                latest
+                    .get(id.as_str())
+                    .filter(|r| r.status == Status::Ok)
+                    .and_then(|r| r.metrics.clone())
+                    .unwrap_or_else(|| jobs[i].placeholder_metrics())
+            })
+            .collect()
+    }
 }
 
 impl SweepExecutor for StoreExecutor {
     fn execute(&self, jobs: Vec<SweepJob>) -> Vec<RunMetrics> {
+        if let Some(mgr) = self.lease.clone() {
+            return self.execute_leased(&mgr, jobs);
+        }
         let contents = self
             .store
             .load()
             // A store that cannot even be read makes every job outcome
             // unrecordable; aborting the sweep is the only safe move.
             .unwrap_or_else(|e| panic!("cannot load store: {e}")); // rop-lint: allow(no-panic)
-        let latest = contents.latest();
+        let latest = self.resolved(&contents);
 
         // Resolve cache hits; collect the rest for the pool. Duplicate
         // ids inside one batch (e.g. shared baselines) run once.
@@ -192,6 +528,8 @@ impl SweepExecutor for StoreExecutor {
                         panic_msg: None,
                         ts: unix_now(),
                         metrics: Some(value),
+                        epoch: 0,
+                        worker: String::new(),
                     };
                     self.store
                         .append(&rec)
@@ -220,6 +558,8 @@ impl SweepExecutor for StoreExecutor {
                         panic_msg: Some(panic_msg.clone()),
                         ts: unix_now(),
                         metrics: None,
+                        epoch: 0,
+                        worker: String::new(),
                     };
                     self.store
                         .append(&rec)

@@ -14,6 +14,11 @@
 //!   already recorded `ok` (failed jobs are retried);
 //! * [`executor`] — [`executor::StoreExecutor`] gluing the two together
 //!   (plus [`executor::PlanExecutor`] for dry enumeration);
+//! * [`lease`] — lease-based job claiming over a second append-only
+//!   log, so N independent processes (`rop-sweep run --join`) drain one
+//!   store together: epoch-fenced claims, progress heartbeats, and
+//!   counter-based (never wall-clock) expiry with deterministic
+//!   split-brain resolution;
 //! * [`progress`] — live completed/failed/remaining, throughput, ETA and
 //!   per-worker telemetry;
 //! * [`cli`] — the `rop-sweep` command (`run`, `resume`, `status`,
@@ -24,11 +29,17 @@
 
 pub mod cli;
 pub mod executor;
+pub mod lease;
 pub mod pool;
 pub mod progress;
 pub mod store;
 
 pub use executor::{job_id, ExecStats, Failure, PlanExecutor, StoreExecutor};
+pub use lease::{
+    lease_lock_path, lease_log_path, resolve_leases, ClaimDecision, CommitOutcome, HeartbeatGuard,
+    JobLease, LeaseConfig, LeaseHooks, LeaseKind, LeaseLog, LeaseManager, LeaseRecord, LeaseView,
+    LeaseViolation, StalenessTracker,
+};
 pub use pool::{run_jobs, JobOutcome, PoolConfig, Supervisor};
 pub use progress::{Progress, ProgressSnapshot};
 pub use store::{RealIo, Record, Status, Store, StoreContents, StoreIo};

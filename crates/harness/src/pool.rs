@@ -52,11 +52,19 @@ pub struct PoolConfig {
     /// this interval while the pool runs.
     pub report_interval: Option<Duration>,
     /// Base delay between failed attempts of the same job. The worker
-    /// sleeps `base * 2^(attempt-1)` (exponent capped at 10, total
-    /// capped at 5 s) before retrying, so a job poisoned by a transient
-    /// environment fault does not burn its whole budget in one burst.
-    /// `None` retries immediately (the pre-chaos behaviour).
+    /// sleeps a jittered exponential backoff — uniformly drawn from
+    /// `[full/2, full]` where `full = base * 2^(attempt-1)` (exponent
+    /// capped at 10, total capped at 5 s) — before retrying, so a job
+    /// poisoned by a transient environment fault does not burn its
+    /// whole budget in one burst and N workers hitting the same fault
+    /// do not retry in lockstep. `None` retries immediately (the
+    /// pre-chaos behaviour).
     pub retry_backoff: Option<Duration>,
+    /// Seed for the backoff jitter. The draw is a pure function of
+    /// `(seed, job label, attempt)` — no global RNG, no clock — so a
+    /// chaos replay with the same seed sleeps the same delays and
+    /// stays byte-identical.
+    pub backoff_seed: u64,
     /// Attempt observer (watchdog registration, fault injection).
     pub supervisor: Option<Arc<dyn Supervisor>>,
 }
@@ -69,6 +77,7 @@ impl std::fmt::Debug for PoolConfig {
             .field("stop_after", &self.stop_after)
             .field("report_interval", &self.report_interval)
             .field("retry_backoff", &self.retry_backoff)
+            .field("backoff_seed", &self.backoff_seed)
             .field("supervisor", &self.supervisor.as_ref().map(|_| "<dyn>"))
             .finish()
     }
@@ -84,17 +93,49 @@ impl Default for PoolConfig {
             stop_after: None,
             report_interval: None,
             retry_backoff: None,
+            backoff_seed: 0,
             supervisor: None,
         }
     }
 }
 
 /// Backoff delay before retry number `attempt + 1`, given the attempt
-/// that just failed. Exponential with a capped exponent and a 5 s
-/// ceiling so misconfigured bases cannot wedge a worker.
-fn backoff_delay(base: Duration, failed_attempt: u32) -> Duration {
+/// that just failed: a jittered exponential, uniformly drawn from
+/// `[full/2, full]` where `full` has a capped exponent and a 5 s
+/// ceiling so misconfigured bases cannot wedge a worker. The jitter is
+/// a pure function of `(seed, salt, failed_attempt)` — deterministic
+/// for replays, decorrelated across jobs and workers via the salt.
+fn backoff_delay(base: Duration, failed_attempt: u32, seed: u64, salt: u64) -> Duration {
     let exp = failed_attempt.saturating_sub(1).min(10);
-    base.saturating_mul(1u32 << exp).min(Duration::from_secs(5))
+    let full = base.saturating_mul(1u32 << exp).min(Duration::from_secs(5));
+    let half = full / 2;
+    let span = (full - half).as_nanos() as u64;
+    if span == 0 {
+        return full;
+    }
+    let draw = splitmix64(
+        seed ^ salt.rotate_left(17) ^ (failed_attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    half + Duration::from_nanos(draw % (span + 1))
+}
+
+/// SplitMix64: the one-shot mixer the chaos planner also uses; good
+/// enough to decorrelate retry delays and dead cheap.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a job label: the per-job salt for the backoff jitter.
+fn label_salt(label: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Terminal state of one job.
@@ -201,7 +242,12 @@ where
                                 };
                             }
                             if let Some(base) = cfg.retry_backoff {
-                                let delay = backoff_delay(base, attempts);
+                                let delay = backoff_delay(
+                                    base,
+                                    attempts,
+                                    cfg.backoff_seed,
+                                    label_salt(&name),
+                                );
                                 if !delay.is_zero() {
                                     std::thread::sleep(delay);
                                 }
@@ -460,17 +506,51 @@ mod tests {
     }
 
     #[test]
-    fn backoff_delay_is_exponential_and_capped() {
+    fn backoff_delay_is_exponential_capped_and_jittered_within_bounds() {
         let base = Duration::from_millis(10);
-        assert_eq!(backoff_delay(base, 1), Duration::from_millis(10));
-        assert_eq!(backoff_delay(base, 2), Duration::from_millis(20));
-        assert_eq!(backoff_delay(base, 4), Duration::from_millis(80));
-        // Exponent cap (2^10) and the 5 s ceiling both hold.
-        assert_eq!(backoff_delay(base, 40), Duration::from_secs(5));
-        assert_eq!(
-            backoff_delay(Duration::from_secs(60), 1),
-            Duration::from_secs(5)
-        );
+        let full = |attempt: u32| {
+            Duration::from_millis(10)
+                .saturating_mul(1u32 << attempt.saturating_sub(1).min(10))
+                .min(Duration::from_secs(5))
+        };
+        for attempt in [1u32, 2, 4, 40] {
+            for seed in 0..8u64 {
+                let d = backoff_delay(base, attempt, seed, label_salt("job-x"));
+                let f = full(attempt);
+                assert!(
+                    d >= f / 2,
+                    "attempt {attempt} seed {seed}: {d:?} < {:?}",
+                    f / 2
+                );
+                assert!(d <= f, "attempt {attempt} seed {seed}: {d:?} > {f:?}");
+            }
+        }
+        // The 5 s ceiling holds even for misconfigured bases.
+        assert!(backoff_delay(Duration::from_secs(60), 1, 3, 7) <= Duration::from_secs(5));
+    }
+
+    #[test]
+    fn backoff_jitter_is_seed_deterministic_and_decorrelated() {
+        let base = Duration::from_millis(10);
+        // Same (seed, label, attempt) → identical delay, every time:
+        // a chaos replay sleeps exactly what the original run slept.
+        for attempt in 1..=5u32 {
+            let a = backoff_delay(base, attempt, 42, label_salt("single/lbm"));
+            let b = backoff_delay(base, attempt, 42, label_salt("single/lbm"));
+            assert_eq!(a, b);
+        }
+        // Different seeds (and different labels under one seed) spread
+        // out: at least one pair must differ, or the "jitter" is a
+        // constant and workers retry in lockstep again.
+        let spread: std::collections::HashSet<Duration> = (0..16u64)
+            .map(|seed| backoff_delay(base, 3, seed, label_salt("single/lbm")))
+            .collect();
+        assert!(spread.len() > 8, "seeds barely move the delay: {spread:?}");
+        let across_jobs: std::collections::HashSet<Duration> = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .map(|l| backoff_delay(base, 3, 42, label_salt(l)))
+            .collect();
+        assert!(across_jobs.len() > 3, "labels barely move the delay");
     }
 
     #[test]

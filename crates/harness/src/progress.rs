@@ -14,6 +14,7 @@ pub struct Progress {
     pub cache_hits: usize,
     completed: AtomicUsize,
     failed: AtomicUsize,
+    peer_completed: AtomicUsize,
     start: Instant,
     /// What each worker is currently running (`None` = idle).
     current: Mutex<Vec<Option<String>>>,
@@ -30,6 +31,9 @@ pub struct ProgressSnapshot {
     pub remaining: usize,
     /// Jobs satisfied from the store without running.
     pub cache_hits: usize,
+    /// Jobs a peer worker completed (shared distributed sweeps only;
+    /// always 0 single-process).
+    pub peer_completed: usize,
     /// Finished jobs (ok + failed) per wall-clock second. This is the
     /// drain rate, which is what the ETA needs.
     pub jobs_per_sec: f64,
@@ -53,6 +57,7 @@ impl Progress {
             cache_hits,
             completed: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
+            peer_completed: AtomicUsize::new(0),
             start: Instant::now(),
             current: Mutex::new(vec![None; workers]),
         }
@@ -84,11 +89,18 @@ impl Progress {
         }
     }
 
+    /// Tallies a job some other worker of a shared sweep completed:
+    /// it leaves `remaining` but was never ours to run.
+    pub fn peer_completes(&self) {
+        self.peer_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies out the counters and computes rates.
     pub fn snapshot(&self) -> ProgressSnapshot {
         let completed = self.completed.load(Ordering::Relaxed);
         let failed = self.failed.load(Ordering::Relaxed);
-        let done = completed + failed;
+        let peer_completed = self.peer_completed.load(Ordering::Relaxed);
+        let done = completed + failed + peer_completed;
         let remaining = self.total.saturating_sub(done);
         let elapsed = self.start.elapsed().as_secs_f64();
         let rate = |n: usize| {
@@ -105,6 +117,7 @@ impl Progress {
             failed,
             remaining,
             cache_hits: self.cache_hits,
+            peer_completed,
             jobs_per_sec,
             ok_per_sec: rate(completed),
             eta_seconds,
@@ -145,6 +158,9 @@ impl std::fmt::Display for ProgressSnapshot {
             self.ok_per_sec,
             self.jobs_per_sec
         )?;
+        if self.peer_completed > 0 {
+            write!(f, ", {} by peers", self.peer_completed)?;
+        }
         match self.eta_seconds {
             Some(eta) => write!(f, ", ETA {eta:.0}s")?,
             // No finished job yet → no rate → no estimate. Print a
@@ -189,6 +205,20 @@ mod tests {
         let line = s.to_string();
         assert!(line.contains("1 done"), "{line}");
         assert!(line.contains("1 failed"), "{line}");
+    }
+
+    #[test]
+    fn peer_completions_drain_remaining_and_render() {
+        let p = Progress::new(4, 0, 1);
+        p.worker_finishes(0, true);
+        p.peer_completes();
+        p.peer_completes();
+        let s = p.snapshot();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.peer_completed, 2);
+        assert_eq!(s.remaining, 1, "peer completions leave `remaining` too");
+        let line = s.to_string();
+        assert!(line.contains("2 by peers"), "{line}");
     }
 
     #[test]

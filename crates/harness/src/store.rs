@@ -97,6 +97,12 @@ pub struct Record {
     pub ts: u64,
     /// The run's metrics (ok jobs only).
     pub metrics: Option<RunMetrics>,
+    /// Lease epoch the writer held when committing (0 = unleased
+    /// single-process run, the only value ever written before
+    /// distributed mode existed).
+    pub epoch: u64,
+    /// Worker id of the committing process (empty = unleased).
+    pub worker: String,
 }
 
 impl Record {
@@ -111,6 +117,13 @@ impl Record {
             .push("ts", Json::Num(self.ts as f64));
         if let Some(msg) = &self.panic_msg {
             j.push("panic", Json::Str(msg.clone()));
+        }
+        // Lease identity is only written by leased (distributed)
+        // workers, so single-process stores stay byte-identical to
+        // every store ever written before the fields existed.
+        if self.epoch > 0 || !self.worker.is_empty() {
+            j.push("epoch", Json::Num(self.epoch as f64))
+                .push("worker", Json::Str(self.worker.clone()));
         }
         if let Some(m) = &self.metrics {
             j.push("metrics", m.to_json());
@@ -163,6 +176,12 @@ impl Record {
             panic_msg: j.get("panic").and_then(Json::as_str).map(str::to_string),
             ts: j.get("ts").and_then(Json::as_u64).unwrap_or(0),
             metrics,
+            epoch: j.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+            worker: j
+                .get("worker")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
         })
     }
 }
@@ -177,10 +196,38 @@ pub struct StoreContents {
 }
 
 impl StoreContents {
-    /// Newest record per job id (later lines supersede earlier ones).
-    /// A `BTreeMap` so every consumer iterates in job-id order — diff
-    /// and CSV export output is byte-stable across runs by construction.
+    /// Winning record per job id. A `BTreeMap` so every consumer
+    /// iterates in job-id order — diff and CSV export output is
+    /// byte-stable across runs by construction.
+    ///
+    /// Within a job, the winner is the record with the highest
+    /// `(epoch, worker)` pair; ties (same writer re-committing, and
+    /// every record of a pre-lease single-process store, where both
+    /// fields are at their defaults) resolve newest-in-file-order
+    /// wins. A record a fenced-out zombie managed to append *before*
+    /// its lease was stolen can therefore never shadow the stealing
+    /// worker's result, no matter the append order — split-brain
+    /// resolution is deterministic and permutation-independent for
+    /// distinct writers.
     pub fn latest(&self) -> BTreeMap<&str, &Record> {
+        let mut map: BTreeMap<&str, &Record> = BTreeMap::new();
+        for r in &self.records {
+            match map.get(r.job.as_str()) {
+                Some(cur) if (r.epoch, &r.worker) < (cur.epoch, &cur.worker) => {}
+                _ => {
+                    map.insert(r.job.as_str(), r);
+                }
+            }
+        }
+        map
+    }
+
+    /// Pure file-order newest-record-wins resolution, ignoring lease
+    /// epochs — the pre-distributed behaviour. Kept only so the chaos
+    /// oracle's `no-fencing` mutant can demonstrate what goes wrong
+    /// without epoch fencing; production paths use
+    /// [`StoreContents::latest`].
+    pub fn latest_unfenced(&self) -> BTreeMap<&str, &Record> {
         let mut map = BTreeMap::new();
         for r in &self.records {
             map.insert(r.job.as_str(), r);
@@ -293,6 +340,8 @@ mod tests {
             panic_msg: None,
             ts: 1_700_000_000,
             metrics: Some(RunMetrics::from_json(&metrics_json).unwrap()),
+            epoch: 0,
+            worker: String::new(),
         }
     }
 
@@ -311,6 +360,8 @@ mod tests {
             panic_msg: Some("[test/bbbb] boom".into()),
             ts: 1_700_000_001,
             metrics: None,
+            epoch: 0,
+            worker: String::new(),
         };
         store.append(&failed).unwrap();
 
@@ -346,6 +397,82 @@ mod tests {
         assert_eq!(latest["cccc"].status, Status::Ok);
         assert_eq!(contents.counts(), (1, 0));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn higher_epoch_wins_regardless_of_append_order() {
+        let path = tmp("epoch-order");
+        let store = Store::open(&path);
+        // The stealing worker (epoch 2) lands first; the fenced-out
+        // zombie's stale record (epoch 1) is appended after. File
+        // order would pick the zombie — epochs must not.
+        let fresh = Record {
+            epoch: 2,
+            worker: "w-live".into(),
+            ..ok_record("abcd", 0.9)
+        };
+        let stale = Record {
+            epoch: 1,
+            worker: "w-zombie".into(),
+            ..ok_record("abcd", 0.1)
+        };
+        store.append(&fresh).unwrap();
+        store.append(&stale).unwrap();
+        let contents = store.load().unwrap();
+        let latest = contents.latest();
+        assert_eq!(latest["abcd"].worker, "w-live");
+        assert_eq!(latest["abcd"].metrics.as_ref().unwrap().ipc(), 0.9);
+        // The unfenced view shows why fencing matters: file order
+        // would resurrect the zombie.
+        assert_eq!(contents.latest_unfenced()["abcd"].worker, "w-zombie");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn split_brain_same_epoch_resolves_by_worker_id_not_file_order() {
+        let path = tmp("split-brain");
+        let store = Store::open(&path);
+        let a = Record {
+            epoch: 1,
+            worker: "wa".into(),
+            ..ok_record("abcd", 0.5)
+        };
+        let b = Record {
+            epoch: 1,
+            worker: "wb".into(),
+            ..ok_record("abcd", 0.5)
+        };
+        // Both orders must resolve to the same winner (max worker id).
+        store.append(&a).unwrap();
+        store.append(&b).unwrap();
+        assert_eq!(store.load().unwrap().latest()["abcd"].worker, "wb");
+        let path2 = tmp("split-brain-rev");
+        let store2 = Store::open(&path2);
+        store2.append(&b).unwrap();
+        store2.append(&a).unwrap();
+        assert_eq!(store2.load().unwrap().latest()["abcd"].worker, "wb");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path2);
+    }
+
+    #[test]
+    fn lease_fields_roundtrip_and_default_encoding_is_unchanged() {
+        let plain = ok_record("aaaa", 0.5);
+        let line = plain.to_json().render();
+        assert!(
+            !line.contains("epoch") && !line.contains("worker"),
+            "unleased records must not grow fields: {line}"
+        );
+        let leased = Record {
+            epoch: 3,
+            worker: "w17".into(),
+            ..ok_record("bbbb", 0.6)
+        };
+        let back = Record::from_json(&Json::parse(&leased.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back.epoch, 3);
+        assert_eq!(back.worker, "w17");
+        let back = Record::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!((back.epoch, back.worker.as_str()), (0, ""));
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! In-process distributed scenarios: two [`LeaseManager`]s sharing one
+//! store exercise the claim/steal/fence protocol directly, and two
+//! lease-mode [`StoreExecutor`]s racing on real threads drain one
+//! sweep to figures byte-identical to a single-process reference.
+//! (The cross-*process* version of these scenarios, with real kills,
+//! lives in the chaos crate's dist oracle.)
+
+use rop_harness::{
+    lease_lock_path, lease_log_path, CommitOutcome, LeaseConfig, LeaseKind, LeaseLog, LeaseManager,
+    LeaseRecord, PoolConfig, Record, Status, Store, StoreExecutor,
+};
+use rop_sim_system::runner::{LocalExecutor, RunSpec};
+use rop_trace::Benchmark;
+use std::sync::Arc;
+
+fn tiny_spec() -> RunSpec {
+    RunSpec {
+        instructions: 5_000,
+        max_cycles: 5_000_000,
+        seed: 42,
+    }
+}
+
+fn tmp_store(name: &str) -> Store {
+    let mut p = std::env::temp_dir();
+    p.push(format!("rop-dist-test-{name}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    Store::open(p)
+}
+
+fn cleanup(store: &Store) {
+    let _ = std::fs::remove_file(store.path());
+    let _ = std::fs::remove_file(lease_log_path(store.path()));
+    let _ = std::fs::remove_file(lease_lock_path(store.path()));
+}
+
+fn mgr(store: &Store, worker: &str, stale_rounds: u32) -> LeaseManager {
+    let mut cfg = LeaseConfig::new(worker);
+    cfg.stale_rounds = stale_rounds;
+    LeaseManager::new(store.path(), cfg).unwrap()
+}
+
+/// A commit payload that needs no metrics (the fence logic is
+/// status-agnostic, and `failed` records legally carry none).
+fn failed_record(job: &str) -> Record {
+    Record {
+        job: job.into(),
+        label: format!("dist/{job}"),
+        status: Status::Failed,
+        attempts: 1,
+        panic_msg: Some("boom".into()),
+        ts: 0,
+        metrics: None,
+        epoch: 0,
+        worker: String::new(),
+    }
+}
+
+/// A silent peer's lease is stolen only after `stale_rounds` unchanged
+/// observations, a heartbeat resets the countdown, and the original
+/// holder's late commit bounces off the epoch fence.
+#[test]
+fn silent_peer_is_stolen_and_its_late_commit_fenced() {
+    let store = tmp_store("steal");
+    let a = mgr(&store, "worker-a", 2);
+    let b = mgr(&store, "worker-b", 2);
+    let job = "00000000000000aa".to_string();
+    let jobs = [job.clone()];
+
+    assert_eq!(a.claim_batch(&jobs).unwrap(), vec![(job.clone(), 1)]);
+
+    // b watches: a live foreign lease is untouchable while fresh.
+    b.observe().unwrap();
+    b.observe().unwrap();
+    assert!(b.claim_batch(&jobs).unwrap().is_empty());
+
+    // A heartbeat with new progress resets b's staleness countdown.
+    a.beat(&job, 1, 500).unwrap();
+    b.observe().unwrap();
+    b.observe().unwrap();
+    assert!(
+        b.claim_batch(&jobs).unwrap().is_empty(),
+        "one post-beat observation must not be stale yet"
+    );
+
+    // Now a goes silent for good: the triple sits unchanged long
+    // enough and b steals at max_epoch + 1.
+    b.observe().unwrap();
+    b.observe().unwrap();
+    assert_eq!(b.claim_batch(&jobs).unwrap(), vec![(job.clone(), 2)]);
+    assert_eq!(b.stolen_count(), 1);
+
+    // b commits at epoch 2; a's zombie commit at epoch 1 is fenced
+    // and never reaches the store.
+    assert!(matches!(
+        b.commit(&store, failed_record(&job), 2).unwrap(),
+        CommitOutcome::Committed
+    ));
+    assert!(matches!(
+        a.commit(&store, failed_record(&job), 1).unwrap(),
+        CommitOutcome::Fenced { current_epoch: 2 }
+    ));
+    assert_eq!(a.fenced_count(), 1);
+
+    let contents = store.load().unwrap();
+    assert_eq!(contents.records.len(), 1, "the fenced commit left no line");
+    assert_eq!(contents.records[0].worker, "worker-b");
+    assert_eq!(contents.records[0].epoch, 2);
+    cleanup(&store);
+}
+
+/// Same-epoch split-brain (two workers raced the claim past the
+/// advisory lock) resolves deterministically: both managers agree on
+/// the max-worker-id winner, and the store resolves duplicate commits
+/// to that same winner in either append order.
+#[test]
+fn split_brain_double_claim_resolves_to_one_deterministic_winner() {
+    let claim = |job: &str, worker: &str| LeaseRecord {
+        kind: LeaseKind::Claim,
+        job: job.into(),
+        worker: worker.into(),
+        epoch: 1,
+        hb: 0,
+        ts: 0,
+    };
+    let job = "00000000000000bb".to_string();
+
+    for order in [["worker-a", "worker-b"], ["worker-b", "worker-a"]] {
+        let store = tmp_store(&format!("split-{}", order[0]));
+        let a = mgr(&store, "worker-a", 2);
+        let b = mgr(&store, "worker-b", 2);
+        let log = LeaseLog::beside(store.path());
+        for w in order {
+            log.append(&claim(&job, w)).unwrap();
+        }
+
+        // Both sides resolve the same winner regardless of file order.
+        for m in [&a, &b] {
+            let view = m.view().unwrap();
+            let lease = &view.jobs[&job];
+            assert_eq!(lease.worker, "worker-b", "max (epoch, worker) wins");
+            assert_eq!(lease.claims, 2, "split-brain is visible as telemetry");
+        }
+
+        // The fence only blocks *superseded* epochs, so both commits
+        // land — and the store's own (epoch, worker) resolution picks
+        // the identical winner either way.
+        for m in [&a, &b] {
+            assert!(matches!(
+                m.commit(&store, failed_record(&job), 1).unwrap(),
+                CommitOutcome::Committed
+            ));
+        }
+        let contents = store.load().unwrap();
+        assert_eq!(contents.records.len(), 2);
+        assert_eq!(contents.latest()[job.as_str()].worker, "worker-b");
+        cleanup(&store);
+    }
+}
+
+/// `mc-lease-*` config rules reject hostile worker ids and degenerate
+/// timing before a manager ever touches the log.
+#[test]
+fn lease_config_violations_are_rejected_with_rule_ids() {
+    let store = tmp_store("cfg");
+    let mut cfg = LeaseConfig::new("w one\"two");
+    cfg.stale_rounds = 0;
+    cfg.poll = std::time::Duration::ZERO;
+    cfg.max_rounds = 0;
+    let err = LeaseManager::new(store.path(), cfg).unwrap_err();
+    for rule in [
+        "mc-lease-worker",
+        "mc-lease-stale",
+        "mc-lease-poll",
+        "mc-lease-rounds",
+    ] {
+        assert!(err.contains(rule), "missing {rule} in: {err}");
+    }
+    assert!(LeaseManager::new(store.path(), LeaseConfig::new("w1")).is_ok());
+    cleanup(&store);
+}
+
+/// Two lease-mode executors on real threads drain one 6-job sweep:
+/// every job lands exactly once, both joiners assemble figures
+/// byte-identical to the in-process reference, and a third worker
+/// joining afterwards is a pure cache read.
+#[test]
+fn two_join_workers_drain_one_store_to_reference_figures() {
+    use rop_sim_system::experiments::run_singlecore_with;
+
+    let benchmarks = [Benchmark::Lbm];
+    let spec = tiny_spec();
+    let reference = run_singlecore_with(&benchmarks, spec, &LocalExecutor);
+
+    let pool = || PoolConfig {
+        workers: 1,
+        max_attempts: 2,
+        ..PoolConfig::default()
+    };
+    let store = tmp_store("drain");
+    // Generous staleness threshold: a healthy-but-slow peer on a loaded
+    // CI box must not get its jobs stolen mid-run.
+    let exec_a = StoreExecutor::new(store.clone())
+        .with_pool(pool())
+        .with_lease(Arc::new(mgr(&store, "worker-a", 40)));
+    let exec_b = StoreExecutor::new(store.clone())
+        .with_pool(pool())
+        .with_lease(Arc::new(mgr(&store, "worker-b", 40)));
+
+    let (res_a, res_b) = std::thread::scope(|s| {
+        let ha = s.spawn(|| run_singlecore_with(&benchmarks, spec, &exec_a));
+        let hb = s.spawn(|| run_singlecore_with(&benchmarks, spec, &exec_b));
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+
+    // The store is the single source of truth: whoever ran each job,
+    // both joiners see identical, reference-equal figures.
+    for res in [&res_a, &res_b] {
+        assert_eq!(res.render_fig7(), reference.render_fig7());
+        assert_eq!(res.render_fig8(), reference.render_fig8());
+        assert_eq!(res.render_fig9(), reference.render_fig9());
+    }
+    let contents = store.load().unwrap();
+    let latest = contents.latest();
+    assert_eq!(latest.len(), 6, "all six jobs resolved");
+    assert!(latest.values().all(|r| r.status == Status::Ok));
+    let (stats_a, stats_b) = (exec_a.stats(), exec_b.stats());
+    assert!(
+        stats_a.executed + stats_b.executed >= 6,
+        "every job ran somewhere: {stats_a:?} {stats_b:?}"
+    );
+
+    // A late third worker finds nothing to do.
+    let warm = StoreExecutor::new(store.clone())
+        .with_pool(pool())
+        .with_lease(Arc::new(mgr(&store, "worker-c", 40)));
+    let cached = run_singlecore_with(&benchmarks, spec, &warm);
+    assert_eq!(warm.stats().executed, 0);
+    assert_eq!(warm.stats().cache_hits, 6);
+    assert_eq!(cached.render_fig7(), reference.render_fig7());
+    cleanup(&store);
+}

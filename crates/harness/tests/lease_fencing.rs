@@ -1,0 +1,188 @@
+//! Property tests for lease-epoch fencing: any interleaving of
+//! claim/steal/beat/done/abort records resolves to **exactly one
+//! winner per job** — the maximum `(epoch, worker)` pair over its claim
+//! records — and the resolved view is byte-stable under any reordering
+//! of the log. This is the invariant the whole distributed mode leans
+//! on: N workers append concurrently, so the lease log's line order is
+//! a race outcome, and nothing downstream may depend on it.
+//!
+//! Claims are generated with unique `(epoch, worker)` pairs, which is
+//! what the manager guarantees in practice (fresh claims and steals go
+//! to `max_epoch + 1`; a same-pair line only repeats when a worker
+//! re-announces its own claim, which is idempotent under resolution).
+
+use proptest::prelude::*;
+use rop_harness::{resolve_leases, LeaseKind, LeaseLog, LeaseRecord, LeaseView};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+const WORKERS: &[&str] = &["w-alpha", "w-bravo", "w-carol", "w-delta"];
+
+fn tmp(tag: u64) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "rop-lease-fencing-{}-{tag}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Raw material for one job's lease chain: candidate claims as
+/// `(epoch, worker index)` plus per-claim heartbeats and a terminal
+/// selector (0 = held, 1 = done, 2 = abort, 3 = held).
+type JobMaterial = Vec<((u64, usize), (Vec<u64>, u8))>;
+
+fn job_material() -> impl Strategy<Value = JobMaterial> {
+    proptest::collection::vec(
+        (
+            (1u64..9, 0usize..WORKERS.len()),
+            (proptest::collection::vec(1u64..1_000_000, 0..3), 0u8..4),
+        ),
+        1..6,
+    )
+}
+
+/// Expands material into records, dropping candidate claims that would
+/// repeat an already-used `(epoch, worker)` pair for this job.
+fn build_job(job_idx: usize, material: &JobMaterial) -> Vec<LeaseRecord> {
+    let job = format!("{job_idx:016x}");
+    let mut used: BTreeSet<(u64, usize)> = BTreeSet::new();
+    let mut recs = Vec::new();
+    for ((epoch, widx), (hbs, terminal)) in material {
+        if !used.insert((*epoch, *widx)) {
+            continue;
+        }
+        let at = |kind, hb| LeaseRecord {
+            kind,
+            job: job.clone(),
+            worker: WORKERS[*widx].to_string(),
+            epoch: *epoch,
+            hb,
+            ts: 0,
+        };
+        recs.push(at(LeaseKind::Claim, 0));
+        for hb in hbs {
+            recs.push(at(LeaseKind::Beat, *hb));
+        }
+        match terminal {
+            1 => recs.push(at(LeaseKind::Done, 0)),
+            2 => recs.push(at(LeaseKind::Abort, 0)),
+            _ => {}
+        }
+    }
+    recs
+}
+
+/// A whole lease log covering three jobs.
+fn lease_log3() -> impl Strategy<Value = Vec<LeaseRecord>> {
+    (job_material(), job_material(), job_material()).prop_map(|(a, b, c)| {
+        let mut recs = build_job(0, &a);
+        recs.extend(build_job(1, &b));
+        recs.extend(build_job(2, &c));
+        recs
+    })
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded Fisher–Yates: deterministic, so a failing case replays.
+fn shuffled(records: &[LeaseRecord], mut seed: u64) -> Vec<LeaseRecord> {
+    let mut v = records.to_vec();
+    for i in (1..v.len()).rev() {
+        seed = splitmix64(seed);
+        let j = (seed % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Canonical bytes of a resolved view — what "byte-stable" compares.
+fn rendered(view: &LeaseView) -> String {
+    let mut s = String::new();
+    for (job, l) in &view.jobs {
+        s.push_str(&format!(
+            "{job} epoch={} worker={} hb={} done={} released={} max={} claims={}\n",
+            l.epoch, l.worker, l.hb, l.done, l.released, l.max_epoch, l.claims
+        ));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exactly one winner per job, and it is the maximum
+    /// `(epoch, worker)` pair over the job's claims — independent of
+    /// where those claims sit in the file.
+    #[test]
+    fn winner_is_the_max_epoch_worker_pair(
+        records in lease_log3(),
+        seed in any::<u64>(),
+    ) {
+        let view = resolve_leases(&shuffled(&records, seed));
+        for (job, lease) in &view.jobs {
+            let expected = records
+                .iter()
+                .filter(|r| r.kind == LeaseKind::Claim && &r.job == job)
+                .map(|r| (r.epoch, r.worker.as_str()))
+                .max()
+                .expect("every resolved job has at least one claim");
+            prop_assert_eq!((lease.epoch, lease.worker.as_str()), expected);
+            // The winner's terminal markers only come from records that
+            // match the winning identity exactly: a zombie's done/abort
+            // at a fenced-off epoch must not leak into the winner.
+            let winner_done = records.iter().any(|r| {
+                r.kind == LeaseKind::Done
+                    && &r.job == job
+                    && (r.epoch, r.worker.as_str()) == expected
+            });
+            prop_assert_eq!(lease.done, winner_done);
+        }
+    }
+
+    /// Any two reorderings of the same log resolve to byte-identical
+    /// views: split-brain resolution cannot depend on append order.
+    #[test]
+    fn resolution_is_byte_stable_under_reordering(
+        records in lease_log3(),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let base = rendered(&resolve_leases(&records));
+        let a = rendered(&resolve_leases(&shuffled(&records, seed_a)));
+        let b = rendered(&resolve_leases(&shuffled(&records, seed_b)));
+        prop_assert_eq!(&a, &base);
+        prop_assert_eq!(&b, &base);
+    }
+
+    /// The view survives a real file round trip: append a shuffled log,
+    /// load it back, resolve — same bytes, nothing quarantined.
+    #[test]
+    fn log_round_trip_preserves_resolution(
+        records in lease_log3(),
+        seed in any::<u64>(),
+        tag in any::<u64>(),
+    ) {
+        let store_path = tmp(tag);
+        let log = LeaseLog::beside(&store_path);
+        let disk_order = shuffled(&records, seed);
+        for r in &disk_order {
+            log.append(r).unwrap();
+        }
+        let loaded = log.load().unwrap();
+        let _ = std::fs::remove_file(log.path());
+        prop_assert_eq!(loaded.corrupt_lines, 0);
+        prop_assert_eq!(loaded.records.len(), records.len());
+        prop_assert_eq!(
+            rendered(&resolve_leases(&loaded.records)),
+            rendered(&resolve_leases(&records))
+        );
+    }
+}

@@ -85,6 +85,8 @@ fn mechanism_labels_survive_run_store_and_export() {
                 panic_msg: None,
                 ts: 0,
                 metrics: Some(m.clone()),
+                epoch: 0,
+                worker: String::new(),
             })
             .expect("append");
     }

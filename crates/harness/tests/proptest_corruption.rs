@@ -83,6 +83,8 @@ fn build_record(i: usize, (ok, ts, attempts, payload): (bool, u64, u32, u64)) ->
         panic_msg: (!ok).then(|| format!("[prop/job-{i}] boom {payload}")),
         ts,
         metrics: ok.then(|| metrics(payload + 1, payload % 3000)),
+        epoch: 0,
+        worker: String::new(),
     }
 }
 

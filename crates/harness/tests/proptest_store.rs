@@ -142,6 +142,16 @@ fn run_metrics() -> impl Strategy<Value = RunMetrics> {
         )
 }
 
+/// A lease identity for distributed records: epoch 0 + empty worker is
+/// the classic single-process shape (and must encode byte-identically
+/// to pre-lease stores); anything else exercises the optional columns.
+fn lease_identity() -> impl Strategy<Value = (u64, String)> {
+    prop_oneof![
+        Just((0u64, String::new())),
+        (1u64..6, bench_name()).prop_map(|(e, w)| (e, format!("w-{w}"))),
+    ]
+}
+
 fn record() -> impl Strategy<Value = Record> {
     (
         any::<u64>(),
@@ -151,9 +161,10 @@ fn record() -> impl Strategy<Value = Record> {
         counter(),
         run_metrics(),
         label(),
+        lease_identity(),
     )
         .prop_map(
-            |(job, label, ok, attempts, ts, metrics, panic_msg)| Record {
+            |(job, label, ok, attempts, ts, metrics, panic_msg, (epoch, worker))| Record {
                 job: format!("{job:016x}"),
                 label,
                 status: if ok { Status::Ok } else { Status::Failed },
@@ -163,6 +174,8 @@ fn record() -> impl Strategy<Value = Record> {
                 panic_msg: (!ok).then_some(panic_msg),
                 ts,
                 metrics: ok.then_some(metrics),
+                epoch,
+                worker,
             },
         )
 }
@@ -200,6 +213,8 @@ proptest! {
             prop_assert_eq!(got.status, want.status);
             prop_assert_eq!(got.attempts, want.attempts);
             prop_assert_eq!(got.ts, want.ts);
+            prop_assert_eq!(got.epoch, want.epoch);
+            prop_assert_eq!(&got.worker, &want.worker);
             prop_assert_eq!(&got.panic_msg, &want.panic_msg);
             prop_assert_eq!(got.metrics.is_some(), want.metrics.is_some());
             if let (Some(g), Some(w)) = (&got.metrics, &want.metrics) {

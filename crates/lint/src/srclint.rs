@@ -33,7 +33,17 @@
 //!   passes 2³² cycles), or an unchecked `+`/`*` on one inside a
 //!   hot-marked function (overflow wraps silently in release builds;
 //!   timing paths must use `saturating_*`/`checked_*` or carry an
-//!   explicit allow).
+//!   explicit allow);
+//! * `lease-clock` — a wall-clock read (`Instant::now`, `SystemTime`,
+//!   `.elapsed(`) inside any function whose *name* mentions leases,
+//!   expiry or staleness, in **every** crate. Lease liveness must be
+//!   decided by counting unchanged observations of `(epoch, worker,
+//!   hb)` triples, never by clock arithmetic: two machines (or one
+//!   machine under `faketime`, NTP steps, or suspend/resume) disagree
+//!   about elapsed time, and a clock-based verdict turns that skew
+//!   into split-brain double execution. Stamping forensic `ts`
+//!   metadata via `unix_now` stays legal — timestamps may be *recorded*
+//!   in lease paths, just never *compared*.
 //!
 //! Escapes and ratcheting:
 //!
@@ -73,6 +83,7 @@ pub const SRC_RULES: &[&str] = &[
     "forbid-unsafe",
     "hot-alloc",
     "cycle-cast",
+    "lease-clock",
 ];
 
 /// One source-lint hit.
@@ -394,6 +405,50 @@ fn hot_extents(src: &str, toks: &[Tok]) -> Vec<(usize, usize)> {
     extents
 }
 
+/// Token-index ranges `[open_brace, close_brace]` of the bodies of
+/// functions whose names sound like lease-expiry logic: any `fn` whose
+/// identifier contains `lease`, `expir` or `stale`. These are the
+/// extents the `lease-clock` rule polices. A declaration that hits a
+/// `;` before its body brace (trait method signatures) has no extent.
+fn lease_extents(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut extents = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is(TokKind::Ident, "fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        if !["lease", "expir", "stale"]
+            .iter()
+            .any(|s| name.text.contains(s))
+        {
+            continue;
+        }
+        let Some(open) = (i + 2..toks.len())
+            .find(|&j| toks[j].is(TokKind::Punct, "{") || toks[j].is(TokKind::Punct, ";"))
+        else {
+            continue;
+        };
+        if toks[open].is(TokKind::Punct, ";") {
+            continue;
+        }
+        let mut depth = 0usize;
+        for (j, tok) in toks.iter().enumerate().skip(open) {
+            if tok.is(TokKind::Punct, "{") {
+                depth += 1;
+            } else if tok.is(TokKind::Punct, "}") {
+                depth -= 1;
+                if depth == 0 {
+                    extents.push((open, j));
+                    break;
+                }
+            }
+        }
+    }
+    extents
+}
+
 /// Line of the first `#[cfg(test)]` attribute, if any — everything at
 /// or after it is treated as test code and skipped.
 fn test_cutoff(src: &str) -> Option<usize> {
@@ -444,6 +499,8 @@ fn scan_file(path: &str, src: &str, crate_name: &str, is_crate_root: bool, out: 
     let deterministic = DETERMINISTIC_CRATES.contains(&crate_name);
     let hot = hot_extents(src, &toks);
     let in_hot = |i: usize| hot.iter().any(|&(lo, hi)| lo <= i && i <= hi);
+    let leases = lease_extents(&toks);
+    let in_lease = |i: usize| leases.iter().any(|&(lo, hi)| lo <= i && i <= hi);
 
     // Bindings/fields declared as HashMap/HashSet in this file
     // (`name: HashMap<..>` or `name = HashMap::new()` shapes).
@@ -541,6 +598,42 @@ fn scan_file(path: &str, src: &str, crate_name: &str, is_crate_root: bool, out: 
                     "wallclock",
                     t.line,
                     "SystemTime in a deterministic crate".to_string(),
+                );
+            }
+        }
+        // Wall-clock reads inside lease/expiry/staleness functions, in
+        // every crate: lease liveness is decided by counting unchanged
+        // `(epoch, worker, hb)` observations, never by clock
+        // arithmetic. (Stamping forensic `ts` metadata via `unix_now`
+        // is legal — timestamps are recorded, not compared.)
+        if in_lease(i) {
+            if t.is(TokKind::Ident, "Instant")
+                && toks.get(i + 1).is_some_and(|t| t.is(TokKind::Punct, "::"))
+                && toks.get(i + 2).is_some_and(|t| t.is(TokKind::Ident, "now"))
+            {
+                ctx.emit(
+                    "lease-clock",
+                    t.line,
+                    "Instant::now in a lease-expiry function".to_string(),
+                );
+            }
+            if t.is(TokKind::Ident, "SystemTime") {
+                ctx.emit(
+                    "lease-clock",
+                    t.line,
+                    "SystemTime in a lease-expiry function".to_string(),
+                );
+            }
+            if t.is(TokKind::Punct, ".")
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.is(TokKind::Ident, "elapsed"))
+                && toks.get(i + 2).is_some_and(|t| t.is(TokKind::Punct, "("))
+            {
+                ctx.emit(
+                    "lease-clock",
+                    toks[i + 1].line,
+                    "`.elapsed()` in a lease-expiry function".to_string(),
                 );
             }
         }
@@ -1182,6 +1275,55 @@ fn f(now: Cycle, t: Cycle) -> Cycle {
 }
 ";
         assert!(scan_str(allowed, "memctrl").is_empty());
+    }
+
+    #[test]
+    fn lease_clock_flags_clock_reads_in_lease_named_functions() {
+        // `.elapsed()` inside a lease-liveness decision: the canonical
+        // wrong design this rule exists to keep out.
+        let bad = "fn lease_is_live(last_beat: std::time::Instant) -> bool {\n    \
+                   last_beat.elapsed() < std::time::Duration::from_secs(30)\n}\n";
+        let f = scan_str(bad, "harness");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "lease-clock");
+        assert_eq!(f[0].line, 2);
+        // Every crate is in scope, not just the deterministic ones.
+        assert_eq!(scan_str(bad, "chaos").len(), 1);
+        // Instant::now and SystemTime hit too, on `expir`/`stale` names.
+        let f = scan_str(
+            "fn lease_expired(t0: u64) -> bool { Instant::now().as_millis() > t0 }\n",
+            "harness",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        let f = scan_str(
+            "fn is_stale_peer() -> bool { SystemTime::now() > deadline() }\n",
+            "harness",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn lease_clock_spares_counters_and_unrelated_functions() {
+        // Counter-based expiry — the prescribed design — is clean.
+        let good = "fn is_stale(&self, job: &str, threshold: u32) -> bool {\n    \
+                    self.seen.get(job).is_some_and(|(_, n)| *n >= threshold)\n}\n";
+        assert!(scan_str(good, "harness").is_empty());
+        // Clock reads outside lease-flavoured functions are none of
+        // this rule's business (pacing sleeps, status displays).
+        let pacing = "fn poll_loop() { let t = Instant::now(); let _ = t.elapsed(); }\n";
+        assert!(scan_str(pacing, "harness").is_empty());
+        // Trait method *signatures* have no body to scan.
+        let decl = "trait L { fn lease_expired(&self) -> bool; }\n\
+                    fn after() { let _ = Instant::now(); }\n";
+        assert!(scan_str(decl, "harness").is_empty());
+        // Stamping a forensic timestamp is legal: `unix_now` is not a
+        // comparison primitive.
+        let stamp = "fn lease_record(&self) -> Rec { Rec { ts: unix_now() } }\n";
+        assert!(scan_str(stamp, "harness").is_empty());
+        // The allow escape works like every other rule.
+        let allowed = "fn lease_debug() {\n    \
+                       let _ = Instant::now(); // rop-lint: allow(lease-clock)\n}\n";
+        assert!(scan_str(allowed, "harness").is_empty());
     }
 
     #[test]

@@ -318,6 +318,13 @@ fn known_bad_src_table() -> Vec<(&'static str, &'static str, bool, &'static str)
             false,
             "fn f(now: Cycle) -> u32 { now as u32 }\n",
         ),
+        (
+            "lease-clock",
+            "harness",
+            false,
+            "fn lease_is_live(last_beat: std::time::Instant) -> bool {\n    \
+             last_beat.elapsed() < std::time::Duration::from_secs(30)\n}\n",
+        ),
     ]
 }
 
